@@ -1,0 +1,67 @@
+"""Exp-1 — Figures 4(a)–4(d): incremental vs. batch detection as |ΔG| grows.
+
+The paper varies |ΔG| from 5% to 35–40% of |G| on DBpedia, YAGO2, Pokec and
+Synthetic, comparing Dect, IncDect, PDect, PIncDect and the balancing
+ablations.  Expected shape: the batch algorithms are flat, the incremental
+algorithms grow with |ΔG|, and incremental wins by a large factor at 5%
+(paper: 6.6×–9.8×) shrinking as |ΔG| approaches a third of the graph.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import print_series, run_exp1_vary_delta, speedup_summary
+
+DELTA_FRACTIONS = (0.05, 0.10, 0.15, 0.20, 0.25, 0.30, 0.35)
+ALGORITHMS = ("Dect", "IncDect", "PDect", "PIncDect", "PIncDect_NO")
+
+PANELS = {
+    "test_fig4a_dbpedia": "DBpedia",
+    "test_fig4b_yago2": "YAGO2",
+    "test_fig4c_pokec": "Pokec",
+    "test_fig4d_synthetic": "Synthetic",
+}
+
+
+def _run_panel(benchmark, bench_config, dataset: str):
+    series = benchmark.pedantic(
+        run_exp1_vary_delta,
+        kwargs={
+            "dataset": dataset,
+            "delta_fractions": DELTA_FRACTIONS,
+            "config": bench_config,
+            "algorithms": ALGORITHMS,
+        },
+        rounds=1,
+        iterations=1,
+    )
+    print_series(series)
+    print(speedup_summary(series, "Dect", "IncDect"))
+    print(speedup_summary(series, "PDect", "PIncDect"))
+    # shape assertions: incremental beats batch at 5 % updates, batch is flat
+    smallest = min(DELTA_FRACTIONS)
+    assert series.values[smallest]["IncDect"] < series.values[smallest]["Dect"]
+    assert series.values[smallest]["PIncDect"] < series.values[smallest]["PDect"]
+    assert series.values[max(DELTA_FRACTIONS)]["Dect"] == series.values[smallest]["Dect"]
+    return series
+
+
+@pytest.mark.benchmark(group="exp1-vary-delta")
+def test_fig4a_dbpedia(benchmark, bench_config):
+    _run_panel(benchmark, bench_config, "DBpedia")
+
+
+@pytest.mark.benchmark(group="exp1-vary-delta")
+def test_fig4b_yago2(benchmark, bench_config):
+    _run_panel(benchmark, bench_config, "YAGO2")
+
+
+@pytest.mark.benchmark(group="exp1-vary-delta")
+def test_fig4c_pokec(benchmark, bench_config):
+    _run_panel(benchmark, bench_config, "Pokec")
+
+
+@pytest.mark.benchmark(group="exp1-vary-delta")
+def test_fig4d_synthetic(benchmark, bench_config):
+    _run_panel(benchmark, bench_config, "Synthetic")

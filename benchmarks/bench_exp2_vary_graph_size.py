@@ -1,0 +1,38 @@
+"""Exp-2 — Figure 4(e): scalability with |G| on synthetic graphs.
+
+The paper grows the synthetic graph from (10M, 20M) to (80M, 100M) with |ΔG|
+fixed at 15%.  This reproduction sweeps the same 1:2 → 4:5 node/edge ratios
+at laptop scale.  Expected shape: every algorithm grows with |G|, the
+incremental algorithms grow more slowly than their batch counterparts, and
+PIncDect stays the cheapest throughout.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import print_series, run_exp2_vary_graph_size
+
+SIZES = ((1000, 2000), (2000, 4000), (3000, 6000), (6000, 8000), (8000, 10000))
+
+
+@pytest.mark.benchmark(group="exp2-vary-graph-size")
+def test_fig4e_synthetic_graph_size(benchmark, bench_config):
+    series = benchmark.pedantic(
+        run_exp2_vary_graph_size,
+        kwargs={"sizes": SIZES, "config": bench_config},
+        rounds=1,
+        iterations=1,
+    )
+    print_series(series)
+    smallest, largest = SIZES[0], SIZES[-1]
+    # cost grows with |G| for the batch algorithm ...
+    assert series.values[largest]["Dect"] > series.values[smallest]["Dect"]
+    # ... and the incremental algorithms stay below their batch counterparts at every size
+    for size in SIZES:
+        assert series.values[size]["IncDect"] < series.values[size]["Dect"]
+        assert series.values[size]["PIncDect"] < series.values[size]["PDect"]
+    # incremental is less sensitive to |G| than batch (smaller relative growth)
+    batch_growth = series.values[largest]["Dect"] / series.values[smallest]["Dect"]
+    incremental_growth = series.values[largest]["IncDect"] / series.values[smallest]["IncDect"]
+    assert incremental_growth < batch_growth * 1.5

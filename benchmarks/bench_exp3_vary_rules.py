@@ -1,0 +1,40 @@
+"""Exp-3 — Figures 4(f) and 4(g): impact of the number of rules ‖Σ‖.
+
+The paper varies ‖Σ‖ from 50 to 100 on DBpedia and YAGO2 with |ΔG| = 15%.
+Expected shape: every algorithm takes longer with more rules, and the
+incremental algorithms scale well (stay below their batch counterparts).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import print_series, run_exp3_vary_rules
+
+RULE_COUNTS = (10, 20, 30, 40, 50, 60)
+
+
+def _run_panel(benchmark, bench_config, dataset: str):
+    series = benchmark.pedantic(
+        run_exp3_vary_rules,
+        kwargs={"dataset": dataset, "rule_counts": RULE_COUNTS, "config": bench_config},
+        rounds=1,
+        iterations=1,
+    )
+    print_series(series)
+    smallest, largest = min(RULE_COUNTS), max(RULE_COUNTS)
+    assert series.values[largest]["Dect"] >= series.values[smallest]["Dect"]
+    assert series.values[largest]["IncDect"] >= series.values[smallest]["IncDect"]
+    for count in RULE_COUNTS:
+        assert series.values[count]["IncDect"] < series.values[count]["Dect"]
+    return series
+
+
+@pytest.mark.benchmark(group="exp3-vary-rules")
+def test_fig4f_dbpedia(benchmark, bench_config):
+    _run_panel(benchmark, bench_config, "DBpedia")
+
+
+@pytest.mark.benchmark(group="exp3-vary-rules")
+def test_fig4g_yago2(benchmark, bench_config):
+    _run_panel(benchmark, bench_config, "YAGO2")

@@ -1,0 +1,35 @@
+"""Exp-4 — Figure 4(m): sensitivity to the communication-latency parameter C.
+
+The paper tunes C from 20 to 100 on Pokec (p = 8, intvl = 45) and reports an
+interior optimum around C = 80: a small C makes the splitter too eager (it
+broadcasts work that was cheap to do locally), a large C makes it too shy
+(stragglers stay local).  PIncDect is compared against PIncDect_nb, the
+variant without periodic redistribution.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import print_series, run_exp4_vary_latency
+
+LATENCIES = (20, 40, 60, 80, 100)
+
+
+@pytest.mark.benchmark(group="exp4-vary-latency")
+def test_fig4m_pokec_latency(benchmark, bench_config):
+    series = benchmark.pedantic(
+        run_exp4_vary_latency,
+        kwargs={"dataset": "Pokec", "latencies": LATENCIES, "config": bench_config},
+        rounds=1,
+        iterations=1,
+    )
+    print_series(series)
+    # the full strategy stays comparable to the no-redistribution ablation at every C;
+    # on the scaled-down workloads its monitoring overhead may cost up to 15 %
+    # (see EXPERIMENTS.md, known deviations)
+    for latency in LATENCIES:
+        assert series.values[latency]["PIncDect"] <= series.values[latency]["PIncDect_nb"] * 1.15
+    # the best latency is an interior point or at least not the most eager setting
+    best = min(LATENCIES, key=lambda c: series.values[c]["PIncDect"])
+    print(f"best C for PIncDect: {best}")

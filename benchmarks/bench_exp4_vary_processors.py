@@ -1,0 +1,70 @@
+"""Exp-4 — Figures 4(i)–4(l): parallel scalability with the number of processors.
+
+The paper varies p from 4 to 20 on all four graphs (‖Σ‖ = 50, |ΔG| = 15%).
+Expected shape: PIncDect and PDect both speed up as p grows (paper: ≈3.7×
+from 4 to 20 processors), PIncDect stays below PDect, and the hybrid
+balancing variant is at least as good as running with neither mechanism.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import print_series, run_exp4_vary_processors, speedup_summary
+
+PROCESSORS = (4, 8, 12, 16, 20)
+ALGORITHMS = ("PDect", "PIncDect", "PIncDect_ns", "PIncDect_nb", "PIncDect_NO")
+
+PANELS = {
+    "test_fig4i_dbpedia": "DBpedia",
+    "test_fig4j_yago2": "YAGO2",
+    "test_fig4k_pokec": "Pokec",
+    "test_fig4l_synthetic": "Synthetic",
+}
+
+
+def _run_panel(benchmark, bench_config, dataset: str):
+    series = benchmark.pedantic(
+        run_exp4_vary_processors,
+        kwargs={
+            "dataset": dataset,
+            "processor_counts": PROCESSORS,
+            "config": bench_config,
+            "algorithms": ALGORITHMS,
+        },
+        rounds=1,
+        iterations=1,
+    )
+    print_series(series)
+    print(speedup_summary(series, "PDect", "PIncDect"))
+    # more processors reduce the makespan of both parallel algorithms (4 → 20)
+    assert series.values[20]["PIncDect"] < series.values[4]["PIncDect"]
+    assert series.values[20]["PDect"] < series.values[4]["PDect"]
+    # the incremental algorithm stays below the batch one at every p
+    for processors in PROCESSORS:
+        assert series.values[processors]["PIncDect"] < series.values[processors]["PDect"]
+    # the hybrid strategy is at least comparable to disabling both mechanisms; on the
+    # scaled-down low-skew workloads its benefit is small and its monitoring overhead is
+    # allowed to cost up to 15 % (see EXPERIMENTS.md, known deviations)
+    assert series.values[20]["PIncDect"] <= series.values[20]["PIncDect_NO"] * 1.15
+    return series
+
+
+@pytest.mark.benchmark(group="exp4-vary-processors")
+def test_fig4i_dbpedia(benchmark, bench_config):
+    _run_panel(benchmark, bench_config, "DBpedia")
+
+
+@pytest.mark.benchmark(group="exp4-vary-processors")
+def test_fig4j_yago2(benchmark, bench_config):
+    _run_panel(benchmark, bench_config, "YAGO2")
+
+
+@pytest.mark.benchmark(group="exp4-vary-processors")
+def test_fig4k_pokec(benchmark, bench_config):
+    _run_panel(benchmark, bench_config, "Pokec")
+
+
+@pytest.mark.benchmark(group="exp4-vary-processors")
+def test_fig4l_synthetic(benchmark, bench_config):
+    _run_panel(benchmark, bench_config, "Synthetic")

@@ -1,0 +1,61 @@
+"""Benchmarks for the future-work extensions: graph repair and aggregate rules.
+
+These are not figures of the paper (Section 8 lists both as open topics); the
+benchmarks record the cost of the extension features so regressions are
+visible alongside the reproduction benchmarks.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.aggregates import AggregateLiteral, AggregateRule, AggregateTerm, find_aggregate_violations
+from repro.core.repair import repair_graph
+from repro.core.validation import find_violations, graph_satisfies
+from repro.datasets.rules import benchmark_rules
+from repro.expr.expressions import var
+from repro.expr.literals import Comparison, LiteralSet
+from repro.experiments import build_dataset
+from repro.graph.pattern import Pattern
+
+
+@pytest.mark.benchmark(group="extension-repair")
+def test_repair_planted_errors(benchmark, bench_config):
+    """Detect the planted part≤whole violations and repair them with minimal change."""
+
+    def run():
+        graph = build_dataset("YAGO2", scale=0.5, seed=bench_config.seed + 1)
+        rules = benchmark_rules(graph, count=8, max_diameter=2, seed=bench_config.seed)
+        repaired, plan = repair_graph(graph, rules)
+        return graph, rules, repaired, plan
+
+    graph, rules, repaired, plan = benchmark.pedantic(run, rounds=1, iterations=1)
+    before = len(find_violations(graph, rules))
+    after = len(find_violations(repaired, rules))
+    print(f"\nviolations before repair: {before}, after repair: {after}, changes: {len(plan.repairs)}")
+    assert plan.is_complete()
+    assert after == 0
+    assert graph_satisfies(repaired, rules)
+
+
+@pytest.mark.benchmark(group="extension-aggregates")
+def test_aggregate_rule_detection(benchmark, bench_config):
+    """Aggregate rule over every entity's numeric facts (sum of facts is non-negative)."""
+
+    def run():
+        graph = build_dataset("DBpedia", scale=0.5, seed=bench_config.seed + 1)
+        entity_types = sorted({node.label for node in graph.nodes() if node.label.startswith("type_")})
+        rules = []
+        for entity_type in entity_types[:5]:
+            pattern = Pattern.from_edges(f"agg_{entity_type}", nodes=[("x", entity_type)])
+            literal = AggregateLiteral(
+                AggregateTerm("sum", "x", "rel_0", "val"), Comparison.GE, var("x", "degree_hint")
+            )
+            rules.append(AggregateRule(pattern, LiteralSet(), [literal], name=f"agg_{entity_type}"))
+        return graph, rules, find_aggregate_violations(graph, rules)
+
+    graph, rules, violations = benchmark.pedantic(run, rounds=1, iterations=1)
+    print(f"\naggregate rules: {len(rules)}, violations: {len(violations)}")
+    assert len(rules) > 0
+    # the sum of a non-negative fact is ≥ the small degree hint for almost every entity
+    assert len(violations) < graph.node_count()

@@ -1,0 +1,54 @@
+"""Shared configuration for the benchmark harness.
+
+Every benchmark regenerates one table/figure of the paper's Section 7 and
+prints the corresponding series (in simulated work units — see DESIGN.md for
+the substitution of cluster wall-clock by deterministic cost).  Benchmarks
+run each experiment exactly once (``benchmark.pedantic(rounds=1)``): the
+drivers are deterministic, so repeating them only wastes time.
+
+Set ``REPRO_SCALE`` to enlarge every dataset, and ``REPRO_BENCH_RULES`` to
+change the number of NGDs per rule set (default 24; the paper uses 50–100 on
+a 20-machine cluster).
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+from pathlib import Path
+
+import pytest
+
+_SRC = Path(__file__).resolve().parent.parent / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+from repro.experiments import ExperimentConfig  # noqa: E402  (path inserted above)
+
+
+def bench_rules_count() -> int:
+    """Number of NGDs per benchmark rule set (``REPRO_BENCH_RULES``, default 24)."""
+    return int(os.environ.get("REPRO_BENCH_RULES", "24"))
+
+
+@pytest.fixture(scope="session")
+def bench_config() -> ExperimentConfig:
+    """The shared experiment configuration used by every benchmark."""
+    return ExperimentConfig(rules_count=bench_rules_count(), max_diameter=5, processors=8)
+
+
+@pytest.fixture(autouse=True)
+def _emit_series_tables(capfd):
+    """Re-emit each benchmark's printed series after the test finishes.
+
+    pytest captures stdout by default, which would hide the per-figure tables
+    the benchmarks print; this fixture forwards them to the real stdout so
+    ``pytest benchmarks/ --benchmark-only | tee bench_output.txt`` records the
+    reproduced series alongside the timing table.
+    """
+    yield
+    out, _ = capfd.readouterr()
+    if out.strip():
+        with capfd.disabled():
+            sys.stdout.write(out)
+            sys.stdout.flush()

@@ -1,0 +1,13 @@
+"""Repository-level pytest configuration.
+
+Makes the package importable straight from the source tree (``src`` layout)
+even when the editable install has not been performed, so ``pytest`` works in
+a freshly cloned checkout.
+"""
+
+import sys
+from pathlib import Path
+
+_SRC = Path(__file__).parent / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))

@@ -1,0 +1,80 @@
+"""repro — a reproduction of "Catching Numeric Inconsistencies in Graphs" (SIGMOD 2018).
+
+The package implements numeric graph dependencies (NGDs), their static
+analyses, and the (incremental, parallel) error-detection algorithms of the
+paper, together with the substrates they need: a property-graph store,
+pattern matching by homomorphism, graph partitioning, a cluster simulator, a
+rule miner, and synthetic analogues of the evaluation datasets.
+
+Typical usage::
+
+    from repro import Graph, find_violations
+    from repro.core import phi2
+
+    graph = Graph()
+    graph.add_node("bhonpur", "area")
+    graph.add_node("f", "integer", {"val": 600})
+    graph.add_node("m", "integer", {"val": 722})
+    graph.add_node("t", "integer", {"val": 1572})
+    graph.add_edge("bhonpur", "f", "femalePopulation")
+    graph.add_edge("bhonpur", "m", "malePopulation")
+    graph.add_edge("bhonpur", "t", "populationTotal")
+
+    print(find_violations(graph, [phi2()]))   # the Figure 1 population error
+"""
+
+from repro.core import (
+    NGD,
+    RuleSet,
+    Violation,
+    ViolationDelta,
+    ViolationSet,
+    find_violations,
+    graph_satisfies,
+    implies,
+    is_satisfiable,
+    is_strongly_satisfiable,
+)
+from repro.detect import BalancingPolicy, dect, inc_dect, p_dect, pinc_dect
+from repro.errors import ReproError
+from repro.expr import Comparison, Literal, LiteralSet, parse_expression, parse_literal, parse_literal_set
+from repro.graph import (
+    BatchUpdate,
+    Graph,
+    Pattern,
+    UpdateGenerator,
+    apply_update,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BalancingPolicy",
+    "BatchUpdate",
+    "Comparison",
+    "Graph",
+    "Literal",
+    "LiteralSet",
+    "NGD",
+    "Pattern",
+    "ReproError",
+    "RuleSet",
+    "UpdateGenerator",
+    "Violation",
+    "ViolationDelta",
+    "ViolationSet",
+    "__version__",
+    "apply_update",
+    "dect",
+    "find_violations",
+    "graph_satisfies",
+    "implies",
+    "inc_dect",
+    "is_satisfiable",
+    "is_strongly_satisfiable",
+    "p_dect",
+    "parse_expression",
+    "parse_literal",
+    "parse_literal_set",
+    "pinc_dect",
+]

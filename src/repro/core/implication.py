@@ -1,0 +1,46 @@
+"""Implication analysis and rule-set minimisation.
+
+The implication problem (Σ ⊨ φ?) is Πp2-complete for NGDs (Theorem 1).  The
+bounded checker lives in :mod:`repro.core.satisfiability`; this module adds
+the practical applications the paper motivates it with (Section 1): removing
+redundant rules before they are used for error detection, which directly
+shrinks the detection workload.
+"""
+
+from __future__ import annotations
+
+from repro.core.ngd import NGD, RuleSet
+from repro.core.satisfiability import implies
+
+__all__ = ["implies", "is_redundant", "minimal_cover"]
+
+
+def is_redundant(rules: RuleSet, candidate: NGD) -> bool:
+    """Return True when ``candidate`` is implied by the *other* rules of the set.
+
+    A redundant rule can be dropped from Σ without changing ``Vio(Σ, G)`` for
+    any graph G (every violation of the dropped rule is already ruled out or
+    caught by the rest).
+    """
+    others = RuleSet([rule for rule in rules if rule is not candidate], name=f"{rules.name}-others")
+    return implies(others, candidate)
+
+
+def minimal_cover(rules: RuleSet) -> RuleSet:
+    """Return a subset of Σ with redundant rules removed (a minimal cover).
+
+    Rules are examined in declaration order; a rule implied by the currently
+    kept rules plus the not-yet-examined ones is dropped.  The result is
+    equivalent to Σ (implies the same dependencies) but may be smaller, which
+    speeds up detection since its cost grows with ‖Σ‖ (Exp-3).
+    """
+    kept: list[NGD] = list(rules)
+    index = 0
+    while index < len(kept):
+        candidate = kept[index]
+        remaining = RuleSet(kept[:index] + kept[index + 1 :])
+        if len(remaining) and implies(remaining, candidate):
+            kept.pop(index)
+            continue
+        index += 1
+    return RuleSet(kept, name=f"{rules.name}-cover")

@@ -1,0 +1,276 @@
+"""Numeric graph dependencies (NGDs), the paper's central construct.
+
+An NGD ``φ = Q[x̄](X → Y)`` pairs
+
+* a graph pattern ``Q[x̄]`` (matched by homomorphism), and
+* an attribute dependency ``X → Y`` where ``X`` and ``Y`` are conjunctions of
+  comparison literals over linear arithmetic expressions of ``Q[x̄]``.
+
+A match ``h(x̄)`` of ``Q`` in ``G`` *violates* φ when ``h(x̄) ⊨ X`` but
+``h(x̄) ⊭ Y``; ``G ⊨ φ`` when no match violates it.
+
+The classes here also expose the special cases the paper relates NGDs to:
+
+* **GFDs** (graph functional dependencies): literals restricted to bare terms
+  connected with equality;
+* **CFDs** (relational conditional functional dependencies): GFDs over a
+  single-node "tuple pattern" whose attributes model relation columns —
+  :func:`cfd_as_ngd` builds that embedding.
+
+By default NGD construction enforces the *linear* fragment (the decidable
+class of Theorems 1 and 2).  Passing ``allow_nonlinear=True`` opts into the
+extended class of Theorem 3, which the library accepts for validation (which
+stays coNP) but whose satisfiability/implication the checkers refuse.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator, Mapping
+from typing import Optional
+
+from repro.errors import DependencyError, NonLinearExpressionError
+from repro.expr.literals import Literal, LiteralSet
+from repro.expr.parser import parse_literal_set
+from repro.graph.pattern import Pattern
+
+__all__ = ["NGD", "RuleSet", "gfd", "cfd_as_ngd"]
+
+
+class NGD:
+    """A numeric graph dependency ``Q[x̄](X → Y)``."""
+
+    def __init__(
+        self,
+        pattern: Pattern,
+        premise: LiteralSet | Iterable[Literal] = (),
+        conclusion: LiteralSet | Iterable[Literal] = (),
+        name: Optional[str] = None,
+        allow_nonlinear: bool = False,
+    ) -> None:
+        self.pattern = pattern
+        self.premise = premise if isinstance(premise, LiteralSet) else LiteralSet(premise)
+        self.conclusion = (
+            conclusion if isinstance(conclusion, LiteralSet) else LiteralSet(conclusion)
+        )
+        self.name = name or f"ngd_{pattern.name}"
+        self.allow_nonlinear = allow_nonlinear
+        self._check_well_formed()
+
+    # ------------------------------------------------------------ validation
+
+    def _check_well_formed(self) -> None:
+        pattern_variables = set(self.pattern.variables)
+        used = self.premise.pattern_variables() | self.conclusion.pattern_variables()
+        unknown = used - pattern_variables
+        if unknown:
+            raise DependencyError(
+                f"{self.name}: literals reference variables {sorted(unknown)} "
+                f"not bound by pattern {self.pattern.name!r}"
+            )
+        if not self.allow_nonlinear:
+            for literal in self.all_literals():
+                if not literal.is_linear():
+                    raise NonLinearExpressionError(
+                        f"{self.name}: literal {literal} has degree {literal.degree()}; "
+                        "NGDs are restricted to linear arithmetic expressions "
+                        "(pass allow_nonlinear=True for the extended, undecidable class)"
+                    )
+
+    # --------------------------------------------------------------- queries
+
+    @classmethod
+    def from_text(
+        cls,
+        pattern: Pattern,
+        premise: str = "",
+        conclusion: str = "",
+        name: Optional[str] = None,
+        allow_nonlinear: bool = False,
+    ) -> "NGD":
+        """Build an NGD from textual literal sets (see ``repro.expr.parser``)."""
+        return cls(
+            pattern,
+            parse_literal_set(premise),
+            parse_literal_set(conclusion),
+            name=name,
+            allow_nonlinear=allow_nonlinear,
+        )
+
+    def all_literals(self) -> Iterator[Literal]:
+        """Iterate over the literals of X then Y."""
+        yield from self.premise
+        yield from self.conclusion
+
+    def variables(self) -> tuple[str, ...]:
+        """Return the pattern variable list x̄."""
+        return self.pattern.variables
+
+    def attributes_of(self, variable: str) -> frozenset[str]:
+        """Return the attribute names the literals read from ``variable``."""
+        return frozenset(
+            attribute
+            for literal in self.all_literals()
+            for var_name, attribute in literal.variables()
+            if var_name == variable
+        )
+
+    def diameter(self) -> int:
+        """Return d_Q, the diameter of the pattern (Section 6.1)."""
+        return self.pattern.diameter()
+
+    def size(self) -> int:
+        """Return |φ|: pattern size plus number of literals (the measure used in bounds)."""
+        return self.pattern.size() + len(self.premise) + len(self.conclusion)
+
+    def is_gfd(self) -> bool:
+        """Return True when every literal lies in the GFD fragment (terms + equality)."""
+        return all(literal.is_gfd_literal() for literal in self.all_literals())
+
+    def is_linear(self) -> bool:
+        """Return True when every literal is linear (the decidable NGD class)."""
+        return all(literal.is_linear() for literal in self.all_literals())
+
+    def uses_comparison_beyond_equality(self) -> bool:
+        """Return True when some literal uses a predicate other than ``=``."""
+        from repro.expr.literals import Comparison
+
+        return any(literal.comparison is not Comparison.EQ for literal in self.all_literals())
+
+    def max_expression_degree(self) -> int:
+        """Return the maximum degree over all literals (0 when there are none)."""
+        return max((literal.degree() for literal in self.all_literals()), default=0)
+
+    # -------------------------------------------------------------- semantics
+
+    def match_satisfies(self, assignment: Mapping[tuple[str, str], object]) -> bool:
+        """Return True when a match (given as an attribute assignment) satisfies X → Y.
+
+        The assignment maps ``(variable, attribute)`` pairs to the values
+        carried by the matched nodes; missing attributes fail the literal that
+        needs them.
+        """
+        if not self.premise.satisfied_by(assignment):
+            return True
+        return self.conclusion.satisfied_by(assignment)
+
+    def match_violates(self, assignment: Mapping[tuple[str, str], object]) -> bool:
+        """Return True when the match satisfies X but not Y."""
+        return not self.match_satisfies(assignment)
+
+    # ---------------------------------------------------------------- dunders
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, NGD):
+            return NotImplemented
+        return (
+            self.pattern == other.pattern
+            and self.premise == other.premise
+            and self.conclusion == other.conclusion
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.pattern, self.premise, self.conclusion))
+
+    def __str__(self) -> str:
+        return f"{self.name}: {self.pattern.name}[{', '.join(self.pattern.variables)}]({self.premise} → {self.conclusion})"
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"NGD({self.name!r}, |Q|={self.pattern.size()}, |X|={len(self.premise)}, |Y|={len(self.conclusion)})"
+
+
+class RuleSet:
+    """A set Σ of NGDs used as data quality rules."""
+
+    def __init__(self, rules: Iterable[NGD] = (), name: str = "Σ") -> None:
+        self.name = name
+        self._rules: list[NGD] = list(rules)
+
+    def add(self, rule: NGD) -> "RuleSet":
+        """Append a rule and return self (builder style)."""
+        self._rules.append(rule)
+        return self
+
+    def __iter__(self) -> Iterator[NGD]:
+        return iter(self._rules)
+
+    def __len__(self) -> int:
+        return len(self._rules)
+
+    def __getitem__(self, index: int) -> NGD:
+        return self._rules[index]
+
+    def __bool__(self) -> bool:
+        return bool(self._rules)
+
+    def rules(self) -> tuple[NGD, ...]:
+        """Return the rules in declaration order."""
+        return tuple(self._rules)
+
+    def diameter(self) -> int:
+        """Return dΣ: the maximum pattern diameter over the rules (Section 6.1)."""
+        return max((rule.diameter() for rule in self._rules), default=0)
+
+    def total_size(self) -> int:
+        """Return |Σ|: the sum of the rule sizes (used in the cost analyses)."""
+        return sum(rule.size() for rule in self._rules)
+
+    def max_pattern_nodes(self) -> int:
+        """Return |V_Σ|: the largest number of pattern nodes in any rule."""
+        return max((rule.pattern.node_count() for rule in self._rules), default=0)
+
+    def is_linear(self) -> bool:
+        """Return True when every rule is in the linear (decidable) fragment."""
+        return all(rule.is_linear() for rule in self._rules)
+
+    def restrict(self, count: int) -> "RuleSet":
+        """Return a rule set containing the first ``count`` rules (used by ‖Σ‖ sweeps)."""
+        return RuleSet(self._rules[:count], name=f"{self.name}[:{count}]")
+
+    def by_name(self, name: str) -> NGD:
+        """Return the rule with the given name; raises :class:`DependencyError` when absent."""
+        for rule in self._rules:
+            if rule.name == name:
+                return rule
+        raise DependencyError(f"no rule named {name!r} in {self.name}")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"RuleSet({self.name!r}, {len(self._rules)} rules, dΣ={self.diameter()})"
+
+
+def gfd(
+    pattern: Pattern,
+    premise: str | LiteralSet = "",
+    conclusion: str | LiteralSet = "",
+    name: Optional[str] = None,
+) -> NGD:
+    """Build a GFD (the equality-only fragment) and verify it really is one.
+
+    Raises :class:`DependencyError` when a literal falls outside the fragment.
+    """
+    premise_set = premise if isinstance(premise, LiteralSet) else parse_literal_set(premise)
+    conclusion_set = (
+        conclusion if isinstance(conclusion, LiteralSet) else parse_literal_set(conclusion)
+    )
+    rule = NGD(pattern, premise_set, conclusion_set, name=name)
+    if not rule.is_gfd():
+        offending = [str(l) for l in rule.all_literals() if not l.is_gfd_literal()]
+        raise DependencyError(f"literals {offending} are outside the GFD fragment")
+    return rule
+
+
+def cfd_as_ngd(
+    relation: str,
+    premise: str,
+    conclusion: str,
+    name: Optional[str] = None,
+) -> NGD:
+    """Embed a relational CFD over one relation as an NGD.
+
+    The tuple is modelled as a single pattern node labelled ``relation`` bound
+    to variable ``t``; columns become attributes of that node, so a CFD such
+    as ``[country = "UK"] → [zip determines street]`` is written with literals
+    over ``t.column``.  This is the embedding the paper uses to argue NGDs
+    subsume CFDs.
+    """
+    pattern = Pattern.from_edges(f"cfd_{relation}", nodes=[("t", relation)])
+    return NGD.from_text(pattern, premise, conclusion, name=name or f"cfd_{relation}")

@@ -1,0 +1,83 @@
+"""Batch validation: ``G ⊨ Σ`` and ``Vio(Σ, G)``.
+
+Section 5.1: the *error detection problem* takes a set Σ of NGDs and a graph
+``G`` and returns ``Vio(Σ, G)``, the set of all violating matches; its
+decision version (the *validation problem*, ``Vio(Σ, G) = ∅``?) is
+coNP-complete, the same as for GFDs — arithmetic adds only per-match constant
+work (Corollary 4).
+
+These functions are the sequential reference implementation used as ground
+truth for the incremental and parallel algorithms; ``repro.detect`` wraps the
+same machinery with the paper's algorithm names (Dect, IncDect, ...).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.ngd import NGD, RuleSet
+from repro.core.violations import Violation, ViolationSet
+from repro.graph.graph import Graph
+from repro.matching.candidates import MatchStatistics
+from repro.matching.matchn import HomomorphismMatcher
+
+__all__ = [
+    "violations_of_rule",
+    "find_violations",
+    "graph_satisfies",
+    "satisfies_rule",
+]
+
+
+def violations_of_rule(
+    graph: Graph,
+    rule: NGD,
+    use_literal_pruning: bool = True,
+    stats: Optional[MatchStatistics] = None,
+) -> ViolationSet:
+    """Return all violations of a single NGD in ``graph``."""
+    matcher = HomomorphismMatcher(
+        graph,
+        rule.pattern,
+        premise=rule.premise,
+        conclusion=rule.conclusion,
+        use_literal_pruning=use_literal_pruning,
+        stats=stats,
+    )
+    result = ViolationSet()
+    order = rule.pattern.variables
+    for match in matcher.violations():
+        result.add(Violation.from_mapping(rule.name, match, order))
+    return result
+
+
+def find_violations(
+    graph: Graph,
+    rules: RuleSet | list[NGD],
+    use_literal_pruning: bool = True,
+    stats: Optional[MatchStatistics] = None,
+) -> ViolationSet:
+    """Return ``Vio(Σ, G)``: every violation of every rule in Σ."""
+    rule_set = rules if isinstance(rules, RuleSet) else RuleSet(rules)
+    result = ViolationSet()
+    for rule in rule_set:
+        result.update(violations_of_rule(graph, rule, use_literal_pruning, stats))
+    return result
+
+
+def satisfies_rule(graph: Graph, rule: NGD, use_literal_pruning: bool = True) -> bool:
+    """Return True when ``G ⊨ φ`` (no match of the pattern violates X → Y)."""
+    matcher = HomomorphismMatcher(
+        graph,
+        rule.pattern,
+        premise=rule.premise,
+        conclusion=rule.conclusion,
+        use_literal_pruning=use_literal_pruning,
+    )
+    return next(iter(matcher.violations()), None) is None
+
+
+def graph_satisfies(graph: Graph, rules: RuleSet | list[NGD], use_literal_pruning: bool = True) -> bool:
+    """Return True when ``G ⊨ Σ`` (the validation problem)."""
+    rule_set = rules if isinstance(rules, RuleSet) else RuleSet(rules)
+    return all(satisfies_rule(graph, rule, use_literal_pruning) for rule in rule_set)

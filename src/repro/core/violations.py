@@ -1,0 +1,157 @@
+"""Violations and violation sets.
+
+A *violation* of an NGD ``φ = Q[x̄](X → Y)`` in graph ``G`` is a match
+``h(x̄)`` of ``Q`` such that the subgraph induced by ``h(x̄)`` does not
+satisfy φ, i.e. ``h(x̄) ⊨ X`` but ``h(x̄) ⊭ Y`` (Section 5.1).  ``Vio(Σ, G)``
+collects the violations of every rule in Σ.
+
+Incremental detection works with the *changes*::
+
+    ΔVio⁺ = Vio(Σ, G ⊕ ΔG) \\ Vio(Σ, G)      (newly introduced)
+    ΔVio⁻ = Vio(Σ, G) \\ Vio(Σ, G ⊕ ΔG)      (removed by the update)
+
+represented here by :class:`ViolationDelta`.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable, Iterable, Iterator, Mapping
+from dataclasses import dataclass
+
+__all__ = ["Violation", "ViolationSet", "ViolationDelta"]
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One violating match: the rule name and the assignment h(x̄).
+
+    ``assignment`` maps each pattern variable to the id of the data node it
+    matched; the tuple is ordered like the pattern's variable list so the
+    vector h(x̄) can be read off directly.
+    """
+
+    rule: str
+    variables: tuple[str, ...]
+    nodes: tuple[Hashable, ...]
+
+    @classmethod
+    def from_mapping(cls, rule: str, mapping: Mapping[str, Hashable], order: Iterable[str]) -> "Violation":
+        """Build a violation from a variable→node mapping using ``order`` for the vector."""
+        ordered = tuple(order)
+        return cls(rule, ordered, tuple(mapping[variable] for variable in ordered))
+
+    def mapping(self) -> dict[str, Hashable]:
+        """Return the match as a variable → node-id dictionary."""
+        return dict(zip(self.variables, self.nodes))
+
+    def involves_node(self, node_id: Hashable) -> bool:
+        """Return True when ``node_id`` is part of the violating match."""
+        return node_id in self.nodes
+
+    def __str__(self) -> str:
+        assignment = ", ".join(f"{v}↦{n!r}" for v, n in zip(self.variables, self.nodes))
+        return f"[{self.rule}] {assignment}"
+
+
+class ViolationSet:
+    """The set ``Vio(Σ, G)`` of violations, with per-rule indexing."""
+
+    def __init__(self, violations: Iterable[Violation] = ()) -> None:
+        self._violations: set[Violation] = set(violations)
+
+    def add(self, violation: Violation) -> None:
+        """Insert a violation (idempotent)."""
+        self._violations.add(violation)
+
+    def update(self, violations: Iterable[Violation]) -> None:
+        """Insert several violations."""
+        self._violations.update(violations)
+
+    def discard(self, violation: Violation) -> None:
+        """Remove a violation if present."""
+        self._violations.discard(violation)
+
+    def __contains__(self, violation: Violation) -> bool:
+        return violation in self._violations
+
+    def __iter__(self) -> Iterator[Violation]:
+        return iter(self._violations)
+
+    def __len__(self) -> int:
+        return len(self._violations)
+
+    def __bool__(self) -> bool:
+        return bool(self._violations)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ViolationSet):
+            return NotImplemented
+        return self._violations == other._violations
+
+    def by_rule(self, rule_name: str) -> frozenset[Violation]:
+        """Return the violations of a single rule."""
+        return frozenset(v for v in self._violations if v.rule == rule_name)
+
+    def rules_violated(self) -> frozenset[str]:
+        """Return the names of all rules with at least one violation."""
+        return frozenset(v.rule for v in self._violations)
+
+    def nodes_involved(self) -> frozenset[Hashable]:
+        """Return every data node that participates in some violation."""
+        nodes: set[Hashable] = set()
+        for violation in self._violations:
+            nodes.update(violation.nodes)
+        return frozenset(nodes)
+
+    def as_set(self) -> frozenset[Violation]:
+        """Return an immutable snapshot."""
+        return frozenset(self._violations)
+
+    def union(self, other: "ViolationSet") -> "ViolationSet":
+        """Return the union of two violation sets."""
+        return ViolationSet(self._violations | other._violations)
+
+    def difference(self, other: "ViolationSet") -> "ViolationSet":
+        """Return the violations present here but not in ``other``."""
+        return ViolationSet(self._violations - other._violations)
+
+    def apply_delta(self, delta: "ViolationDelta") -> "ViolationSet":
+        """Return ``Vio ⊕ ΔVio``: add the introduced violations, drop the removed ones."""
+        return ViolationSet((self._violations - delta.removed.as_set()) | delta.introduced.as_set())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"ViolationSet({len(self._violations)} violations)"
+
+
+@dataclass
+class ViolationDelta:
+    """The pair ``ΔVio = (ΔVio⁺, ΔVio⁻)`` produced by incremental detection."""
+
+    introduced: ViolationSet
+    removed: ViolationSet
+
+    @classmethod
+    def empty(cls) -> "ViolationDelta":
+        """Return an empty delta (no changes)."""
+        return cls(ViolationSet(), ViolationSet())
+
+    @classmethod
+    def from_sets(cls, before: ViolationSet, after: ViolationSet) -> "ViolationDelta":
+        """Compute the delta between two full violation sets (ground truth for tests)."""
+        return cls(introduced=after.difference(before), removed=before.difference(after))
+
+    def is_empty(self) -> bool:
+        """Return True when the update changed nothing."""
+        return not self.introduced and not self.removed
+
+    def total_changes(self) -> int:
+        """Return |ΔVio⁺| + |ΔVio⁻|."""
+        return len(self.introduced) + len(self.removed)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ViolationDelta):
+            return NotImplemented
+        return self.introduced == other.introduced and self.removed == other.removed
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"ViolationDelta(+{len(self.introduced)}, -{len(self.removed)})"

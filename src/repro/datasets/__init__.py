@@ -1,0 +1,32 @@
+"""Example and benchmark datasets: Figure 1 graphs, KB analogues, synthetic graphs, rule sets."""
+
+from repro.datasets.figure1 import (
+    days_since_epoch,
+    figure1_g1,
+    figure1_g2,
+    figure1_g3,
+    figure1_g4,
+    figure1_graphs,
+)
+from repro.datasets.kb import KBConfig, dbpedia_like, knowledge_graph, pokec_like, yago_like
+from repro.datasets.rules import benchmark_rules, graph_schema, rules_with_diameter
+from repro.datasets.synthetic import SYNTHETIC_SIZES, synthetic_graph
+
+__all__ = [
+    "KBConfig",
+    "SYNTHETIC_SIZES",
+    "benchmark_rules",
+    "days_since_epoch",
+    "dbpedia_like",
+    "figure1_g1",
+    "figure1_g2",
+    "figure1_g3",
+    "figure1_g4",
+    "figure1_graphs",
+    "graph_schema",
+    "knowledge_graph",
+    "pokec_like",
+    "rules_with_diameter",
+    "synthetic_graph",
+    "yago_like",
+]

@@ -1,0 +1,93 @@
+"""The four example graphs of Figure 1.
+
+``G1``–``G4`` reproduce, node for node, the real-life inconsistencies the
+paper opens with:
+
+* **G1** (Yago): BBC Trust created in 2007 but destroyed in 1946;
+* **G2** (Yago): the village Bhonpur with 600 + 722 ≠ 1572 population counts;
+* **G3** (DBpedia): Corona has a larger population than Downey but a worse
+  (larger) population rank is expected — the recorded ranks are inconsistent;
+* **G4** (Twitter): the fake account NatWest_Help keyed to the same company
+  as the real NatWest Help support account.
+
+Dates are stored through the ``val`` attribute as days since 1900-01-01 so
+that φ1's arithmetic has an integer domain to work on.
+"""
+
+from __future__ import annotations
+
+from datetime import date
+
+from repro.graph.graph import Graph
+
+__all__ = ["days_since_epoch", "figure1_g1", "figure1_g2", "figure1_g3", "figure1_g4", "figure1_graphs"]
+
+_EPOCH = date(1900, 1, 1)
+
+
+def days_since_epoch(year: int, month: int = 1, day: int = 1) -> int:
+    """Return the number of days between 1900-01-01 and the given date."""
+    return (date(year, month, day) - _EPOCH).days
+
+
+def figure1_g1() -> Graph:
+    """G1: BBC Trust with inconsistent creation/destruction dates (Yago)."""
+    graph = Graph("G1")
+    graph.add_node("BBC_Trust", "institution")
+    graph.add_node("created", "date", {"val": days_since_epoch(2007, 1, 1)})
+    graph.add_node("destroyed", "date", {"val": days_since_epoch(1946, 8, 28)})
+    graph.add_edge("BBC_Trust", "created", "wasCreatedOnDate")
+    graph.add_edge("BBC_Trust", "destroyed", "wasDestroyedOnDate")
+    return graph
+
+
+def figure1_g2() -> Graph:
+    """G2: Bhonpur with female + male ≠ total population (Yago)."""
+    graph = Graph("G2")
+    graph.add_node("Bhonpur", "area")
+    graph.add_node("female", "integer", {"val": 600})
+    graph.add_node("male", "integer", {"val": 722})
+    graph.add_node("total", "integer", {"val": 1572})
+    graph.add_edge("Bhonpur", "female", "femalePopulation")
+    graph.add_edge("Bhonpur", "male", "malePopulation")
+    graph.add_edge("Bhonpur", "total", "populationTotal")
+    return graph
+
+
+def figure1_g3() -> Graph:
+    """G3: Corona and Downey with inconsistent population ranks (DBpedia)."""
+    graph = Graph("G3")
+    graph.add_node("California", "place")
+    for name, population, rank in (("Corona", 160000, 33), ("Downey", 111772, 11)):
+        graph.add_node(name, "place")
+        graph.add_node(f"{name}_pop", "integer", {"val": population})
+        graph.add_node(f"{name}_rank", "integer", {"val": rank})
+        graph.add_edge(name, "California", "partof")
+        graph.add_edge(name, f"{name}_pop", "population")
+        graph.add_edge(name, f"{name}_rank", "populationRank")
+    return graph
+
+
+def figure1_g4() -> Graph:
+    """G4: the real NatWest Help account and the fake NatWest_Help account (Twitter)."""
+    graph = Graph("G4")
+    graph.add_node("NatWest", "company")
+    accounts = (
+        ("NatWest Help", 1, 22000, 75900),
+        ("NatWest_Help", 1, 1, 2),
+    )
+    for name, status, following, followers in accounts:
+        graph.add_node(name, "account")
+        graph.add_node(f"{name}/status", "boolean", {"val": status})
+        graph.add_node(f"{name}/following", "integer", {"val": following})
+        graph.add_node(f"{name}/follower", "integer", {"val": followers})
+        graph.add_edge(name, "NatWest", "keys")
+        graph.add_edge(name, f"{name}/status", "status")
+        graph.add_edge(name, f"{name}/following", "following")
+        graph.add_edge(name, f"{name}/follower", "follower")
+    return graph
+
+
+def figure1_graphs() -> dict[str, Graph]:
+    """Return all four example graphs keyed by their paper names."""
+    return {"G1": figure1_g1(), "G2": figure1_g2(), "G3": figure1_g3(), "G4": figure1_g4()}

@@ -1,0 +1,17 @@
+"""Error-detection algorithms: batch (Dect, PDect) and incremental (IncDect, PIncDect)."""
+
+from repro.detect.base import DetectionResult, IncrementalDetectionResult, WorkerTrace
+from repro.detect.dect import dect
+from repro.detect.incdect import inc_dect
+from repro.detect.parallel import BalancingPolicy, p_dect, pinc_dect
+
+__all__ = [
+    "BalancingPolicy",
+    "DetectionResult",
+    "IncrementalDetectionResult",
+    "WorkerTrace",
+    "dect",
+    "inc_dect",
+    "p_dect",
+    "pinc_dect",
+]

@@ -1,0 +1,23 @@
+"""Parallel detection on a simulated shared-nothing cluster."""
+
+from repro.detect.parallel.balancing import BalancingPolicy, plan_rebalancing, should_split, skewness
+from repro.detect.parallel.cluster import ClusterSimulator
+from repro.detect.parallel.pdect import p_dect
+from repro.detect.parallel.pincdect import pinc_dect
+from repro.detect.parallel.threaded import threaded_dect, threaded_inc_dect
+from repro.detect.parallel.workunits import ExpansionOutcome, WorkUnit, expand_work_unit
+
+__all__ = [
+    "BalancingPolicy",
+    "ClusterSimulator",
+    "ExpansionOutcome",
+    "WorkUnit",
+    "expand_work_unit",
+    "p_dect",
+    "pinc_dect",
+    "plan_rebalancing",
+    "should_split",
+    "skewness",
+    "threaded_dect",
+    "threaded_inc_dect",
+]

@@ -1,0 +1,177 @@
+"""A deterministic shared-nothing cluster simulator.
+
+The paper evaluates PIncDect on a cluster of up to 20 machines.  Offline and
+on a single host we cannot reproduce wall-clock cluster behaviour, so the
+parallel algorithms run on this simulator instead: the *algorithmic work* is
+executed exactly once (so the violations found are real), but every unit of
+work is *charged* to the simulated clock of the worker that would have
+performed it, and every broadcast is charged the latency parameter ``C`` the
+paper's cost model uses.
+
+The reported "parallel running time" of a run is the **makespan** — the
+largest worker clock when all queues drain.  Because scheduling, splitting
+and balancing decisions are driven by the same cost estimates as the paper's
+algorithm, the makespan reproduces the shapes of Figures 4(i)–(n): more
+processors → shorter makespan, skewed work without splitting/balancing →
+longer makespan, too-small latency / balancing interval → communication
+overhead dominates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.detect.base import WorkerTrace
+from repro.errors import ClusterError
+
+__all__ = ["ClusterSimulator"]
+
+
+@dataclass
+class _Worker:
+    """One simulated processor: a clock and a queue of pending work units."""
+
+    index: int
+    clock: float = 0.0
+    queue: list = field(default_factory=list)
+    trace: WorkerTrace = None  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        if self.trace is None:
+            self.trace = WorkerTrace(worker=self.index)
+
+
+class ClusterSimulator:
+    """``p`` simulated workers with per-worker clocks and communication charges."""
+
+    def __init__(self, processors: int, latency: float) -> None:
+        if processors < 1:
+            raise ClusterError("a cluster needs at least one processor")
+        if latency < 0:
+            raise ClusterError("communication latency cannot be negative")
+        self.processors = processors
+        self.latency = latency
+        self._workers = [_Worker(index=i) for i in range(processors)]
+        self.total_messages = 0
+
+    # ----------------------------------------------------------------- clocks
+
+    def charge(self, worker: int, amount: float) -> None:
+        """Advance one worker's clock by ``amount`` work units."""
+        if amount < 0:
+            raise ClusterError("cannot charge negative work")
+        target = self._workers[worker]
+        target.clock += amount
+        target.trace.busy_time += amount
+
+    def charge_broadcast(self, origin: int, per_worker_amount: float, setup_cost: float) -> None:
+        """Charge a split (broadcast) step.
+
+        Every worker contributes its ``|adj|/p`` share (``per_worker_amount``)
+        of the compute; the origin additionally pays the ``C·(k+1)`` broadcast
+        and gather latency (``setup_cost``) because it must wait for the
+        round-trip before the unit can continue.  Helpers overlap the message
+        latency with their own compute, so they are charged the share only —
+        this is what makes splitting worthwhile exactly when the paper's cost
+        estimate says it is.
+        """
+        for worker in self._workers:
+            worker.clock += per_worker_amount
+            worker.trace.busy_time += per_worker_amount
+        self._workers[origin].clock += setup_cost
+        self._workers[origin].trace.busy_time += setup_cost
+        self._workers[origin].trace.messages_sent += self.processors
+        self.total_messages += self.processors
+
+    def charge_message(self, origin: int, destination: int) -> None:
+        """Charge a point-to-point message of latency ``C`` to both endpoints."""
+        for index in (origin, destination):
+            self._workers[index].clock += self.latency
+            self._workers[index].trace.busy_time += self.latency
+        self._workers[origin].trace.messages_sent += 1
+        self.total_messages += 1
+
+    def makespan(self) -> float:
+        """Return the simulated parallel running time (maximum worker clock)."""
+        return max(worker.clock for worker in self._workers)
+
+    def global_time(self) -> float:
+        """Return a global-progress proxy: the maximum worker clock.
+
+        Periodic activities (workload monitoring at interval ``intvl``) are
+        triggered off this value.  Elapsed wall-clock time in the real system
+        is governed by whichever worker is busiest, so the maximum clock is
+        the faithful proxy; a minimum would freeze as soon as one worker goes
+        idle and a mean would slow the monitoring down as processors are added.
+        """
+        return max(worker.clock for worker in self._workers)
+
+    # ----------------------------------------------------------------- queues
+
+    def enqueue(self, worker: int, unit: object) -> None:
+        """Append a work unit to a worker's queue (BVio_i in the paper)."""
+        self._workers[worker].queue.append(unit)
+        self._workers[worker].trace.units_received += 1
+
+    def queue_length(self, worker: int) -> int:
+        """Return |BVio_i| for worker ``i``."""
+        return len(self._workers[worker].queue)
+
+    def queue_lengths(self) -> list[int]:
+        """Return every worker's queue length."""
+        return [len(worker.queue) for worker in self._workers]
+
+    def pop_unit(self, worker: int) -> object:
+        """Pop the next work unit from a worker's queue (LIFO: depth-first expansion)."""
+        target = self._workers[worker]
+        if not target.queue:
+            raise ClusterError(f"worker {worker} has no pending work")
+        target.trace.work_units_processed += 1
+        return target.queue.pop()
+
+    def move_units(self, origin: int, destination: int, count: int, charge: bool = True) -> int:
+        """Move up to ``count`` pending units from ``origin`` to ``destination``.
+
+        Moved units come from the back of the origin queue — the most recently
+        generated partial solutions, i.e. the batch that just made the queue
+        skewed — so a straggler sheds exactly the work that piled up on it.
+        Returns the number actually moved.  With ``charge`` the
+        reassignment is billed as one message; callers batching several moves
+        in one balancing round pass ``charge=False`` and charge each
+        participant once via :meth:`charge` (unit shipping is pipelined in the
+        real system, so the latency is paid per round, not per destination).
+        """
+        source = self._workers[origin]
+        target = self._workers[destination]
+        moved = 0
+        while moved < count and source.queue:
+            target.queue.append(source.queue.pop())
+            moved += 1
+        if moved:
+            source.trace.units_shed += moved
+            target.trace.units_received += moved
+            if charge:
+                self.charge_message(origin, destination)
+            else:
+                source.trace.messages_sent += 1
+                self.total_messages += 1
+        return moved
+
+    def busiest_worker(self) -> int:
+        """Return the index of the worker with the most pending units."""
+        return max(range(self.processors), key=lambda i: len(self._workers[i].queue))
+
+    def next_busy_worker(self) -> int | None:
+        """Return the worker with pending work and the smallest clock, or None when all queues are empty."""
+        candidates = [w for w in self._workers if w.queue]
+        if not candidates:
+            return None
+        return min(candidates, key=lambda w: (w.clock, w.index)).index
+
+    def has_pending_work(self) -> bool:
+        """Return True while any queue is non-empty."""
+        return any(worker.queue for worker in self._workers)
+
+    def traces(self) -> list[WorkerTrace]:
+        """Return per-worker accounting for the balancing analyses."""
+        return [worker.trace for worker in self._workers]

@@ -1,0 +1,226 @@
+"""Work units for the parallel detection algorithms.
+
+PIncDect (Section 6.3) treats every partial solution awaiting expansion as a
+*work unit*.  A work unit records which rule it belongs to, the partial
+match built so far, the matching order being followed, and whether it grew
+out of an insertion or a deletion pivot (which determines the graph version
+it is expanded against).
+
+:func:`expand_work_unit` performs one expansion step — exactly the
+"candidate filtering followed by verification" step of procedure PIncMatch —
+and reports the sizes the cost model needs (the anchor's adjacency list for
+filtering, the candidate's adjacency list for verification) so the scheduler
+can decide whether to split the step across processors.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.ngd import NGD
+from repro.core.violations import Violation
+from repro.graph.graph import Graph
+from repro.matching.candidates import MatchStatistics, node_satisfies_unary_premise
+from repro.matching.matchn import assignment_for_match, match_violates_dependency
+
+__all__ = [
+    "WorkUnit",
+    "ExpansionOutcome",
+    "expand_work_unit",
+    "initial_units_for_pivot",
+    "seed_consistent",
+]
+
+
+def seed_consistent(graph: Graph, rule: NGD, unit: "WorkUnit") -> bool:
+    """Return True when a seed partial solution is internally consistent in ``graph``.
+
+    Checks node existence, label compatibility, and every pattern edge whose
+    endpoints are both already bound (the expansion step only verifies edges
+    touching the *next* variable, so edges entirely inside the seed must be
+    validated up front).
+    """
+    mapping = unit.mapping()
+    for variable, node in mapping.items():
+        if not graph.has_node(node):
+            return False
+        if not rule.pattern.node(variable).matches_label(graph.node(node).label):
+            return False
+    for edge in rule.pattern.edges():
+        if edge.source in mapping and edge.target in mapping:
+            if not graph.has_edge(mapping[edge.source], mapping[edge.target], edge.label):
+                return False
+    return True
+
+
+@dataclass(frozen=True)
+class WorkUnit:
+    """A partial solution awaiting expansion at some processor."""
+
+    rule_index: int
+    order: tuple[str, ...]
+    assignment: tuple[tuple[str, Hashable], ...]
+    from_insertion: bool = True
+
+    def depth(self) -> int:
+        """Return the number of pattern variables already matched."""
+        return len(self.assignment)
+
+    def is_complete(self) -> bool:
+        """Return True when every variable of the matching order is bound."""
+        return len(self.assignment) >= len(self.order)
+
+    def mapping(self) -> dict[str, Hashable]:
+        """Return the partial match as a dictionary."""
+        return dict(self.assignment)
+
+    def next_variable(self) -> str:
+        """Return the next pattern variable to match."""
+        return self.order[len(self.assignment)]
+
+    def extended(self, variable: str, node: Hashable) -> "WorkUnit":
+        """Return a new work unit with ``variable`` bound to ``node``."""
+        return WorkUnit(
+            rule_index=self.rule_index,
+            order=self.order,
+            assignment=self.assignment + ((variable, node),),
+            from_insertion=self.from_insertion,
+        )
+
+
+@dataclass
+class ExpansionOutcome:
+    """The result of one expansion step of a work unit."""
+
+    new_units: list[WorkUnit]
+    violations: list[Violation]
+    filtering_adjacency: int
+    verification_adjacency: int
+    candidates_considered: int
+
+
+def initial_units_for_pivot(
+    rule_index: int,
+    rule: NGD,
+    seed: dict[str, Hashable],
+    from_insertion: bool,
+) -> WorkUnit:
+    """Build the work unit corresponding to an update pivot (or any seed match)."""
+    order = tuple(rule.pattern.matching_order(seed=list(seed.keys())))
+    assignment = tuple((variable, seed[variable]) for variable in order if variable in seed)
+    return WorkUnit(rule_index=rule_index, order=order, assignment=assignment, from_insertion=from_insertion)
+
+
+def _anchor_variable(rule: NGD, unit: WorkUnit, next_variable: str) -> Optional[str]:
+    """Return a matched variable adjacent (in the pattern) to ``next_variable``."""
+    matched = {variable for variable, _ in unit.assignment}
+    for neighbour in sorted(rule.pattern.neighbours(next_variable)):
+        if neighbour in matched:
+            return neighbour
+    return None
+
+
+def expand_work_unit(
+    graph: Graph,
+    rule: NGD,
+    unit: WorkUnit,
+    use_literal_pruning: bool = True,
+    stats: Optional[MatchStatistics] = None,
+) -> ExpansionOutcome:
+    """Expand ``unit`` by matching its next pattern variable.
+
+    Candidates are drawn from the adjacency list of an already-matched
+    neighbour of the next variable (the "anchor"), checked for label and edge
+    consistency against the whole partial solution, and pruned with the
+    premise literals.  Completed matches are checked against X → Y and turned
+    into violations.
+    """
+    stats = stats if stats is not None else MatchStatistics()
+    if unit.is_complete():
+        # a pivot can already cover every pattern variable (e.g. a two-node pattern);
+        # the only remaining work is the dependency check itself
+        match = unit.mapping()
+        violations: list[Violation] = []
+        if match_violates_dependency(graph, match, rule.premise, rule.conclusion, stats):
+            stats.matches_emitted += 1
+            violations.append(Violation.from_mapping(rule.name, match, rule.pattern.variables))
+        return ExpansionOutcome([], violations, 1, 0, 0)
+
+    pattern = rule.pattern
+    next_variable = unit.next_variable()
+    partial = unit.mapping()
+    anchor = _anchor_variable(rule, unit, next_variable)
+
+    candidates: set[Hashable] = set()
+    filtering_adjacency = 0
+    if anchor is None:
+        # disconnected pattern component: fall back to the label index
+        candidates = set(graph.nodes_with_label(pattern.node(next_variable).label))
+        filtering_adjacency = len(candidates)
+    else:
+        anchor_node = partial[anchor]
+        filtering_adjacency = graph.adjacency_size(anchor_node)
+        for edge in pattern.out_edges(anchor):
+            if edge.target == next_variable:
+                candidates.update(
+                    target for target, label in graph.successors(anchor_node) if label == edge.label
+                )
+        for edge in pattern.in_edges(anchor):
+            if edge.source == next_variable:
+                candidates.update(
+                    source for source, label in graph.predecessors(anchor_node) if label == edge.label
+                )
+
+    stats.candidates_examined += len(candidates)
+    new_units: list[WorkUnit] = []
+    violations: list[Violation] = []
+    verification_adjacency = 0
+    pattern_node = pattern.node(next_variable)
+
+    for candidate in sorted(candidates, key=repr):
+        if not pattern_node.matches_label(graph.node(candidate).label):
+            continue
+        if (
+            use_literal_pruning
+            and rule.premise
+            and not node_satisfies_unary_premise(graph, candidate, next_variable, rule.premise, stats)
+        ):
+            continue
+        # verification: every pattern edge between next_variable and matched variables
+        verification_adjacency += graph.adjacency_size(candidate)
+        consistent = True
+        for edge in pattern.out_edges(next_variable):
+            if edge.target in partial or edge.target == next_variable:
+                target = candidate if edge.target == next_variable else partial[edge.target]
+                stats.edge_checks += 1
+                if not graph.has_edge(candidate, target, edge.label):
+                    consistent = False
+                    break
+        if consistent:
+            for edge in pattern.in_edges(next_variable):
+                if edge.source in partial:
+                    stats.edge_checks += 1
+                    if not graph.has_edge(partial[edge.source], candidate, edge.label):
+                        consistent = False
+                        break
+        if not consistent:
+            continue
+        stats.expansions += 1
+        extended = unit.extended(next_variable, candidate)
+        if extended.is_complete():
+            match = extended.mapping()
+            if match_violates_dependency(graph, match, rule.premise, rule.conclusion, stats):
+                stats.matches_emitted += 1
+                violations.append(Violation.from_mapping(rule.name, match, rule.pattern.variables))
+        else:
+            new_units.append(extended)
+
+    return ExpansionOutcome(
+        new_units=new_units,
+        violations=violations,
+        filtering_adjacency=filtering_adjacency,
+        verification_adjacency=verification_adjacency,
+        candidates_considered=len(candidates),
+    )

@@ -1,0 +1,5 @@
+"""Levelwise NGD discovery (the rule-mining step of the paper's experimental setup)."""
+
+from repro.discovery.discover import DiscoveryConfig, discover_ngds, mine_frequent_patterns
+
+__all__ = ["DiscoveryConfig", "discover_ngds", "mine_frequent_patterns"]

@@ -1,0 +1,142 @@
+"""Exception hierarchy for the ``repro`` library.
+
+Every error raised by the library derives from :class:`ReproError`, so callers
+can catch a single base class.  More specific subclasses are raised close to
+where the problem is detected; their messages carry enough context (node ids,
+variable names, expression text) to diagnose problems without a debugger.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "GraphError",
+    "NodeNotFound",
+    "EdgeNotFound",
+    "DuplicateNode",
+    "AttributeMissing",
+    "PatternError",
+    "UpdateError",
+    "PartitionError",
+    "ExpressionError",
+    "NonLinearExpressionError",
+    "ParseError",
+    "EvaluationError",
+    "DependencyError",
+    "ValidationError",
+    "SatisfiabilityError",
+    "DiscoveryError",
+    "ExperimentError",
+    "ClusterError",
+]
+
+
+class ReproError(Exception):
+    """Base class for every exception raised by the repro library."""
+
+
+class GraphError(ReproError):
+    """Problems with graph construction or manipulation."""
+
+
+class NodeNotFound(GraphError, KeyError):
+    """A node id was referenced but is not present in the graph."""
+
+    def __init__(self, node_id: object) -> None:
+        super().__init__(f"node {node_id!r} is not in the graph")
+        self.node_id = node_id
+
+
+class EdgeNotFound(GraphError, KeyError):
+    """An edge was referenced but is not present in the graph."""
+
+    def __init__(self, source: object, target: object, label: object = None) -> None:
+        suffix = f" with label {label!r}" if label is not None else ""
+        super().__init__(f"edge ({source!r} -> {target!r}){suffix} is not in the graph")
+        self.source = source
+        self.target = target
+        self.label = label
+
+
+class DuplicateNode(GraphError, ValueError):
+    """A node id was added twice with conflicting data."""
+
+    def __init__(self, node_id: object) -> None:
+        super().__init__(f"node {node_id!r} already exists with different data")
+        self.node_id = node_id
+
+
+class AttributeMissing(GraphError, KeyError):
+    """A node lacks an attribute required by a literal."""
+
+    def __init__(self, node_id: object, attribute: str) -> None:
+        super().__init__(f"node {node_id!r} has no attribute {attribute!r}")
+        self.node_id = node_id
+        self.attribute = attribute
+
+
+class PatternError(ReproError):
+    """Problems with graph-pattern construction (variables, labels, arity)."""
+
+
+class UpdateError(ReproError):
+    """A batch update cannot be applied to the graph it targets."""
+
+
+class PartitionError(ReproError):
+    """Graph fragmentation failed or was asked for an invalid layout."""
+
+
+class ExpressionError(ReproError):
+    """Problems constructing arithmetic expressions or literals."""
+
+
+class NonLinearExpressionError(ExpressionError):
+    """A linear expression was required but a non-linear one was supplied.
+
+    The paper restricts NGDs to degree-1 (linear) expressions; this error marks
+    the decidability boundary of Theorem 3.
+    """
+
+
+class ParseError(ExpressionError):
+    """The textual form of an expression, literal or NGD could not be parsed."""
+
+    def __init__(self, text: str, position: int, reason: str) -> None:
+        super().__init__(f"parse error at position {position} in {text!r}: {reason}")
+        self.text = text
+        self.position = position
+        self.reason = reason
+
+
+class EvaluationError(ExpressionError):
+    """An expression could not be evaluated against a match (e.g. missing attribute)."""
+
+
+class DependencyError(ReproError):
+    """Problems with NGD construction (mismatched pattern variables, etc.)."""
+
+
+class ValidationError(ReproError):
+    """Problems raised while checking a graph against a set of NGDs."""
+
+
+class SatisfiabilityError(ReproError):
+    """The satisfiability/implication checker was given input it cannot decide.
+
+    Raised when the bounded model search would exceed the configured limits;
+    the checker is exact for inputs within those limits (satisfiability of
+    NGDs is Σp2-complete, so a resource bound is unavoidable).
+    """
+
+
+class DiscoveryError(ReproError):
+    """Problems in the levelwise NGD discovery process."""
+
+
+class ExperimentError(ReproError):
+    """An experiment/benchmark configuration is invalid."""
+
+
+class ClusterError(ReproError):
+    """The simulated cluster was asked to do something inconsistent."""

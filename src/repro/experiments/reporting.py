@@ -1,0 +1,45 @@
+"""Formatting of experiment results as the tables the paper's figures plot."""
+
+from __future__ import annotations
+
+from repro.experiments.runner import ExperimentSeries
+
+__all__ = ["format_series", "print_series", "speedup_summary"]
+
+
+def format_series(series: ExperimentSeries, precision: int = 1) -> str:
+    """Render an :class:`ExperimentSeries` as a fixed-width text table."""
+    algorithms = series.algorithms()
+    header = [series.x_label] + algorithms
+    rows: list[list[str]] = []
+    for x, row in series.values.items():
+        rendered = [str(x)]
+        for algorithm in algorithms:
+            value = row.get(algorithm)
+            rendered.append("-" if value is None else f"{value:.{precision}f}")
+        rows.append(rendered)
+    widths = [max(len(str(cell)) for cell in column) for column in zip(header, *rows)]
+    lines = [series.title]
+    lines.append("  ".join(cell.ljust(width) for cell, width in zip(header, widths)))
+    lines.append("  ".join("-" * width for width in widths))
+    for rendered in rows:
+        lines.append("  ".join(cell.ljust(width) for cell, width in zip(rendered, widths)))
+    return "\n".join(lines)
+
+
+def print_series(series: ExperimentSeries, precision: int = 1) -> None:
+    """Print the table to stdout (what the benchmark files do)."""
+    print()
+    print(format_series(series, precision))
+
+
+def speedup_summary(series: ExperimentSeries, baseline: str, algorithm: str) -> str:
+    """Summarise the speedup of ``algorithm`` over ``baseline`` across the sweep."""
+    ratios = series.speedup(baseline, algorithm)
+    if not ratios:
+        return f"no common points for {algorithm} vs {baseline}"
+    values = list(ratios.values())
+    return (
+        f"{algorithm} vs {baseline}: min {min(values):.2f}x, "
+        f"max {max(values):.2f}x, mean {sum(values) / len(values):.2f}x"
+    )

@@ -1,0 +1,370 @@
+"""Experiment drivers: one function per figure of the paper's evaluation.
+
+Every driver returns an :class:`ExperimentSeries` — a mapping from the swept
+parameter (x-axis) to per-algorithm costs (y-axis) — and is completely
+deterministic given its configuration.  The benchmark files under
+``benchmarks/`` call these drivers and print the resulting tables; the same
+drivers power ``examples/parallel_scaling.py`` and the EXPERIMENTS.md record.
+
+Cost is the simulated/operation-count measure described in
+``repro.detect.base``; it replaces the cluster wall-clock of the paper while
+preserving the comparisons the figures make (see DESIGN.md, substitutions).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Optional
+
+from repro.core.builtin_rules import effectiveness_rules, example_rules
+from repro.core.ngd import RuleSet
+from repro.core.validation import find_violations
+from repro.datasets.rules import benchmark_rules, rules_with_diameter
+from repro.datasets.synthetic import synthetic_graph
+from repro.detect import BalancingPolicy, dect, inc_dect, p_dect, pinc_dect
+from repro.experiments.config import ExperimentConfig, build_dataset
+from repro.graph.graph import Graph
+from repro.graph.updates import BatchUpdate, UpdateGenerator, apply_update
+
+__all__ = [
+    "ExperimentSeries",
+    "run_exp1_vary_delta",
+    "run_exp2_vary_graph_size",
+    "run_exp3_vary_rules",
+    "run_exp3_vary_diameter",
+    "run_exp4_vary_processors",
+    "run_exp4_vary_latency",
+    "run_exp4_vary_interval",
+    "run_exp5_effectiveness",
+]
+
+
+@dataclass
+class ExperimentSeries:
+    """Result of one experiment: ``values[x][algorithm] = cost`` plus metadata."""
+
+    title: str
+    x_label: str
+    values: dict[object, dict[str, float]] = field(default_factory=dict)
+    metadata: dict[str, object] = field(default_factory=dict)
+
+    def algorithms(self) -> list[str]:
+        """Return the algorithm names present, in first-seen order."""
+        seen: list[str] = []
+        for row in self.values.values():
+            for name in row:
+                if name not in seen:
+                    seen.append(name)
+        return seen
+
+    def series(self, algorithm: str) -> list[tuple[object, float]]:
+        """Return the (x, cost) points of one algorithm."""
+        return [(x, row[algorithm]) for x, row in self.values.items() if algorithm in row]
+
+    def speedup(self, baseline: str, algorithm: str) -> dict[object, float]:
+        """Return baseline-cost / algorithm-cost per x value (>1 means faster than baseline)."""
+        result = {}
+        for x, row in self.values.items():
+            if baseline in row and algorithm in row and row[algorithm] > 0:
+                result[x] = row[baseline] / row[algorithm]
+        return result
+
+
+def _prepare(
+    config: ExperimentConfig,
+    dataset: str,
+    delta_fraction: Optional[float] = None,
+    rules: Optional[RuleSet] = None,
+) -> tuple[Graph, RuleSet, BatchUpdate, Graph]:
+    """Build the graph, rule set, batch update and updated graph for a run."""
+    graph = build_dataset(dataset, scale=config.scale, seed=config.seed + 1)
+    rule_set = rules if rules is not None else benchmark_rules(
+        graph, count=config.rules_count, max_diameter=config.max_diameter, seed=config.seed
+    )
+    fraction = config.delta_fraction if delta_fraction is None else delta_fraction
+    generator = UpdateGenerator(seed=config.seed + 7)
+    delta = generator.generate(
+        graph, size=max(1, int(graph.edge_count() * fraction)), insert_ratio=config.insert_ratio
+    )
+    updated = apply_update(graph, delta)
+    return graph, rule_set, delta, updated
+
+
+def _incremental_variants(config: ExperimentConfig) -> dict[str, BalancingPolicy]:
+    return {
+        "PIncDect": BalancingPolicy.hybrid(config.latency, config.interval),
+        "PIncDect_ns": BalancingPolicy.no_splitting(config.latency, config.interval),
+        "PIncDect_nb": BalancingPolicy.no_rebalancing(config.latency, config.interval),
+        "PIncDect_NO": BalancingPolicy.none(config.latency, config.interval),
+    }
+
+
+def run_exp1_vary_delta(
+    dataset: str,
+    delta_fractions: Iterable[float] = (0.05, 0.10, 0.15, 0.20, 0.25, 0.30, 0.35),
+    config: Optional[ExperimentConfig] = None,
+    algorithms: Iterable[str] = ("Dect", "IncDect", "PDect", "PIncDect", "PIncDect_NO"),
+) -> ExperimentSeries:
+    """Exp-1 / Figures 4(a)–(d): incremental vs batch detection while |ΔG| grows."""
+    config = config or ExperimentConfig()
+    wanted = list(algorithms)
+    series = ExperimentSeries(
+        title=f"Exp-1 ({dataset}): varying |ΔG|", x_label="|ΔG| / |G|", metadata={"dataset": dataset}
+    )
+    graph = build_dataset(dataset, scale=config.scale, seed=config.seed + 1)
+    rule_set = benchmark_rules(graph, count=config.rules_count, max_diameter=config.max_diameter, seed=config.seed)
+    variants = _incremental_variants(config)
+
+    batch_cost = dect(graph, rule_set).cost if "Dect" in wanted else None
+    pbatch_cost = p_dect(graph, rule_set, processors=config.processors).cost if "PDect" in wanted else None
+
+    for fraction in delta_fractions:
+        generator = UpdateGenerator(seed=config.seed + 7)
+        delta = generator.generate(
+            graph, size=max(1, int(graph.edge_count() * fraction)), insert_ratio=config.insert_ratio
+        )
+        updated = apply_update(graph, delta)
+        row: dict[str, float] = {}
+        if batch_cost is not None:
+            row["Dect"] = batch_cost
+        if pbatch_cost is not None:
+            row["PDect"] = pbatch_cost
+        if "IncDect" in wanted:
+            row["IncDect"] = inc_dect(graph, rule_set, delta, graph_after=updated).cost
+        for name, policy in variants.items():
+            if name in wanted:
+                row[name] = pinc_dect(
+                    graph, rule_set, delta, processors=config.processors, policy=policy, graph_after=updated
+                ).cost
+        series.values[fraction] = row
+    return series
+
+
+def run_exp2_vary_graph_size(
+    sizes: Iterable[tuple[int, int]] = ((1000, 2000), (2000, 4000), (3000, 6000), (6000, 8000), (8000, 10000)),
+    config: Optional[ExperimentConfig] = None,
+    algorithms: Iterable[str] = ("Dect", "IncDect", "PDect", "PIncDect"),
+) -> ExperimentSeries:
+    """Exp-2 / Figure 4(e): scalability with |G| on synthetic graphs (|ΔG| fixed at 15%)."""
+    config = config or ExperimentConfig()
+    wanted = list(algorithms)
+    series = ExperimentSeries(title="Exp-2 (Synthetic): varying |G|", x_label="(|V|, |E|)")
+    for num_nodes, num_edges in sizes:
+        graph = synthetic_graph(
+            num_nodes=int(num_nodes * config.scale),
+            num_edges=int(num_edges * config.scale),
+            seed=config.seed + 1,
+            name=f"Synthetic({num_nodes},{num_edges})",
+        )
+        rule_set = benchmark_rules(graph, count=config.rules_count, max_diameter=config.max_diameter, seed=config.seed)
+        generator = UpdateGenerator(seed=config.seed + 7)
+        delta = generator.generate(
+            graph, size=max(1, int(graph.edge_count() * config.delta_fraction)), insert_ratio=config.insert_ratio
+        )
+        updated = apply_update(graph, delta)
+        row: dict[str, float] = {}
+        if "Dect" in wanted:
+            row["Dect"] = dect(graph, rule_set).cost
+        if "PDect" in wanted:
+            row["PDect"] = p_dect(graph, rule_set, processors=config.processors).cost
+        if "IncDect" in wanted:
+            row["IncDect"] = inc_dect(graph, rule_set, delta, graph_after=updated).cost
+        if "PIncDect" in wanted:
+            row["PIncDect"] = pinc_dect(
+                graph, rule_set, delta, processors=config.processors, graph_after=updated
+            ).cost
+        series.values[(num_nodes, num_edges)] = row
+    return series
+
+
+def run_exp3_vary_rules(
+    dataset: str,
+    rule_counts: Iterable[int] = (50, 60, 70, 80, 90, 100),
+    config: Optional[ExperimentConfig] = None,
+    algorithms: Iterable[str] = ("Dect", "IncDect", "PDect", "PIncDect"),
+) -> ExperimentSeries:
+    """Exp-3 / Figures 4(f)–(g): impact of ‖Σ‖ (|ΔG| fixed at 15%)."""
+    config = config or ExperimentConfig()
+    wanted = list(algorithms)
+    series = ExperimentSeries(
+        title=f"Exp-3 ({dataset}): varying ‖Σ‖", x_label="‖Σ‖", metadata={"dataset": dataset}
+    )
+    graph, full_rules, delta, updated = _prepare(
+        config.scaled(rules_count=max(rule_counts)), dataset
+    )
+    for count in rule_counts:
+        rule_set = full_rules.restrict(count)
+        row: dict[str, float] = {}
+        if "Dect" in wanted:
+            row["Dect"] = dect(graph, rule_set).cost
+        if "PDect" in wanted:
+            row["PDect"] = p_dect(graph, rule_set, processors=config.processors).cost
+        if "IncDect" in wanted:
+            row["IncDect"] = inc_dect(graph, rule_set, delta, graph_after=updated).cost
+        if "PIncDect" in wanted:
+            row["PIncDect"] = pinc_dect(
+                graph, rule_set, delta, processors=config.processors, graph_after=updated
+            ).cost
+        series.values[count] = row
+    return series
+
+
+def run_exp3_vary_diameter(
+    dataset: str = "DBpedia",
+    diameters: Iterable[int] = (2, 3, 4, 5, 6),
+    config: Optional[ExperimentConfig] = None,
+    algorithms: Iterable[str] = ("Dect", "IncDect", "PDect", "PIncDect"),
+) -> ExperimentSeries:
+    """Exp-3 / Figure 4(h): impact of the rule-set diameter dΣ."""
+    config = config or ExperimentConfig()
+    wanted = list(algorithms)
+    series = ExperimentSeries(
+        title=f"Exp-3 ({dataset}): varying dΣ", x_label="dΣ", metadata={"dataset": dataset}
+    )
+    graph = build_dataset(dataset, scale=config.scale, seed=config.seed + 1)
+    generator = UpdateGenerator(seed=config.seed + 7)
+    delta = generator.generate(
+        graph, size=max(1, int(graph.edge_count() * config.delta_fraction)), insert_ratio=config.insert_ratio
+    )
+    updated = apply_update(graph, delta)
+    for diameter in diameters:
+        rule_set = rules_with_diameter(graph, diameter, count=config.rules_count, seed=config.seed)
+        row: dict[str, float] = {}
+        if "Dect" in wanted:
+            row["Dect"] = dect(graph, rule_set).cost
+        if "PDect" in wanted:
+            row["PDect"] = p_dect(graph, rule_set, processors=config.processors).cost
+        if "IncDect" in wanted:
+            row["IncDect"] = inc_dect(graph, rule_set, delta, graph_after=updated).cost
+        if "PIncDect" in wanted:
+            row["PIncDect"] = pinc_dect(
+                graph, rule_set, delta, processors=config.processors, graph_after=updated
+            ).cost
+        series.values[diameter] = row
+    return series
+
+
+def run_exp4_vary_processors(
+    dataset: str,
+    processor_counts: Iterable[int] = (4, 8, 12, 16, 20),
+    config: Optional[ExperimentConfig] = None,
+    algorithms: Iterable[str] = ("PDect", "PIncDect", "PIncDect_ns", "PIncDect_nb", "PIncDect_NO"),
+) -> ExperimentSeries:
+    """Exp-4 / Figures 4(i)–(l): parallel scalability with the number of processors."""
+    config = config or ExperimentConfig()
+    wanted = list(algorithms)
+    series = ExperimentSeries(
+        title=f"Exp-4 ({dataset}): varying p", x_label="p", metadata={"dataset": dataset}
+    )
+    graph, rule_set, delta, updated = _prepare(config, dataset)
+    for processors in processor_counts:
+        row: dict[str, float] = {}
+        if "PDect" in wanted:
+            row["PDect"] = p_dect(graph, rule_set, processors=processors).cost
+        for name, policy in _incremental_variants(config).items():
+            if name in wanted:
+                row[name] = pinc_dect(
+                    graph, rule_set, delta, processors=processors, policy=policy, graph_after=updated
+                ).cost
+        series.values[processors] = row
+    return series
+
+
+def run_exp4_vary_latency(
+    dataset: str = "Pokec",
+    latencies: Iterable[float] = (20, 40, 60, 80, 100),
+    config: Optional[ExperimentConfig] = None,
+) -> ExperimentSeries:
+    """Exp-4 / Figure 4(m): sensitivity to the communication-latency parameter C."""
+    config = config or ExperimentConfig()
+    series = ExperimentSeries(
+        title=f"Exp-4 ({dataset}): varying C", x_label="C", metadata={"dataset": dataset}
+    )
+    graph, rule_set, delta, updated = _prepare(config, dataset)
+    for latency in latencies:
+        row = {
+            "PIncDect": pinc_dect(
+                graph,
+                rule_set,
+                delta,
+                processors=config.processors,
+                policy=BalancingPolicy.hybrid(latency, config.interval),
+                graph_after=updated,
+            ).cost,
+            "PIncDect_nb": pinc_dect(
+                graph,
+                rule_set,
+                delta,
+                processors=config.processors,
+                policy=BalancingPolicy.no_rebalancing(latency, config.interval),
+                graph_after=updated,
+            ).cost,
+        }
+        series.values[latency] = row
+    return series
+
+
+def run_exp4_vary_interval(
+    dataset: str = "YAGO2",
+    intervals: Iterable[float] = (15, 30, 45, 50, 65),
+    config: Optional[ExperimentConfig] = None,
+) -> ExperimentSeries:
+    """Exp-4 / Figure 4(n): sensitivity to the workload-monitoring interval intvl."""
+    config = config or ExperimentConfig()
+    series = ExperimentSeries(
+        title=f"Exp-4 ({dataset}): varying intvl", x_label="intvl", metadata={"dataset": dataset}
+    )
+    graph, rule_set, delta, updated = _prepare(config, dataset)
+    for interval in intervals:
+        row = {
+            "PIncDect": pinc_dect(
+                graph,
+                rule_set,
+                delta,
+                processors=config.processors,
+                policy=BalancingPolicy.hybrid(config.latency, interval),
+                graph_after=updated,
+            ).cost,
+            "PIncDect_ns": pinc_dect(
+                graph,
+                rule_set,
+                delta,
+                processors=config.processors,
+                policy=BalancingPolicy.no_splitting(config.latency, interval),
+                graph_after=updated,
+            ).cost,
+        }
+        series.values[interval] = row
+    return series
+
+
+def run_exp5_effectiveness(config: Optional[ExperimentConfig] = None) -> ExperimentSeries:
+    """Exp-5: how many errors the example / effectiveness NGDs catch on each graph.
+
+    The paper reports 415 / 212 / 568 errors on DBpedia / YAGO2 / Pokec, 92%
+    of which need NGD (not GFD) expressiveness; here the planted error rates
+    of the synthetic analogues determine the counts, and the split between
+    "numeric" (needs arithmetic/comparison) and "GFD-expressible" violations
+    is reported alongside.
+    """
+    config = config or ExperimentConfig()
+    series = ExperimentSeries(title="Exp-5: effectiveness of NGDs", x_label="dataset")
+    from repro.datasets.figure1 import figure1_graphs
+
+    figure_rules = example_rules()
+    for name, graph in figure1_graphs().items():
+        found = find_violations(graph, figure_rules)
+        series.values[f"Figure1-{name}"] = {"violations": float(len(found))}
+
+    for dataset in ("DBpedia", "YAGO2", "Pokec"):
+        graph = build_dataset(dataset, scale=config.scale, seed=config.seed + 1)
+        rule_set = benchmark_rules(graph, count=config.rules_count, max_diameter=config.max_diameter, seed=config.seed)
+        found = find_violations(graph, rule_set)
+        numeric_rules = {rule.name for rule in rule_set if not rule.is_gfd()}
+        numeric_violations = sum(1 for violation in found if violation.rule in numeric_rules)
+        series.values[dataset] = {
+            "violations": float(len(found)),
+            "numeric_only": float(numeric_violations),
+            "numeric_share": (numeric_violations / len(found)) if len(found) else 0.0,
+        }
+    return series

@@ -1,0 +1,45 @@
+"""Arithmetic expressions, comparison literals, and their textual notation."""
+
+from repro.expr.expressions import (
+    AbsoluteValue,
+    Add,
+    Assignment,
+    Divide,
+    Expression,
+    Multiply,
+    Negate,
+    Subtract,
+    TermExpression,
+    as_expression,
+    const,
+    var,
+)
+from repro.expr.literals import Comparison, LinearConstraint, Literal, LiteralSet
+from repro.expr.parser import parse_expression, parse_literal, parse_literal_set
+from repro.expr.terms import AttributeTerm, Constant, Term, as_term
+
+__all__ = [
+    "AbsoluteValue",
+    "Add",
+    "Assignment",
+    "AttributeTerm",
+    "Comparison",
+    "Constant",
+    "Divide",
+    "Expression",
+    "LinearConstraint",
+    "Literal",
+    "LiteralSet",
+    "Multiply",
+    "Negate",
+    "Subtract",
+    "Term",
+    "TermExpression",
+    "as_expression",
+    "as_term",
+    "const",
+    "parse_expression",
+    "parse_literal",
+    "parse_literal_set",
+    "var",
+]

@@ -1,0 +1,218 @@
+"""A small recursive-descent parser for expressions, literals and literal sets.
+
+The examples, rule files and tests write conditions in a compact textual
+notation close to the paper::
+
+    parse_expression("a * (x.follower - y.follower) + 5")
+    parse_literal("z.val - y.val >= 100")
+    parse_literal_set("s1.val = 1, m1.val - m2.val > 500")
+
+Grammar (whitespace-insensitive)::
+
+    literal_set := literal ("," literal)* | "" | "∅"
+    literal     := expr CMP expr
+    CMP         := "=" | "==" | "!=" | "<>" | "≠" | "<=" | "≤" | ">=" | "≥" | "<" | ">"
+    expr        := term (("+" | "-") term)*
+    term        := unary (("*" | "/") unary)*
+    unary       := "-" unary | primary
+    primary     := NUMBER | IDENT "." IDENT | "(" expr ")" | "|" expr "|"
+
+Identifiers are ``[A-Za-z_][A-Za-z0-9_]*``; numbers are integers or decimals.
+The parser builds the general (possibly non-linear) expression classes;
+linearity is enforced later, at NGD construction time.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from repro.errors import ParseError
+from repro.expr.expressions import (
+    AbsoluteValue,
+    Add,
+    Divide,
+    Expression,
+    Multiply,
+    Negate,
+    Subtract,
+    const,
+    var,
+)
+from repro.expr.literals import Comparison, Literal, LiteralSet
+
+__all__ = ["parse_expression", "parse_literal", "parse_literal_set"]
+
+
+_TOKEN_PATTERN = re.compile(
+    r"""
+    (?P<number>\d+(?:\.\d+)?)
+  | (?P<ident>[A-Za-z_][A-Za-z0-9_]*)
+  | (?P<cmp><=|>=|==|!=|<>|≤|≥|≠|=|<|>)
+  | (?P<op>[+\-*/().|,])
+  | (?P<space>\s+)
+    """,
+    re.VERBOSE,
+)
+
+
+@dataclass(frozen=True)
+class _Token:
+    kind: str
+    text: str
+    position: int
+
+
+def _tokenize(text: str) -> list[_Token]:
+    tokens: list[_Token] = []
+    position = 0
+    while position < len(text):
+        match = _TOKEN_PATTERN.match(text, position)
+        if match is None:
+            raise ParseError(text, position, f"unexpected character {text[position]!r}")
+        kind = match.lastgroup or ""
+        if kind != "space":
+            tokens.append(_Token(kind, match.group(), position))
+        position = match.end()
+    return tokens
+
+
+class _Parser:
+    """Recursive-descent parser over the token list."""
+
+    def __init__(self, text: str) -> None:
+        self.text = text
+        self.tokens = _tokenize(text)
+        self.index = 0
+
+    # ------------------------------------------------------------- utilities
+
+    def _peek(self) -> _Token | None:
+        if self.index < len(self.tokens):
+            return self.tokens[self.index]
+        return None
+
+    def _advance(self) -> _Token:
+        token = self._peek()
+        if token is None:
+            raise ParseError(self.text, len(self.text), "unexpected end of input")
+        self.index += 1
+        return token
+
+    def _expect(self, text: str) -> _Token:
+        token = self._advance()
+        if token.text != text:
+            raise ParseError(self.text, token.position, f"expected {text!r}, found {token.text!r}")
+        return token
+
+    def _at_end(self) -> bool:
+        return self.index >= len(self.tokens)
+
+    # --------------------------------------------------------------- grammar
+
+    def parse_expression(self) -> Expression:
+        """expr := term (("+" | "-") term)*"""
+        node = self.parse_term()
+        while not self._at_end() and self._peek().text in ("+", "-"):
+            operator = self._advance().text
+            right = self.parse_term()
+            node = Add(node, right) if operator == "+" else Subtract(node, right)
+        return node
+
+    def parse_term(self) -> Expression:
+        """term := unary (("*" | "/") unary)*"""
+        node = self.parse_unary()
+        while not self._at_end() and self._peek().text in ("*", "/"):
+            operator = self._advance().text
+            right = self.parse_unary()
+            node = Multiply(node, right) if operator == "*" else Divide(node, right)
+        return node
+
+    def parse_unary(self) -> Expression:
+        """unary := "-" unary | primary"""
+        token = self._peek()
+        if token is not None and token.text == "-":
+            self._advance()
+            return Negate(self.parse_unary())
+        return self.parse_primary()
+
+    def parse_primary(self) -> Expression:
+        """primary := NUMBER | IDENT "." IDENT | "(" expr ")" | "|" expr "|" """
+        token = self._advance()
+        if token.kind == "number":
+            text = token.text
+            value = float(text) if "." in text else int(text)
+            return const(value)
+        if token.kind == "ident":
+            dot = self._peek()
+            if dot is None or dot.text != ".":
+                raise ParseError(
+                    self.text,
+                    token.position,
+                    f"bare identifier {token.text!r}; terms must be written as 'variable.attribute'",
+                )
+            self._advance()
+            attribute = self._advance()
+            if attribute.kind != "ident":
+                raise ParseError(self.text, attribute.position, "expected an attribute name after '.'")
+            return var(token.text, attribute.text)
+        if token.text == "(":
+            node = self.parse_expression()
+            self._expect(")")
+            return node
+        if token.text == "|":
+            node = self.parse_expression()
+            self._expect("|")
+            return AbsoluteValue(node)
+        raise ParseError(self.text, token.position, f"unexpected token {token.text!r}")
+
+    def parse_literal(self) -> Literal:
+        """literal := expr CMP expr"""
+        left = self.parse_expression()
+        token = self._advance()
+        if token.kind != "cmp":
+            raise ParseError(self.text, token.position, f"expected a comparison, found {token.text!r}")
+        comparison = Comparison.from_symbol(token.text)
+        right = self.parse_expression()
+        return Literal(left, comparison, right)
+
+    def parse_literal_set(self) -> LiteralSet:
+        """literal_set := literal ("," literal)*"""
+        literals = [self.parse_literal()]
+        while not self._at_end() and self._peek().text == ",":
+            self._advance()
+            literals.append(self.parse_literal())
+        return LiteralSet(literals)
+
+
+def parse_expression(text: str) -> Expression:
+    """Parse an arithmetic expression; raises :class:`ParseError` on bad input."""
+    parser = _Parser(text)
+    node = parser.parse_expression()
+    if not parser._at_end():
+        token = parser._peek()
+        raise ParseError(text, token.position, f"trailing input starting at {token.text!r}")
+    return node
+
+
+def parse_literal(text: str) -> Literal:
+    """Parse a comparison literal such as ``"x.val + 3 <= y.val"``."""
+    parser = _Parser(text)
+    literal = parser.parse_literal()
+    if not parser._at_end():
+        token = parser._peek()
+        raise ParseError(text, token.position, f"trailing input starting at {token.text!r}")
+    return literal
+
+
+def parse_literal_set(text: str) -> LiteralSet:
+    """Parse a comma-separated conjunction of literals; ``""`` and ``"∅"`` mean the empty set."""
+    stripped = text.strip()
+    if not stripped or stripped == "∅":
+        return LiteralSet()
+    parser = _Parser(stripped)
+    literal_set = parser.parse_literal_set()
+    if not parser._at_end():
+        token = parser._peek()
+        raise ParseError(text, token.position, f"trailing input starting at {token.text!r}")
+    return literal_set

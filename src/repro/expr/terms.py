@@ -1,0 +1,83 @@
+"""Terms of a graph pattern.
+
+Section 3 of the paper: a *term* of ``Q[x̄]`` is either an integer constant
+``c`` or an integer "variable" ``x.A`` where ``x ∈ x̄`` and ``A`` is an
+attribute name.  Terms are the leaves of arithmetic expressions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from numbers import Real
+from typing import Union
+
+from repro.errors import ExpressionError
+
+__all__ = ["Constant", "AttributeTerm", "Term", "as_term"]
+
+
+@dataclass(frozen=True)
+class Constant:
+    """An integer (or real) constant term."""
+
+    value: Real
+
+    def variables(self) -> frozenset[tuple[str, str]]:
+        """Return the ``(variable, attribute)`` pairs referenced (none for constants)."""
+        return frozenset()
+
+    def degree(self) -> int:
+        """Return the polynomial degree contributed by this term (0)."""
+        return 0
+
+    def __str__(self) -> str:
+        return str(self.value)
+
+
+@dataclass(frozen=True)
+class AttributeTerm:
+    """A term ``x.A``: attribute ``A`` of the node matched by pattern variable ``x``."""
+
+    variable: str
+    attribute: str
+
+    def __post_init__(self) -> None:
+        if not self.variable or not self.attribute:
+            raise ExpressionError("attribute terms need a variable and an attribute name")
+
+    def variables(self) -> frozenset[tuple[str, str]]:
+        """Return the single ``(variable, attribute)`` pair this term references."""
+        return frozenset({(self.variable, self.attribute)})
+
+    def degree(self) -> int:
+        """Return the polynomial degree contributed by this term (1)."""
+        return 1
+
+    def __str__(self) -> str:
+        return f"{self.variable}.{self.attribute}"
+
+
+Term = Union[Constant, AttributeTerm]
+
+
+def as_term(value: object) -> Term:
+    """Coerce ``value`` into a term.
+
+    Accepts existing terms, numbers (→ :class:`Constant`), and strings of the
+    form ``"x.A"`` (→ :class:`AttributeTerm`).
+    """
+    if isinstance(value, (Constant, AttributeTerm)):
+        return value
+    if isinstance(value, bool):
+        raise ExpressionError("booleans are not valid terms")
+    if isinstance(value, (int, float)):
+        return Constant(value)
+    if isinstance(value, str):
+        if "." in value:
+            variable, _, attribute = value.partition(".")
+            if variable and attribute:
+                return AttributeTerm(variable, attribute)
+        raise ExpressionError(
+            f"cannot interpret {value!r} as a term; expected 'variable.attribute'"
+        )
+    raise ExpressionError(f"cannot interpret {value!r} as a term")

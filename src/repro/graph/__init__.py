@@ -1,0 +1,52 @@
+"""Property-graph substrate: graphs, patterns, updates, neighbourhoods, partitioning."""
+
+from repro.graph.graph import WILDCARD, Edge, Graph, Node
+from repro.graph.neighborhood import (
+    d_neighbor,
+    d_neighbor_of_nodes,
+    nodes_within_hops,
+    undirected_distance,
+    update_neighborhood,
+)
+from repro.graph.partition import (
+    Fragment,
+    Fragmentation,
+    bfs_edge_cut,
+    greedy_vertex_cut,
+    hash_edge_cut,
+)
+from repro.graph.pattern import Pattern, PatternEdge, PatternNode
+from repro.graph.updates import (
+    BatchUpdate,
+    EdgeDeletion,
+    EdgeInsertion,
+    NodePayload,
+    UpdateGenerator,
+    apply_update,
+)
+
+__all__ = [
+    "WILDCARD",
+    "Edge",
+    "Graph",
+    "Node",
+    "Pattern",
+    "PatternEdge",
+    "PatternNode",
+    "BatchUpdate",
+    "EdgeDeletion",
+    "EdgeInsertion",
+    "NodePayload",
+    "UpdateGenerator",
+    "apply_update",
+    "d_neighbor",
+    "d_neighbor_of_nodes",
+    "nodes_within_hops",
+    "undirected_distance",
+    "update_neighborhood",
+    "Fragment",
+    "Fragmentation",
+    "bfs_edge_cut",
+    "greedy_vertex_cut",
+    "hash_edge_cut",
+]

@@ -1,0 +1,174 @@
+"""Graph (de)serialisation.
+
+Real deployments load knowledge graphs from dumps; this module provides a
+small, dependency-free JSON format plus a tab-separated edge-list format so
+examples and experiments can persist graphs and batch updates.
+
+JSON document shape::
+
+    {
+      "name": "G",
+      "nodes": [{"id": ..., "label": ..., "attributes": {...}}, ...],
+      "edges": [{"source": ..., "target": ..., "label": ...}, ...]
+    }
+
+Batch updates use one JSON object per unit update with an ``"op"`` field of
+``"insert"`` or ``"delete"``.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Union
+
+from repro.errors import GraphError, UpdateError
+from repro.graph.graph import Graph
+from repro.graph.updates import BatchUpdate, EdgeDeletion, EdgeInsertion, NodePayload
+
+__all__ = [
+    "graph_to_dict",
+    "graph_from_dict",
+    "save_graph",
+    "load_graph",
+    "save_update",
+    "load_update",
+    "write_edge_list",
+    "read_edge_list",
+]
+
+PathLike = Union[str, Path]
+
+
+def graph_to_dict(graph: Graph) -> dict:
+    """Return a JSON-serialisable dictionary describing ``graph``."""
+    return {
+        "name": graph.name,
+        "nodes": [
+            {"id": node.id, "label": node.label, "attributes": dict(node.attributes)}
+            for node in graph.nodes()
+        ],
+        "edges": [
+            {"source": edge.source, "target": edge.target, "label": edge.label}
+            for edge in graph.edges()
+        ],
+    }
+
+
+def graph_from_dict(document: dict) -> Graph:
+    """Rebuild a :class:`Graph` from the dictionary produced by :func:`graph_to_dict`."""
+    if "nodes" not in document or "edges" not in document:
+        raise GraphError("graph document must contain 'nodes' and 'edges' lists")
+    graph = Graph(document.get("name", "G"))
+    for entry in document["nodes"]:
+        graph.add_node(entry["id"], entry["label"], entry.get("attributes", {}))
+    for entry in document["edges"]:
+        graph.add_edge(entry["source"], entry["target"], entry["label"])
+    return graph
+
+
+def save_graph(graph: Graph, path: PathLike) -> None:
+    """Write ``graph`` to ``path`` as JSON."""
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(graph_to_dict(graph), handle, indent=2, sort_keys=True, default=str)
+
+
+def load_graph(path: PathLike) -> Graph:
+    """Load a graph previously written by :func:`save_graph`."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return graph_from_dict(json.load(handle))
+
+
+def update_to_list(delta: BatchUpdate) -> list[dict]:
+    """Return a JSON-serialisable list describing ``delta``."""
+    entries = []
+    for update in delta:
+        entry = {
+            "op": "insert" if update.is_insertion else "delete",
+            "source": update.source,
+            "target": update.target,
+            "label": update.label,
+        }
+        if isinstance(update, EdgeInsertion):
+            for side, payload in (("source", update.source_payload), ("target", update.target_payload)):
+                if payload is not None:
+                    entry[f"{side}_payload"] = {
+                        "label": payload.label,
+                        "attributes": dict(payload.attributes),
+                    }
+        entries.append(entry)
+    return entries
+
+
+def update_from_list(entries: list[dict]) -> BatchUpdate:
+    """Rebuild a :class:`BatchUpdate` from :func:`update_to_list` output."""
+    batch = BatchUpdate()
+    for entry in entries:
+        op = entry.get("op")
+        if op == "insert":
+            payloads = {}
+            for side in ("source", "target"):
+                raw = entry.get(f"{side}_payload")
+                if raw is not None:
+                    payloads[f"{side}_payload"] = NodePayload(raw["label"], raw.get("attributes", {}))
+            batch.extend(
+                [EdgeInsertion(entry["source"], entry["target"], entry["label"], **payloads)]
+            )
+        elif op == "delete":
+            batch.extend([EdgeDeletion(entry["source"], entry["target"], entry["label"])])
+        else:
+            raise UpdateError(f"unknown update op {op!r}")
+    return batch
+
+
+def save_update(delta: BatchUpdate, path: PathLike) -> None:
+    """Write a batch update to ``path`` as JSON."""
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(update_to_list(delta), handle, indent=2, default=str)
+
+
+def load_update(path: PathLike) -> BatchUpdate:
+    """Load a batch update previously written by :func:`save_update`."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return update_from_list(json.load(handle))
+
+
+def write_edge_list(graph: Graph, path: PathLike) -> None:
+    """Write a tab-separated edge list: ``source \\t edge_label \\t target`` per line.
+
+    Node labels and attributes are written in a companion header section of
+    the form ``# node <id> <label> <json attributes>`` so the file round-trips.
+    """
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(f"# graph {graph.name}\n")
+        for node in graph.nodes():
+            handle.write(
+                "# node\t{}\t{}\t{}\n".format(node.id, node.label, json.dumps(dict(node.attributes), default=str))
+            )
+        for edge in graph.edges():
+            handle.write(f"{edge.source}\t{edge.label}\t{edge.target}\n")
+
+
+def read_edge_list(path: PathLike) -> Graph:
+    """Read a graph written by :func:`write_edge_list`."""
+    graph = Graph()
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.rstrip("\n")
+            if not line:
+                continue
+            if line.startswith("# graph "):
+                graph.name = line[len("# graph "):]
+                continue
+            if line.startswith("# node\t"):
+                _, node_id, label, attributes = line.split("\t", 3)
+                graph.add_node(node_id, label, json.loads(attributes))
+                continue
+            parts = line.split("\t")
+            if len(parts) != 3:
+                raise GraphError(f"malformed edge-list line: {line!r}")
+            source, label, target = parts
+            graph.ensure_node(source)
+            graph.ensure_node(target)
+            graph.add_edge(source, target, label)
+    return graph

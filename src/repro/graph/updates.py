@@ -1,0 +1,300 @@
+"""Batch updates ``ΔG`` and the update operator ``G ⊕ ΔG``.
+
+The paper (Section 5.2) defines a *unit update* as an edge insertion or an
+edge deletion.  Insertions may introduce new nodes (carrying labels and
+attributes); deletions only remove the link, leaving endpoints in place.  A
+*batch update* ΔG is a sequence of unit updates, and ``G ⊕ ΔG`` is the graph
+obtained by applying them in order.
+
+This module provides:
+
+* :class:`EdgeInsertion` / :class:`EdgeDeletion` — unit updates;
+* :class:`BatchUpdate` — an ordered batch with the queries the incremental
+  algorithms need (inserted/deleted edge sets, touched nodes);
+* :func:`apply_update` — compute ``G ⊕ ΔG`` (optionally in place);
+* :class:`UpdateGenerator` — random batch-update generation controlled by
+  ``|ΔG|`` and the insertion/deletion ratio γ, as used in Section 7.
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Hashable, Iterable, Iterator, Mapping, Sequence
+from dataclasses import dataclass, field
+from typing import Optional, Union
+
+from repro.errors import UpdateError
+from repro.graph.graph import Graph, WILDCARD
+
+__all__ = [
+    "EdgeInsertion",
+    "EdgeDeletion",
+    "UnitUpdate",
+    "BatchUpdate",
+    "apply_update",
+    "UpdateGenerator",
+]
+
+
+@dataclass(frozen=True)
+class NodePayload:
+    """Label and attributes for a node introduced by an edge insertion."""
+
+    label: str = WILDCARD
+    attributes: Mapping[str, object] = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class EdgeInsertion:
+    """``insert (source -[label]-> target)``.
+
+    ``source_payload`` / ``target_payload`` describe the endpoints when they
+    do not yet exist in the target graph; they are ignored for existing nodes.
+    """
+
+    source: Hashable
+    target: Hashable
+    label: str
+    source_payload: Optional[NodePayload] = None
+    target_payload: Optional[NodePayload] = None
+
+    @property
+    def is_insertion(self) -> bool:
+        return True
+
+    def edge_key(self) -> tuple[Hashable, Hashable, str]:
+        """Return ``(source, target, label)``."""
+        return (self.source, self.target, self.label)
+
+
+@dataclass(frozen=True)
+class EdgeDeletion:
+    """``delete (source -[label]-> target)``."""
+
+    source: Hashable
+    target: Hashable
+    label: str
+
+    @property
+    def is_insertion(self) -> bool:
+        return False
+
+    def edge_key(self) -> tuple[Hashable, Hashable, str]:
+        """Return ``(source, target, label)``."""
+        return (self.source, self.target, self.label)
+
+
+UnitUpdate = Union[EdgeInsertion, EdgeDeletion]
+
+
+class BatchUpdate:
+    """An ordered batch of unit updates with convenience queries.
+
+    The incremental algorithms treat ΔG as two sets, ΔG⁺ (insertions) and
+    ΔG⁻ (deletions); ordering only matters when applying ΔG to a graph.
+    """
+
+    def __init__(self, updates: Iterable[UnitUpdate] = ()) -> None:
+        self._updates: list[UnitUpdate] = list(updates)
+
+    # ----------------------------------------------------------- construction
+
+    def insert(
+        self,
+        source: Hashable,
+        target: Hashable,
+        label: str,
+        source_payload: Optional[NodePayload] = None,
+        target_payload: Optional[NodePayload] = None,
+    ) -> "BatchUpdate":
+        """Append an edge insertion and return self (builder style)."""
+        self._updates.append(
+            EdgeInsertion(source, target, label, source_payload, target_payload)
+        )
+        return self
+
+    def delete(self, source: Hashable, target: Hashable, label: str) -> "BatchUpdate":
+        """Append an edge deletion and return self (builder style)."""
+        self._updates.append(EdgeDeletion(source, target, label))
+        return self
+
+    def extend(self, updates: Iterable[UnitUpdate]) -> "BatchUpdate":
+        """Append several unit updates and return self."""
+        self._updates.extend(updates)
+        return self
+
+    # ---------------------------------------------------------------- queries
+
+    def __len__(self) -> int:
+        return len(self._updates)
+
+    def __iter__(self) -> Iterator[UnitUpdate]:
+        return iter(self._updates)
+
+    def __bool__(self) -> bool:
+        return bool(self._updates)
+
+    @property
+    def insertions(self) -> tuple[EdgeInsertion, ...]:
+        """Return ΔG⁺, the edge insertions in batch order."""
+        return tuple(u for u in self._updates if isinstance(u, EdgeInsertion))
+
+    @property
+    def deletions(self) -> tuple[EdgeDeletion, ...]:
+        """Return ΔG⁻, the edge deletions in batch order."""
+        return tuple(u for u in self._updates if isinstance(u, EdgeDeletion))
+
+    def inserted_edge_keys(self) -> frozenset[tuple[Hashable, Hashable, str]]:
+        """Return the ``(source, target, label)`` keys of all insertions."""
+        return frozenset(u.edge_key() for u in self.insertions)
+
+    def deleted_edge_keys(self) -> frozenset[tuple[Hashable, Hashable, str]]:
+        """Return the ``(source, target, label)`` keys of all deletions."""
+        return frozenset(u.edge_key() for u in self.deletions)
+
+    def touched_nodes(self) -> frozenset[Hashable]:
+        """Return every node id that appears as an endpoint of some unit update."""
+        nodes: set[Hashable] = set()
+        for update in self._updates:
+            nodes.add(update.source)
+            nodes.add(update.target)
+        return frozenset(nodes)
+
+    def insertion_deletion_ratio(self) -> float:
+        """Return γ = |ΔG⁺| / |ΔG⁻| (``inf`` when there are no deletions)."""
+        inserts = len(self.insertions)
+        deletes = len(self.deletions)
+        if deletes == 0:
+            return float("inf") if inserts else 0.0
+        return inserts / deletes
+
+    def reversed(self) -> "BatchUpdate":
+        """Return the inverse batch (insertions become deletions and vice versa).
+
+        Node payloads are dropped; applying ``ΔG`` then ``ΔG.reversed()``
+        restores the original edge set (new isolated nodes may remain).
+        """
+        inverse: list[UnitUpdate] = []
+        for update in reversed(self._updates):
+            if isinstance(update, EdgeInsertion):
+                inverse.append(EdgeDeletion(update.source, update.target, update.label))
+            else:
+                inverse.append(EdgeInsertion(update.source, update.target, update.label))
+        return BatchUpdate(inverse)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"BatchUpdate(+{len(self.insertions)}, -{len(self.deletions)})"
+
+
+def apply_update(graph: Graph, delta: BatchUpdate, in_place: bool = False) -> Graph:
+    """Return ``G ⊕ ΔG``.
+
+    Insertions create missing endpoint nodes using their payloads (wildcard
+    label, empty attributes when no payload is given).  Deleting an edge that
+    is absent, or inserting one whose endpoints cannot be created, raises
+    :class:`UpdateError` — silently ignoring either would let experiment
+    drivers measure the wrong workload.
+    """
+    target = graph if in_place else graph.copy()
+    for update in delta:
+        if isinstance(update, EdgeInsertion):
+            _apply_insertion(target, update)
+        else:
+            _apply_deletion(target, update)
+    return target
+
+
+def _apply_insertion(graph: Graph, update: EdgeInsertion) -> None:
+    for node_id, payload in (
+        (update.source, update.source_payload),
+        (update.target, update.target_payload),
+    ):
+        if not graph.has_node(node_id):
+            payload = payload or NodePayload()
+            graph.add_node(node_id, payload.label, payload.attributes)
+    if graph.has_edge(update.source, update.target, update.label):
+        raise UpdateError(
+            f"cannot insert duplicate edge {update.source!r} -[{update.label}]-> {update.target!r}"
+        )
+    graph.add_edge(update.source, update.target, update.label)
+
+
+def _apply_deletion(graph: Graph, update: EdgeDeletion) -> None:
+    if not graph.has_edge(update.source, update.target, update.label):
+        raise UpdateError(
+            f"cannot delete missing edge {update.source!r} -[{update.label}]-> {update.target!r}"
+        )
+    graph.remove_edge(update.source, update.target, update.label)
+
+
+class UpdateGenerator:
+    """Random batch updates controlled by size and insertion/deletion ratio.
+
+    Mirrors the experimental setup of Section 7: "updates ΔG to graph G are
+    randomly generated, controlled by the size |ΔG| and a ratio γ of edge
+    insertions to deletions".  Deletions pick existing edges uniformly at
+    random; insertions either close a new edge between existing nodes (with a
+    label sampled from the graph's edge labels) or attach a brand-new node.
+    """
+
+    def __init__(self, seed: int = 0, new_node_probability: float = 0.25) -> None:
+        if not 0.0 <= new_node_probability <= 1.0:
+            raise UpdateError("new_node_probability must be within [0, 1]")
+        self._rng = random.Random(seed)
+        self._new_node_probability = new_node_probability
+
+    def generate(
+        self,
+        graph: Graph,
+        size: int,
+        insert_ratio: float = 0.5,
+        labels: Optional[Sequence[str]] = None,
+    ) -> BatchUpdate:
+        """Return a batch update of ``size`` unit updates against ``graph``.
+
+        ``insert_ratio`` is the fraction of insertions (γ = 1 corresponds to
+        0.5); it is clamped by the number of edges available for deletion.
+        """
+        if size < 0:
+            raise UpdateError("batch update size must be non-negative")
+        if not 0.0 <= insert_ratio <= 1.0:
+            raise UpdateError("insert_ratio must be within [0, 1]")
+        edge_pool = list(graph.edges())
+        node_pool = list(graph.node_ids())
+        if not node_pool and size > 0:
+            raise UpdateError("cannot generate updates against an empty graph")
+        edge_labels = list(labels or graph.edge_labels() or ("link",))
+        node_labels = list(graph.labels() or (WILDCARD,))
+
+        wanted_inserts = round(size * insert_ratio)
+        wanted_deletes = size - wanted_inserts
+        wanted_deletes = min(wanted_deletes, len(edge_pool))
+        wanted_inserts = size - wanted_deletes
+
+        batch = BatchUpdate()
+        self._rng.shuffle(edge_pool)
+        existing_keys = {e.key() for e in edge_pool}
+        for edge in edge_pool[:wanted_deletes]:
+            batch.delete(edge.source, edge.target, edge.label)
+
+        fresh_counter = 0
+        attempts = 0
+        while len(batch.insertions) < wanted_inserts and attempts < 50 * max(1, wanted_inserts):
+            attempts += 1
+            label = self._rng.choice(edge_labels)
+            if self._rng.random() < self._new_node_probability:
+                fresh_counter += 1
+                new_id = f"new-{id(graph):x}-{fresh_counter}"
+                anchor = self._rng.choice(node_pool)
+                payload = NodePayload(self._rng.choice(node_labels), {"val": self._rng.randint(0, 1000)})
+                batch.insert(anchor, new_id, label, target_payload=payload)
+                existing_keys.add((anchor, new_id, label))
+                continue
+            source = self._rng.choice(node_pool)
+            target = self._rng.choice(node_pool)
+            key = (source, target, label)
+            if source == target or key in existing_keys:
+                continue
+            batch.insert(source, target, label)
+            existing_keys.add(key)
+        return batch

@@ -1,0 +1,21 @@
+"""Subgraph homomorphism matching: batch (Matchn) and update-driven (IncMatch)."""
+
+from repro.matching.candidates import MatchStatistics, candidate_nodes, node_satisfies_unary_premise
+from repro.matching.incmatch import IncrementalMatcher, UpdatePivot, find_update_pivots
+from repro.matching.matchn import (
+    HomomorphismMatcher,
+    assignment_for_match,
+    match_violates_dependency,
+)
+
+__all__ = [
+    "HomomorphismMatcher",
+    "IncrementalMatcher",
+    "MatchStatistics",
+    "UpdatePivot",
+    "assignment_for_match",
+    "candidate_nodes",
+    "find_update_pivots",
+    "match_violates_dependency",
+    "node_satisfies_unary_premise",
+]

@@ -1,0 +1,237 @@
+"""The generic backtracking homomorphism matcher ``Matchn`` / ``SubMatchn``.
+
+Section 6.2 of the paper describes the framework most subgraph matching
+algorithms follow: compute candidate sets ``C(u)``, then recursively expand a
+partial solution ``M`` one pattern node at a time, checking edge consistency
+against the already-matched nodes, and backtracking when a branch dies.
+
+:class:`HomomorphismMatcher` implements that framework for homomorphism
+semantics (two pattern variables may map to the same data node), with two
+extensions the NGD algorithms need:
+
+* *literal-driven pruning* — premise literals are evaluated as soon as all
+  their variables are bound, and conclusion literals when the conclusion is a
+  single literal (Section 6.2, step (3));
+* *seeded search* — a partial solution can be supplied up front, which is how
+  update pivots drive incremental matching (``IncMatch``).
+
+The matcher yields matches lazily as ``{variable: node_id}`` dictionaries.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable, Iterator, Mapping
+from typing import Optional
+
+from repro.expr.expressions import Assignment
+from repro.expr.literals import LiteralSet
+from repro.graph.graph import Graph
+from repro.graph.pattern import Pattern
+from repro.matching.candidates import MatchStatistics, candidate_nodes, node_satisfies_unary_premise
+
+__all__ = ["HomomorphismMatcher", "assignment_for_match", "match_violates_dependency"]
+
+
+def assignment_for_match(
+    graph: Graph,
+    match: Mapping[str, Hashable],
+    literals_variables: frozenset[tuple[str, str]],
+) -> Assignment:
+    """Build the attribute assignment a literal set needs from a match.
+
+    Only the ``(variable, attribute)`` pairs actually referenced by literals
+    are looked up; attributes the node does not carry are simply absent from
+    the assignment (the literal then fails, per the paper's semantics).
+    """
+    assignment: dict[tuple[str, str], object] = {}
+    for variable, attribute in literals_variables:
+        node_id = match.get(variable)
+        if node_id is None:
+            continue
+        node = graph.node(node_id)
+        if node.has_attribute(attribute):
+            assignment[(variable, attribute)] = node.attribute(attribute)
+    return assignment
+
+
+def match_violates_dependency(
+    graph: Graph,
+    match: Mapping[str, Hashable],
+    premise: LiteralSet,
+    conclusion: LiteralSet,
+    stats: Optional[MatchStatistics] = None,
+) -> bool:
+    """Return True when the match satisfies the premise but not the conclusion."""
+    if stats is not None:
+        stats.literal_evaluations += len(premise) + len(conclusion)
+    needed = premise.variables() | conclusion.variables()
+    assignment = assignment_for_match(graph, match, needed)
+    if not premise.satisfied_by(assignment):
+        return False
+    return not conclusion.satisfied_by(assignment)
+
+
+class HomomorphismMatcher:
+    """Backtracking homomorphism search with literal-driven pruning."""
+
+    def __init__(
+        self,
+        graph: Graph,
+        pattern: Pattern,
+        premise: Optional[LiteralSet] = None,
+        conclusion: Optional[LiteralSet] = None,
+        use_literal_pruning: bool = True,
+        stats: Optional[MatchStatistics] = None,
+    ) -> None:
+        self.graph = graph
+        self.pattern = pattern
+        self.premise = premise if premise is not None else LiteralSet()
+        self.conclusion = conclusion if conclusion is not None else LiteralSet()
+        self.use_literal_pruning = use_literal_pruning
+        self.stats = stats if stats is not None else MatchStatistics()
+
+    # --------------------------------------------------------------- matching
+
+    def matches(self, seed: Optional[Mapping[str, Hashable]] = None) -> Iterator[dict[str, Hashable]]:
+        """Yield every match of the pattern, optionally extending a seed partial solution.
+
+        The seed must be label-consistent; edge consistency between seed
+        variables is verified before the search starts, so an inconsistent
+        seed simply yields nothing.
+        """
+        partial: dict[str, Hashable] = dict(seed or {})
+        for variable, node_id in partial.items():
+            if not self.graph.has_node(node_id):
+                return
+            if not self.pattern.node(variable).matches_label(self.graph.node(node_id).label):
+                return
+        if not self._seed_edges_consistent(partial):
+            return
+        order = self.pattern.matching_order(seed=list(partial.keys()))
+        remaining = [variable for variable in order if variable not in partial]
+        yield from self._expand(partial, remaining)
+
+    def violations(self, seed: Optional[Mapping[str, Hashable]] = None) -> Iterator[dict[str, Hashable]]:
+        """Yield the matches that violate ``premise → conclusion``."""
+        for match in self.matches(seed=seed):
+            if match_violates_dependency(self.graph, match, self.premise, self.conclusion, self.stats):
+                yield match
+
+    # ------------------------------------------------------------- internals
+
+    def _seed_edges_consistent(self, partial: Mapping[str, Hashable]) -> bool:
+        for edge in self.pattern.edges():
+            if edge.source in partial and edge.target in partial:
+                self.stats.edge_checks += 1
+                if not self.graph.has_edge(partial[edge.source], partial[edge.target], edge.label):
+                    return False
+        return True
+
+    def _expand(
+        self, partial: dict[str, Hashable], remaining: list[str]
+    ) -> Iterator[dict[str, Hashable]]:
+        if not remaining:
+            self.stats.matches_emitted += 1
+            yield dict(partial)
+            return
+        variable = remaining[0]
+        for candidate in self._candidates_for(variable, partial):
+            self.stats.expansions += 1
+            if not self._consistent_with_partial(variable, candidate, partial):
+                continue
+            partial[variable] = candidate
+            if self._pruned_by_literals(variable, partial):
+                del partial[variable]
+                continue
+            yield from self._expand(partial, remaining[1:])
+            del partial[variable]
+
+    def _candidates_for(self, variable: str, partial: Mapping[str, Hashable]) -> list[Hashable]:
+        """Return candidates for ``variable``, preferring expansion from matched neighbours."""
+        pattern_node = self.pattern.node(variable)
+        anchored: Optional[set[Hashable]] = None
+        for edge in self.pattern.out_edges(variable):
+            if edge.target in partial:
+                sources = {
+                    source
+                    for source, label in self.graph.predecessors(partial[edge.target])
+                    if label == edge.label
+                }
+                anchored = sources if anchored is None else anchored & sources
+        for edge in self.pattern.in_edges(variable):
+            if edge.source in partial:
+                targets = {
+                    target
+                    for target, label in self.graph.successors(partial[edge.source])
+                    if label == edge.label
+                }
+                anchored = targets if anchored is None else anchored & targets
+        if anchored is not None:
+            self.stats.candidates_examined += len(anchored)
+            candidates = [
+                node_id
+                for node_id in anchored
+                if pattern_node.matches_label(self.graph.node(node_id).label)
+            ]
+            if self.use_literal_pruning and self.premise:
+                candidates = [
+                    node_id
+                    for node_id in candidates
+                    if node_satisfies_unary_premise(self.graph, node_id, variable, self.premise, self.stats)
+                ]
+            return sorted(candidates, key=repr)
+        return sorted(
+            candidate_nodes(
+                self.graph,
+                self.pattern,
+                variable,
+                premise=self.premise if self.use_literal_pruning else None,
+                use_literal_pruning=self.use_literal_pruning,
+                stats=self.stats,
+            ),
+            key=repr,
+        )
+
+    def _consistent_with_partial(
+        self, variable: str, candidate: Hashable, partial: Mapping[str, Hashable]
+    ) -> bool:
+        """Check every pattern edge between ``variable`` and already-matched variables."""
+        for edge in self.pattern.out_edges(variable):
+            if edge.target in partial:
+                self.stats.edge_checks += 1
+                if not self.graph.has_edge(candidate, partial[edge.target], edge.label):
+                    return False
+        for edge in self.pattern.in_edges(variable):
+            if edge.source in partial:
+                self.stats.edge_checks += 1
+                if not self.graph.has_edge(partial[edge.source], candidate, edge.label):
+                    return False
+        return True
+
+    def _pruned_by_literals(self, variable: str, partial: Mapping[str, Hashable]) -> bool:
+        """Apply literal-driven pruning after binding ``variable``.
+
+        Premise literals whose variables are all bound must hold, otherwise
+        the branch cannot satisfy X.  When the conclusion is a single literal,
+        a fully-bound conclusion that already holds cannot become a violation,
+        so the branch is pruned too (Section 6.2, step (3)).
+        """
+        if not self.use_literal_pruning:
+            return False
+        bound = frozenset(partial.keys())
+        for literal in self.premise:
+            mentioned = literal.pattern_variables()
+            if variable in mentioned and mentioned <= bound:
+                self.stats.literal_evaluations += 1
+                assignment = assignment_for_match(self.graph, partial, literal.variables())
+                if not literal.holds_for(assignment):
+                    return True
+        if len(self.conclusion) == 1:
+            literal = self.conclusion.literals()[0]
+            mentioned = literal.pattern_variables()
+            if variable in mentioned and mentioned <= bound:
+                self.stats.literal_evaluations += 1
+                assignment = assignment_for_match(self.graph, partial, literal.variables())
+                if set(assignment) == set(literal.variables()) and literal.holds_for(assignment):
+                    return True
+        return False

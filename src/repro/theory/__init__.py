@@ -1,0 +1,18 @@
+"""Executable encodings of the hardness reductions of Sections 4 and 5."""
+
+from repro.theory.coloring import ColoringInstance, coloring_to_incremental_instance, is_three_colorable
+from repro.theory.gssp import GSSPInstance, gssp_holds, gssp_to_ngds, gssp_witness_graph
+from repro.theory.hilbert import DiophantineEquation, diophantine_to_ngd, has_small_solution
+
+__all__ = [
+    "ColoringInstance",
+    "DiophantineEquation",
+    "GSSPInstance",
+    "coloring_to_incremental_instance",
+    "diophantine_to_ngd",
+    "gssp_holds",
+    "gssp_to_ngds",
+    "gssp_witness_graph",
+    "has_small_solution",
+    "is_three_colorable",
+]

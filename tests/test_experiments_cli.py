@@ -1,0 +1,137 @@
+"""Tests for the experiment harness, reporting, and the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main as cli_main
+from repro.core.builtin_rules import example_rules
+from repro.datasets.figure1 import figure1_g2, figure1_g4
+from repro.errors import ExperimentError
+from repro.experiments import (
+    ExperimentConfig,
+    build_dataset,
+    experiment_scale,
+    format_series,
+    run_exp1_vary_delta,
+    run_exp3_vary_diameter,
+    run_exp4_vary_processors,
+    run_exp5_effectiveness,
+    speedup_summary,
+)
+from repro.experiments.runner import ExperimentSeries
+from repro.graph.io import save_graph, save_update
+from repro.graph.updates import BatchUpdate
+
+
+#: Tiny configuration so harness tests stay fast.
+TINY = ExperimentConfig(rules_count=6, max_diameter=3, processors=4, scale=0.08, seed=1)
+
+
+class TestConfig:
+    def test_experiment_scale_env(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SCALE", raising=False)
+        assert experiment_scale() == 1.0
+        monkeypatch.setenv("REPRO_SCALE", "2.5")
+        assert experiment_scale() == 2.5
+        monkeypatch.setenv("REPRO_SCALE", "junk")
+        with pytest.raises(ExperimentError):
+            experiment_scale()
+        monkeypatch.setenv("REPRO_SCALE", "-1")
+        with pytest.raises(ExperimentError):
+            experiment_scale()
+
+    def test_build_dataset_names(self):
+        for name in ("DBpedia", "YAGO2", "Pokec", "Synthetic"):
+            graph = build_dataset(name, scale=0.05)
+            assert graph.node_count() > 0
+        with pytest.raises(ExperimentError):
+            build_dataset("Freebase")
+
+    def test_config_scaled_override(self):
+        config = ExperimentConfig()
+        assert config.scaled(processors=20).processors == 20
+        assert config.scaled(processors=20).rules_count == config.rules_count
+
+
+class TestRunners:
+    def test_exp1_shapes(self):
+        series = run_exp1_vary_delta(
+            "YAGO2",
+            delta_fractions=(0.05, 0.25),
+            config=TINY,
+            algorithms=("Dect", "IncDect", "PIncDect"),
+        )
+        assert set(series.algorithms()) == {"Dect", "IncDect", "PIncDect"}
+        # batch cost is flat across update sizes; incremental grows
+        assert series.values[0.05]["Dect"] == series.values[0.25]["Dect"]
+        assert series.values[0.05]["IncDect"] <= series.values[0.25]["IncDect"]
+        # incremental beats batch at 5% updates
+        assert series.values[0.05]["IncDect"] < series.values[0.05]["Dect"]
+        # the parallel incremental algorithm beats the sequential one
+        assert series.values[0.05]["PIncDect"] < series.values[0.05]["IncDect"]
+
+    def test_exp4_processor_scaling(self):
+        series = run_exp4_vary_processors(
+            "YAGO2", processor_counts=(4, 16), config=TINY, algorithms=("PIncDect",)
+        )
+        assert series.values[16]["PIncDect"] < series.values[4]["PIncDect"]
+
+    def test_exp3_diameter_monotonicity(self):
+        series = run_exp3_vary_diameter(
+            "YAGO2", diameters=(2, 4), config=TINY, algorithms=("IncDect",)
+        )
+        assert series.values[2]["IncDect"] <= series.values[4]["IncDect"]
+
+    def test_exp5_effectiveness_reports_figure1_and_kb(self):
+        series = run_exp5_effectiveness(config=TINY)
+        assert series.values["Figure1-G2"]["violations"] == 1.0
+        for dataset in ("DBpedia", "YAGO2", "Pokec"):
+            assert series.values[dataset]["violations"] >= 0
+            assert 0.0 <= series.values[dataset]["numeric_share"] <= 1.0
+
+    def test_series_helpers(self):
+        series = ExperimentSeries(title="t", x_label="x")
+        series.values[1] = {"A": 10.0, "B": 5.0}
+        series.values[2] = {"A": 20.0, "B": 5.0}
+        assert series.algorithms() == ["A", "B"]
+        assert series.series("A") == [(1, 10.0), (2, 20.0)]
+        assert series.speedup("A", "B") == {1: 2.0, 2: 4.0}
+        table = format_series(series)
+        assert "A" in table and "B" in table and "t" in table
+        summary = speedup_summary(series, "A", "B")
+        assert "mean" in summary
+
+
+class TestCLI:
+    def test_batch_mode(self, tmp_path, capsys):
+        graph_path = tmp_path / "g4.json"
+        save_graph(figure1_g4(), graph_path)
+        assert cli_main([str(graph_path)]) == 0
+        output = capsys.readouterr().out
+        assert "Dect: 1 violations" in output
+        assert "phi4" in output
+
+    def test_incremental_mode(self, tmp_path, capsys):
+        graph_path = tmp_path / "g4.json"
+        update_path = tmp_path / "delta.json"
+        save_graph(figure1_g4(), graph_path)
+        save_update(BatchUpdate().delete("NatWest Help", "NatWest Help/status", "status"), update_path)
+        assert cli_main([str(graph_path), "--update", str(update_path)]) == 0
+        output = capsys.readouterr().out
+        assert "IncDect" in output
+        assert "-1 violations" in output or "/ -1" in output
+
+    def test_parallel_incremental_mode(self, tmp_path, capsys):
+        graph_path = tmp_path / "g2.json"
+        update_path = tmp_path / "delta.json"
+        save_graph(figure1_g2(), graph_path)
+        save_update(BatchUpdate().delete("Bhonpur", "total", "populationTotal"), update_path)
+        assert cli_main([str(graph_path), "--update", str(update_path), "--processors", "4"]) == 0
+        assert "PIncDect" in capsys.readouterr().out
+
+    def test_effectiveness_rule_choice(self, tmp_path, capsys):
+        graph_path = tmp_path / "g2.json"
+        save_graph(figure1_g2(), graph_path)
+        assert cli_main([str(graph_path), "--rules", "effectiveness"]) == 0
+        assert "0 violations" in capsys.readouterr().out

@@ -1,0 +1,249 @@
+"""Unit tests for updates, neighbourhoods, partitioning, generators and graph IO."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import GraphError, PartitionError, UpdateError
+from repro.graph.generators import chain_graph, community_graph, power_law_graph, random_labeled_graph, star_graph
+from repro.graph.graph import Graph
+from repro.graph.io import (
+    graph_from_dict,
+    graph_to_dict,
+    load_graph,
+    load_update,
+    read_edge_list,
+    save_graph,
+    save_update,
+    write_edge_list,
+)
+from repro.graph.neighborhood import (
+    d_neighbor,
+    multi_source_nodes_within_hops,
+    nodes_within_hops,
+    undirected_distance,
+    update_neighborhood,
+)
+from repro.graph.partition import bfs_edge_cut, greedy_vertex_cut, hash_edge_cut
+from repro.graph.updates import BatchUpdate, EdgeDeletion, EdgeInsertion, NodePayload, UpdateGenerator, apply_update
+
+
+class TestBatchUpdate:
+    def test_builder_and_split(self):
+        batch = BatchUpdate().insert("a", "b", "e").delete("c", "d", "e")
+        assert len(batch) == 2
+        assert len(batch.insertions) == 1
+        assert len(batch.deletions) == 1
+        assert batch.inserted_edge_keys() == frozenset({("a", "b", "e")})
+        assert batch.deleted_edge_keys() == frozenset({("c", "d", "e")})
+
+    def test_touched_nodes(self):
+        batch = BatchUpdate().insert("a", "b", "e").delete("c", "d", "e")
+        assert batch.touched_nodes() == frozenset({"a", "b", "c", "d"})
+
+    def test_insertion_deletion_ratio(self):
+        batch = BatchUpdate().insert("a", "b", "e").insert("a", "c", "e").delete("a", "d", "e")
+        assert batch.insertion_deletion_ratio() == pytest.approx(2.0)
+
+    def test_reversed_roundtrip(self, triangle_graph):
+        batch = BatchUpdate().delete("a", "b", "knows")
+        updated = apply_update(triangle_graph, batch)
+        restored = apply_update(updated, batch.reversed())
+        assert restored.has_edge("a", "b", "knows")
+
+    def test_apply_insertion_creates_nodes_with_payload(self, triangle_graph):
+        payload = NodePayload("company", {"val": 7})
+        batch = BatchUpdate().insert("a", "acme", "works_at", target_payload=payload)
+        updated = apply_update(triangle_graph, batch)
+        assert updated.node("acme").label == "company"
+        assert updated.node("acme").attribute("val") == 7
+        assert not triangle_graph.has_node("acme")  # original untouched
+
+    def test_apply_in_place(self, triangle_graph):
+        batch = BatchUpdate().delete("a", "b", "knows")
+        result = apply_update(triangle_graph, batch, in_place=True)
+        assert result is triangle_graph
+        assert not triangle_graph.has_edge("a", "b", "knows")
+
+    def test_duplicate_insertion_rejected(self, triangle_graph):
+        batch = BatchUpdate().insert("a", "b", "knows")
+        with pytest.raises(UpdateError):
+            apply_update(triangle_graph, batch)
+
+    def test_missing_deletion_rejected(self, triangle_graph):
+        batch = BatchUpdate().delete("a", "b", "likes")
+        with pytest.raises(UpdateError):
+            apply_update(triangle_graph, batch)
+
+
+class TestUpdateGenerator:
+    def test_generated_size_and_determinism(self):
+        graph = random_labeled_graph(100, 300, num_labels=5, num_edge_labels=3, seed=1)
+        first = UpdateGenerator(seed=4).generate(graph, 50, insert_ratio=0.5)
+        second = UpdateGenerator(seed=4).generate(graph, 50, insert_ratio=0.5)
+        assert len(first) == 50
+        assert [u.edge_key() for u in first] == [u.edge_key() for u in second]
+
+    def test_generated_update_applies_cleanly(self):
+        graph = random_labeled_graph(80, 200, num_labels=5, num_edge_labels=3, seed=2)
+        delta = UpdateGenerator(seed=9).generate(graph, 40, insert_ratio=0.4)
+        updated = apply_update(graph, delta)
+        updated.validate_consistency()
+
+    def test_ratio_controls_mix(self):
+        graph = random_labeled_graph(80, 200, num_labels=5, num_edge_labels=3, seed=2)
+        all_deletes = UpdateGenerator(seed=3).generate(graph, 30, insert_ratio=0.0)
+        assert len(all_deletes.insertions) == 0
+        all_inserts = UpdateGenerator(seed=3).generate(graph, 30, insert_ratio=1.0)
+        assert len(all_inserts.deletions) == 0
+
+    def test_invalid_arguments(self):
+        graph = random_labeled_graph(10, 10, seed=0)
+        with pytest.raises(UpdateError):
+            UpdateGenerator(seed=0).generate(graph, -1)
+        with pytest.raises(UpdateError):
+            UpdateGenerator(seed=0).generate(graph, 5, insert_ratio=1.5)
+
+
+class TestNeighborhood:
+    def test_nodes_within_hops(self):
+        graph = chain_graph(6)
+        assert nodes_within_hops(graph, "n0", 0) == frozenset({"n0"})
+        assert nodes_within_hops(graph, "n0", 2) == frozenset({"n0", "n1", "n2"})
+        assert nodes_within_hops(graph, "missing", 2) == frozenset()
+
+    def test_d_neighbor_is_induced(self):
+        graph = chain_graph(6)
+        region = d_neighbor(graph, "n2", 1)
+        assert set(region.node_ids()) == {"n1", "n2", "n3"}
+        assert region.edge_count() == 2
+
+    def test_multi_source_matches_union(self):
+        graph = chain_graph(8)
+        union = nodes_within_hops(graph, "n0", 2) | nodes_within_hops(graph, "n7", 2)
+        assert multi_source_nodes_within_hops(graph, ["n0", "n7", "ghost"], 2) == union
+
+    def test_update_neighborhood(self):
+        graph = chain_graph(8)
+        delta = BatchUpdate().delete("n3", "n4", "next")
+        region = update_neighborhood(graph, delta, 1)
+        assert set(region.node_ids()) == {"n2", "n3", "n4", "n5"}
+
+    def test_undirected_distance(self):
+        graph = chain_graph(5)
+        assert undirected_distance(graph, "n0", "n4") == 4
+        assert undirected_distance(graph, "n0", "n0") == 0
+        graph.add_node("isolated", "n")
+        assert undirected_distance(graph, "n0", "isolated") == float("inf")
+
+
+class TestPartitioning:
+    @pytest.mark.parametrize("partitioner", [hash_edge_cut, bfs_edge_cut, greedy_vertex_cut])
+    def test_every_node_assigned(self, partitioner):
+        graph = random_labeled_graph(60, 150, num_labels=4, num_edge_labels=3, seed=5)
+        fragmentation = partitioner(graph, 4)
+        assigned = set()
+        for fragment in fragmentation.fragments:
+            assigned |= fragment.nodes
+        assert assigned == set(graph.node_ids())
+
+    @pytest.mark.parametrize("partitioner", [hash_edge_cut, bfs_edge_cut, greedy_vertex_cut])
+    def test_every_edge_assigned_once(self, partitioner):
+        graph = random_labeled_graph(60, 150, num_labels=4, num_edge_labels=3, seed=5)
+        fragmentation = partitioner(graph, 4)
+        total = sum(fragment.edge_count() for fragment in fragmentation.fragments)
+        assert total == graph.edge_count()
+
+    def test_balance_is_reasonable(self):
+        graph = random_labeled_graph(100, 200, num_labels=4, num_edge_labels=3, seed=6)
+        fragmentation = hash_edge_cut(graph, 5)
+        assert fragmentation.balance() < 1.6
+
+    def test_bfs_cut_beats_hash_cut_on_communities(self):
+        graph = community_graph(4, 20, intra_probability=0.2, inter_probability=0.002, seed=3)
+        bfs_fraction = bfs_edge_cut(graph, 4).edge_cut_fraction()
+        hash_fraction = hash_edge_cut(graph, 4).edge_cut_fraction()
+        assert bfs_fraction < hash_fraction
+
+    def test_owner_lookup_and_local_subgraph(self):
+        graph = random_labeled_graph(40, 80, num_labels=4, num_edge_labels=3, seed=7)
+        fragmentation = bfs_edge_cut(graph, 3)
+        some_node = next(iter(graph.node_ids()))
+        index = fragmentation.owner_of(some_node)
+        assert some_node in fragmentation.fragments[index].nodes
+        local = fragmentation.local_subgraph(index)
+        assert set(fragmentation.fragments[index].nodes) <= set(local.node_ids())
+
+    def test_invalid_fragment_count(self):
+        graph = random_labeled_graph(10, 10, seed=0)
+        with pytest.raises(PartitionError):
+            hash_edge_cut(graph, 0)
+
+
+class TestGenerators:
+    def test_random_graph_size(self):
+        graph = random_labeled_graph(200, 400, seed=1)
+        assert graph.node_count() == 200
+        assert graph.edge_count() == 400
+
+    def test_random_graph_deterministic(self):
+        a = random_labeled_graph(50, 100, seed=3)
+        b = random_labeled_graph(50, 100, seed=3)
+        assert a == b
+
+    def test_random_graph_rejects_bad_arguments(self):
+        with pytest.raises(GraphError):
+            random_labeled_graph(-1, 5)
+        with pytest.raises(GraphError):
+            random_labeled_graph(1, 5)
+
+    def test_power_law_graph_has_hubs(self):
+        graph = power_law_graph(300, edges_per_node=3, seed=2)
+        degrees = sorted((graph.degree(node) for node in graph.node_ids()), reverse=True)
+        assert degrees[0] > 3 * (sum(degrees) / len(degrees))
+
+    def test_star_and_chain(self):
+        star = star_graph(5)
+        assert star.degree("hub") == 5
+        chain = chain_graph(4)
+        assert chain.edge_count() == 3
+
+    def test_community_graph_attributes(self):
+        graph = community_graph(2, 10, seed=1)
+        assert graph.node_count() == 20
+        assert graph.node(0).attribute("community") == 0
+        assert graph.node(19).attribute("community") == 1
+
+
+class TestGraphIO:
+    def test_dict_roundtrip(self, triangle_graph):
+        document = graph_to_dict(triangle_graph)
+        restored = graph_from_dict(document)
+        assert restored == triangle_graph
+
+    def test_json_file_roundtrip(self, triangle_graph, tmp_path):
+        path = tmp_path / "graph.json"
+        save_graph(triangle_graph, path)
+        assert load_graph(path) == triangle_graph
+
+    def test_update_file_roundtrip(self, tmp_path):
+        batch = BatchUpdate()
+        batch.insert("a", "b", "e", target_payload=NodePayload("t", {"val": 3}))
+        batch.delete("c", "d", "e")
+        path = tmp_path / "delta.json"
+        save_update(batch, path)
+        restored = load_update(path)
+        assert len(restored) == 2
+        assert isinstance(list(restored)[0], EdgeInsertion)
+        assert isinstance(list(restored)[1], EdgeDeletion)
+
+    def test_edge_list_roundtrip(self, triangle_graph, tmp_path):
+        path = tmp_path / "graph.tsv"
+        write_edge_list(triangle_graph, path)
+        restored = read_edge_list(path)
+        assert restored.node_count() == triangle_graph.node_count()
+        assert restored.edge_count() == triangle_graph.edge_count()
+
+    def test_graph_from_dict_requires_keys(self):
+        with pytest.raises(GraphError):
+            graph_from_dict({"nodes": []})

@@ -1,0 +1,183 @@
+"""Unit tests for comparison literals, literal sets, and the text parser."""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+import pytest
+
+from repro.errors import ExpressionError, ParseError
+from repro.expr.expressions import const, var
+from repro.expr.literals import Comparison, Literal, LiteralSet
+from repro.expr.parser import parse_expression, parse_literal, parse_literal_set
+
+
+class TestComparison:
+    def test_holds(self):
+        assert Comparison.LE.holds(3, 3)
+        assert Comparison.LT.holds(2, 3)
+        assert not Comparison.GT.holds(2, 3)
+        assert Comparison.NE.holds("a", "b")
+
+    def test_negate_is_involution(self):
+        for predicate in Comparison:
+            assert predicate.negate().negate() is predicate
+
+    def test_negate_pairs(self):
+        assert Comparison.EQ.negate() is Comparison.NE
+        assert Comparison.LT.negate() is Comparison.GE
+        assert Comparison.LE.negate() is Comparison.GT
+
+    def test_flip(self):
+        assert Comparison.LT.flip() is Comparison.GT
+        assert Comparison.EQ.flip() is Comparison.EQ
+
+    def test_from_symbol_aliases(self):
+        assert Comparison.from_symbol("==") is Comparison.EQ
+        assert Comparison.from_symbol("≠") is Comparison.NE
+        assert Comparison.from_symbol("<=") is Comparison.LE
+        with pytest.raises(ExpressionError):
+            Comparison.from_symbol("~")
+
+
+class TestLiteral:
+    def test_build_and_evaluate(self):
+        literal = Literal.build("x.val", "<", 10)
+        assert literal.evaluate({("x", "val"): 5})
+        assert not literal.evaluate({("x", "val"): 15})
+
+    def test_holds_for_missing_attribute_is_false(self):
+        literal = Literal.build("x.val", "<", 10)
+        assert not literal.holds_for({})
+
+    def test_holds_for_type_mismatch_is_false(self):
+        literal = Literal.build("x.val", "<", 10)
+        assert not literal.holds_for({("x", "val"): "dirty-string"})
+
+    def test_gfd_fragment_detection(self):
+        assert Literal.build("x.val", "=", 5).is_gfd_literal()
+        assert Literal.build("x.val", "=", "y.val").is_gfd_literal()
+        assert not Literal.build("x.val", "<", 5).is_gfd_literal()
+        assert not Literal(var("x") + var("y"), Comparison.EQ, const(1)).is_gfd_literal()
+
+    def test_negated(self):
+        literal = Literal.build("x.val", "<", 10)
+        assert literal.negated().comparison is Comparison.GE
+
+    def test_variables_and_degree(self):
+        literal = Literal(var("x") + var("y", "rank"), Comparison.GT, const(3))
+        assert literal.pattern_variables() == frozenset({"x", "y"})
+        assert literal.degree() == 1
+        assert literal.is_linear()
+
+    def test_to_linear_constraint_normalises_direction(self):
+        literal = Literal(var("x"), Comparison.GE, var("y") + 2)
+        constraint = literal.to_linear_constraint()
+        # x >= y + 2  becomes  -x + y <= -2
+        coefficients = dict(constraint.coefficients)
+        assert coefficients[("x", "val")] == -1
+        assert coefficients[("y", "val")] == 1
+        assert constraint.comparison is Comparison.LE
+        assert constraint.bound == Fraction(-2)
+
+    def test_to_linear_constraint_rejects_nonlinear(self):
+        literal = Literal(var("x") * var("y"), Comparison.EQ, const(0))
+        with pytest.raises(ExpressionError):
+            literal.to_linear_constraint()
+
+
+class TestLiteralSet:
+    def test_empty_set_is_trivially_true(self):
+        literals = LiteralSet()
+        assert not literals
+        assert literals.satisfied_by({})
+        assert str(literals) == "∅"
+
+    def test_conjunction_semantics(self):
+        literals = LiteralSet.of(Literal.build("x.val", ">", 0), Literal.build("x.val", "<", 10))
+        assert literals.satisfied_by({("x", "val"): 5})
+        assert not literals.satisfied_by({("x", "val"): 50})
+
+    def test_missing_attribute_fails_conjunction(self):
+        literals = LiteralSet.of(Literal.build("x.val", ">", 0))
+        assert not literals.satisfied_by({})
+
+    def test_variables_union(self):
+        literals = LiteralSet.of(Literal.build("x.a", "=", 1), Literal.build("y.b", "=", 2))
+        assert literals.pattern_variables() == frozenset({"x", "y"})
+
+    def test_restricted_to(self):
+        literals = LiteralSet.of(Literal.build("x.a", "=", 1), Literal.build("y.b", "=", 2))
+        restricted = literals.restricted_to(frozenset({"x"}))
+        assert len(restricted) == 1
+
+    def test_add_returns_new_set(self):
+        literals = LiteralSet()
+        extended = literals.add(Literal.build("x.a", "=", 1))
+        assert len(literals) == 0
+        assert len(extended) == 1
+
+
+class TestParser:
+    def test_parse_expression_precedence(self):
+        expression = parse_expression("1 + 2 * x.val")
+        assert expression.evaluate({("x", "val"): 3}) == 7
+
+    def test_parse_parentheses(self):
+        expression = parse_expression("(1 + 2) * x.val")
+        assert expression.evaluate({("x", "val"): 3}) == 9
+
+    def test_parse_absolute_value(self):
+        expression = parse_expression("|x.val - y.val|")
+        assert expression.evaluate({("x", "val"): 1, ("y", "val"): 5}) == 4
+
+    def test_parse_unary_minus(self):
+        expression = parse_expression("-x.val + 10")
+        assert expression.evaluate({("x", "val"): 4}) == 6
+
+    def test_parse_decimal_number(self):
+        expression = parse_expression("x.val * 1.5")
+        assert expression.evaluate({("x", "val"): 2}) == 3.0
+
+    def test_parse_literal(self):
+        literal = parse_literal("x.val + 3 <= y.val")
+        assert literal.comparison is Comparison.LE
+        assert literal.evaluate({("x", "val"): 1, ("y", "val"): 4})
+
+    def test_parse_literal_set(self):
+        literals = parse_literal_set("x.val = 1, y.val > 2")
+        assert len(literals) == 2
+
+    def test_parse_empty_literal_set(self):
+        assert len(parse_literal_set("")) == 0
+        assert len(parse_literal_set("∅")) == 0
+
+    def test_parse_roundtrip_through_str(self):
+        literal = parse_literal("2 * x.val - y.val >= 7")
+        reparsed = parse_literal(str(literal).replace("(", "").replace(")", ""))
+        assert reparsed.comparison is literal.comparison
+
+    def test_bare_identifier_rejected(self):
+        with pytest.raises(ParseError):
+            parse_expression("x + 1")
+
+    def test_unknown_character_rejected(self):
+        with pytest.raises(ParseError):
+            parse_expression("x.val @ 3")
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(ParseError):
+            parse_literal("x.val = 1 y.val")
+
+    def test_missing_comparison_rejected(self):
+        with pytest.raises(ParseError):
+            parse_literal("x.val + 1")
+
+    def test_unbalanced_parenthesis_rejected(self):
+        with pytest.raises(ParseError):
+            parse_expression("(x.val + 1")
+
+    def test_error_carries_position(self):
+        with pytest.raises(ParseError) as excinfo:
+            parse_expression("x.val + $")
+        assert excinfo.value.position == 8

@@ -1,0 +1,71 @@
+"""Tests for the thread-pool-based detectors (real parallelism, identical answers)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.validation import find_violations
+from repro.core.violations import ViolationDelta
+from repro.datasets.kb import KBConfig, knowledge_graph
+from repro.datasets.rules import benchmark_rules
+from repro.detect import dect, inc_dect
+from repro.detect.parallel import threaded_dect, threaded_inc_dect
+from repro.graph.updates import BatchUpdate, UpdateGenerator, apply_update
+
+
+@pytest.fixture(scope="module")
+def threaded_graph():
+    config = KBConfig(
+        name="threaded-kb",
+        num_entities=100,
+        num_entity_types=4,
+        num_value_relations=4,
+        num_link_relations=3,
+        values_per_entity=3,
+        links_per_entity=1.5,
+        error_rate=0.1,
+        seed=23,
+    )
+    return knowledge_graph(config)
+
+
+@pytest.fixture(scope="module")
+def threaded_rules(threaded_graph):
+    return benchmark_rules(threaded_graph, count=10, max_diameter=4, seed=4)
+
+
+class TestThreadedDect:
+    @pytest.mark.parametrize("workers", [1, 2, 4])
+    def test_matches_sequential_batch(self, threaded_graph, threaded_rules, workers):
+        expected = dect(threaded_graph, threaded_rules).violations
+        result = threaded_dect(threaded_graph, threaded_rules, max_workers=workers)
+        assert result.violations == expected
+        assert result.algorithm == "ThreadedDect"
+        assert result.processors == workers
+
+    def test_stats_are_accumulated(self, threaded_graph, threaded_rules):
+        result = threaded_dect(threaded_graph, threaded_rules, max_workers=3)
+        assert result.stats.total_operations() > 0
+        assert result.cost > 0
+
+
+class TestThreadedIncDect:
+    @pytest.mark.parametrize("workers", [1, 2, 4])
+    def test_matches_sequential_incremental(self, threaded_graph, threaded_rules, workers):
+        delta = UpdateGenerator(seed=31).generate(threaded_graph, 60, insert_ratio=0.5)
+        expected = inc_dect(threaded_graph, threaded_rules, delta).delta
+        result = threaded_inc_dect(threaded_graph, threaded_rules, delta, max_workers=workers)
+        assert result.delta == expected
+
+    def test_matches_ground_truth_recomputation(self, threaded_graph, threaded_rules):
+        delta = UpdateGenerator(seed=37).generate(threaded_graph, 40, insert_ratio=0.5)
+        updated = apply_update(threaded_graph, delta)
+        truth = ViolationDelta.from_sets(
+            find_violations(threaded_graph, threaded_rules), find_violations(updated, threaded_rules)
+        )
+        result = threaded_inc_dect(threaded_graph, threaded_rules, delta, max_workers=4, graph_after=updated)
+        assert result.delta == truth
+
+    def test_empty_update(self, threaded_graph, threaded_rules):
+        result = threaded_inc_dect(threaded_graph, threaded_rules, BatchUpdate(), max_workers=2)
+        assert result.delta.is_empty()
