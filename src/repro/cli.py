@@ -19,6 +19,7 @@ from collections.abc import Sequence
 from repro.core.builtin_rules import effectiveness_rules, example_rules
 from repro.detect import dect, inc_dect, pinc_dect
 from repro.graph.io import load_graph, load_update
+from repro.graph.store import STORE_REGISTRY, default_store_name
 
 __all__ = ["main"]
 
@@ -34,13 +35,23 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument("--update", help="path to a batch-update JSON file; enables incremental mode")
     parser.add_argument("--processors", type=int, default=1, help="simulated processors (>1 uses PIncDect)")
+    parser.add_argument(
+        "--store",
+        choices=sorted(STORE_REGISTRY),
+        default=None,
+        help=(
+            "graph storage backend (default: $REPRO_GRAPH_STORE or "
+            f"{default_store_name()!r}); 'dict' is the reference engine, "
+            "'indexed' the label-indexed optimized one"
+        ),
+    )
     return parser
 
 
 def main(argv: Sequence[str] | None = None) -> int:
     """Run the CLI; returns a process exit code."""
     args = _build_parser().parse_args(argv)
-    graph = load_graph(args.graph)
+    graph = load_graph(args.graph, store=args.store)
     rules = example_rules() if args.rules == "example" else effectiveness_rules()
 
     if args.update:

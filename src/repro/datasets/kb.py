@@ -28,6 +28,7 @@ import random
 from dataclasses import dataclass
 
 from repro.graph.graph import Graph
+from repro.graph.store import GraphStore
 
 __all__ = ["KBConfig", "knowledge_graph", "dbpedia_like", "yago_like", "pokec_like"]
 
@@ -64,7 +65,7 @@ class KBConfig:
         return KBConfig(**data)  # type: ignore[arg-type]
 
 
-def knowledge_graph(config: KBConfig) -> Graph:
+def knowledge_graph(config: KBConfig, store: str | GraphStore | None = None) -> Graph:
     """Generate a typed knowledge graph with planted numeric inconsistencies.
 
     Every entity of type ``type_t`` carries ``values_per_entity`` numeric
@@ -76,7 +77,7 @@ def knowledge_graph(config: KBConfig) -> Graph:
     the detectors should find.
     """
     rng = random.Random(config.seed)
-    graph = Graph(config.name)
+    graph = Graph(config.name, store=store)
     entity_ids = []
     for index in range(config.num_entities):
         entity_type = f"type_{index % config.num_entity_types}"

@@ -15,6 +15,7 @@ from __future__ import annotations
 from repro.datasets.kb import KBConfig, knowledge_graph
 from repro.graph.generators import random_labeled_graph
 from repro.graph.graph import Graph
+from repro.graph.store import GraphStore
 
 __all__ = ["synthetic_graph", "SYNTHETIC_SIZES"]
 
@@ -37,13 +38,15 @@ def synthetic_graph(
     error_rate: float = 0.02,
     seed: int = 0,
     name: str = "Synthetic",
+    store: str | GraphStore | None = None,
 ) -> Graph:
     """Return a synthetic graph of roughly ``num_nodes`` nodes and ``num_edges`` edges.
 
     ``structured_fraction`` of the nodes belong to the knowledge-graph motif
     (typed entities + value nodes + planted errors); the rest are uniform
     random labelled nodes and edges, mirroring the unconstrained synthetic
-    generator of the paper.
+    generator of the paper.  ``store`` selects the storage backend, letting
+    the storage benchmarks build byte-identical graphs on every engine.
     """
     structured_entities = max(5, int(num_nodes * structured_fraction / 4))
     config = KBConfig(
@@ -58,7 +61,7 @@ def synthetic_graph(
         error_rate=error_rate,
         seed=seed,
     )
-    graph = knowledge_graph(config)
+    graph = knowledge_graph(config, store=store)
 
     background_nodes = max(0, num_nodes - graph.node_count())
     background_edges = max(0, num_edges - graph.edge_count())

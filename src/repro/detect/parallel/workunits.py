@@ -162,16 +162,14 @@ def expand_work_unit(
     else:
         anchor_node = partial[anchor]
         filtering_adjacency = graph.adjacency_size(anchor_node)
+        # label-filtered adjacency: the store serves exactly the neighbours
+        # reachable over the pattern edge's label (O(result) on IndexedStore)
         for edge in pattern.out_edges(anchor):
             if edge.target == next_variable:
-                candidates.update(
-                    target for target, label in graph.successors(anchor_node) if label == edge.label
-                )
+                candidates.update(graph.successors_by_label(anchor_node, edge.label))
         for edge in pattern.in_edges(anchor):
             if edge.source == next_variable:
-                candidates.update(
-                    source for source, label in graph.predecessors(anchor_node) if label == edge.label
-                )
+                candidates.update(graph.predecessors_by_label(anchor_node, edge.label))
 
     stats.candidates_examined += len(candidates)
     new_units: list[WorkUnit] = []
@@ -179,7 +177,7 @@ def expand_work_unit(
     verification_adjacency = 0
     pattern_node = pattern.node(next_variable)
 
-    for candidate in sorted(candidates, key=repr):
+    for candidate in sorted(candidates, key=graph.node_rank):
         if not pattern_node.matches_label(graph.node(candidate).label):
             continue
         if (

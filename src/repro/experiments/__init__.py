@@ -12,6 +12,7 @@ from repro.experiments.runner import (
     run_exp4_vary_latency,
     run_exp4_vary_processors,
     run_exp5_effectiveness,
+    run_storage_backend_comparison,
 )
 
 __all__ = [
@@ -30,5 +31,6 @@ __all__ = [
     "run_exp4_vary_latency",
     "run_exp4_vary_processors",
     "run_exp5_effectiveness",
+    "run_storage_backend_comparison",
     "speedup_summary",
 ]

@@ -16,6 +16,14 @@ from repro.graph.partition import (
     hash_edge_cut,
 )
 from repro.graph.pattern import Pattern, PatternEdge, PatternNode
+from repro.graph.store import (
+    STORE_REGISTRY,
+    DictStore,
+    GraphStore,
+    IndexedStore,
+    default_store_name,
+    make_store,
+)
 from repro.graph.updates import (
     BatchUpdate,
     EdgeDeletion,
@@ -49,4 +57,10 @@ __all__ = [
     "bfs_edge_cut",
     "greedy_vertex_cut",
     "hash_edge_cut",
+    "STORE_REGISTRY",
+    "DictStore",
+    "GraphStore",
+    "IndexedStore",
+    "default_store_name",
+    "make_store",
 ]

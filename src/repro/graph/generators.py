@@ -25,6 +25,7 @@ from typing import Optional
 
 from repro.errors import GraphError
 from repro.graph.graph import Graph
+from repro.graph.store import GraphStore
 
 __all__ = [
     "random_labeled_graph",
@@ -56,6 +57,7 @@ def random_labeled_graph(
     numeric_attributes: Sequence[str] = DEFAULT_NUMERIC_ATTRIBUTES,
     seed: int = 0,
     name: str = "Synthetic",
+    store: str | GraphStore | None = None,
 ) -> Graph:
     """Return a uniform random directed graph with labelled nodes and edges.
 
@@ -71,7 +73,7 @@ def random_labeled_graph(
     rng = random.Random(seed)
     labels = _label_alphabet(num_labels)
     edge_labels = _edge_alphabet(num_edge_labels)
-    graph = Graph(name)
+    graph = Graph(name, store=store)
     for i in range(num_nodes):
         attributes = {attr: rng.randrange(value_pool) for attr in numeric_attributes}
         graph.add_node(i, rng.choice(labels), attributes)
@@ -104,6 +106,7 @@ def power_law_graph(
     numeric_attributes: Sequence[str] = DEFAULT_NUMERIC_ATTRIBUTES,
     seed: int = 0,
     name: str = "PowerLaw",
+    store: str | GraphStore | None = None,
 ) -> Graph:
     """Return a preferential-attachment graph with a heavy-tailed degree distribution.
 
@@ -117,7 +120,7 @@ def power_law_graph(
     rng = random.Random(seed)
     labels = _label_alphabet(num_labels)
     edge_labels = _edge_alphabet(num_edge_labels)
-    graph = Graph(name)
+    graph = Graph(name, store=store)
     attachment_pool: list[int] = []
     for i in range(num_nodes):
         attributes = {attr: rng.randrange(value_pool) for attr in numeric_attributes}
@@ -145,6 +148,7 @@ def community_graph(
     numeric_attributes: Sequence[str] = DEFAULT_NUMERIC_ATTRIBUTES,
     seed: int = 0,
     name: str = "Community",
+    store: str | GraphStore | None = None,
 ) -> Graph:
     """Return a planted-partition graph: dense communities, sparse cross links.
 
@@ -159,7 +163,7 @@ def community_graph(
     rng = random.Random(seed)
     labels = _label_alphabet(num_labels)
     edge_labels = _edge_alphabet(num_edge_labels)
-    graph = Graph(name)
+    graph = Graph(name, store=store)
     total = num_communities * community_size
     for i in range(total):
         community = i // community_size

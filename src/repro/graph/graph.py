@@ -8,104 +8,82 @@ The paper (Section 2) works with directed graphs ``G = (V, E, L, F_A)``:
 * ``F_A`` — for each node, a tuple of attribute/value pairs carrying the
   node's content (numbers, strings, dates).
 
-:class:`Graph` implements this model with the indexes the detection
+:class:`Graph` is a *facade*: it owns the semantics of the model (duplicate
+and missing-node errors, wildcard labels, subgraph construction) and
+delegates the physical layout to a pluggable storage engine
+(:mod:`repro.graph.store`).  The engine provides the indexes the detection
 algorithms need:
 
-* forward and reverse adjacency lists (``successors`` / ``predecessors``);
+* forward and reverse adjacency (``successors`` / ``predecessors``), plus
+  the label-filtered forms (``successors_by_label`` and friends) the
+  matchers use so candidate filtering costs O(result), not O(degree);
 * a label index over nodes (``nodes_with_label``) used for candidate
   selection in pattern matching;
 * an edge-label index keyed by ``(source_label, edge_label, target_label)``
-  triples used by update-driven matching to locate update pivots quickly.
+  triples used by update-driven matching to locate update pivots quickly;
+* a deterministic insertion-order rank (``node_rank``) giving the matchers
+  a cheap, stable candidate ordering.
+
+Pick an engine with ``Graph(store="dict")`` / ``Graph(store="indexed")`` or
+the ``REPRO_GRAPH_STORE`` environment variable (default: ``indexed``).
 
 Unlike the formal model, parallel edges with *different labels* between the
 same pair of nodes are allowed (real knowledge graphs have them); a second
 edge with the same label is a no-op.  Node attribute values may be integers,
 floats, or strings — literals only ever see the numeric ones.
+
+Adjacency and label reads may return live zero-copy views (depending on the
+engine): do not mutate the graph while iterating one.
 """
 
 from __future__ import annotations
 
 from collections.abc import Hashable, Iterable, Iterator, Mapping
-from dataclasses import dataclass, field
-from typing import Optional
+from typing import Optional, Union
 
-from repro.errors import DuplicateNode, EdgeNotFound, GraphError, NodeNotFound
+from repro.errors import DuplicateNode, EdgeNotFound, NodeNotFound
+from repro.graph.model import WILDCARD, Edge, Node
+from repro.graph.store import GraphStore, make_store
 
 __all__ = ["Node", "Edge", "Graph", "WILDCARD"]
 
-#: Label that matches any node label during pattern matching.
-WILDCARD = "_"
-
-
-@dataclass(frozen=True)
-class Node:
-    """A graph node: an id, a label, and an attribute tuple.
-
-    Nodes are immutable value objects; updating an attribute goes through
-    :meth:`Graph.set_attribute`, which replaces the stored node.
-    """
-
-    id: Hashable
-    label: str
-    attributes: Mapping[str, object] = field(default_factory=dict)
-
-    def attribute(self, name: str, default: object = None) -> object:
-        """Return attribute ``name`` or ``default`` when absent."""
-        return self.attributes.get(name, default)
-
-    def has_attribute(self, name: str) -> bool:
-        """Return True when the node carries attribute ``name``."""
-        return name in self.attributes
-
-    def with_attribute(self, name: str, value: object) -> "Node":
-        """Return a copy of this node with attribute ``name`` set to ``value``."""
-        new_attrs = dict(self.attributes)
-        new_attrs[name] = value
-        return Node(self.id, self.label, new_attrs)
-
-    def __repr__(self) -> str:  # pragma: no cover - debugging helper
-        return f"Node({self.id!r}, {self.label!r}, {dict(self.attributes)!r})"
-
-
-@dataclass(frozen=True)
-class Edge:
-    """A directed labelled edge ``source --label--> target``."""
-
-    source: Hashable
-    target: Hashable
-    label: str
-
-    def key(self) -> tuple[Hashable, Hashable, str]:
-        """Return the canonical dictionary key for this edge."""
-        return (self.source, self.target, self.label)
-
-    def endpoints(self) -> tuple[Hashable, Hashable]:
-        """Return ``(source, target)``."""
-        return (self.source, self.target)
-
-    def __repr__(self) -> str:  # pragma: no cover - debugging helper
-        return f"Edge({self.source!r} -[{self.label}]-> {self.target!r})"
-
 
 class Graph:
-    """A directed property graph with label and adjacency indexes.
+    """A directed property graph over a pluggable storage engine.
 
-    The class is deliberately simple and explicit: plain dictionaries and
-    sets, no clever metaprogramming, so behaviour is easy to audit.  All
-    mutating operations keep the indexes consistent.
+    All mutating operations keep the engine's indexes consistent; the facade
+    itself holds no graph state beyond the engine and the name.
     """
 
-    def __init__(self, name: str = "G") -> None:
+    __slots__ = ("name", "_store")
+
+    def __init__(self, name: str = "G", store: Union[str, GraphStore, None] = None) -> None:
         self.name = name
-        self._nodes: dict[Hashable, Node] = {}
-        self._edges: dict[tuple[Hashable, Hashable, str], Edge] = {}
-        # adjacency: node id -> set of (neighbour id, edge label)
-        self._out: dict[Hashable, set[tuple[Hashable, str]]] = {}
-        self._in: dict[Hashable, set[tuple[Hashable, str]]] = {}
-        # label index: node label -> set of node ids
-        self._label_index: dict[str, set[Hashable]] = {}
-        # edge signature index: (source label, edge label, target label) -> set of edge keys
-        self._edge_signature_index: dict[tuple[str, str, str], set[tuple[Hashable, Hashable, str]]] = {}
+        self._store = make_store(store)
+
+    # ------------------------------------------------------------------ store
+
+    @property
+    def store(self) -> GraphStore:
+        """Return the backing storage engine."""
+        return self._store
+
+    @property
+    def store_backend(self) -> str:
+        """Return the registry name of the backing engine (e.g. ``"indexed"``)."""
+        return self._store.backend
+
+    def with_backend(self, store: Union[str, GraphStore], name: Optional[str] = None) -> "Graph":
+        """Return a copy of this graph rebuilt on another storage engine.
+
+        Used by the storage benchmarks to compare engines on identical data.
+        """
+        converted = Graph(name or self.name, store=store)
+        for node in self._store.nodes():
+            converted._store.add_node(node)
+        for edge in self._store.edges():
+            converted._store.add_edge(edge)
+        return converted
 
     # ------------------------------------------------------------------ nodes
 
@@ -120,75 +98,75 @@ class Graph:
         Re-adding an identical node is a no-op; re-adding with a different
         label or attributes raises :class:`DuplicateNode`.
         """
-        node = Node(node_id, label, dict(attributes or {}))
-        existing = self._nodes.get(node_id)
+        existing = self._store.get_node(node_id)
         if existing is not None:
-            if existing.label == node.label and dict(existing.attributes) == dict(node.attributes):
+            if existing.label == label and dict(existing.attributes) == dict(attributes or {}):
                 return existing
             raise DuplicateNode(node_id)
-        self._nodes[node_id] = node
-        self._out.setdefault(node_id, set())
-        self._in.setdefault(node_id, set())
-        self._label_index.setdefault(label, set()).add(node_id)
-        return node
+        node = Node(node_id, label, dict(attributes or {}))
+        self._store.add_node(node)
+        return self._store.get_node(node_id)  # engines may intern the label
 
     def ensure_node(self, node_id: Hashable, label: str = WILDCARD) -> Node:
         """Return the node, creating it with ``label`` and no attributes if missing."""
-        if node_id in self._nodes:
-            return self._nodes[node_id]
+        existing = self._store.get_node(node_id)
+        if existing is not None:
+            return existing
         return self.add_node(node_id, label)
 
     def node(self, node_id: Hashable) -> Node:
         """Return the node with id ``node_id`` or raise :class:`NodeNotFound`."""
-        try:
-            return self._nodes[node_id]
-        except KeyError:
-            raise NodeNotFound(node_id) from None
+        node = self._store.get_node(node_id)
+        if node is None:
+            raise NodeNotFound(node_id)
+        return node
 
     def has_node(self, node_id: Hashable) -> bool:
         """Return True when ``node_id`` is in the graph."""
-        return node_id in self._nodes
+        return self._store.has_node(node_id)
 
     def nodes(self) -> Iterator[Node]:
-        """Iterate over all nodes."""
-        return iter(self._nodes.values())
+        """Iterate over all nodes in insertion order."""
+        return self._store.nodes()
 
     def node_ids(self) -> Iterator[Hashable]:
-        """Iterate over all node ids."""
-        return iter(self._nodes.keys())
+        """Iterate over all node ids in insertion order."""
+        return self._store.node_ids()
 
-    def nodes_with_label(self, label: str) -> frozenset[Hashable]:
-        """Return the ids of all nodes carrying ``label``.
+    def node_rank(self, node_id: Hashable) -> int:
+        """Return the node's deterministic insertion-order rank.
+
+        ``sorted(ids, key=graph.node_rank)`` reproduces insertion order with
+        an O(1) key; the matchers use it for stable candidate enumeration.
+        """
+        return self._store.node_rank(node_id)
+
+    def nodes_with_label(self, label: str):
+        """Return the ids of all nodes carrying ``label`` (read-only set).
 
         The wildcard label returns every node id, matching the pattern
-        semantics of Section 2 (wildcard matches any label).
+        semantics of Section 2 (wildcard matches any label).  Depending on
+        the engine the result may be a live zero-copy view.
         """
         if label == WILDCARD:
-            return frozenset(self._nodes.keys())
-        return frozenset(self._label_index.get(label, frozenset()))
+            return self._store.all_node_ids()
+        return self._store.nodes_with_label(label)
 
     def set_attribute(self, node_id: Hashable, name: str, value: object) -> Node:
         """Set attribute ``name`` of node ``node_id`` to ``value`` and return the new node."""
-        node = self.node(node_id)
-        updated = node.with_attribute(name, value)
-        self._nodes[node_id] = updated
+        updated = self.node(node_id).with_attribute(name, value)
+        self._store.replace_node(updated)
         return updated
 
     def remove_node(self, node_id: Hashable) -> None:
         """Remove a node and all edges incident to it."""
-        node = self.node(node_id)
-        for neighbour, label in list(self._out.get(node_id, ())):
-            self.remove_edge(node_id, neighbour, label)
-        for neighbour, label in list(self._in.get(node_id, ())):
-            self.remove_edge(neighbour, node_id, label)
-        del self._nodes[node_id]
-        self._out.pop(node_id, None)
-        self._in.pop(node_id, None)
-        bucket = self._label_index.get(node.label)
-        if bucket is not None:
-            bucket.discard(node_id)
-            if not bucket:
-                del self._label_index[node.label]
+        if not self._store.has_node(node_id):
+            raise NodeNotFound(node_id)
+        for neighbour, label in list(self._store.successors(node_id)):
+            self._store.remove_edge((node_id, neighbour, label))
+        for neighbour, label in list(self._store.predecessors(node_id)):
+            self._store.remove_edge((neighbour, node_id, label))
+        self._store.remove_node(node_id)
 
     # ------------------------------------------------------------------ edges
 
@@ -198,28 +176,23 @@ class Graph:
         Adding an edge that is already present is a no-op and returns the
         existing edge object.
         """
-        if source not in self._nodes:
+        if not self._store.has_node(source):
             raise NodeNotFound(source)
-        if target not in self._nodes:
+        if not self._store.has_node(target):
             raise NodeNotFound(target)
         key = (source, target, label)
-        existing = self._edges.get(key)
+        existing = self._store.get_edge(key)
         if existing is not None:
             return existing
-        edge = Edge(source, target, label)
-        self._edges[key] = edge
-        self._out[source].add((target, label))
-        self._in[target].add((source, label))
-        signature = (self._nodes[source].label, label, self._nodes[target].label)
-        self._edge_signature_index.setdefault(signature, set()).add(key)
-        return edge
+        self._store.add_edge(Edge(source, target, label))
+        return self._store.get_edge(key)
 
     def edge(self, source: Hashable, target: Hashable, label: str) -> Edge:
         """Return the edge or raise :class:`EdgeNotFound`."""
-        try:
-            return self._edges[(source, target, label)]
-        except KeyError:
-            raise EdgeNotFound(source, target, label) from None
+        found = self._store.get_edge((source, target, label))
+        if found is None:
+            raise EdgeNotFound(source, target, label)
+        return found
 
     def has_edge(self, source: Hashable, target: Hashable, label: Optional[str] = None) -> bool:
         """Return True when an edge from ``source`` to ``target`` exists.
@@ -227,12 +200,12 @@ class Graph:
         When ``label`` is None, any label counts.
         """
         if label is not None:
-            return (source, target, label) in self._edges
-        return any(nbr == target for nbr, _ in self._out.get(source, ()))
+            return self._store.has_edge_key((source, target, label))
+        return self._store.has_any_edge(source, target)
 
     def edges(self) -> Iterator[Edge]:
-        """Iterate over all edges."""
-        return iter(self._edges.values())
+        """Iterate over all edges in insertion order."""
+        return self._store.edges()
 
     def edges_with_signature(self, source_label: str, edge_label: str, target_label: str) -> list[Edge]:
         """Return edges whose endpoint labels and edge label match the signature.
@@ -241,61 +214,82 @@ class Graph:
         Used by update-driven matching to find update pivots.
         """
         if source_label != WILDCARD and target_label != WILDCARD:
-            keys = self._edge_signature_index.get((source_label, edge_label, target_label), ())
-            return [self._edges[key] for key in keys]
-        matches = []
-        for (s_label, e_label, t_label), keys in self._edge_signature_index.items():
+            return self._store.edges_with_exact_signature((source_label, edge_label, target_label))
+        matches: list[Edge] = []
+        for (s_label, e_label, t_label), edges in self._store.signature_items():
             if e_label != edge_label:
                 continue
             if source_label != WILDCARD and s_label != source_label:
                 continue
             if target_label != WILDCARD and t_label != target_label:
                 continue
-            matches.extend(self._edges[key] for key in keys)
+            matches.extend(edges)
         return matches
 
     def remove_edge(self, source: Hashable, target: Hashable, label: str) -> None:
         """Remove an edge; raises :class:`EdgeNotFound` when absent."""
         key = (source, target, label)
-        if key not in self._edges:
+        if not self._store.has_edge_key(key):
             raise EdgeNotFound(source, target, label)
-        del self._edges[key]
-        self._out[source].discard((target, label))
-        self._in[target].discard((source, label))
-        signature = (self._nodes[source].label, label, self._nodes[target].label)
-        bucket = self._edge_signature_index.get(signature)
-        if bucket is not None:
-            bucket.discard(key)
-            if not bucket:
-                del self._edge_signature_index[signature]
+        self._store.remove_edge(key)
 
     # -------------------------------------------------------------- adjacency
 
-    def successors(self, node_id: Hashable) -> frozenset[tuple[Hashable, str]]:
-        """Return the set of ``(target id, edge label)`` pairs leaving ``node_id``."""
-        if node_id not in self._nodes:
+    def successors(self, node_id: Hashable):
+        """Return the ``(target id, edge label)`` pairs leaving ``node_id`` (read-only set)."""
+        if not self._store.has_node(node_id):
             raise NodeNotFound(node_id)
-        return frozenset(self._out[node_id])
+        return self._store.successors(node_id)
 
-    def predecessors(self, node_id: Hashable) -> frozenset[tuple[Hashable, str]]:
-        """Return the set of ``(source id, edge label)`` pairs entering ``node_id``."""
-        if node_id not in self._nodes:
+    def predecessors(self, node_id: Hashable):
+        """Return the ``(source id, edge label)`` pairs entering ``node_id`` (read-only set)."""
+        if not self._store.has_node(node_id):
             raise NodeNotFound(node_id)
-        return frozenset(self._in[node_id])
+        return self._store.predecessors(node_id)
+
+    def successors_by_label(self, node_id: Hashable, edge_label: str):
+        """Return the target ids reachable from ``node_id`` over ``edge_label`` edges.
+
+        The label-filtered access path of the matchers: on the indexed engine
+        this is an O(result) index probe with no copying.
+        """
+        if not self._store.has_node(node_id):
+            raise NodeNotFound(node_id)
+        return self._store.successors_by_label(node_id, edge_label)
+
+    def predecessors_by_label(self, node_id: Hashable, edge_label: str):
+        """Return the source ids reaching ``node_id`` over ``edge_label`` edges."""
+        if not self._store.has_node(node_id):
+            raise NodeNotFound(node_id)
+        return self._store.predecessors_by_label(node_id, edge_label)
+
+    def out_edge_labels(self, node_id: Hashable):
+        """Return the set of edge labels leaving ``node_id`` (read-only set).
+
+        Used by candidate filtering for the degree-signature check without
+        materializing the adjacency list.
+        """
+        if not self._store.has_node(node_id):
+            raise NodeNotFound(node_id)
+        return self._store.out_edge_labels(node_id)
+
+    def in_edge_labels(self, node_id: Hashable):
+        """Return the set of edge labels entering ``node_id`` (read-only set)."""
+        if not self._store.has_node(node_id):
+            raise NodeNotFound(node_id)
+        return self._store.in_edge_labels(node_id)
 
     def neighbours(self, node_id: Hashable) -> frozenset[Hashable]:
         """Return ids adjacent to ``node_id`` ignoring direction and labels."""
-        if node_id not in self._nodes:
+        if not self._store.has_node(node_id):
             raise NodeNotFound(node_id)
-        out_ids = {nbr for nbr, _ in self._out[node_id]}
-        in_ids = {nbr for nbr, _ in self._in[node_id]}
-        return frozenset(out_ids | in_ids)
+        return self._store.neighbour_ids(node_id)
 
     def degree(self, node_id: Hashable) -> int:
         """Return the total (in + out) degree of ``node_id``."""
-        if node_id not in self._nodes:
+        if not self._store.has_node(node_id):
             raise NodeNotFound(node_id)
-        return len(self._out[node_id]) + len(self._in[node_id])
+        return self._store.out_degree(node_id) + self._store.in_degree(node_id)
 
     def adjacency_size(self, node_id: Hashable) -> int:
         """Alias of :meth:`degree`; the cost model of PIncDect uses |v.adj|."""
@@ -308,84 +302,89 @@ class Graph:
 
         The result contains exactly the requested nodes (with their labels and
         attributes) and every edge of this graph whose endpoints both fall in
-        the requested set.
+        the requested set.  Built from the adjacency of the wanted nodes —
+        O(sum of their degrees) — rather than scanning all of E, so extracting
+        a d-neighbourhood of a large sparse graph costs only the neighbourhood.
+        The result uses the same storage backend as this graph.
         """
         wanted = set(node_ids)
-        missing = wanted - self._nodes.keys()
+        store = self._store
+        missing = [node_id for node_id in wanted if not store.has_node(node_id)]
         if missing:
             raise NodeNotFound(sorted(missing, key=repr)[0])
-        sub = Graph(name or f"{self.name}[induced]")
-        for node_id in wanted:
-            node = self._nodes[node_id]
-            sub.add_node(node.id, node.label, node.attributes)
-        for edge in self._edges.values():
-            if edge.source in wanted and edge.target in wanted:
-                sub.add_edge(edge.source, edge.target, edge.label)
+        sub = Graph(name or f"{self.name}[induced]", store=store.fresh())
+        sub_store = sub._store
+        # Node/Edge are immutable value objects, so the subgraph shares them
+        # with this graph instead of re-allocating copies
+        for node_id in sorted(wanted, key=store.node_rank):
+            sub_store.add_node(store.get_node(node_id))
+        for edge in store.edges_between(wanted):
+            sub_store.add_edge(edge)
         return sub
 
     def copy(self, name: Optional[str] = None) -> "Graph":
-        """Return a deep, independent copy of this graph."""
-        clone = Graph(name or self.name)
-        for node in self._nodes.values():
-            clone.add_node(node.id, node.label, node.attributes)
-        for edge in self._edges.values():
-            clone.add_edge(edge.source, edge.target, edge.label)
+        """Return a deep, independent copy of this graph (same backend).
+
+        Uses the engine's bulk clone fast path instead of re-inserting every
+        node and edge through the checked facade operations.
+        """
+        clone = Graph(name or self.name, store=self._store.clone())
         return clone
 
     def is_subgraph_of(self, other: "Graph") -> bool:
         """Return True when every node and edge of this graph occurs in ``other``.
 
         Node labels and attributes must agree exactly, per the subgraph
-        definition in Section 2 of the paper.
+        definition in Section 2 of the paper.  Backends may differ.
         """
-        for node in self._nodes.values():
-            if not other.has_node(node.id):
+        for node in self._store.nodes():
+            other_node = other._store.get_node(node.id)
+            if other_node is None:
                 return False
-            other_node = other.node(node.id)
             if other_node.label != node.label:
                 return False
             if dict(other_node.attributes) != dict(node.attributes):
                 return False
-        return all(edge.key() in other._edges for edge in self._edges.values())
+        return all(other._store.has_edge_key(edge.key()) for edge in self._store.edges())
 
     # ------------------------------------------------------------- statistics
 
     def node_count(self) -> int:
         """Return |V|."""
-        return len(self._nodes)
+        return self._store.node_count()
 
     def edge_count(self) -> int:
         """Return |E|."""
-        return len(self._edges)
+        return self._store.edge_count()
 
     def density(self) -> float:
         """Return |E| / (|V| * (|V| - 1)), the density measure used in Section 7."""
-        n = len(self._nodes)
+        n = self._store.node_count()
         if n <= 1:
             return 0.0
-        return len(self._edges) / (n * (n - 1))
+        return self._store.edge_count() / (n * (n - 1))
 
     def average_degree(self) -> float:
         """Return the average total degree."""
-        if not self._nodes:
+        if not self._store.node_count():
             return 0.0
-        return 2 * len(self._edges) / len(self._nodes)
+        return 2 * self._store.edge_count() / self._store.node_count()
 
     def labels(self) -> frozenset[str]:
         """Return the set of node labels present in the graph."""
-        return frozenset(self._label_index.keys())
+        return self._store.labels()
 
     def edge_labels(self) -> frozenset[str]:
         """Return the set of edge labels present in the graph."""
-        return frozenset(edge.label for edge in self._edges.values())
+        return self._store.edge_labels()
 
     # ---------------------------------------------------------------- dunders
 
     def __contains__(self, node_id: Hashable) -> bool:
-        return node_id in self._nodes
+        return self._store.has_node(node_id)
 
     def __len__(self) -> int:
-        return len(self._nodes)
+        return self._store.node_count()
 
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, Graph):
@@ -393,31 +392,24 @@ class Graph:
         same_nodes = {n.id: (n.label, dict(n.attributes)) for n in self.nodes()} == {
             n.id: (n.label, dict(n.attributes)) for n in other.nodes()
         }
-        return same_nodes and set(self._edges.keys()) == set(other._edges.keys())
+        return same_nodes and {e.key() for e in self.edges()} == {e.key() for e in other.edges()}
 
     def __repr__(self) -> str:  # pragma: no cover - debugging helper
-        return f"Graph({self.name!r}, |V|={len(self._nodes)}, |E|={len(self._edges)})"
+        return (
+            f"Graph({self.name!r}, |V|={self._store.node_count()}, "
+            f"|E|={self._store.edge_count()}, store={self._store.backend!r})"
+        )
 
     # ---------------------------------------------------------------- helpers
 
     def total_size(self) -> int:
         """Return |V| + |E|, the size measure |G| used in the complexity analyses."""
-        return len(self._nodes) + len(self._edges)
+        return self._store.node_count() + self._store.edge_count()
 
     def validate_consistency(self) -> None:
         """Check internal index consistency; raises :class:`GraphError` on corruption.
 
         Intended for tests and for use after bulk operations; the cost is
-        linear in |G|.
+        linear in |G|.  Each engine validates its own index structures.
         """
-        for (source, target, label), edge in self._edges.items():
-            if source not in self._nodes or target not in self._nodes:
-                raise GraphError(f"edge {edge!r} references a missing node")
-            if (target, label) not in self._out.get(source, set()):
-                raise GraphError(f"out-adjacency missing for {edge!r}")
-            if (source, label) not in self._in.get(target, set()):
-                raise GraphError(f"in-adjacency missing for {edge!r}")
-        for label, ids in self._label_index.items():
-            for node_id in ids:
-                if node_id not in self._nodes or self._nodes[node_id].label != label:
-                    raise GraphError(f"label index corrupt for label {label!r}, node {node_id!r}")
+        self._store.validate()

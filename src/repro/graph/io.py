@@ -20,10 +20,11 @@ from __future__ import annotations
 
 import json
 from pathlib import Path
-from typing import Union
+from typing import Optional, Union
 
 from repro.errors import GraphError, UpdateError
 from repro.graph.graph import Graph
+from repro.graph.store import GraphStore
 from repro.graph.updates import BatchUpdate, EdgeDeletion, EdgeInsertion, NodePayload
 
 __all__ = [
@@ -55,11 +56,18 @@ def graph_to_dict(graph: Graph) -> dict:
     }
 
 
-def graph_from_dict(document: dict) -> Graph:
-    """Rebuild a :class:`Graph` from the dictionary produced by :func:`graph_to_dict`."""
+StoreSpec = Union[str, GraphStore, None]
+
+
+def graph_from_dict(document: dict, store: StoreSpec = None) -> Graph:
+    """Rebuild a :class:`Graph` from the dictionary produced by :func:`graph_to_dict`.
+
+    ``store`` selects the storage backend of the rebuilt graph (name,
+    instance, or None for the process default).
+    """
     if "nodes" not in document or "edges" not in document:
         raise GraphError("graph document must contain 'nodes' and 'edges' lists")
-    graph = Graph(document.get("name", "G"))
+    graph = Graph(document.get("name", "G"), store=store)
     for entry in document["nodes"]:
         graph.add_node(entry["id"], entry["label"], entry.get("attributes", {}))
     for entry in document["edges"]:
@@ -73,10 +81,13 @@ def save_graph(graph: Graph, path: PathLike) -> None:
         json.dump(graph_to_dict(graph), handle, indent=2, sort_keys=True, default=str)
 
 
-def load_graph(path: PathLike) -> Graph:
-    """Load a graph previously written by :func:`save_graph`."""
+def load_graph(path: PathLike, store: StoreSpec = None) -> Graph:
+    """Load a graph previously written by :func:`save_graph`.
+
+    ``store`` selects the storage backend of the loaded graph.
+    """
     with open(path, "r", encoding="utf-8") as handle:
-        return graph_from_dict(json.load(handle))
+        return graph_from_dict(json.load(handle), store=store)
 
 
 def update_to_list(delta: BatchUpdate) -> list[dict]:
@@ -149,9 +160,9 @@ def write_edge_list(graph: Graph, path: PathLike) -> None:
             handle.write(f"{edge.source}\t{edge.label}\t{edge.target}\n")
 
 
-def read_edge_list(path: PathLike) -> Graph:
+def read_edge_list(path: PathLike, store: StoreSpec = None) -> Graph:
     """Read a graph written by :func:`write_edge_list`."""
-    graph = Graph()
+    graph = Graph(store=store)
     with open(path, "r", encoding="utf-8") as handle:
         for line in handle:
             line = line.rstrip("\n")

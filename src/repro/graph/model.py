@@ -1,0 +1,68 @@
+"""Value objects of the property-graph model: nodes, edges, the wildcard label.
+
+Split out of :mod:`repro.graph.graph` so storage engines
+(:mod:`repro.graph.store`) and the facade can share them without circular
+imports.  Public code may keep importing ``Node``/``Edge``/``WILDCARD`` from
+``repro.graph.graph``, which re-exports them.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable, Mapping
+from dataclasses import dataclass, field
+
+__all__ = ["Node", "Edge", "WILDCARD"]
+
+#: Label that matches any node label during pattern matching.
+WILDCARD = "_"
+
+
+@dataclass(frozen=True)
+class Node:
+    """A graph node: an id, a label, and an attribute tuple.
+
+    Nodes are immutable value objects; updating an attribute goes through
+    :meth:`repro.graph.graph.Graph.set_attribute`, which replaces the stored
+    node.
+    """
+
+    id: Hashable
+    label: str
+    attributes: Mapping[str, object] = field(default_factory=dict)
+
+    def attribute(self, name: str, default: object = None) -> object:
+        """Return attribute ``name`` or ``default`` when absent."""
+        return self.attributes.get(name, default)
+
+    def has_attribute(self, name: str) -> bool:
+        """Return True when the node carries attribute ``name``."""
+        return name in self.attributes
+
+    def with_attribute(self, name: str, value: object) -> "Node":
+        """Return a copy of this node with attribute ``name`` set to ``value``."""
+        new_attrs = dict(self.attributes)
+        new_attrs[name] = value
+        return Node(self.id, self.label, new_attrs)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"Node({self.id!r}, {self.label!r}, {dict(self.attributes)!r})"
+
+
+@dataclass(frozen=True)
+class Edge:
+    """A directed labelled edge ``source --label--> target``."""
+
+    source: Hashable
+    target: Hashable
+    label: str
+
+    def key(self) -> tuple[Hashable, Hashable, str]:
+        """Return the canonical dictionary key for this edge."""
+        return (self.source, self.target, self.label)
+
+    def endpoints(self) -> tuple[Hashable, Hashable]:
+        """Return ``(source, target)``."""
+        return (self.source, self.target)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"Edge({self.source!r} -[{self.label}]-> {self.target!r})"

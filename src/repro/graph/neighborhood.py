@@ -96,11 +96,12 @@ def d_neighbor_of_nodes(graph: Graph, nodes: Iterable[Hashable], hops: int) -> G
     """Return the subgraph induced by the union of ``V_d(v)`` for ``v`` in ``nodes``.
 
     Node ids missing from the graph are ignored (they may be endpoints of
-    insertions that have not been applied yet).
+    insertions that have not been applied yet).  The union is computed with a
+    single multi-source BFS, and the induced subgraph is built from the
+    adjacency of the reached nodes, so the whole extraction costs the size of
+    the neighbourhood — never a scan of all of E.
     """
-    union: set[Hashable] = set()
-    for node in nodes:
-        union |= nodes_within_hops(graph, node, hops)
+    union = multi_source_nodes_within_hops(graph, nodes, hops)
     return graph.induced_subgraph(union, name=f"{graph.name}_d{hops}(union)")
 
 

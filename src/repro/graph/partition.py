@@ -149,10 +149,14 @@ def _check_fragment_count(graph: Graph, num_fragments: int) -> None:
 
 
 def hash_edge_cut(graph: Graph, num_fragments: int) -> Fragmentation:
-    """Partition nodes by a deterministic hash of their id (balanced edge-cut)."""
+    """Partition nodes round-robin in insertion order (balanced edge-cut).
+
+    Insertion order is deterministic for any storage backend (the stores keep
+    nodes in rank order), so this needs no ``sorted(key=repr)`` pass.
+    """
     _check_fragment_count(graph, num_fragments)
     fragments = [Fragment(i) for i in range(num_fragments)]
-    for position, node_id in enumerate(sorted(graph.node_ids(), key=repr)):
+    for position, node_id in enumerate(graph.node_ids()):
         fragments[position % num_fragments].nodes.add(node_id)
     owner = {n: f.index for f in fragments for n in f.nodes}
     for edge in graph.edges():
@@ -174,7 +178,7 @@ def bfs_edge_cut(graph: Graph, num_fragments: int) -> Fragmentation:
 
     capacity = -(-graph.node_count() // num_fragments)  # ceil division
     unassigned = set(graph.node_ids())
-    order = sorted(unassigned, key=repr)
+    order = sorted(unassigned, key=graph.node_rank)
     current = 0
     frontier: deque[Hashable] = deque()
     while unassigned:
@@ -191,7 +195,7 @@ def bfs_edge_cut(graph: Graph, num_fragments: int) -> Fragmentation:
             continue
         fragments[current].nodes.add(node_id)
         unassigned.discard(node_id)
-        for neighbour in sorted(graph.neighbours(node_id), key=repr):
+        for neighbour in sorted(graph.neighbours(node_id), key=graph.node_rank):
             if neighbour in unassigned:
                 frontier.append(neighbour)
     owner = {n: f.index for f in fragments for n in f.nodes}
@@ -211,7 +215,8 @@ def greedy_vertex_cut(graph: Graph, num_fragments: int) -> Fragmentation:
     _check_fragment_count(graph, num_fragments)
     fragments = [Fragment(i) for i in range(num_fragments)]
     placements: dict[Hashable, set[int]] = {}
-    for edge in sorted(graph.edges(), key=lambda e: repr(e.key())):
+    # edge iteration is insertion-ordered (deterministic) for every backend
+    for edge in graph.edges():
         candidates = placements.get(edge.source, set()) | placements.get(edge.target, set())
         pool = candidates if candidates else set(range(num_fragments))
         chosen = min(pool, key=lambda i: (fragments[i].edge_count(), i))
@@ -220,6 +225,7 @@ def greedy_vertex_cut(graph: Graph, num_fragments: int) -> Fragmentation:
             placements.setdefault(endpoint, set()).add(chosen)
             fragments[chosen].nodes.add(endpoint)
     # isolated nodes still need a home
-    for position, node_id in enumerate(sorted(set(graph.node_ids()) - placements.keys(), key=repr)):
+    isolated = [node_id for node_id in graph.node_ids() if node_id not in placements]
+    for position, node_id in enumerate(isolated):
         fragments[position % num_fragments].nodes.add(node_id)
     return Fragmentation(graph, fragments, strategy="greedy-vertex-cut")

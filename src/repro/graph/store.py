@@ -1,0 +1,810 @@
+"""Pluggable storage engines behind the :class:`~repro.graph.graph.Graph` facade.
+
+The detection algorithms (``Matchn``, ``Dect``, ``IncDect`` and the simulated
+parallel variants) bottom out in adjacency lookups, so the physical layout of
+the adjacency indexes dominates the hot path.  This module separates that
+layout from the graph *semantics*:
+
+* :class:`GraphStore` — the storage contract: node/edge CRUD, label-filtered
+  adjacency, the label and edge-signature indexes, and a deterministic
+  insertion-order rank used by the matchers in place of ``sorted(key=repr)``;
+* :class:`DictStore` — the reference engine, preserving the layout the
+  project started with: one flat ``node -> {(neighbour, edge_label)}``
+  adjacency map per direction, with reads returning defensive frozenset
+  copies and label-filtered lookups scanning the whole adjacency list;
+* :class:`IndexedStore` — the optimized engine: interned labels, adjacency
+  keyed ``node -> edge_label -> neighbour ids`` so a label-filtered lookup is
+  O(result) instead of O(degree), and zero-copy read views instead of
+  per-call copies.
+
+The facade owns all *semantic* checks (missing nodes, duplicate edges,
+wildcard handling); stores may assume their preconditions hold.  Future
+engines (CSR arrays, sharded or remote stores) drop in behind the same
+contract — see ``docs/ARCHITECTURE.md``.
+
+Stores are selected by name through :func:`make_store`; the process-wide
+default comes from the ``REPRO_GRAPH_STORE`` environment variable and falls
+back to ``"indexed"``.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+from abc import ABC, abstractmethod
+from collections.abc import Hashable, Iterator, Set as AbstractSet
+from typing import Optional, Union
+
+from repro.errors import GraphError
+from repro.graph.model import Edge, Node
+
+__all__ = [
+    "GraphStore",
+    "DictStore",
+    "IndexedStore",
+    "STORE_REGISTRY",
+    "default_store_name",
+    "make_store",
+]
+
+EdgeKey = tuple[Hashable, Hashable, str]
+Signature = tuple[str, str, str]
+
+_EMPTY_DICT: dict = {}
+#: Shared empty zero-copy view (a keys view over a dict nothing mutates).
+_EMPTY_KEYS = _EMPTY_DICT.keys()
+
+
+class _PairsView(AbstractSet):
+    """Zero-copy view of ``(neighbour, edge_label)`` pairs over label-keyed adjacency.
+
+    Backed by one node's ``{edge_label: {neighbour: None}}`` mapping of the
+    :class:`IndexedStore`; the pair count is tracked by the store's degree
+    counters and injected so ``len`` stays O(1).
+    """
+
+    __slots__ = ("_buckets", "_degrees", "_node_id")
+
+    def __init__(self, buckets: dict, degrees: dict, node_id: Hashable) -> None:
+        self._buckets = buckets
+        self._degrees = degrees
+        self._node_id = node_id
+
+    def __contains__(self, item: object) -> bool:
+        if not isinstance(item, tuple) or len(item) != 2:
+            return False
+        neighbour, label = item
+        return neighbour in self._buckets.get(label, _EMPTY_DICT)
+
+    def __iter__(self) -> Iterator[tuple[Hashable, str]]:
+        for label, neighbours in self._buckets.items():
+            for neighbour in neighbours:
+                yield (neighbour, label)
+
+    def __len__(self) -> int:
+        return self._degrees.get(self._node_id, 0)
+
+    @classmethod
+    def _from_iterable(cls, iterable) -> frozenset:
+        return frozenset(iterable)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"PairsView({set(self)!r})"
+
+
+class GraphStore(ABC):
+    """Storage contract shared by every graph backend.
+
+    Mutators may assume the facade already enforced the semantic
+    preconditions: endpoints of ``add_edge`` exist, ``remove_node`` is called
+    only after incident edges are gone, keys passed to ``remove_edge`` are
+    present.  Read methods return *read-only* collections; whether they are
+    zero-copy views or defensive copies is up to the backend.
+    """
+
+    #: Registry name of the backend (e.g. ``"dict"``, ``"indexed"``).
+    backend: str = "abstract"
+
+    def fresh(self) -> "GraphStore":
+        """Return a new, empty store of the same backend."""
+        return type(self)()
+
+    # ------------------------------------------------------------------ nodes
+
+    @abstractmethod
+    def add_node(self, node: Node) -> None:
+        """Store a new node (id known to be absent) and assign its rank."""
+
+    @abstractmethod
+    def replace_node(self, node: Node) -> None:
+        """Replace the stored node with the same id (label unchanged)."""
+
+    @abstractmethod
+    def remove_node(self, node_id: Hashable) -> None:
+        """Forget a node with no remaining incident edges."""
+
+    @abstractmethod
+    def get_node(self, node_id: Hashable) -> Optional[Node]:
+        """Return the node or None."""
+
+    @abstractmethod
+    def has_node(self, node_id: Hashable) -> bool:
+        """Return True when the id is stored."""
+
+    @abstractmethod
+    def node_count(self) -> int:
+        """Return |V|."""
+
+    @abstractmethod
+    def nodes(self) -> Iterator[Node]:
+        """Iterate nodes in insertion order."""
+
+    @abstractmethod
+    def node_ids(self) -> Iterator[Hashable]:
+        """Iterate node ids in insertion order."""
+
+    @abstractmethod
+    def all_node_ids(self):
+        """Return a read-only set-like collection of every node id."""
+
+    @abstractmethod
+    def node_rank(self, node_id: Hashable) -> int:
+        """Return the node's deterministic insertion-order rank.
+
+        Ranks are assigned monotonically when nodes are added and never
+        reused, so ``sorted(ids, key=store.node_rank)`` reproduces insertion
+        order with an O(1) key — the matcher's replacement for the old
+        ``sorted(key=repr)`` determinism hack.
+        """
+
+    @abstractmethod
+    def nodes_with_label(self, label: str):
+        """Return a read-only set-like collection of ids carrying ``label``."""
+
+    @abstractmethod
+    def labels(self) -> frozenset[str]:
+        """Return the node labels present."""
+
+    # ------------------------------------------------------------------ edges
+
+    @abstractmethod
+    def add_edge(self, edge: Edge) -> None:
+        """Store a new edge (key known to be absent, endpoints present)."""
+
+    @abstractmethod
+    def remove_edge(self, key: EdgeKey) -> None:
+        """Forget a stored edge."""
+
+    @abstractmethod
+    def get_edge(self, key: EdgeKey) -> Optional[Edge]:
+        """Return the edge or None."""
+
+    @abstractmethod
+    def has_edge_key(self, key: EdgeKey) -> bool:
+        """Return True when the exact (source, target, label) edge is stored."""
+
+    @abstractmethod
+    def has_any_edge(self, source: Hashable, target: Hashable) -> bool:
+        """Return True when any edge source -> target exists, whatever its label."""
+
+    @abstractmethod
+    def edge_count(self) -> int:
+        """Return |E|."""
+
+    @abstractmethod
+    def edges(self) -> Iterator[Edge]:
+        """Iterate edges in insertion order."""
+
+    @abstractmethod
+    def edge_labels(self) -> frozenset[str]:
+        """Return the edge labels present."""
+
+    @abstractmethod
+    def edges_with_exact_signature(self, signature: Signature) -> list[Edge]:
+        """Return edges matching a fully-specified (src label, edge label, dst label)."""
+
+    @abstractmethod
+    def signature_items(self) -> Iterator[tuple[Signature, list[Edge]]]:
+        """Iterate the signature index (for wildcard queries in the facade)."""
+
+    # -------------------------------------------------------------- adjacency
+
+    @abstractmethod
+    def successors(self, node_id: Hashable):
+        """Return read-only ``(target, edge_label)`` pairs leaving the node."""
+
+    @abstractmethod
+    def predecessors(self, node_id: Hashable):
+        """Return read-only ``(source, edge_label)`` pairs entering the node."""
+
+    @abstractmethod
+    def successors_by_label(self, node_id: Hashable, edge_label: str):
+        """Return read-only target ids reachable over ``edge_label`` edges."""
+
+    @abstractmethod
+    def predecessors_by_label(self, node_id: Hashable, edge_label: str):
+        """Return read-only source ids reaching the node over ``edge_label`` edges."""
+
+    @abstractmethod
+    def out_edge_labels(self, node_id: Hashable):
+        """Return the read-only set of edge labels leaving the node."""
+
+    @abstractmethod
+    def in_edge_labels(self, node_id: Hashable):
+        """Return the read-only set of edge labels entering the node."""
+
+    @abstractmethod
+    def out_degree(self, node_id: Hashable) -> int:
+        """Return the number of outgoing edges."""
+
+    @abstractmethod
+    def in_degree(self, node_id: Hashable) -> int:
+        """Return the number of incoming edges."""
+
+    def neighbour_ids(self, node_id: Hashable) -> frozenset[Hashable]:
+        """Return ids adjacent to the node, ignoring direction and labels.
+
+        The BFS primitive of the neighbourhood extraction; backends override
+        it with layouts that avoid materializing ``(neighbour, label)`` pairs.
+        """
+        ids = {nbr for nbr, _ in self.successors(node_id)}
+        ids.update(nbr for nbr, _ in self.predecessors(node_id))
+        return frozenset(ids)
+
+    def edges_between(self, wanted: AbstractSet) -> Iterator[Edge]:
+        """Yield every stored edge with both endpoints in ``wanted``.
+
+        Walks the adjacency of the wanted nodes (O(sum of their degrees))
+        instead of scanning all of E; nodes are visited in rank order so the
+        emission order is deterministic.
+        """
+        ordered = sorted(wanted, key=self.node_rank)
+        for node_id in ordered:
+            for target, label in self.successors(node_id):
+                if target in wanted:
+                    edge = self.get_edge((node_id, target, label))
+                    if edge is not None:
+                        yield edge
+
+    # ------------------------------------------------------------- lifecycle
+
+    @abstractmethod
+    def clone(self) -> "GraphStore":
+        """Return a deep, independent copy of this store (bulk fast path)."""
+
+    @abstractmethod
+    def validate(self) -> None:
+        """Check internal index consistency; raise :class:`GraphError` on corruption."""
+
+
+class DictStore(GraphStore):
+    """The reference engine: flat adjacency maps with copy-on-read semantics.
+
+    This preserves the behaviour (and cost profile) of the original in-Graph
+    layout: adjacency is one flat ``{(neighbour, edge_label)}`` collection per
+    node and direction, every read returns a defensive ``frozenset`` copy,
+    and label-filtered lookups scan and filter the whole adjacency list.  It
+    exists as the easy-to-audit baseline the parity suite and the storage
+    benchmarks compare :class:`IndexedStore` against.
+
+    (The flat collections are insertion-ordered dicts used as sets, so edge
+    iteration stays deterministic across interpreter runs; the keying and the
+    read costs are unchanged from the original implementation.)
+    """
+
+    backend = "dict"
+
+    def __init__(self) -> None:
+        self._nodes: dict[Hashable, Node] = {}
+        self._rank: dict[Hashable, int] = {}
+        self._next_rank = 0
+        self._edges: dict[EdgeKey, Edge] = {}
+        # adjacency: node id -> ordered set of (neighbour id, edge label)
+        self._out: dict[Hashable, dict[tuple[Hashable, str], None]] = {}
+        self._in: dict[Hashable, dict[tuple[Hashable, str], None]] = {}
+        self._label_index: dict[str, dict[Hashable, None]] = {}
+        self._signatures: dict[Signature, dict[EdgeKey, None]] = {}
+
+    # ------------------------------------------------------------------ nodes
+
+    def add_node(self, node: Node) -> None:
+        self._nodes[node.id] = node
+        self._rank[node.id] = self._next_rank
+        self._next_rank += 1
+        self._out[node.id] = {}
+        self._in[node.id] = {}
+        self._label_index.setdefault(node.label, {})[node.id] = None
+
+    def replace_node(self, node: Node) -> None:
+        self._nodes[node.id] = node
+
+    def remove_node(self, node_id: Hashable) -> None:
+        node = self._nodes.pop(node_id)
+        del self._rank[node_id]
+        self._out.pop(node_id, None)
+        self._in.pop(node_id, None)
+        bucket = self._label_index.get(node.label)
+        if bucket is not None:
+            bucket.pop(node_id, None)
+            if not bucket:
+                del self._label_index[node.label]
+
+    def get_node(self, node_id: Hashable) -> Optional[Node]:
+        return self._nodes.get(node_id)
+
+    def has_node(self, node_id: Hashable) -> bool:
+        return node_id in self._nodes
+
+    def node_count(self) -> int:
+        return len(self._nodes)
+
+    def nodes(self) -> Iterator[Node]:
+        return iter(self._nodes.values())
+
+    def node_ids(self) -> Iterator[Hashable]:
+        return iter(self._nodes.keys())
+
+    def all_node_ids(self) -> frozenset[Hashable]:
+        return frozenset(self._nodes.keys())
+
+    def node_rank(self, node_id: Hashable) -> int:
+        return self._rank[node_id]
+
+    def nodes_with_label(self, label: str) -> frozenset[Hashable]:
+        return frozenset(self._label_index.get(label, _EMPTY_DICT))
+
+    def labels(self) -> frozenset[str]:
+        return frozenset(self._label_index.keys())
+
+    # ------------------------------------------------------------------ edges
+
+    def add_edge(self, edge: Edge) -> None:
+        key = edge.key()
+        self._edges[key] = edge
+        self._out[edge.source][(edge.target, edge.label)] = None
+        self._in[edge.target][(edge.source, edge.label)] = None
+        signature = (self._nodes[edge.source].label, edge.label, self._nodes[edge.target].label)
+        self._signatures.setdefault(signature, {})[key] = None
+
+    def remove_edge(self, key: EdgeKey) -> None:
+        source, target, label = key
+        del self._edges[key]
+        self._out[source].pop((target, label), None)
+        self._in[target].pop((source, label), None)
+        signature = (self._nodes[source].label, label, self._nodes[target].label)
+        bucket = self._signatures.get(signature)
+        if bucket is not None:
+            bucket.pop(key, None)
+            if not bucket:
+                del self._signatures[signature]
+
+    def get_edge(self, key: EdgeKey) -> Optional[Edge]:
+        return self._edges.get(key)
+
+    def has_edge_key(self, key: EdgeKey) -> bool:
+        return key in self._edges
+
+    def has_any_edge(self, source: Hashable, target: Hashable) -> bool:
+        return any(nbr == target for nbr, _ in self._out.get(source, _EMPTY_DICT))
+
+    def edge_count(self) -> int:
+        return len(self._edges)
+
+    def edges(self) -> Iterator[Edge]:
+        return iter(self._edges.values())
+
+    def edge_labels(self) -> frozenset[str]:
+        return frozenset(edge.label for edge in self._edges.values())
+
+    def edges_with_exact_signature(self, signature: Signature) -> list[Edge]:
+        keys = self._signatures.get(signature, _EMPTY_DICT)
+        return [self._edges[key] for key in keys]
+
+    def signature_items(self) -> Iterator[tuple[Signature, list[Edge]]]:
+        for signature, keys in self._signatures.items():
+            yield signature, [self._edges[key] for key in keys]
+
+    # -------------------------------------------------------------- adjacency
+
+    def successors(self, node_id: Hashable) -> frozenset[tuple[Hashable, str]]:
+        return frozenset(self._out[node_id])
+
+    def predecessors(self, node_id: Hashable) -> frozenset[tuple[Hashable, str]]:
+        return frozenset(self._in[node_id])
+
+    def successors_by_label(self, node_id: Hashable, edge_label: str) -> frozenset[Hashable]:
+        return frozenset(nbr for nbr, label in self._out[node_id] if label == edge_label)
+
+    def predecessors_by_label(self, node_id: Hashable, edge_label: str) -> frozenset[Hashable]:
+        return frozenset(nbr for nbr, label in self._in[node_id] if label == edge_label)
+
+    def out_edge_labels(self, node_id: Hashable) -> frozenset[str]:
+        return frozenset(label for _, label in self._out[node_id])
+
+    def in_edge_labels(self, node_id: Hashable) -> frozenset[str]:
+        return frozenset(label for _, label in self._in[node_id])
+
+    def out_degree(self, node_id: Hashable) -> int:
+        return len(self._out[node_id])
+
+    def in_degree(self, node_id: Hashable) -> int:
+        return len(self._in[node_id])
+
+    def neighbour_ids(self, node_id: Hashable) -> frozenset[Hashable]:
+        ids = {nbr for nbr, _ in self._out[node_id]}
+        ids.update(nbr for nbr, _ in self._in[node_id])
+        return frozenset(ids)
+
+    def edges_between(self, wanted: AbstractSet) -> Iterator[Edge]:
+        # walk the insertion-ordered adjacency dicts directly: the inherited
+        # default would iterate the frozenset copies successors() returns,
+        # whose order is hash-dependent
+        edges = self._edges
+        for node_id in sorted(wanted, key=self._rank.__getitem__):
+            for target, label in self._out[node_id]:
+                if target in wanted:
+                    yield edges[(node_id, target, label)]
+
+    # ------------------------------------------------------------- lifecycle
+
+    def clone(self) -> "DictStore":
+        other = DictStore()
+        other._nodes = dict(self._nodes)
+        other._rank = dict(self._rank)
+        other._next_rank = self._next_rank
+        other._edges = dict(self._edges)
+        other._out = {node: dict(pairs) for node, pairs in self._out.items()}
+        other._in = {node: dict(pairs) for node, pairs in self._in.items()}
+        other._label_index = {label: dict(ids) for label, ids in self._label_index.items()}
+        if self._signatures is not None:
+            other._signatures = {sig: dict(keys) for sig, keys in self._signatures.items()}
+        return other
+
+    def validate(self) -> None:
+        for (source, target, label), edge in self._edges.items():
+            if source not in self._nodes or target not in self._nodes:
+                raise GraphError(f"edge {edge!r} references a missing node")
+            if (target, label) not in self._out.get(source, _EMPTY_DICT):
+                raise GraphError(f"out-adjacency missing for {edge!r}")
+            if (source, label) not in self._in.get(target, _EMPTY_DICT):
+                raise GraphError(f"in-adjacency missing for {edge!r}")
+        for label, ids in self._label_index.items():
+            for node_id in ids:
+                node = self._nodes.get(node_id)
+                if node is None or node.label != label:
+                    raise GraphError(f"label index corrupt for label {label!r}, node {node_id!r}")
+        for node_id in self._nodes:
+            if node_id not in self._rank:
+                raise GraphError(f"missing insertion rank for node {node_id!r}")
+
+
+class IndexedStore(GraphStore):
+    """The optimized engine: label-keyed adjacency with zero-copy read views.
+
+    * node and edge labels are interned (:func:`sys.intern`), so index probes
+      compare by pointer on the hot path;
+    * adjacency is ``node -> edge_label -> {neighbour: None}``, making
+      ``successors_by_label`` O(result) instead of O(degree) — the lookup the
+      matcher's candidate filtering performs per expansion step;
+    * every read returns a live zero-copy view (a dict keys view, or
+      :class:`_PairsView` for ``(neighbour, label)`` pairs) instead of a
+      defensive frozenset copy;
+    * degree counters keep ``len(successors(v))`` and the PIncDect cost model's
+      ``|v.adj|`` O(1).
+
+    All inner collections are insertion-ordered dicts, so iteration order —
+    and therefore match enumeration order — is deterministic across runs
+    regardless of string-hash randomization.
+    """
+
+    backend = "indexed"
+
+    def __init__(self) -> None:
+        self._nodes: dict[Hashable, Node] = {}
+        self._rank: dict[Hashable, int] = {}
+        self._next_rank = 0
+        self._edges: dict[EdgeKey, Edge] = {}
+        # adjacency: node id -> edge label -> ordered set of neighbour ids
+        self._out: dict[Hashable, dict[str, dict[Hashable, None]]] = {}
+        self._in: dict[Hashable, dict[str, dict[Hashable, None]]] = {}
+        self._out_degree: dict[Hashable, int] = {}
+        self._in_degree: dict[Hashable, int] = {}
+        self._label_index: dict[str, dict[Hashable, None]] = {}
+        # The signature index is built lazily on the first signature query
+        # (None = not built) and maintained incrementally afterwards; batch
+        # loads and subgraph extractions that never ask for signatures skip
+        # its maintenance cost entirely.  Node labels never change after
+        # insertion (replace_node only swaps attributes), so deferring the
+        # build is safe.
+        self._signatures: Optional[dict[Signature, dict[EdgeKey, None]]] = None
+
+    # ------------------------------------------------------------------ nodes
+
+    def add_node(self, node: Node) -> None:
+        label = sys.intern(node.label)
+        if label is not node.label:
+            node = Node(node.id, label, node.attributes)
+        node_id = node.id
+        self._nodes[node_id] = node
+        self._rank[node_id] = self._next_rank
+        self._next_rank += 1
+        self._out[node_id] = {}
+        self._in[node_id] = {}
+        self._out_degree[node_id] = 0
+        self._in_degree[node_id] = 0
+        bucket = self._label_index.get(label)
+        if bucket is None:
+            self._label_index[label] = bucket = {}
+        bucket[node_id] = None
+
+    def replace_node(self, node: Node) -> None:
+        self._nodes[node.id] = node
+
+    def remove_node(self, node_id: Hashable) -> None:
+        node = self._nodes.pop(node_id)
+        del self._rank[node_id]
+        self._out.pop(node_id, None)
+        self._in.pop(node_id, None)
+        self._out_degree.pop(node_id, None)
+        self._in_degree.pop(node_id, None)
+        bucket = self._label_index.get(node.label)
+        if bucket is not None:
+            bucket.pop(node_id, None)
+            if not bucket:
+                del self._label_index[node.label]
+
+    def get_node(self, node_id: Hashable) -> Optional[Node]:
+        return self._nodes.get(node_id)
+
+    def has_node(self, node_id: Hashable) -> bool:
+        return node_id in self._nodes
+
+    def node_count(self) -> int:
+        return len(self._nodes)
+
+    def nodes(self) -> Iterator[Node]:
+        return iter(self._nodes.values())
+
+    def node_ids(self) -> Iterator[Hashable]:
+        return iter(self._nodes.keys())
+
+    def all_node_ids(self):
+        return self._nodes.keys()
+
+    def node_rank(self, node_id: Hashable) -> int:
+        return self._rank[node_id]
+
+    def nodes_with_label(self, label: str):
+        bucket = self._label_index.get(label)
+        return bucket.keys() if bucket is not None else _EMPTY_KEYS
+
+    def labels(self) -> frozenset[str]:
+        return frozenset(self._label_index.keys())
+
+    # ------------------------------------------------------------------ edges
+
+    def add_edge(self, edge: Edge) -> None:
+        label = sys.intern(edge.label)
+        if label is not edge.label:
+            edge = Edge(edge.source, edge.target, label)
+        source, target = edge.source, edge.target
+        key = (source, target, label)
+        self._edges[key] = edge
+        out_buckets = self._out[source]
+        bucket = out_buckets.get(label)
+        if bucket is None:
+            out_buckets[label] = bucket = {}
+        bucket[target] = None
+        in_buckets = self._in[target]
+        bucket = in_buckets.get(label)
+        if bucket is None:
+            in_buckets[label] = bucket = {}
+        bucket[source] = None
+        self._out_degree[source] += 1
+        self._in_degree[target] += 1
+        if self._signatures is not None:
+            signature = (self._nodes[source].label, label, self._nodes[target].label)
+            sig_bucket = self._signatures.get(signature)
+            if sig_bucket is None:
+                self._signatures[signature] = sig_bucket = {}
+            sig_bucket[key] = None
+
+    def remove_edge(self, key: EdgeKey) -> None:
+        source, target, label = key
+        del self._edges[key]
+        out_bucket = self._out[source].get(label)
+        if out_bucket is not None:
+            out_bucket.pop(target, None)
+            if not out_bucket:
+                del self._out[source][label]
+        in_bucket = self._in[target].get(label)
+        if in_bucket is not None:
+            in_bucket.pop(source, None)
+            if not in_bucket:
+                del self._in[target][label]
+        self._out_degree[source] -= 1
+        self._in_degree[target] -= 1
+        if self._signatures is not None:
+            signature = (self._nodes[source].label, label, self._nodes[target].label)
+            sig_bucket = self._signatures.get(signature)
+            if sig_bucket is not None:
+                sig_bucket.pop(key, None)
+                if not sig_bucket:
+                    del self._signatures[signature]
+
+    def get_edge(self, key: EdgeKey) -> Optional[Edge]:
+        return self._edges.get(key)
+
+    def has_edge_key(self, key: EdgeKey) -> bool:
+        return key in self._edges
+
+    def has_any_edge(self, source: Hashable, target: Hashable) -> bool:
+        buckets = self._out.get(source, _EMPTY_DICT)
+        return any(target in neighbours for neighbours in buckets.values())
+
+    def edge_count(self) -> int:
+        return len(self._edges)
+
+    def edges(self) -> Iterator[Edge]:
+        return iter(self._edges.values())
+
+    def edge_labels(self) -> frozenset[str]:
+        labels: set[str] = set()
+        for buckets in self._out.values():
+            labels.update(buckets)
+        return frozenset(labels)
+
+    def _built_signatures(self) -> dict[Signature, dict[EdgeKey, None]]:
+        """Build the signature index on first use (one O(|E|) pass)."""
+        if self._signatures is None:
+            nodes = self._nodes
+            signatures: dict[Signature, dict[EdgeKey, None]] = {}
+            for key, edge in self._edges.items():
+                signature = (nodes[edge.source].label, edge.label, nodes[edge.target].label)
+                bucket = signatures.get(signature)
+                if bucket is None:
+                    signatures[signature] = bucket = {}
+                bucket[key] = None
+            self._signatures = signatures
+        return self._signatures
+
+    def edges_with_exact_signature(self, signature: Signature) -> list[Edge]:
+        keys = self._built_signatures().get(signature, _EMPTY_DICT)
+        return [self._edges[key] for key in keys]
+
+    def signature_items(self) -> Iterator[tuple[Signature, list[Edge]]]:
+        for signature, keys in self._built_signatures().items():
+            yield signature, [self._edges[key] for key in keys]
+
+    # -------------------------------------------------------------- adjacency
+
+    def successors(self, node_id: Hashable) -> _PairsView:
+        return _PairsView(self._out[node_id], self._out_degree, node_id)
+
+    def predecessors(self, node_id: Hashable) -> _PairsView:
+        return _PairsView(self._in[node_id], self._in_degree, node_id)
+
+    def successors_by_label(self, node_id: Hashable, edge_label: str):
+        bucket = self._out[node_id].get(edge_label)
+        return bucket.keys() if bucket is not None else _EMPTY_KEYS
+
+    def predecessors_by_label(self, node_id: Hashable, edge_label: str):
+        bucket = self._in[node_id].get(edge_label)
+        return bucket.keys() if bucket is not None else _EMPTY_KEYS
+
+    def out_edge_labels(self, node_id: Hashable):
+        return self._out[node_id].keys()
+
+    def in_edge_labels(self, node_id: Hashable):
+        return self._in[node_id].keys()
+
+    def out_degree(self, node_id: Hashable) -> int:
+        return self._out_degree[node_id]
+
+    def in_degree(self, node_id: Hashable) -> int:
+        return self._in_degree[node_id]
+
+    def neighbour_ids(self, node_id: Hashable) -> frozenset[Hashable]:
+        ids: set[Hashable] = set()
+        for bucket in self._out[node_id].values():
+            ids.update(bucket)
+        for bucket in self._in[node_id].values():
+            ids.update(bucket)
+        return frozenset(ids)
+
+    def edges_between(self, wanted: AbstractSet) -> Iterator[Edge]:
+        edges = self._edges
+        for node_id in sorted(wanted, key=self._rank.__getitem__):
+            for label, bucket in self._out[node_id].items():
+                for target in bucket:
+                    if target in wanted:
+                        yield edges[(node_id, target, label)]
+
+    # ------------------------------------------------------------- lifecycle
+
+    def clone(self) -> "IndexedStore":
+        other = IndexedStore()
+        other._nodes = dict(self._nodes)
+        other._rank = dict(self._rank)
+        other._next_rank = self._next_rank
+        other._edges = dict(self._edges)
+        other._out = {
+            node: {label: dict(nbrs) for label, nbrs in buckets.items()}
+            for node, buckets in self._out.items()
+        }
+        other._in = {
+            node: {label: dict(nbrs) for label, nbrs in buckets.items()}
+            for node, buckets in self._in.items()
+        }
+        other._out_degree = dict(self._out_degree)
+        other._in_degree = dict(self._in_degree)
+        other._label_index = {label: dict(ids) for label, ids in self._label_index.items()}
+        if self._signatures is not None:
+            other._signatures = {sig: dict(keys) for sig, keys in self._signatures.items()}
+        return other
+
+    def validate(self) -> None:
+        for (source, target, label), edge in self._edges.items():
+            if source not in self._nodes or target not in self._nodes:
+                raise GraphError(f"edge {edge!r} references a missing node")
+            if target not in self._out.get(source, _EMPTY_DICT).get(label, _EMPTY_DICT):
+                raise GraphError(f"out-adjacency missing for {edge!r}")
+            if source not in self._in.get(target, _EMPTY_DICT).get(label, _EMPTY_DICT):
+                raise GraphError(f"in-adjacency missing for {edge!r}")
+        if self._signatures is not None:
+            total = sum(len(keys) for keys in self._signatures.values())
+            if total != len(self._edges):
+                raise GraphError("signature index drifted from the edge set")
+            for signature, keys in self._signatures.items():
+                for key in keys:
+                    if key not in self._edges:
+                        raise GraphError(f"signature index holds stale edge {key!r}")
+        for label, ids in self._label_index.items():
+            for node_id in ids:
+                node = self._nodes.get(node_id)
+                if node is None or node.label != label:
+                    raise GraphError(f"label index corrupt for label {label!r}, node {node_id!r}")
+        for node_id in self._nodes:
+            if node_id not in self._rank:
+                raise GraphError(f"missing insertion rank for node {node_id!r}")
+            out_total = sum(len(bucket) for bucket in self._out[node_id].values())
+            in_total = sum(len(bucket) for bucket in self._in[node_id].values())
+            if out_total != self._out_degree[node_id]:
+                raise GraphError(f"out-degree counter drifted for node {node_id!r}")
+            if in_total != self._in_degree[node_id]:
+                raise GraphError(f"in-degree counter drifted for node {node_id!r}")
+
+
+#: Name -> backend class; future engines (CSR, sharded, remote) register here.
+STORE_REGISTRY: dict[str, type[GraphStore]] = {
+    DictStore.backend: DictStore,
+    IndexedStore.backend: IndexedStore,
+}
+
+
+def default_store_name() -> str:
+    """Return the process-default backend name.
+
+    Reads ``REPRO_GRAPH_STORE`` (so benchmarks and CI can flip backends
+    without code changes) and falls back to ``"indexed"``.
+    """
+    return os.environ.get("REPRO_GRAPH_STORE", IndexedStore.backend)
+
+
+def make_store(spec: Union[str, GraphStore, None] = None) -> GraphStore:
+    """Resolve a backend spec into a store instance.
+
+    ``spec`` may be a store instance (used as-is), a registry name, or None
+    (the process default).  Unknown names raise :class:`GraphError` listing
+    the registered backends.
+    """
+    if isinstance(spec, GraphStore):
+        return spec
+    name = spec if spec is not None else default_store_name()
+    try:
+        factory = STORE_REGISTRY[name]
+    except KeyError:
+        raise GraphError(
+            f"unknown graph store {name!r}; registered backends: {sorted(STORE_REGISTRY)}"
+        ) from None
+    return factory()

@@ -194,6 +194,11 @@ def apply_update(graph: Graph, delta: BatchUpdate, in_place: bool = False) -> Gr
     is absent, or inserting one whose endpoints cannot be created, raises
     :class:`UpdateError` — silently ignoring either would let experiment
     drivers measure the wrong workload.
+
+    When ``in_place`` is False the update is applied to a bulk clone of the
+    graph (same storage backend, index structures copied wholesale rather
+    than re-inserted edge by edge), so building ``G ⊕ ΔG`` costs
+    O(|G| + |ΔG|) dictionary copies, not |G| checked insertions.
     """
     target = graph if in_place else graph.copy()
     for update in delta:
@@ -242,6 +247,7 @@ class UpdateGenerator:
             raise UpdateError("new_node_probability must be within [0, 1]")
         self._rng = random.Random(seed)
         self._new_node_probability = new_node_probability
+        self._batch_counter = 0
 
     def generate(
         self,
@@ -263,8 +269,11 @@ class UpdateGenerator:
         node_pool = list(graph.node_ids())
         if not node_pool and size > 0:
             raise UpdateError("cannot generate updates against an empty graph")
-        edge_labels = list(labels or graph.edge_labels() or ("link",))
-        node_labels = list(graph.labels() or (WILDCARD,))
+        # labels() / edge_labels() return frozensets whose iteration order is
+        # hash-dependent; sort before sampling so the generated batch is a
+        # pure function of (graph, seed) across interpreter runs
+        edge_labels = sorted(labels or graph.edge_labels() or ("link",))
+        node_labels = sorted(graph.labels() or (WILDCARD,))
 
         wanted_inserts = round(size * insert_ratio)
         wanted_deletes = size - wanted_inserts
@@ -272,11 +281,15 @@ class UpdateGenerator:
         wanted_inserts = size - wanted_deletes
 
         batch = BatchUpdate()
+        # edge_pool follows the store's insertion order, so the shuffle (and
+        # with it the whole batch) is deterministic given the seed on every
+        # backend and across interpreter runs
         self._rng.shuffle(edge_pool)
         existing_keys = {e.key() for e in edge_pool}
         for edge in edge_pool[:wanted_deletes]:
             batch.delete(edge.source, edge.target, edge.label)
 
+        self._batch_counter += 1
         fresh_counter = 0
         attempts = 0
         while len(batch.insertions) < wanted_inserts and attempts < 50 * max(1, wanted_inserts):
@@ -284,7 +297,11 @@ class UpdateGenerator:
             label = self._rng.choice(edge_labels)
             if self._rng.random() < self._new_node_probability:
                 fresh_counter += 1
-                new_id = f"new-{id(graph):x}-{fresh_counter}"
+                # stable ids (the old scheme embedded id(graph), a memory
+                # address, making batches differ between interpreter runs)
+                new_id = f"new-{self._batch_counter}-{fresh_counter}"
+                if graph.has_node(new_id):
+                    continue
                 anchor = self._rng.choice(node_pool)
                 payload = NodePayload(self._rng.choice(node_labels), {"val": self._rng.randint(0, 1000)})
                 batch.insert(anchor, new_id, label, target_payload=payload)

@@ -114,11 +114,11 @@ def candidate_nodes(
         if stats is not None:
             stats.candidates_examined += 1
         if out_labels:
-            available = {label for _, label in graph.successors(node_id)}
+            available = graph.out_edge_labels(node_id)
             if not all(label in available for label in out_labels):
                 continue
         if in_labels:
-            available = {label for _, label in graph.predecessors(node_id)}
+            available = graph.in_edge_labels(node_id)
             if not all(label in available for label in in_labels):
                 continue
         if (
@@ -128,4 +128,7 @@ def candidate_nodes(
         ):
             continue
         candidates.append(node_id)
+    # rank order makes every consumer (PDect work-unit creation included)
+    # deterministic across runs and identical on every storage backend
+    candidates.sort(key=graph.node_rank)
     return candidates

@@ -24,8 +24,8 @@ from typing import Optional
 
 from repro.core.ngd import NGD
 from repro.graph.graph import Graph
-from repro.graph.pattern import Pattern, PatternEdge
-from repro.graph.updates import BatchUpdate, UnitUpdate
+from repro.graph.pattern import PatternEdge
+from repro.graph.updates import BatchUpdate
 from repro.matching.candidates import MatchStatistics
 from repro.matching.matchn import HomomorphismMatcher
 
@@ -52,19 +52,6 @@ class UpdatePivot:
         return {self.pattern_edge.source: self.source_node, self.pattern_edge.target: self.target_node}
 
 
-def _edge_matches_pattern_edge(
-    graph: Graph, update: UnitUpdate, pattern: Pattern, pattern_edge: PatternEdge
-) -> bool:
-    """Return True when the updated data edge can match ``pattern_edge`` (label check)."""
-    if update.label != pattern_edge.label:
-        return False
-    if not graph.has_node(update.source) or not graph.has_node(update.target):
-        return False
-    source_ok = pattern.node(pattern_edge.source).matches_label(graph.node(update.source).label)
-    target_ok = pattern.node(pattern_edge.target).matches_label(graph.node(update.target).label)
-    return source_ok and target_ok
-
-
 def find_update_pivots(
     rule: NGD,
     delta: BatchUpdate,
@@ -75,21 +62,36 @@ def find_update_pivots(
 
     Insertion pivots are label-checked against ``graph_after`` (the inserted
     endpoints may be brand-new nodes); deletion pivots against ``graph_before``.
+    The endpoint labels of each updated edge are resolved once from the store
+    and compared against every pattern edge, so the cost per unit update is
+    O(|pattern edges|) with no repeated node lookups; pivot order follows the
+    batch order of ΔG, which keeps incremental runs deterministic.
     """
     pivots: list[UpdatePivot] = []
+    pattern = rule.pattern
+    pattern_edges = pattern.edges()
     for update in delta:
         reference = graph_after if update.is_insertion else graph_before
-        for pattern_edge in rule.pattern.edges():
-            if _edge_matches_pattern_edge(reference, update, rule.pattern, pattern_edge):
-                pivots.append(
-                    UpdatePivot(
-                        rule=rule.name,
-                        pattern_edge=pattern_edge,
-                        source_node=update.source,
-                        target_node=update.target,
-                        from_insertion=update.is_insertion,
-                    )
+        if not reference.has_node(update.source) or not reference.has_node(update.target):
+            continue
+        source_label = reference.node(update.source).label
+        target_label = reference.node(update.target).label
+        for pattern_edge in pattern_edges:
+            if update.label != pattern_edge.label:
+                continue
+            if not pattern.node(pattern_edge.source).matches_label(source_label):
+                continue
+            if not pattern.node(pattern_edge.target).matches_label(target_label):
+                continue
+            pivots.append(
+                UpdatePivot(
+                    rule=rule.name,
+                    pattern_edge=pattern_edge,
+                    source_node=update.source,
+                    target_node=update.target,
+                    from_insertion=update.is_insertion,
                 )
+            )
     return pivots
 
 

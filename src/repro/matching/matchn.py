@@ -147,50 +147,54 @@ class HomomorphismMatcher:
             del partial[variable]
 
     def _candidates_for(self, variable: str, partial: Mapping[str, Hashable]) -> list[Hashable]:
-        """Return candidates for ``variable``, preferring expansion from matched neighbours."""
+        """Return candidates for ``variable``, preferring expansion from matched neighbours.
+
+        Anchored candidates come from the store's label-filtered adjacency
+        index (O(result) on the indexed engine, not O(degree)); the returned
+        list is ordered by the store's insertion rank, which is deterministic
+        across runs and O(1) per key (unlike the old ``sorted(key=repr)``).
+        """
+        graph = self.graph
         pattern_node = self.pattern.node(variable)
         anchored: Optional[set[Hashable]] = None
         for edge in self.pattern.out_edges(variable):
             if edge.target in partial:
-                sources = {
-                    source
-                    for source, label in self.graph.predecessors(partial[edge.target])
-                    if label == edge.label
-                }
-                anchored = sources if anchored is None else anchored & sources
+                sources = graph.predecessors_by_label(partial[edge.target], edge.label)
+                if anchored is None:
+                    anchored = set(sources)
+                else:
+                    anchored.intersection_update(sources)
         for edge in self.pattern.in_edges(variable):
             if edge.source in partial:
-                targets = {
-                    target
-                    for target, label in self.graph.successors(partial[edge.source])
-                    if label == edge.label
-                }
-                anchored = targets if anchored is None else anchored & targets
+                targets = graph.successors_by_label(partial[edge.source], edge.label)
+                if anchored is None:
+                    anchored = set(targets)
+                else:
+                    anchored.intersection_update(targets)
         if anchored is not None:
             self.stats.candidates_examined += len(anchored)
             candidates = [
                 node_id
                 for node_id in anchored
-                if pattern_node.matches_label(self.graph.node(node_id).label)
+                if pattern_node.matches_label(graph.node(node_id).label)
             ]
             if self.use_literal_pruning and self.premise:
                 candidates = [
                     node_id
                     for node_id in candidates
-                    if node_satisfies_unary_premise(self.graph, node_id, variable, self.premise, self.stats)
+                    if node_satisfies_unary_premise(graph, node_id, variable, self.premise, self.stats)
                 ]
-            return sorted(candidates, key=repr)
-        return sorted(
-            candidate_nodes(
-                self.graph,
+        else:
+            candidates = candidate_nodes(
+                graph,
                 self.pattern,
                 variable,
                 premise=self.premise if self.use_literal_pruning else None,
                 use_literal_pruning=self.use_literal_pruning,
                 stats=self.stats,
-            ),
-            key=repr,
-        )
+            )
+        candidates.sort(key=graph.node_rank)
+        return candidates
 
     def _consistent_with_partial(
         self, variable: str, candidate: Hashable, partial: Mapping[str, Hashable]

@@ -1,0 +1,471 @@
+"""Parity and regression tests for the pluggable graph storage engines.
+
+The refactor's contract: every backend behind :class:`repro.graph.store.GraphStore`
+must be observationally identical through the :class:`Graph` facade — same
+violation sets from ``dect``/``inc_dect``, same subgraphs, same index
+consistency after arbitrary interleaved mutation — while the matcher's
+enumeration order must be deterministic across interpreter runs (and hence
+immune to string-hash randomization).
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.core.ngd import NGD
+from repro.detect import dect, inc_dect
+from repro.errors import GraphError
+from repro.graph.generators import random_labeled_graph
+from repro.graph.graph import WILDCARD, Graph
+from repro.graph.neighborhood import d_neighbor_of_nodes, update_neighborhood
+from repro.graph.pattern import Pattern
+from repro.graph.store import (
+    STORE_REGISTRY,
+    DictStore,
+    IndexedStore,
+    default_store_name,
+    make_store,
+)
+from repro.graph.updates import UpdateGenerator, apply_update
+from repro.matching.matchn import HomomorphismMatcher
+
+BACKENDS = sorted(STORE_REGISTRY)
+
+
+# ------------------------------------------------------------- store selection
+
+
+class TestStoreSelection:
+    def test_registry_contains_both_engines(self):
+        assert {"dict", "indexed"} <= set(STORE_REGISTRY)
+
+    def test_default_backend_is_indexed(self, monkeypatch):
+        monkeypatch.delenv("REPRO_GRAPH_STORE", raising=False)
+        assert default_store_name() == "indexed"
+        assert Graph().store_backend == "indexed"
+
+    def test_env_variable_selects_backend(self, monkeypatch):
+        monkeypatch.setenv("REPRO_GRAPH_STORE", "dict")
+        assert Graph().store_backend == "dict"
+
+    def test_explicit_name_beats_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_GRAPH_STORE", "dict")
+        assert Graph(store="indexed").store_backend == "indexed"
+
+    def test_store_instance_is_used_as_is(self):
+        store = DictStore()
+        graph = Graph(store=store)
+        assert graph.store is store
+
+    def test_unknown_backend_raises(self):
+        with pytest.raises(GraphError):
+            make_store("csr-not-yet")
+
+    def test_copy_and_subgraphs_preserve_backend(self):
+        for backend in BACKENDS:
+            graph = Graph(store=backend)
+            graph.add_node("a", "x")
+            graph.add_node("b", "x")
+            graph.add_edge("a", "b", "e")
+            assert graph.copy().store_backend == backend
+            assert graph.induced_subgraph(["a", "b"]).store_backend == backend
+
+    def test_with_backend_converts_and_preserves_content(self):
+        graph = Graph(store="dict")
+        graph.add_node("a", "x", {"val": 1})
+        graph.add_node("b", "y")
+        graph.add_edge("a", "b", "e")
+        converted = graph.with_backend("indexed")
+        assert converted.store_backend == "indexed"
+        assert converted == graph
+
+
+# ----------------------------------------------------------------- parity suite
+
+
+def _random_rules(seed: int) -> list[NGD]:
+    """Two small NGDs over the random-graph schema of ``_mutated_pair``."""
+    knows = Pattern.from_edges(
+        "knows", nodes=[("x", "person"), ("y", "person")], edges=[("x", "y", "knows")]
+    )
+    chain = Pattern.from_edges(
+        "chain",
+        nodes=[("x", "person"), ("y", "city"), ("z", WILDCARD)],
+        edges=[("x", "y", "near"), ("y", "z", "likes")],
+    )
+    return [
+        NGD.from_text(knows, "", "x.val >= y.val", name="val_order"),
+        NGD.from_text(chain, "x.val > 0", "y.val + z.val > 0", name="chain_sum"),
+    ]
+
+
+def _mutated_pair(seed: int, operations: int = 220) -> tuple[Graph, Graph]:
+    """Build two graphs (one per backend) through one interleaved op sequence.
+
+    The sequence mixes node/edge insertion, edge removal, node removal, and
+    attribute updates, exercising every index-maintenance path of both
+    engines identically.
+    """
+    rng = random.Random(seed)
+    graphs = (Graph("parity", store="dict"), Graph("parity", store="indexed"))
+    labels = ["person", "city", "thing"]
+    edge_labels = ["knows", "likes", "near"]
+    next_id = 0
+    for _ in range(operations):
+        live = [node.id for node in graphs[0].nodes()]
+        op = rng.random()
+        if op < 0.45 or len(live) < 2:
+            attrs = {"val": rng.randint(-40, 40)}
+            label = rng.choice(labels)
+            for graph in graphs:
+                graph.add_node(f"n{next_id}", label, attrs)
+            next_id += 1
+        elif op < 0.75:
+            source, target = rng.choice(live), rng.choice(live)
+            label = rng.choice(edge_labels)
+            if source != target:
+                for graph in graphs:
+                    graph.add_edge(source, target, label)
+        elif op < 0.85:
+            edges = list(graphs[0].edges())
+            if edges:
+                victim = rng.choice(edges)
+                for graph in graphs:
+                    graph.remove_edge(victim.source, victim.target, victim.label)
+        elif op < 0.92:
+            victim = rng.choice(live)
+            for graph in graphs:
+                graph.remove_node(victim)
+        else:
+            target = rng.choice(live)
+            value = rng.randint(-40, 40)
+            for graph in graphs:
+                graph.set_attribute(target, "val", value)
+    return graphs
+
+
+@pytest.mark.parametrize("seed", range(6))
+class TestBackendParity:
+    def test_interleaved_mutations_keep_engines_identical(self, seed):
+        dict_graph, indexed_graph = _mutated_pair(seed)
+        dict_graph.validate_consistency()
+        indexed_graph.validate_consistency()
+        assert dict_graph == indexed_graph
+        assert dict_graph.labels() == indexed_graph.labels()
+        assert dict_graph.edge_labels() == indexed_graph.edge_labels()
+        for node in dict_graph.nodes():
+            assert dict_graph.successors(node.id) == indexed_graph.successors(node.id)
+            assert dict_graph.predecessors(node.id) == indexed_graph.predecessors(node.id)
+            assert dict_graph.neighbours(node.id) == indexed_graph.neighbours(node.id)
+            assert dict_graph.degree(node.id) == indexed_graph.degree(node.id)
+            for label in dict_graph.edge_labels():
+                assert frozenset(dict_graph.successors_by_label(node.id, label)) == frozenset(
+                    indexed_graph.successors_by_label(node.id, label)
+                )
+
+    def test_dect_violations_identical(self, seed):
+        dict_graph, indexed_graph = _mutated_pair(seed)
+        rules = _random_rules(seed)
+        dict_result = frozenset(dect(dict_graph, rules).violations)
+        indexed_result = frozenset(dect(indexed_graph, rules).violations)
+        assert dict_result == indexed_result
+
+    def test_inc_dect_deltas_identical(self, seed):
+        dict_graph, indexed_graph = _mutated_pair(seed)
+        if dict_graph.edge_count() == 0:
+            pytest.skip("mutation sequence left no edges to update")
+        rules = _random_rules(seed)
+        generator = UpdateGenerator(seed=seed + 100)
+        delta = generator.generate(dict_graph, size=max(1, dict_graph.edge_count() // 5))
+        results = []
+        for graph in (dict_graph, indexed_graph):
+            outcome = inc_dect(graph, rules, delta)
+            results.append(
+                (frozenset(outcome.introduced()), frozenset(outcome.removed()))
+            )
+        assert results[0] == results[1]
+
+    def test_apply_update_keeps_consistency_on_both(self, seed):
+        dict_graph, indexed_graph = _mutated_pair(seed)
+        if dict_graph.edge_count() == 0:
+            pytest.skip("mutation sequence left no edges to update")
+        generator = UpdateGenerator(seed=seed + 31)
+        delta = generator.generate(dict_graph, size=max(1, dict_graph.edge_count() // 4))
+        updated_dict = apply_update(dict_graph, delta)
+        updated_indexed = apply_update(indexed_graph, delta)
+        updated_dict.validate_consistency()
+        updated_indexed.validate_consistency()
+        assert updated_dict == updated_indexed
+
+    def test_signature_index_parity_after_mutations(self, seed):
+        dict_graph, indexed_graph = _mutated_pair(seed)
+        signatures = {
+            (dict_graph.node(e.source).label, e.label, dict_graph.node(e.target).label)
+            for e in dict_graph.edges()
+        }
+        for source_label, edge_label, target_label in signatures:
+            expected = {e.key() for e in dict_graph.edges_with_signature(source_label, edge_label, target_label)}
+            actual = {e.key() for e in indexed_graph.edges_with_signature(source_label, edge_label, target_label)}
+            assert expected == actual
+        # wildcard endpoint queries go through the generic signature walk
+        for edge_label in dict_graph.edge_labels():
+            expected = {e.key() for e in dict_graph.edges_with_signature(WILDCARD, edge_label, WILDCARD)}
+            actual = {e.key() for e in indexed_graph.edges_with_signature(WILDCARD, edge_label, WILDCARD)}
+            assert expected == actual
+
+
+# ------------------------------------------------------- deterministic ordering
+
+
+_ORDER_SCRIPT = r"""
+import sys
+from repro.graph.graph import Graph
+from repro.graph.pattern import Pattern
+from repro.matching.matchn import HomomorphismMatcher
+
+graph = Graph(store=sys.argv[1])
+for index in range(40):
+    graph.add_node(f"p{index}", "person", {"val": index})
+for index in range(40):
+    graph.add_edge(f"p{index}", f"p{(index * 7 + 3) % 40}", "knows")
+    graph.add_edge(f"p{index}", f"p{(index * 11 + 5) % 40}", "knows")
+pattern = Pattern.from_edges(
+    "knows", nodes=[("x", "person"), ("y", "person")], edges=[("x", "y", "knows")]
+)
+for match in HomomorphismMatcher(graph, pattern).matches():
+    print(match["x"], match["y"])
+"""
+
+
+_COSTS_SCRIPT = r"""
+import sys
+from repro.datasets.kb import KBConfig, knowledge_graph
+from repro.datasets.rules import benchmark_rules
+from repro.graph.updates import UpdateGenerator, apply_update
+from repro.detect import dect, inc_dect, p_dect, pinc_dect
+
+config = KBConfig(
+    name="det", num_entities=120, num_entity_types=4, num_value_relations=3,
+    num_link_relations=3, values_per_entity=3, links_per_entity=1.0, seed=5,
+)
+graph = knowledge_graph(config, store=sys.argv[1])
+rules = benchmark_rules(graph, count=6, max_diameter=3, seed=0)
+delta = UpdateGenerator(seed=7).generate(graph, size=max(1, graph.edge_count() // 10))
+updated = apply_update(graph, delta)
+print("dect", dect(graph, rules).cost)
+print("pdect", p_dect(graph, rules, processors=4).cost)
+print("inc", inc_dect(graph, rules, delta, graph_after=updated).cost)
+print("pinc", pinc_dect(graph, rules, delta, processors=4, graph_after=updated).cost)
+print("delta", [(u.is_insertion, str(u.source), str(u.target), u.label) for u in delta])
+
+# induced-subgraph edge order feeds the vertex-cut partitioner: both must be
+# hash-seed independent (edges_between walks insertion-ordered adjacency)
+from repro.graph.neighborhood import d_neighbor_of_nodes
+from repro.graph.partition import greedy_vertex_cut
+
+region = d_neighbor_of_nodes(graph, list(graph.node_ids())[:8], hops=2)
+print("region_edges", [e.key() for e in region.edges()])
+cut = greedy_vertex_cut(region, 3)
+print("fragments", [sorted(map(str, f.nodes)) for f in cut.fragments])
+"""
+
+
+class TestDeterministicEnumeration:
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_match_order_stable_across_hash_seeds(self, backend, tmp_path):
+        """Enumeration order must survive string-hash randomization.
+
+        The old matcher sorted candidates with ``key=repr`` to paper over
+        set-iteration nondeterminism; the store's insertion rank replaces
+        that.  Running the same match in subprocesses with different
+        ``PYTHONHASHSEED`` values is the only way to actually vary the hash
+        seed, so that is what this regression test does.
+        """
+        script = tmp_path / "enumerate_matches.py"
+        script.write_text(_ORDER_SCRIPT, encoding="utf-8")
+        src = str(Path(__file__).resolve().parent.parent / "src")
+        outputs = []
+        for hash_seed in ("1", "2", "99"):
+            env = dict(os.environ, PYTHONHASHSEED=hash_seed, PYTHONPATH=src)
+            result = subprocess.run(
+                [sys.executable, str(script), backend],
+                capture_output=True,
+                text=True,
+                env=env,
+                check=True,
+            )
+            outputs.append(result.stdout)
+        assert outputs[0] == outputs[1] == outputs[2]
+        assert outputs[0].strip(), "matcher produced no matches"
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_detection_costs_stable_across_hash_seeds(self, backend, tmp_path):
+        """Algorithm costs must be pure functions of (graph, rules, Δ, seed).
+
+        Guards the fixed hash-order leaks: ``UpdateGenerator`` sampling labels
+        from frozensets and embedding ``id(graph)`` in new-node ids, and
+        ``candidate_nodes`` returning label-index iteration order.
+        """
+        script = tmp_path / "costs.py"
+        script.write_text(_COSTS_SCRIPT, encoding="utf-8")
+        src = str(Path(__file__).resolve().parent.parent / "src")
+        outputs = set()
+        for hash_seed in ("1", "2"):
+            env = dict(os.environ, PYTHONHASHSEED=hash_seed, PYTHONPATH=src)
+            result = subprocess.run(
+                [sys.executable, str(script), backend],
+                capture_output=True,
+                text=True,
+                env=env,
+                check=True,
+            )
+            outputs.add(result.stdout)
+        assert len(outputs) == 1, f"costs varied with PYTHONHASHSEED: {outputs}"
+
+    def test_match_order_is_insertion_order_ranked(self):
+        graph = Graph()
+        # insert in an order that disagrees with lexicographic order
+        for node_id in ("zz", "mm", "aa"):
+            graph.add_node(node_id, "person", {"val": 1})
+        for source in ("zz", "mm", "aa"):
+            for target in ("zz", "mm", "aa"):
+                if source != target:
+                    graph.add_edge(source, target, "knows")
+        pattern = Pattern.from_edges(
+            "knows", nodes=[("x", "person"), ("y", "person")], edges=[("x", "y", "knows")]
+        )
+        first_xs = [m["x"] for m in HomomorphismMatcher(graph, pattern).matches()]
+        # x candidates must be enumerated by insertion rank, not repr order
+        assert first_xs[0] == "zz"
+        ranks = [graph.node_rank(x) for x in dict.fromkeys(first_xs)]
+        assert ranks == sorted(ranks)
+
+    def test_node_rank_is_monotonic_and_survives_removal(self):
+        for backend in BACKENDS:
+            graph = Graph(store=backend)
+            graph.add_node("a", "x")
+            graph.add_node("b", "x")
+            graph.remove_node("a")
+            graph.add_node("c", "x")
+            assert graph.node_rank("b") < graph.node_rank("c")
+            with pytest.raises(KeyError):
+                graph.node_rank("a")
+
+
+# -------------------------------------------------------- subgraph construction
+
+
+class TestAdjacencyBuiltSubgraphs:
+    def _reference_induced(self, graph: Graph, wanted: set) -> Graph:
+        """The old O(|E|) implementation, kept here as the oracle."""
+        sub = Graph(f"{graph.name}[oracle]", store=graph.store_backend)
+        for node_id in wanted:
+            node = graph.node(node_id)
+            sub.add_node(node.id, node.label, node.attributes)
+        for edge in graph.edges():
+            if edge.source in wanted and edge.target in wanted:
+                sub.add_edge(edge.source, edge.target, edge.label)
+        return sub
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_induced_subgraph_matches_edge_scan_oracle_on_large_sparse_graph(self, backend):
+        graph = random_labeled_graph(
+            3000, 4500, num_labels=12, num_edge_labels=6, seed=5, store=backend
+        )
+        rng = random.Random(9)
+        wanted = set(rng.sample(sorted(graph.node_ids()), 400))
+        fast = graph.induced_subgraph(wanted)
+        oracle = self._reference_induced(graph, wanted)
+        assert fast == oracle
+        fast.validate_consistency()
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_neighborhood_extraction_matches_oracle(self, backend):
+        graph = random_labeled_graph(
+            800, 1600, num_labels=6, num_edge_labels=4, seed=3, store=backend
+        )
+        seeds = [node_id for node_id in list(graph.node_ids())[:10]]
+        fast = d_neighbor_of_nodes(graph, seeds, hops=2)
+        slow_union: set = set()
+        from repro.graph.neighborhood import nodes_within_hops
+
+        for seed in seeds:
+            slow_union |= nodes_within_hops(graph, seed, 2)
+        oracle = self._reference_induced(graph, slow_union)
+        assert fast == oracle
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_copy_clone_fast_path_is_equal_and_independent(self, backend):
+        graph = random_labeled_graph(200, 400, num_labels=5, num_edge_labels=3, seed=8, store=backend)
+        clone = graph.copy()
+        assert clone == graph
+        assert clone.store_backend == backend
+        some_edge = next(iter(graph.edges()))
+        clone.remove_edge(some_edge.source, some_edge.target, some_edge.label)
+        assert graph.has_edge(some_edge.source, some_edge.target, some_edge.label)
+        clone.validate_consistency()
+        graph.validate_consistency()
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_update_neighborhood_consistent(self, backend):
+        graph = random_labeled_graph(400, 900, num_labels=5, num_edge_labels=4, seed=2, store=backend)
+        generator = UpdateGenerator(seed=4)
+        delta = generator.generate(graph, size=40)
+        region = update_neighborhood(graph, delta, hops=2)
+        region.validate_consistency()
+        assert region.is_subgraph_of(graph)
+
+
+# ----------------------------------------------------------- zero-copy views
+
+
+class TestReadViews:
+    def test_views_compare_equal_to_frozensets(self):
+        graph = Graph(store="indexed")
+        graph.add_node("a", "person")
+        graph.add_node("b", "person")
+        graph.add_node("c", "city")
+        graph.add_edge("a", "b", "knows")
+        graph.add_edge("a", "c", "near")
+        assert graph.nodes_with_label("person") == frozenset({"a", "b"})
+        assert frozenset({"a", "b"}) == graph.nodes_with_label("person")
+        assert graph.successors_by_label("a", "knows") == frozenset({"b"})
+        assert graph.out_edge_labels("a") == frozenset({"knows", "near"})
+        assert ("b", "knows") in graph.successors("a")
+        assert len(graph.successors("a")) == 2
+
+    def test_indexed_views_are_zero_copy(self):
+        graph = Graph(store="indexed")
+        graph.add_node("a", "person")
+        graph.add_node("b", "person")
+        view = graph.nodes_with_label("person")
+        assert set(view) == {"a", "b"}
+        graph.add_node("c", "person")
+        # the view is live: it reflects mutations made after it was taken
+        assert set(view) == {"a", "b", "c"}
+
+    def test_dict_store_reads_are_defensive_copies(self):
+        graph = Graph(store="dict")
+        graph.add_node("a", "person")
+        snapshot = graph.nodes_with_label("person")
+        graph.add_node("b", "person")
+        assert set(snapshot) == {"a"}
+
+    def test_set_operations_on_views(self):
+        graph = Graph(store="indexed")
+        graph.add_node("a", "person")
+        graph.add_node("b", "person")
+        graph.add_node("c", "city")
+        graph.add_edge("a", "c", "near")
+        graph.add_edge("b", "c", "near")
+        sources = graph.predecessors_by_label("c", "near")
+        assert set(sources) & {"a", "x"} == {"a"}
+        anchored = {"a", "b", "zz"}
+        anchored.intersection_update(sources)
+        assert anchored == {"a", "b"}
