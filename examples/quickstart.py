@@ -6,13 +6,14 @@ Run with::
 
 The script builds the four example graphs from the paper's introduction
 (Yago dates, Yago population counts, DBpedia population ranks, Twitter fake
-accounts), applies the corresponding NGDs, prints the violations, and then
-shows the incremental detector reacting to a repair.
+accounts), streams the violations of the corresponding NGDs through one
+:class:`repro.Detector` session, and then shows the same session's
+incremental mode reacting to a repair.
 """
 
 from __future__ import annotations
 
-from repro import BatchUpdate, RuleSet, dect, inc_dect
+from repro import BatchUpdate, Detector, RuleSet
 from repro.core import phi1, phi2, phi3, phi4
 from repro.datasets.figure1 import figure1_graphs
 
@@ -21,11 +22,15 @@ def main() -> None:
     rules = RuleSet([phi1(), phi2(), phi3(), phi4()], name="example-rules")
     graphs = figure1_graphs()
 
+    # one session, reused across every graph and both detection modes
+    detector = Detector(rules, engine="auto")
+
     print("=== Batch detection on the Figure 1 graphs ===")
     for name, graph in graphs.items():
-        result = dect(graph, rules)
-        print(f"\n{name} ({graph.name}): {result.violation_count()} violation(s)")
-        for violation in sorted(result.violations, key=str):
+        # stream() yields each violation the moment its work unit completes
+        found = sorted(detector.stream(graph), key=str)
+        print(f"\n{name} ({graph.name}): {len(found)} violation(s)")
+        for violation in found:
             print(f"  {violation}")
 
     print("\n=== Incremental detection: repairing G2 ===")
@@ -39,7 +44,7 @@ def main() -> None:
     # the new value node must exist before it can be linked
     g2_with_value = g2.copy()
     g2_with_value.add_node("total_corrected", "integer", {"val": 600 + 722})
-    result = inc_dect(g2_with_value, rules, repair)
+    result = detector.run_incremental(g2_with_value, repair)
     print(f"violations removed by the repair: {len(result.removed())}")
     print(f"violations introduced by the repair: {len(result.introduced())}")
     for violation in result.removed():

@@ -6,9 +6,11 @@ paper, together with the substrates they need: a property-graph store,
 pattern matching by homomorphism, graph partitioning, a cluster simulator, a
 rule miner, and synthetic analogues of the evaluation datasets.
 
-Typical usage::
+Typical usage — a :class:`Detector` session unifies the paper's four
+algorithms (Dect / IncDect / PDect / PIncDect) behind one configuration
+surface with streaming and early termination::
 
-    from repro import Graph, find_violations
+    from repro import Detector, DetectionOptions, Graph
     from repro.core import phi2
 
     graph = Graph()
@@ -20,7 +22,16 @@ Typical usage::
     graph.add_edge("bhonpur", "m", "malePopulation")
     graph.add_edge("bhonpur", "t", "populationTotal")
 
-    print(find_violations(graph, [phi2()]))   # the Figure 1 population error
+    detector = Detector([phi2()], options=DetectionOptions(max_violations=10))
+    for violation in detector.stream(graph):   # the Figure 1 population error
+        print(violation)
+    result = detector.run(graph)               # or batch: a DetectionResult
+
+Rule sets are data: ``RuleSet.to_json`` / ``RuleSet.from_json`` round-trip
+rules through the textual literal notation, and the ``repro-detect`` CLI
+(``run`` / ``incremental`` / ``rules`` subcommands) drives everything from
+the shell.  The module-level functions ``dect`` / ``inc_dect`` / ``p_dect``
+/ ``pinc_dect`` remain as the compatibility layer over the session API.
 """
 
 from repro.core import (
@@ -35,9 +46,31 @@ from repro.core import (
     is_satisfiable,
     is_strongly_satisfiable,
 )
-from repro.detect import BalancingPolicy, dect, inc_dect, p_dect, pinc_dect
+from repro.detect import (
+    BalancingPolicy,
+    CallbackSink,
+    CollectingSink,
+    DetectionBudget,
+    DetectionOptions,
+    Detector,
+    ViolationEvent,
+    ViolationSink,
+    dect,
+    inc_dect,
+    p_dect,
+    pinc_dect,
+)
 from repro.errors import ReproError
-from repro.expr import Comparison, Literal, LiteralSet, parse_expression, parse_literal, parse_literal_set
+from repro.expr import (
+    Comparison,
+    Literal,
+    LiteralSet,
+    format_literal,
+    format_literal_set,
+    parse_expression,
+    parse_literal,
+    parse_literal_set,
+)
 from repro.graph import (
     BatchUpdate,
     Graph,
@@ -46,12 +79,17 @@ from repro.graph import (
     apply_update,
 )
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "BalancingPolicy",
     "BatchUpdate",
+    "CallbackSink",
+    "CollectingSink",
     "Comparison",
+    "DetectionBudget",
+    "DetectionOptions",
+    "Detector",
     "Graph",
     "Literal",
     "LiteralSet",
@@ -62,11 +100,15 @@ __all__ = [
     "UpdateGenerator",
     "Violation",
     "ViolationDelta",
+    "ViolationEvent",
     "ViolationSet",
+    "ViolationSink",
     "__version__",
     "apply_update",
     "dect",
     "find_violations",
+    "format_literal",
+    "format_literal_set",
     "graph_satisfies",
     "implies",
     "inc_dect",

@@ -1,40 +1,150 @@
 """Command-line entry point: detect NGD violations in a graph file.
 
-Installed as ``repro-detect``.  Usage::
+Installed as ``repro-detect``.  Subcommands::
 
-    repro-detect GRAPH.json [--rules example] [--update UPDATE.json] [--processors 8]
+    repro-detect run GRAPH.json [--rules example] [--rules-file RULES.json]
+                                [--engine auto|batch|parallel] [--processors 8]
+                                [--format text|json] [--max-violations N]
+    repro-detect incremental GRAPH.json --update UPDATE.json [--processors 8] [...]
+    repro-detect rules list|export [--rules effectiveness] [--output RULES.json]
 
-``--rules example`` uses the paper's Example 3 rules (φ1–φ4);
-``--rules effectiveness`` uses NGD1–NGD3 of Exp-5.  With ``--update`` the
-incremental algorithm runs against the batch update stored in the JSON file;
-otherwise batch detection runs on the whole graph.
+``run`` performs batch detection of ``Vio(Σ, G)``; ``incremental`` computes
+ΔVio(Σ, G, ΔG) against the batch update stored in ``--update``; ``rules``
+inspects or exports rule sets in the JSON rule-file format
+(:meth:`repro.core.ngd.RuleSet.to_json`), which ``--rules-file`` loads back.
+
+Exit codes are stable for scripting: **0** — the graph is verified clean
+(the search completed with no violations / empty ΔVio), **1** — violations
+were found, **2** — usage or input error (bad flags, unreadable files,
+malformed rules), **3** — the search stopped early (``--max-violations`` /
+``--max-cost``) without finding anything, so cleanliness was *not* verified.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from collections.abc import Sequence
+from typing import Optional, Union
 
 from repro.core.builtin_rules import effectiveness_rules, example_rules
-from repro.detect import dect, inc_dect, pinc_dect
+from repro.core.ngd import RuleSet
+from repro.detect import (
+    DetectionOptions,
+    DetectionResult,
+    Detector,
+    IncrementalDetectionResult,
+)
+from repro.errors import ReproError
 from repro.graph.io import load_graph, load_update
 from repro.graph.store import STORE_REGISTRY, default_store_name
 
-__all__ = ["main"]
+__all__ = ["main", "format_result", "result_to_dict"]
+
+#: Stable exit codes (documented in the module docstring).
+EXIT_CLEAN = 0
+EXIT_VIOLATIONS = 1
+EXIT_USAGE = 2
+EXIT_INCOMPLETE = 3
 
 
-def _build_parser() -> argparse.ArgumentParser:
-    parser = argparse.ArgumentParser(prog="repro-detect", description=__doc__)
-    parser.add_argument("graph", help="path to a graph JSON file (see repro.graph.io)")
+# ---------------------------------------------------------------- formatting
+
+
+def result_to_dict(result: Union[DetectionResult, IncrementalDetectionResult]) -> dict:
+    """Return the JSON document for a detection result (the ``--format json`` schema).
+
+    Batch results carry ``violations``; incremental results carry
+    ``introduced`` / ``removed`` and ``total_changes``.  Violations are
+    sorted by their textual form, so output is deterministic.
+    """
+
+    def violation_entry(violation) -> dict:
+        return {
+            "rule": violation.rule,
+            "variables": list(violation.variables),
+            "nodes": list(violation.nodes),
+            "assignment": violation.mapping(),
+        }
+
+    document: dict = {
+        "algorithm": result.algorithm,
+        "cost": result.cost,
+        "processors": result.processors,
+        "stopped_early": result.stopped_early,
+        "stop_reason": result.stop_reason,
+    }
+    if isinstance(result, IncrementalDetectionResult):
+        document["introduced"] = [
+            violation_entry(v) for v in sorted(result.introduced(), key=str)
+        ]
+        document["removed"] = [violation_entry(v) for v in sorted(result.removed(), key=str)]
+        document["total_changes"] = result.total_changes()
+    else:
+        document["violations"] = [
+            violation_entry(v) for v in sorted(result.violations, key=str)
+        ]
+        document["violation_count"] = result.violation_count()
+    return document
+
+
+def format_result(
+    result: Union[DetectionResult, IncrementalDetectionResult],
+    output_format: str = "text",
+) -> str:
+    """Render a detection result for the terminal (shared by every subcommand).
+
+    ``output_format`` is ``"text"`` (the human-readable listing) or
+    ``"json"`` (the :func:`result_to_dict` document, indented).
+    """
+    if output_format == "json":
+        return json.dumps(result_to_dict(result), indent=2, default=str, sort_keys=True)
+
+    lines: list[str] = []
+    suffix = f" (stopped early: {result.stop_reason})" if result.stopped_early else ""
+    if isinstance(result, IncrementalDetectionResult):
+        lines.append(
+            f"{result.algorithm}: +{len(result.introduced())} / "
+            f"-{len(result.removed())} violations{suffix}"
+        )
+        for violation in sorted(result.introduced(), key=str):
+            lines.append(f"  + {violation}")
+        for violation in sorted(result.removed(), key=str):
+            lines.append(f"  - {violation}")
+    else:
+        lines.append(f"{result.algorithm}: {result.violation_count()} violations{suffix}")
+        for violation in sorted(result.violations, key=str):
+            lines.append(f"  {violation}")
+    return "\n".join(lines)
+
+
+# ------------------------------------------------------------------- parsing
+
+
+def _add_rules_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--rules",
         choices=("example", "effectiveness"),
         default="example",
         help="which built-in rule set to apply (default: example = φ1–φ4)",
     )
-    parser.add_argument("--update", help="path to a batch-update JSON file; enables incremental mode")
-    parser.add_argument("--processors", type=int, default=1, help="simulated processors (>1 uses PIncDect)")
+    parser.add_argument(
+        "--rules-file",
+        help="load the rule set from a JSON rule file instead of the built-ins "
+        "(see 'repro-detect rules export')",
+    )
+
+
+def _add_detection_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("graph", help="path to a graph JSON file (see repro.graph.io)")
+    _add_rules_arguments(parser)
+    parser.add_argument(
+        "--processors",
+        type=int,
+        default=1,
+        help="simulated processors (>1 selects the parallel kernels)",
+    )
     parser.add_argument(
         "--store",
         choices=sorted(STORE_REGISTRY),
@@ -45,32 +155,173 @@ def _build_parser() -> argparse.ArgumentParser:
             "'indexed' the label-indexed optimized one"
         ),
     )
+    parser.add_argument(
+        "--format",
+        dest="output_format",
+        choices=("text", "json"),
+        default="text",
+        help="output format (default: text)",
+    )
+    parser.add_argument(
+        "--max-violations",
+        type=int,
+        default=None,
+        metavar="N",
+        help="stop after N violations (early termination inside the kernel)",
+    )
+    parser.add_argument(
+        "--max-cost",
+        type=float,
+        default=None,
+        metavar="C",
+        help="stop once the cost measure reaches C work units",
+    )
+    parser.add_argument(
+        "--no-literal-pruning",
+        action="store_true",
+        help="disable literal-driven pruning of partial solutions",
+    )
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-detect",
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    run_parser = subparsers.add_parser(
+        "run", help="batch detection of Vio(Σ, G) over a whole graph"
+    )
+    _add_detection_arguments(run_parser)
+    run_parser.add_argument(
+        "--engine",
+        choices=("auto", "batch", "parallel"),
+        default="auto",
+        help="execution engine (default: auto = batch unless --processors > 1)",
+    )
+    run_parser.set_defaults(handler=_cmd_run)
+
+    incremental_parser = subparsers.add_parser(
+        "incremental", help="incremental detection of ΔVio(Σ, G, ΔG) against an update"
+    )
+    _add_detection_arguments(incremental_parser)
+    incremental_parser.add_argument(
+        "--update", required=True, help="path to a batch-update JSON file"
+    )
+    incremental_parser.set_defaults(handler=_cmd_incremental)
+
+    rules_parser = subparsers.add_parser(
+        "rules", help="list or export rule sets in the JSON rule-file format"
+    )
+    rules_parser.add_argument("action", choices=("list", "export"))
+    _add_rules_arguments(rules_parser)
+    rules_parser.add_argument(
+        "--format",
+        dest="output_format",
+        choices=("text", "json"),
+        default="text",
+        help="output format for 'list' (default: text)",
+    )
+    rules_parser.add_argument(
+        "--output", "-o", default=None, help="write 'export' output to this file instead of stdout"
+    )
+    rules_parser.set_defaults(handler=_cmd_rules)
+
     return parser
 
 
-def main(argv: Sequence[str] | None = None) -> int:
-    """Run the CLI; returns a process exit code."""
-    args = _build_parser().parse_args(argv)
-    graph = load_graph(args.graph, store=args.store)
-    rules = example_rules() if args.rules == "example" else effectiveness_rules()
+# ------------------------------------------------------------------ commands
 
-    if args.update:
-        delta = load_update(args.update)
-        if args.processors > 1:
-            result = pinc_dect(graph, rules, delta, processors=args.processors)
+
+def _load_rules(args: argparse.Namespace) -> RuleSet:
+    if getattr(args, "rules_file", None):
+        return RuleSet.load(args.rules_file)
+    return example_rules() if args.rules == "example" else effectiveness_rules()
+
+
+def _build_detector(args: argparse.Namespace, engine: str) -> Detector:
+    options = DetectionOptions(
+        use_literal_pruning=not args.no_literal_pruning,
+        max_violations=args.max_violations,
+        max_cost=args.max_cost,
+    )
+    return Detector(
+        _load_rules(args),
+        engine=engine,
+        processors=args.processors,
+        options=options,
+    )
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    graph = load_graph(args.graph, store=args.store)
+    detector = _build_detector(args, engine=args.engine)
+    result = detector.run(graph)
+    print(format_result(result, args.output_format))
+    if result.violation_count():
+        return EXIT_VIOLATIONS
+    # a truncated search that found nothing has not verified cleanliness
+    return EXIT_INCOMPLETE if result.stopped_early else EXIT_CLEAN
+
+
+def _cmd_incremental(args: argparse.Namespace) -> int:
+    graph = load_graph(args.graph, store=args.store)
+    delta = load_update(args.update)
+    detector = _build_detector(args, engine="auto")
+    result = detector.run_incremental(graph, delta)
+    print(format_result(result, args.output_format))
+    if result.total_changes():
+        return EXIT_VIOLATIONS
+    return EXIT_INCOMPLETE if result.stopped_early else EXIT_CLEAN
+
+
+def _cmd_rules(args: argparse.Namespace) -> int:
+    rule_set = _load_rules(args)
+    if args.action == "export":
+        if args.output:
+            rule_set.save(args.output)
         else:
-            result = inc_dect(graph, rules, delta)
-        print(f"{result.algorithm}: +{len(result.introduced())} / -{len(result.removed())} violations")
-        for violation in sorted(result.introduced(), key=str):
-            print(f"  + {violation}")
-        for violation in sorted(result.removed(), key=str):
-            print(f"  - {violation}")
+            print(rule_set.to_json())
+        return EXIT_CLEAN
+    if args.output_format == "json":
+        listing = [
+            {
+                "name": rule.name,
+                "pattern": rule.pattern.name,
+                "pattern_size": rule.pattern.size(),
+                "diameter": rule.diameter(),
+                "premise": str(rule.premise),
+                "conclusion": str(rule.conclusion),
+            }
+            for rule in rule_set
+        ]
+        print(json.dumps({"name": rule_set.name, "rules": listing}, indent=2, ensure_ascii=False))
     else:
-        result = dect(graph, rules)
-        print(f"{result.algorithm}: {result.violation_count()} violations")
-        for violation in sorted(result.violations, key=str):
-            print(f"  {violation}")
-    return 0
+        print(f"{rule_set.name}: {len(rule_set)} rules, dΣ={rule_set.diameter()}")
+        for rule in rule_set:
+            print(f"  {rule}")
+    return EXIT_CLEAN
+
+
+# --------------------------------------------------------------------- entry
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Run the CLI; returns a stable process exit code (see module docstring)."""
+    parser = _build_parser()
+    try:
+        args = parser.parse_args(argv)
+    except SystemExit as exc:
+        # argparse exits 2 on usage errors and 0 on --help; surface the code
+        # as a return value so embedding callers (and tests) never see exits.
+        return int(exc.code or 0)
+    try:
+        return args.handler(args)
+    except (ReproError, OSError, json.JSONDecodeError) as exc:
+        print(f"repro-detect: error: {exc}", file=sys.stderr)
+        return EXIT_USAGE
 
 
 if __name__ == "__main__":  # pragma: no cover - manual invocation

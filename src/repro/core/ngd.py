@@ -25,10 +25,13 @@ stays coNP) but whose satisfiability/implication the checkers refuse.
 
 from __future__ import annotations
 
+import json
 from collections.abc import Iterable, Iterator, Mapping
-from typing import Optional
+from pathlib import Path
+from typing import Optional, Union
 
 from repro.errors import DependencyError, NonLinearExpressionError
+from repro.expr.format import format_literal_set
 from repro.expr.literals import Literal, LiteralSet
 from repro.expr.parser import parse_literal_set
 from repro.graph.pattern import Pattern
@@ -95,6 +98,49 @@ class NGD:
             name=name,
             allow_nonlinear=allow_nonlinear,
         )
+
+    @classmethod
+    def from_dict(cls, document: dict) -> "NGD":
+        """Rebuild an NGD from :meth:`to_dict` output.
+
+        The premise and conclusion round-trip through the textual literal
+        notation (:mod:`repro.expr.parser`), so a rule file is readable and
+        editable by hand.  Raises :class:`DependencyError` on malformed
+        documents and the usual parse/validation errors on bad literals.
+        """
+        if not isinstance(document, dict) or "pattern" not in document:
+            raise DependencyError("NGD document must be a dict with a 'pattern' entry")
+        premise = document.get("premise", "")
+        conclusion = document.get("conclusion", "")
+        if not isinstance(premise, str) or not isinstance(conclusion, str):
+            raise DependencyError(
+                "NGD 'premise' and 'conclusion' must be literal-set strings"
+            )
+        return cls.from_text(
+            Pattern.from_dict(document["pattern"]),
+            premise=premise,
+            conclusion=conclusion,
+            name=document.get("name"),
+            allow_nonlinear=bool(document.get("allow_nonlinear", False)),
+        )
+
+    def to_dict(self) -> dict:
+        """Return a JSON-serialisable description of this NGD.
+
+        Shape: ``{"name", "pattern": Pattern.to_dict(), "premise",
+        "conclusion"}`` with the literal sets rendered in the parser's
+        textual notation (plus ``"allow_nonlinear": true`` for rules in the
+        extended class), so ``NGD.from_dict(ngd.to_dict()) == ngd``.
+        """
+        document = {
+            "name": self.name,
+            "pattern": self.pattern.to_dict(),
+            "premise": format_literal_set(self.premise),
+            "conclusion": format_literal_set(self.conclusion),
+        }
+        if self.allow_nonlinear:
+            document["allow_nonlinear"] = True
+        return document
 
     def all_literals(self) -> Iterator[Literal]:
         """Iterate over the literals of X then Y."""
@@ -232,6 +278,49 @@ class RuleSet:
             if rule.name == name:
                 return rule
         raise DependencyError(f"no rule named {name!r} in {self.name}")
+
+    # ----------------------------------------------------------- serialization
+
+    def to_dict(self) -> dict:
+        """Return ``{"name": ..., "rules": [NGD.to_dict(), ...]}``."""
+        return {"name": self.name, "rules": [rule.to_dict() for rule in self._rules]}
+
+    @classmethod
+    def from_dict(cls, document: dict) -> "RuleSet":
+        """Rebuild a rule set from :meth:`to_dict` output."""
+        if not isinstance(document, dict) or not isinstance(document.get("rules"), list):
+            raise DependencyError("rule-set document must be a dict with a 'rules' list")
+        return cls(
+            (NGD.from_dict(entry) for entry in document["rules"]),
+            name=document.get("name", "Σ"),
+        )
+
+    def to_json(self, indent: Optional[int] = 2) -> str:
+        """Serialise the rule set to a JSON string (the rule-file format).
+
+        The literals are stored in the parser's textual notation, so the
+        file is hand-editable; ``RuleSet.from_json(rules.to_json())``
+        round-trips exactly (same names, patterns, and literal ASTs).
+        """
+        return json.dumps(self.to_dict(), indent=indent, ensure_ascii=False)
+
+    @classmethod
+    def from_json(cls, text: str) -> "RuleSet":
+        """Rebuild a rule set from :meth:`to_json` output."""
+        try:
+            document = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise DependencyError(f"rule-set JSON is malformed: {exc}") from exc
+        return cls.from_dict(document)
+
+    def save(self, path: Union[str, Path]) -> None:
+        """Write the rule set to ``path`` as JSON (see :meth:`to_json`)."""
+        Path(path).write_text(self.to_json() + "\n", encoding="utf-8")
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "RuleSet":
+        """Load a rule set previously written by :meth:`save`."""
+        return cls.from_json(Path(path).read_text(encoding="utf-8"))
 
     def __repr__(self) -> str:  # pragma: no cover - debugging helper
         return f"RuleSet({self.name!r}, {len(self._rules)} rules, dΣ={self.diameter()})"

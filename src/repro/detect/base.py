@@ -49,9 +49,11 @@ class DetectionResult:
     processors: int = 1
     worker_traces: list[WorkerTrace] = field(default_factory=list)
     algorithm: str = "Dect"
+    stopped_early: bool = False
+    stop_reason: Optional[str] = None
 
     def violation_count(self) -> int:
-        """Return |Vio(Σ, G)|."""
+        """Return |Vio(Σ, G)| (a lower bound when ``stopped_early``)."""
         return len(self.violations)
 
 
@@ -67,6 +69,8 @@ class IncrementalDetectionResult:
     worker_traces: list[WorkerTrace] = field(default_factory=list)
     algorithm: str = "IncDect"
     neighborhood_size: Optional[int] = None
+    stopped_early: bool = False
+    stop_reason: Optional[str] = None
 
     def introduced(self) -> ViolationSet:
         """Return ΔVio⁺."""

@@ -13,35 +13,55 @@ same units as the simulated parallel makespans and the speedups of Figures
 4(a)–(l) are measured against a consistent yardstick.  The independent
 recursive matcher in :mod:`repro.core.validation` serves as ground truth in
 the tests.
+
+:func:`iter_dect` is the kernel itself: a generator that yields each
+violation the moment its work unit completes and honours an optional
+:class:`~repro.detect.observers.DetectionBudget`.  :func:`dect` is the
+original batch entry point, kept as a thin compatibility shim over the
+:class:`~repro.detect.session.Detector` session.
 """
 
 from __future__ import annotations
 
 import time
+from collections.abc import Iterator
+from typing import Optional
 
 from repro.core.ngd import NGD, RuleSet
 from repro.core.violations import Violation, ViolationSet
 from repro.detect.base import DetectionResult
+from repro.detect.observers import DetectionBudget, ViolationSink
 from repro.detect.parallel.workunits import WorkUnit, expand_work_unit
 from repro.graph.graph import Graph
 from repro.matching.candidates import MatchStatistics, candidate_nodes
 from repro.matching.matchn import match_violates_dependency
 
-__all__ = ["dect"]
+__all__ = ["dect", "iter_dect"]
 
 
-def dect(
+def iter_dect(
     graph: Graph,
     rules: RuleSet | list[NGD],
     use_literal_pruning: bool = True,
-) -> DetectionResult:
-    """Run batch detection of ``Vio(Σ, G)`` over the whole graph."""
+    budget: Optional[DetectionBudget] = None,
+    sink: Optional[ViolationSink] = None,
+) -> Iterator[Violation]:
+    """Run batch detection, yielding each violation as it is confirmed.
+
+    The generator's return value (``StopIteration.value``, or via
+    :func:`repro.detect.observers.drain`) is the :class:`DetectionResult`.
+    ``budget`` limits are enforced between work units, so a capped run
+    performs strictly less work than a full one; ``sink`` (if given) is
+    notified of every violation right before it is yielded.
+    """
     rule_set = rules if isinstance(rules, RuleSet) else RuleSet(rules)
     rule_list = list(rule_set)
     stats = MatchStatistics()
     started = time.perf_counter()
     violations = ViolationSet()
     cost = 0.0
+    emitted = 0
+    stop_reason: Optional[str] = None
 
     for rule_index, rule in enumerate(rule_list):
         order = tuple(rule.pattern.matching_order())
@@ -56,23 +76,48 @@ def dect(
             use_literal_pruning=use_literal_pruning,
             stats=stats,
         )
-        cost += graph.nodes_with_label(rule.pattern.node(first).label).__len__()
+        cost += len(graph.nodes_with_label(rule.pattern.node(first).label))
+        if budget is not None and budget.cost_exhausted(cost):
+            stop_reason = "max_cost"
+            break
         stack: list[WorkUnit] = []
         for candidate in candidates:
             unit = WorkUnit(rule_index=rule_index, order=order, assignment=((first, candidate),))
             if unit.is_complete():
                 cost += 1.0
                 if match_violates_dependency(graph, unit.mapping(), rule.premise, rule.conclusion, stats):
-                    violations.add(Violation.from_mapping(rule.name, unit.mapping(), rule.pattern.variables))
+                    violation = Violation.from_mapping(rule.name, unit.mapping(), rule.pattern.variables)
+                    if violation not in violations:
+                        violations.add(violation)
+                        emitted += 1
+                        if sink is not None:
+                            sink.on_violation(violation)
+                        yield violation
+                        if budget is not None and budget.violations_exhausted(emitted):
+                            stop_reason = "max_violations"
+                            break
             else:
                 stack.append(unit)
-        while stack:
+        while stop_reason is None and stack:
             unit = stack.pop()
             outcome = expand_work_unit(graph, rule, unit, use_literal_pruning=use_literal_pruning, stats=stats)
             cost += max(outcome.filtering_adjacency, 1) + outcome.verification_adjacency
             stack.extend(outcome.new_units)
             for violation in outcome.violations:
+                if violation in violations:
+                    continue
                 violations.add(violation)
+                emitted += 1
+                if sink is not None:
+                    sink.on_violation(violation)
+                yield violation
+                if budget is not None and budget.violations_exhausted(emitted):
+                    stop_reason = "max_violations"
+                    break
+            if stop_reason is None and budget is not None and budget.cost_exhausted(cost):
+                stop_reason = "max_cost"
+        if stop_reason is not None:
+            break
 
     elapsed = time.perf_counter() - started
     return DetectionResult(
@@ -82,4 +127,24 @@ def dect(
         cost=cost,
         processors=1,
         algorithm="Dect",
+        stopped_early=stop_reason is not None,
+        stop_reason=stop_reason,
     )
+
+
+def dect(
+    graph: Graph,
+    rules: RuleSet | list[NGD],
+    use_literal_pruning: bool = True,
+) -> DetectionResult:
+    """Run batch detection of ``Vio(Σ, G)`` over the whole graph.
+
+    Compatibility shim: equivalent to
+    ``Detector(rules, engine="batch").run(graph)``; new code should prefer
+    the :class:`~repro.detect.session.Detector` session, which adds
+    streaming, sinks, and budgets on the same kernel.
+    """
+    from repro.detect.session import DetectionOptions, Detector
+
+    options = DetectionOptions(use_literal_pruning=use_literal_pruning)
+    return Detector(rules, engine="batch", options=options).run(graph)

@@ -21,16 +21,24 @@ uses the same units as the simulated parallel makespans, making PIncDect's
 relative parallel scalability (Theorem 6) directly observable in the
 benchmarks.  ``restrict_to_neighborhood`` optionally extracts ``G_dΣ(ΔG)``
 up front to demonstrate locality explicitly.
+
+:func:`iter_inc_dect` is the kernel: a generator yielding a
+:class:`~repro.detect.observers.ViolationEvent` (violation + ΔVio⁺/ΔVio⁻
+direction) per finding, with optional sink notification and budget-capped
+early termination.  :func:`inc_dect` keeps the original signature as a
+compatibility shim over the :class:`~repro.detect.session.Detector` session.
 """
 
 from __future__ import annotations
 
 import time
+from collections.abc import Iterator
 from typing import Optional
 
 from repro.core.ngd import NGD, RuleSet
 from repro.core.violations import ViolationDelta, ViolationSet
 from repro.detect.base import IncrementalDetectionResult
+from repro.detect.observers import DetectionBudget, ViolationEvent, ViolationSink
 from repro.detect.parallel.workunits import (
     WorkUnit,
     expand_work_unit,
@@ -43,24 +51,28 @@ from repro.graph.updates import BatchUpdate, apply_update
 from repro.matching.candidates import MatchStatistics
 from repro.matching.incmatch import find_update_pivots
 
-__all__ = ["inc_dect"]
+__all__ = ["inc_dect", "iter_inc_dect"]
 
 
-def inc_dect(
+def iter_inc_dect(
     graph: Graph,
     rules: RuleSet | list[NGD],
     delta: BatchUpdate,
     use_literal_pruning: bool = True,
     restrict_to_neighborhood: bool = False,
     graph_after: Optional[Graph] = None,
-) -> IncrementalDetectionResult:
-    """Compute ΔVio(Σ, G, ΔG) with the update-driven sequential algorithm.
+    budget: Optional[DetectionBudget] = None,
+    sink: Optional[ViolationSink] = None,
+) -> Iterator[ViolationEvent]:
+    """Run incremental detection, yielding each ΔVio event as it is confirmed.
 
-    ``graph_after`` may be supplied when the caller has already materialised
-    ``G ⊕ ΔG`` (the experiment harness reuses it across algorithms); otherwise
-    it is computed here, and its construction is not charged to the
-    algorithm's cost (the paper likewise assumes the updated graph is
-    maintained by the storage layer).
+    Yields :class:`ViolationEvent` objects (``introduced=True`` for ΔVio⁺,
+    ``False`` for ΔVio⁻); the generator's return value is the
+    :class:`IncrementalDetectionResult`.  ``graph_after`` may be supplied
+    when the caller has already materialised ``G ⊕ ΔG`` (the experiment
+    harness reuses it across algorithms); otherwise it is computed here, and
+    its construction is not charged to the algorithm's cost (the paper
+    likewise assumes the updated graph is maintained by the storage layer).
     """
     rule_set = rules if isinstance(rules, RuleSet) else RuleSet(rules)
     rule_list = list(rule_set)
@@ -86,8 +98,13 @@ def inc_dect(
     introduced = ViolationSet()
     removed = ViolationSet()
     cost = float(neighborhood_size)
+    emitted = 0
+    stop_reason: Optional[str] = None
 
     for rule_index, rule in enumerate(rule_list):
+        if budget is not None and budget.cost_exhausted(cost):
+            stop_reason = "max_cost"
+            break
         pivots = find_update_pivots(rule, delta, search_before, search_after)
         if not pivots:
             continue
@@ -99,13 +116,28 @@ def inc_dect(
                 continue
             cost += 1.0
             stack.append(unit)
-        while stack:
+        while stop_reason is None and stack:
             unit = stack.pop()
             search_graph = search_after if unit.from_insertion else search_before
             outcome = expand_work_unit(search_graph, rule, unit, use_literal_pruning, stats)
             cost += max(outcome.filtering_adjacency, 1) + outcome.verification_adjacency
             stack.extend(outcome.new_units)
-            _absorb(outcome, unit, introduced, removed)
+            target = introduced if unit.from_insertion else removed
+            for violation in outcome.violations:
+                if violation in target:
+                    continue
+                target.add(violation)
+                emitted += 1
+                if sink is not None:
+                    sink.on_violation(violation, introduced=unit.from_insertion)
+                yield ViolationEvent(violation, introduced=unit.from_insertion)
+                if budget is not None and budget.violations_exhausted(emitted):
+                    stop_reason = "max_violations"
+                    break
+            if stop_reason is None and budget is not None and budget.cost_exhausted(cost):
+                stop_reason = "max_cost"
+        if stop_reason is not None:
+            break
 
     elapsed = time.perf_counter() - started
     return IncrementalDetectionResult(
@@ -116,11 +148,30 @@ def inc_dect(
         processors=1,
         algorithm="IncDect",
         neighborhood_size=neighborhood_size,
+        stopped_early=stop_reason is not None,
+        stop_reason=stop_reason,
     )
 
 
-def _absorb(outcome, unit: WorkUnit, introduced: ViolationSet, removed: ViolationSet) -> None:
-    """Route the violations of an expansion outcome into ΔVio⁺ or ΔVio⁻."""
-    target = introduced if unit.from_insertion else removed
-    for violation in outcome.violations:
-        target.add(violation)
+def inc_dect(
+    graph: Graph,
+    rules: RuleSet | list[NGD],
+    delta: BatchUpdate,
+    use_literal_pruning: bool = True,
+    restrict_to_neighborhood: bool = False,
+    graph_after: Optional[Graph] = None,
+) -> IncrementalDetectionResult:
+    """Compute ΔVio(Σ, G, ΔG) with the update-driven sequential algorithm.
+
+    Compatibility shim: equivalent to ``Detector(rules,
+    engine="incremental").run_incremental(graph, delta, graph_after)``; new
+    code should prefer the :class:`~repro.detect.session.Detector` session.
+    """
+    from repro.detect.session import DetectionOptions, Detector
+
+    options = DetectionOptions(
+        use_literal_pruning=use_literal_pruning,
+        restrict_to_neighborhood=restrict_to_neighborhood,
+    )
+    detector = Detector(rules, engine="incremental", options=options)
+    return detector.run_incremental(graph, delta, graph_after=graph_after)

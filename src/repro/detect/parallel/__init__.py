@@ -2,8 +2,8 @@
 
 from repro.detect.parallel.balancing import BalancingPolicy, plan_rebalancing, should_split, skewness
 from repro.detect.parallel.cluster import ClusterSimulator
-from repro.detect.parallel.pdect import p_dect
-from repro.detect.parallel.pincdect import pinc_dect
+from repro.detect.parallel.pdect import iter_p_dect, p_dect
+from repro.detect.parallel.pincdect import iter_pinc_dect, pinc_dect
 from repro.detect.parallel.threaded import threaded_dect, threaded_inc_dect
 from repro.detect.parallel.workunits import ExpansionOutcome, WorkUnit, expand_work_unit
 
@@ -13,6 +13,8 @@ __all__ = [
     "ExpansionOutcome",
     "WorkUnit",
     "expand_work_unit",
+    "iter_p_dect",
+    "iter_pinc_dect",
     "p_dect",
     "pinc_dect",
     "plan_rebalancing",

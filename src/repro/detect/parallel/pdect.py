@@ -13,16 +13,24 @@ same mechanism as PIncDect).
 Because batch detection visits every candidate in ``G`` regardless of ΔG, its
 makespan is essentially flat across update sizes — which is exactly the
 behaviour Figures 4(a)–(d) show for PDect.
+
+:func:`iter_p_dect` is the kernel: a generator yielding each violation as
+its work unit completes on the simulated cluster, with optional sink
+notification and budget-capped early termination (``max_cost`` caps the
+simulated makespan).  :func:`p_dect` keeps the original signature as a
+compatibility shim over the :class:`~repro.detect.session.Detector` session.
 """
 
 from __future__ import annotations
 
 import time
+from collections.abc import Iterator
 from typing import Optional
 
 from repro.core.ngd import NGD, RuleSet
 from repro.core.violations import Violation, ViolationSet
 from repro.detect.base import DetectionResult
+from repro.detect.observers import DetectionBudget, ViolationSink
 from repro.detect.parallel.balancing import BalancingPolicy, plan_rebalancing, should_split, skewness
 from repro.detect.parallel.cluster import ClusterSimulator
 from repro.detect.parallel.workunits import WorkUnit, expand_work_unit
@@ -30,17 +38,25 @@ from repro.graph.graph import Graph
 from repro.matching.candidates import MatchStatistics, candidate_nodes
 from repro.matching.matchn import match_violates_dependency
 
-__all__ = ["p_dect"]
+__all__ = ["p_dect", "iter_p_dect"]
 
 
-def p_dect(
+def iter_p_dect(
     graph: Graph,
     rules: RuleSet | list[NGD],
     processors: int = 8,
     policy: Optional[BalancingPolicy] = None,
     use_literal_pruning: bool = True,
-) -> DetectionResult:
-    """Run parallel batch detection of ``Vio(Σ, G)`` on a simulated cluster."""
+    budget: Optional[DetectionBudget] = None,
+    sink: Optional[ViolationSink] = None,
+) -> Iterator[Violation]:
+    """Run parallel batch detection, yielding violations as units complete.
+
+    The generator's return value is the :class:`DetectionResult` whose
+    ``cost`` is the simulated makespan; ``budget.max_cost`` therefore caps
+    the makespan, and ``budget.max_violations`` caps the number of emitted
+    violations.
+    """
     rule_set = rules if isinstance(rules, RuleSet) else RuleSet(rules)
     rule_list = list(rule_set)
     policy = policy if policy is not None else BalancingPolicy.hybrid()
@@ -49,6 +65,8 @@ def p_dect(
 
     cluster = ClusterSimulator(processors, policy.latency)
     violations = ViolationSet()
+    emitted = 0
+    stop_reason: Optional[str] = None
 
     # seed work units: one per candidate of the first variable of every rule
     position = 0
@@ -77,16 +95,28 @@ def p_dect(
             if unit.is_complete():
                 # single-node pattern: decide the violation immediately
                 if match_violates_dependency(graph, unit.mapping(), rule.premise, rule.conclusion, stats):
-                    violations.add(
-                        Violation.from_mapping(rule.name, unit.mapping(), rule.pattern.variables)
-                    )
+                    violation = Violation.from_mapping(rule.name, unit.mapping(), rule.pattern.variables)
+                    if violation not in violations:
+                        violations.add(violation)
+                        emitted += 1
+                        if sink is not None:
+                            sink.on_violation(violation)
+                        yield violation
                 cluster.charge(position % processors, 1.0)
+                if budget is not None and budget.violations_exhausted(emitted):
+                    stop_reason = "max_violations"
+                    break
             else:
                 cluster.enqueue(position % processors, unit)
             position += 1
+        if stop_reason is not None:
+            break
 
     last_balance = 0.0
-    while cluster.has_pending_work():
+    while stop_reason is None and cluster.has_pending_work():
+        if budget is not None and budget.cost_exhausted(cluster.makespan()):
+            stop_reason = "max_cost"
+            break
         if policy.enable_rebalancing and cluster.global_time() - last_balance >= policy.interval:
             last_balance = cluster.global_time()
             lengths = cluster.queue_lengths()
@@ -125,7 +155,16 @@ def p_dect(
         for new_unit in outcome.new_units:
             cluster.enqueue(worker, new_unit)
         for violation in outcome.violations:
+            if violation in violations:
+                continue
             violations.add(violation)
+            emitted += 1
+            if sink is not None:
+                sink.on_violation(violation)
+            yield violation
+            if budget is not None and budget.violations_exhausted(emitted):
+                stop_reason = "max_violations"
+                break
 
     elapsed = time.perf_counter() - started
     return DetectionResult(
@@ -136,4 +175,26 @@ def p_dect(
         processors=processors,
         worker_traces=cluster.traces(),
         algorithm="PDect",
+        stopped_early=stop_reason is not None,
+        stop_reason=stop_reason,
     )
+
+
+def p_dect(
+    graph: Graph,
+    rules: RuleSet | list[NGD],
+    processors: int = 8,
+    policy: Optional[BalancingPolicy] = None,
+    use_literal_pruning: bool = True,
+) -> DetectionResult:
+    """Run parallel batch detection of ``Vio(Σ, G)`` on a simulated cluster.
+
+    Compatibility shim: equivalent to ``Detector(rules, engine="parallel",
+    processors=processors).run(graph)``; new code should prefer the
+    :class:`~repro.detect.session.Detector` session.
+    """
+    from repro.detect.session import DetectionOptions, Detector
+
+    options = DetectionOptions(use_literal_pruning=use_literal_pruning, policy=policy)
+    detector = Detector(rules, engine="parallel", processors=processors, options=options)
+    return detector.run(graph)

@@ -21,17 +21,26 @@ cost of each step is charged to the worker that would have performed it, and
 the reported ``cost`` of the run is the makespan.  Theorem 6's claim — cost
 ``O(|Σ|·|G_dΣ(ΔG)|^|Σ| / p)`` relative to IncDect — shows up as the makespan
 shrinking roughly linearly in ``p`` (Figures 4(i)–(l)).
+
+:func:`iter_pinc_dect` is the kernel: a generator yielding a
+:class:`~repro.detect.observers.ViolationEvent` per ΔVio finding as its work
+unit completes, with optional sink notification and budget-capped early
+termination (``max_cost`` caps the simulated makespan).  :func:`pinc_dect`
+keeps the original signature as a compatibility shim over the
+:class:`~repro.detect.session.Detector` session.
 """
 
 from __future__ import annotations
 
 import time
 import zlib
+from collections.abc import Iterator
 from typing import Optional
 
 from repro.core.ngd import NGD, RuleSet
 from repro.core.violations import ViolationDelta, ViolationSet
 from repro.detect.base import IncrementalDetectionResult
+from repro.detect.observers import DetectionBudget, ViolationEvent, ViolationSink
 from repro.detect.parallel.balancing import BalancingPolicy, plan_rebalancing, should_split, skewness
 from repro.detect.parallel.cluster import ClusterSimulator
 from repro.detect.parallel.workunits import (
@@ -46,10 +55,10 @@ from repro.graph.updates import BatchUpdate, apply_update
 from repro.matching.candidates import MatchStatistics
 from repro.matching.incmatch import find_update_pivots
 
-__all__ = ["pinc_dect"]
+__all__ = ["pinc_dect", "iter_pinc_dect"]
 
 
-def pinc_dect(
+def iter_pinc_dect(
     graph: Graph,
     rules: RuleSet | list[NGD],
     delta: BatchUpdate,
@@ -57,8 +66,15 @@ def pinc_dect(
     policy: Optional[BalancingPolicy] = None,
     use_literal_pruning: bool = True,
     graph_after: Optional[Graph] = None,
-) -> IncrementalDetectionResult:
-    """Run parallel incremental detection on a simulated ``processors``-worker cluster."""
+    budget: Optional[DetectionBudget] = None,
+    sink: Optional[ViolationSink] = None,
+) -> Iterator[ViolationEvent]:
+    """Run parallel incremental detection, yielding ΔVio events as they complete.
+
+    Yields :class:`ViolationEvent` objects; the generator's return value is
+    the :class:`IncrementalDetectionResult` whose ``cost`` is the simulated
+    makespan (capped by ``budget.max_cost``).
+    """
     rule_set = rules if isinstance(rules, RuleSet) else RuleSet(rules)
     rule_list = list(rule_set)
     policy = policy if policy is not None else BalancingPolicy.hybrid()
@@ -100,10 +116,15 @@ def pinc_dect(
 
     introduced = ViolationSet()
     removed = ViolationSet()
+    emitted = 0
+    stop_reason: Optional[str] = None
 
     # --------------------------------------------------- phase 3: parallel expansion
     last_balance = 0.0
-    while cluster.has_pending_work():
+    while stop_reason is None and cluster.has_pending_work():
+        if budget is not None and budget.cost_exhausted(cluster.makespan()):
+            stop_reason = "max_cost"
+            break
         if policy.enable_rebalancing and cluster.global_time() - last_balance >= policy.interval:
             last_balance = cluster.global_time()
             lengths = cluster.queue_lengths()
@@ -148,11 +169,18 @@ def pinc_dect(
 
         for new_unit in outcome.new_units:
             cluster.enqueue(worker, new_unit)
+        target = introduced if unit.from_insertion else removed
         for violation in outcome.violations:
-            if unit.from_insertion:
-                introduced.add(violation)
-            else:
-                removed.add(violation)
+            if violation in target:
+                continue
+            target.add(violation)
+            emitted += 1
+            if sink is not None:
+                sink.on_violation(violation, introduced=unit.from_insertion)
+            yield ViolationEvent(violation, introduced=unit.from_insertion)
+            if budget is not None and budget.violations_exhausted(emitted):
+                stop_reason = "max_violations"
+                break
 
     elapsed = time.perf_counter() - started
     return IncrementalDetectionResult(
@@ -164,4 +192,28 @@ def pinc_dect(
         worker_traces=cluster.traces(),
         algorithm=f"PIncDect{policy.variant_suffix()}",
         neighborhood_size=neighborhood_size,
+        stopped_early=stop_reason is not None,
+        stop_reason=stop_reason,
     )
+
+
+def pinc_dect(
+    graph: Graph,
+    rules: RuleSet | list[NGD],
+    delta: BatchUpdate,
+    processors: int = 8,
+    policy: Optional[BalancingPolicy] = None,
+    use_literal_pruning: bool = True,
+    graph_after: Optional[Graph] = None,
+) -> IncrementalDetectionResult:
+    """Run parallel incremental detection on a simulated ``processors``-worker cluster.
+
+    Compatibility shim: equivalent to ``Detector(rules, engine="parallel",
+    processors=processors).run_incremental(graph, delta, graph_after)``; new
+    code should prefer the :class:`~repro.detect.session.Detector` session.
+    """
+    from repro.detect.session import DetectionOptions, Detector
+
+    options = DetectionOptions(use_literal_pruning=use_literal_pruning, policy=policy)
+    detector = Detector(rules, engine="parallel", processors=processors, options=options)
+    return detector.run_incremental(graph, delta, graph_after=graph_after)

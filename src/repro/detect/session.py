@@ -1,0 +1,351 @@
+"""The unified detection session API.
+
+The paper's four algorithms — Dect, IncDect, PDect, PIncDect — are one
+conceptual operation, "find ``Vio(Σ, G)``", under different execution
+regimes (batch vs update-driven, one processor vs a simulated cluster).
+:class:`Detector` makes that explicit: construct a session once from a rule
+set, an *engine* and :class:`DetectionOptions`, then point it at graphs::
+
+    from repro import Detector, DetectionOptions
+    from repro.core import example_rules
+
+    detector = Detector(example_rules(), engine="auto",
+                        options=DetectionOptions(max_violations=10))
+    result = detector.run(graph)                  # full (capped) batch run
+    for violation in detector.stream(graph):      # violations as found
+        print(violation)
+    delta = detector.run_incremental(graph, dg)   # ΔVio(Σ, G, ΔG)
+
+Engines
+-------
+
+``"auto"``
+    Pick per call: one processor → the sequential kernels (Dect / IncDect);
+    ``processors > 1`` → the simulated-cluster kernels (PDect / PIncDect).
+``"batch"``
+    Always the batch kernel.  ``run_incremental`` computes ΔVio the
+    ground-truth way — two full batch runs diffed — which is exactly the
+    oracle the incremental algorithms are tested against.
+``"incremental"``
+    The update-driven kernel; supports only ``run_incremental`` /
+    ``stream_incremental`` (a full run has no ΔG to localise around).
+``"parallel"``
+    The simulated-cluster kernels (PDect / PIncDect).
+
+Streaming and early termination are native: the kernels are generators, so
+:meth:`Detector.stream` yields each violation the moment its work unit
+completes, sinks (:class:`~repro.detect.observers.ViolationSink`) observe
+every run mode, and :class:`~repro.detect.observers.DetectionBudget` limits
+(``max_violations`` / ``max_cost``) stop the kernels mid-search rather than
+filtering afterwards.
+
+The module-level functions ``dect`` / ``inc_dect`` / ``p_dect`` /
+``pinc_dect`` remain as thin compatibility shims over this session.
+"""
+
+from __future__ import annotations
+
+import time
+from collections.abc import Iterable, Iterator
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.ngd import NGD, RuleSet
+from repro.core.violations import Violation, ViolationDelta
+from repro.detect.base import DetectionResult, IncrementalDetectionResult
+from repro.detect.observers import (
+    DetectionBudget,
+    FanOutSink,
+    ViolationEvent,
+    ViolationSink,
+    drain,
+)
+from repro.detect.parallel.balancing import BalancingPolicy
+from repro.errors import SessionError
+from repro.graph.graph import Graph
+from repro.graph.store import STORE_REGISTRY
+from repro.graph.updates import BatchUpdate, apply_update
+
+__all__ = ["DetectionOptions", "Detector", "ENGINES"]
+
+#: The execution regimes a session can be pinned to.
+ENGINES = ("auto", "batch", "incremental", "parallel")
+
+
+@dataclass(frozen=True)
+class DetectionOptions:
+    """Tuning knobs shared by every engine of a :class:`Detector` session.
+
+    * ``use_literal_pruning`` — discard partial solutions that can no longer
+      violate the dependency (Section 6.2's literal-driven pruning);
+    * ``restrict_to_neighborhood`` — have IncDect materialise ``G_dΣ(ΔG)``
+      up front to demonstrate locality explicitly;
+    * ``policy`` — the :class:`BalancingPolicy` of the simulated cluster
+      (parallel engines only; default: hybrid splitting + rebalancing);
+    * ``max_violations`` / ``max_cost`` — early-termination budget, enforced
+      inside the kernels (see :class:`DetectionBudget`).  The one mode that
+      cannot honour a budget is ``engine="batch"`` incremental detection
+      (the BatchDiff oracle: a capped batch run would make the diff
+      unsound); a session configured that way raises :class:`SessionError`
+      rather than silently running unbounded.
+    """
+
+    use_literal_pruning: bool = True
+    restrict_to_neighborhood: bool = False
+    policy: Optional[BalancingPolicy] = None
+    max_violations: Optional[int] = None
+    max_cost: Optional[float] = None
+
+    def budget(self) -> Optional[DetectionBudget]:
+        """Return the termination budget, or None when the run is unbounded."""
+        if self.max_violations is None and self.max_cost is None:
+            return None
+        return DetectionBudget(max_violations=self.max_violations, max_cost=self.max_cost)
+
+
+class Detector:
+    """A reusable detection session: rules + engine + options + sinks.
+
+    The session owns no graph: pass one to each :meth:`run` /
+    :meth:`run_incremental` / :meth:`stream` call and reuse the session
+    across graphs, deltas, and sweeps.  ``last_result`` keeps the result
+    object of the most recently *completed* run (streams set it when the
+    generator is exhausted).
+    """
+
+    def __init__(
+        self,
+        rules: RuleSet | list[NGD] | Iterable[NGD],
+        engine: str = "auto",
+        processors: Optional[int] = None,
+        store: Optional[str] = None,
+        options: Optional[DetectionOptions] = None,
+        sinks: Iterable[ViolationSink] = (),
+    ) -> None:
+        if engine not in ENGINES:
+            raise SessionError(f"unknown engine {engine!r}; expected one of {ENGINES}")
+        if store is not None and store not in STORE_REGISTRY:
+            raise SessionError(
+                f"unknown graph store {store!r}; expected one of {sorted(STORE_REGISTRY)}"
+            )
+        if processors is not None and processors < 1:
+            raise SessionError(f"processors must be >= 1, got {processors}")
+        self.rules = rules if isinstance(rules, RuleSet) else RuleSet(rules)
+        self.engine = engine
+        self.processors = processors
+        self.store = store
+        self.options = options if options is not None else DetectionOptions()
+        self._sinks: list[ViolationSink] = list(sinks)
+        self.last_result: Optional[DetectionResult | IncrementalDetectionResult] = None
+
+    # ------------------------------------------------------------------ sinks
+
+    def add_sink(self, sink: ViolationSink) -> "Detector":
+        """Attach a sink (builder style); it observes every subsequent run."""
+        self._sinks.append(sink)
+        return self
+
+    def _sink(self) -> Optional[ViolationSink]:
+        if not self._sinks:
+            return None
+        if len(self._sinks) == 1:
+            return self._sinks[0]
+        return FanOutSink(self._sinks)
+
+    # ------------------------------------------------------------- resolution
+
+    def _effective_processors(self) -> int:
+        return self.processors if self.processors is not None else 8
+
+    def _resolve_batch_engine(self) -> str:
+        if self.engine == "incremental":
+            raise SessionError(
+                "engine='incremental' performs update-driven detection only; "
+                "call run_incremental(graph, delta) or construct the Detector "
+                "with engine='auto'/'batch' for full runs"
+            )
+        if self.engine == "auto":
+            return "parallel" if (self.processors or 1) > 1 else "batch"
+        return self.engine
+
+    def _resolve_incremental_engine(self) -> str:
+        if self.engine == "auto":
+            return "parallel" if (self.processors or 1) > 1 else "incremental"
+        return self.engine
+
+    def _prepare(self, graph: Graph) -> Graph:
+        """Convert the input graph to the session's preferred storage backend."""
+        if self.store is not None and graph.store_backend != self.store:
+            return graph.with_backend(self.store)
+        return graph
+
+    # ------------------------------------------------------------------- runs
+
+    def run(self, graph: Graph) -> DetectionResult:
+        """Compute ``Vio(Σ, G)`` (subject to the session's budget)."""
+        result = drain(self._batch_events(graph))
+        self._finish(result)
+        return result
+
+    def stream(self, graph: Graph) -> Iterator[Violation]:
+        """Yield violations of ``Vio(Σ, G)`` as their work units complete.
+
+        The same violations, in the same deterministic order, as the sinks
+        observe during :meth:`run`; after exhaustion the full
+        :class:`DetectionResult` is available as ``last_result``.
+        """
+        result = yield from self._batch_events(graph)
+        self._finish(result)
+
+    def run_incremental(
+        self,
+        graph: Graph,
+        delta: BatchUpdate,
+        graph_after: Optional[Graph] = None,
+    ) -> IncrementalDetectionResult:
+        """Compute ΔVio(Σ, G, ΔG) (subject to the session's budget).
+
+        ``graph_after`` may be supplied when ``G ⊕ ΔG`` is already
+        materialised; otherwise it is computed (uncharged, as the paper
+        assumes the storage layer maintains it).
+        """
+        result = drain(self._incremental_events(graph, delta, graph_after))
+        self._finish(result)
+        return result
+
+    def stream_incremental(
+        self,
+        graph: Graph,
+        delta: BatchUpdate,
+        graph_after: Optional[Graph] = None,
+    ) -> Iterator[ViolationEvent]:
+        """Yield :class:`ViolationEvent`\\ s of ΔVio(Σ, G, ΔG) as found."""
+        result = yield from self._incremental_events(graph, delta, graph_after)
+        self._finish(result)
+
+    # ------------------------------------------------------------- internals
+
+    def _finish(self, result: DetectionResult | IncrementalDetectionResult) -> None:
+        self.last_result = result
+        sink = self._sink()
+        if sink is not None:
+            sink.on_finish(result)
+
+    def _batch_events(self, graph: Graph) -> Iterator[Violation]:
+        from repro.detect.dect import iter_dect
+        from repro.detect.parallel.pdect import iter_p_dect
+
+        mode = self._resolve_batch_engine()
+        graph = self._prepare(graph)
+        sink = self._sink()
+        budget = self.options.budget()
+        if sink is not None:
+            sink.on_start(self)
+        if mode == "batch":
+            return iter_dect(
+                graph,
+                self.rules,
+                use_literal_pruning=self.options.use_literal_pruning,
+                budget=budget,
+                sink=sink,
+            )
+        return iter_p_dect(
+            graph,
+            self.rules,
+            processors=self._effective_processors(),
+            policy=self.options.policy,
+            use_literal_pruning=self.options.use_literal_pruning,
+            budget=budget,
+            sink=sink,
+        )
+
+    def _incremental_events(
+        self,
+        graph: Graph,
+        delta: BatchUpdate,
+        graph_after: Optional[Graph],
+    ) -> Iterator[ViolationEvent]:
+        from repro.detect.incdect import iter_inc_dect
+        from repro.detect.parallel.pincdect import iter_pinc_dect
+
+        mode = self._resolve_incremental_engine()
+        graph = self._prepare(graph)
+        if graph_after is not None:
+            graph_after = self._prepare(graph_after)
+        sink = self._sink()
+        budget = self.options.budget()
+        if sink is not None:
+            sink.on_start(self)
+        if mode == "incremental":
+            return iter_inc_dect(
+                graph,
+                self.rules,
+                delta,
+                use_literal_pruning=self.options.use_literal_pruning,
+                restrict_to_neighborhood=self.options.restrict_to_neighborhood,
+                graph_after=graph_after,
+                budget=budget,
+                sink=sink,
+            )
+        if mode == "parallel":
+            return iter_pinc_dect(
+                graph,
+                self.rules,
+                delta,
+                processors=self._effective_processors(),
+                policy=self.options.policy,
+                use_literal_pruning=self.options.use_literal_pruning,
+                graph_after=graph_after,
+                budget=budget,
+                sink=sink,
+            )
+        if budget is not None:
+            raise SessionError(
+                "engine='batch' incremental detection (BatchDiff) cannot honour "
+                "a DetectionBudget: capping either full batch run would make the "
+                "diff unsound; drop max_violations/max_cost or use "
+                "engine='incremental'/'parallel'"
+            )
+        return self._batch_diff_events(graph, delta, graph_after, sink)
+
+    def _batch_diff_events(
+        self,
+        graph: Graph,
+        delta: BatchUpdate,
+        graph_after: Optional[Graph],
+        sink: Optional[ViolationSink],
+    ) -> Iterator[ViolationEvent]:
+        """Ground-truth incremental mode for ``engine="batch"``.
+
+        Runs the batch kernel on ``G`` and ``G ⊕ ΔG`` and diffs the two
+        violation sets — exactly the oracle the incremental algorithms are
+        validated against in the tests.  Budgets are rejected upstream in
+        :meth:`_incremental_events` (a capped batch run would make the diff
+        unsound); events stream only after the second run completes.
+        """
+        from repro.detect.dect import iter_dect
+
+        started = time.perf_counter()
+        before = drain(iter_dect(graph, self.rules, self.options.use_literal_pruning))
+        updated = graph_after if graph_after is not None else apply_update(graph, delta)
+        after = drain(iter_dect(updated, self.rules, self.options.use_literal_pruning))
+        violation_delta = ViolationDelta.from_sets(before.violations, after.violations)
+        stats = before.stats
+        stats.merge(after.stats)
+        result = IncrementalDetectionResult(
+            delta=violation_delta,
+            stats=stats,
+            wall_time=time.perf_counter() - started,
+            cost=before.cost + after.cost,
+            processors=1,
+            algorithm="BatchDiff",
+        )
+        for violation in sorted(violation_delta.introduced, key=str):
+            if sink is not None:
+                sink.on_violation(violation, introduced=True)
+            yield ViolationEvent(violation, introduced=True)
+        for violation in sorted(violation_delta.removed, key=str):
+            if sink is not None:
+                sink.on_violation(violation, introduced=False)
+            yield ViolationEvent(violation, introduced=False)
+        return result

@@ -28,6 +28,7 @@ __all__ = [
     "DiscoveryError",
     "ExperimentError",
     "ClusterError",
+    "SessionError",
 ]
 
 
@@ -140,3 +141,11 @@ class ExperimentError(ReproError):
 
 class ClusterError(ReproError):
     """The simulated cluster was asked to do something inconsistent."""
+
+
+class SessionError(ReproError):
+    """A :class:`~repro.detect.session.Detector` session was misconfigured or misused.
+
+    Raised for unknown engine names and for operations the configured engine
+    cannot perform (e.g. a full ``run`` on ``engine="incremental"``).
+    """

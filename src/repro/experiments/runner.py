@@ -22,7 +22,13 @@ from repro.core.ngd import RuleSet
 from repro.core.validation import find_violations
 from repro.datasets.rules import benchmark_rules, rules_with_diameter
 from repro.datasets.synthetic import synthetic_graph
-from repro.detect import BalancingPolicy, dect, inc_dect, p_dect, pinc_dect
+from repro.detect import (
+    BalancingPolicy,
+    DetectionOptions,
+    Detector,
+    p_dect,
+    pinc_dect,
+)
 from repro.experiments.config import ExperimentConfig, build_dataset
 from repro.graph.graph import Graph
 from repro.graph.neighborhood import update_neighborhood
@@ -102,6 +108,50 @@ def _incremental_variants(config: ExperimentConfig) -> dict[str, BalancingPolicy
     }
 
 
+def _cost_row(
+    graph: Graph,
+    rule_set: RuleSet,
+    wanted: Iterable[str],
+    config: ExperimentConfig,
+    delta: Optional[BatchUpdate] = None,
+    updated: Optional[Graph] = None,
+    policies: Optional[dict[str, BalancingPolicy]] = None,
+) -> dict[str, float]:
+    """Compute one row of an experiment series through ``Detector`` sessions.
+
+    ``wanted`` selects the algorithms; the incremental ones run only when a
+    ``delta`` is supplied.  ``policies`` maps extra PIncDect variant names
+    (``PIncDect_ns`` …) to their balancing policies.
+    """
+    wanted = set(wanted)
+    row: dict[str, float] = {}
+    if "Dect" in wanted:
+        row["Dect"] = Detector(rule_set, engine="batch").run(graph).cost
+    if "PDect" in wanted:
+        row["PDect"] = (
+            Detector(rule_set, engine="parallel", processors=config.processors).run(graph).cost
+        )
+    if delta is not None:
+        if "IncDect" in wanted:
+            row["IncDect"] = (
+                Detector(rule_set, engine="incremental")
+                .run_incremental(graph, delta, graph_after=updated)
+                .cost
+            )
+        variants = policies if policies is not None else {"PIncDect": None}
+        for name, policy in variants.items():
+            if name not in wanted:
+                continue
+            detector = Detector(
+                rule_set,
+                engine="parallel",
+                processors=config.processors,
+                options=DetectionOptions(policy=policy),
+            )
+            row[name] = detector.run_incremental(graph, delta, graph_after=updated).cost
+    return row
+
+
 def run_exp1_vary_delta(
     dataset: str,
     delta_fractions: Iterable[float] = (0.05, 0.10, 0.15, 0.20, 0.25, 0.30, 0.35),
@@ -118,8 +168,8 @@ def run_exp1_vary_delta(
     rule_set = benchmark_rules(graph, count=config.rules_count, max_diameter=config.max_diameter, seed=config.seed)
     variants = _incremental_variants(config)
 
-    batch_cost = dect(graph, rule_set).cost if "Dect" in wanted else None
-    pbatch_cost = p_dect(graph, rule_set, processors=config.processors).cost if "PDect" in wanted else None
+    # batch detection is insensitive to |ΔG|: compute its costs once
+    batch_row = _cost_row(graph, rule_set, set(wanted) & {"Dect", "PDect"}, config)
 
     for fraction in delta_fractions:
         generator = UpdateGenerator(seed=config.seed + 7)
@@ -127,18 +177,18 @@ def run_exp1_vary_delta(
             graph, size=max(1, int(graph.edge_count() * fraction)), insert_ratio=config.insert_ratio
         )
         updated = apply_update(graph, delta)
-        row: dict[str, float] = {}
-        if batch_cost is not None:
-            row["Dect"] = batch_cost
-        if pbatch_cost is not None:
-            row["PDect"] = pbatch_cost
-        if "IncDect" in wanted:
-            row["IncDect"] = inc_dect(graph, rule_set, delta, graph_after=updated).cost
-        for name, policy in variants.items():
-            if name in wanted:
-                row[name] = pinc_dect(
-                    graph, rule_set, delta, processors=config.processors, policy=policy, graph_after=updated
-                ).cost
+        row = dict(batch_row)
+        row.update(
+            _cost_row(
+                graph,
+                rule_set,
+                set(wanted) - {"Dect", "PDect"},
+                config,
+                delta=delta,
+                updated=updated,
+                policies=variants,
+            )
+        )
         series.values[fraction] = row
     return series
 
@@ -165,18 +215,9 @@ def run_exp2_vary_graph_size(
             graph, size=max(1, int(graph.edge_count() * config.delta_fraction)), insert_ratio=config.insert_ratio
         )
         updated = apply_update(graph, delta)
-        row: dict[str, float] = {}
-        if "Dect" in wanted:
-            row["Dect"] = dect(graph, rule_set).cost
-        if "PDect" in wanted:
-            row["PDect"] = p_dect(graph, rule_set, processors=config.processors).cost
-        if "IncDect" in wanted:
-            row["IncDect"] = inc_dect(graph, rule_set, delta, graph_after=updated).cost
-        if "PIncDect" in wanted:
-            row["PIncDect"] = pinc_dect(
-                graph, rule_set, delta, processors=config.processors, graph_after=updated
-            ).cost
-        series.values[(num_nodes, num_edges)] = row
+        series.values[(num_nodes, num_edges)] = _cost_row(
+            graph, rule_set, wanted, config, delta=delta, updated=updated
+        )
     return series
 
 
@@ -197,18 +238,9 @@ def run_exp3_vary_rules(
     )
     for count in rule_counts:
         rule_set = full_rules.restrict(count)
-        row: dict[str, float] = {}
-        if "Dect" in wanted:
-            row["Dect"] = dect(graph, rule_set).cost
-        if "PDect" in wanted:
-            row["PDect"] = p_dect(graph, rule_set, processors=config.processors).cost
-        if "IncDect" in wanted:
-            row["IncDect"] = inc_dect(graph, rule_set, delta, graph_after=updated).cost
-        if "PIncDect" in wanted:
-            row["PIncDect"] = pinc_dect(
-                graph, rule_set, delta, processors=config.processors, graph_after=updated
-            ).cost
-        series.values[count] = row
+        series.values[count] = _cost_row(
+            graph, rule_set, wanted, config, delta=delta, updated=updated
+        )
     return series
 
 
@@ -232,18 +264,9 @@ def run_exp3_vary_diameter(
     updated = apply_update(graph, delta)
     for diameter in diameters:
         rule_set = rules_with_diameter(graph, diameter, count=config.rules_count, seed=config.seed)
-        row: dict[str, float] = {}
-        if "Dect" in wanted:
-            row["Dect"] = dect(graph, rule_set).cost
-        if "PDect" in wanted:
-            row["PDect"] = p_dect(graph, rule_set, processors=config.processors).cost
-        if "IncDect" in wanted:
-            row["IncDect"] = inc_dect(graph, rule_set, delta, graph_after=updated).cost
-        if "PIncDect" in wanted:
-            row["PIncDect"] = pinc_dect(
-                graph, rule_set, delta, processors=config.processors, graph_after=updated
-            ).cost
-        series.values[diameter] = row
+        series.values[diameter] = _cost_row(
+            graph, rule_set, wanted, config, delta=delta, updated=updated
+        )
     return series
 
 

@@ -14,6 +14,7 @@ from repro.expr.expressions import (
     const,
     var,
 )
+from repro.expr.format import format_expression, format_literal, format_literal_set
 from repro.expr.literals import Comparison, LinearConstraint, Literal, LiteralSet
 from repro.expr.parser import parse_expression, parse_literal, parse_literal_set
 from repro.expr.terms import AttributeTerm, Constant, Term, as_term
@@ -38,6 +39,9 @@ __all__ = [
     "as_expression",
     "as_term",
     "const",
+    "format_expression",
+    "format_literal",
+    "format_literal_set",
     "parse_expression",
     "parse_literal",
     "parse_literal_set",

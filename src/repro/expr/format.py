@@ -1,0 +1,107 @@
+"""Render expressions and literals back into the parser's textual notation.
+
+The inverse of :mod:`repro.expr.parser`: ``parse_literal(format_literal(l))``
+rebuilds a structurally identical literal for every AST the parser can
+produce.  Binary operators are always parenthesised and unary minus is
+rendered as ``(-e)``, so operator precedence never has to be reconstructed;
+string constants are double-quoted with backslash escaping (the parser
+accepts the same quoting).
+
+Two corner cases cannot round-trip structurally and raise
+:class:`~repro.errors.ExpressionError` instead of silently drifting:
+
+* constants whose textual form the tokenizer cannot read back (e.g.
+  ``1e-07`` scientific notation, :class:`~fractions.Fraction` values);
+* identifiers that are not ``[A-Za-z_][A-Za-z0-9_]*`` (never produced by the
+  parser, but constructible programmatically).
+
+Negative numeric constants are rendered as ``-c`` and re-parse as
+``Negate(Constant(c))`` — semantically equal, and the only representation
+the grammar has for them.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.errors import ExpressionError
+from repro.expr.expressions import (
+    AbsoluteValue,
+    Add,
+    Divide,
+    Expression,
+    Multiply,
+    Negate,
+    Subtract,
+    TermExpression,
+)
+from repro.expr.literals import Literal, LiteralSet
+from repro.expr.terms import AttributeTerm, Constant
+
+__all__ = ["format_expression", "format_literal", "format_literal_set"]
+
+_IDENT = re.compile(r"[A-Za-z_][A-Za-z0-9_]*\Z")
+_NUMBER = re.compile(r"-?\d+(?:\.\d+)?\Z")
+
+
+def _format_constant(value: object) -> str:
+    if isinstance(value, str):
+        escaped = value.replace("\\", "\\\\").replace('"', '\\"')
+        return f'"{escaped}"'
+    if isinstance(value, bool):
+        raise ExpressionError("boolean constants have no textual form")
+    if isinstance(value, (int, float)):
+        text = repr(value)
+        if not _NUMBER.match(text):
+            raise ExpressionError(
+                f"constant {value!r} has no parseable textual form ({text!r})"
+            )
+        return text
+    raise ExpressionError(f"constant {value!r} has no textual form")
+
+
+def _format_term_expression(expression: TermExpression) -> str:
+    term = expression.term
+    if isinstance(term, Constant):
+        return _format_constant(term.value)
+    if isinstance(term, AttributeTerm):
+        for part in (term.variable, term.attribute):
+            if not _IDENT.match(part):
+                raise ExpressionError(
+                    f"identifier {part!r} in term {term} is not parseable "
+                    "(expected [A-Za-z_][A-Za-z0-9_]*)"
+                )
+        return f"{term.variable}.{term.attribute}"
+    raise ExpressionError(f"unknown term type {type(term).__name__}")
+
+
+_BINARY_SYMBOLS = {Add: "+", Subtract: "-", Multiply: "*", Divide: "/"}
+
+
+def format_expression(expression: Expression) -> str:
+    """Return a textual form of ``expression`` that re-parses to the same AST."""
+    if isinstance(expression, TermExpression):
+        return _format_term_expression(expression)
+    if isinstance(expression, Negate):
+        return f"(-{format_expression(expression.operand)})"
+    if isinstance(expression, AbsoluteValue):
+        return f"|{format_expression(expression.operand)}|"
+    for kind, symbol in _BINARY_SYMBOLS.items():
+        if isinstance(expression, kind):
+            left = format_expression(expression.left)
+            right = format_expression(expression.right)
+            return f"({left} {symbol} {right})"
+    raise ExpressionError(f"unknown expression type {type(expression).__name__}")
+
+
+def format_literal(literal: Literal) -> str:
+    """Return the textual form ``left ⊗ right`` of a comparison literal."""
+    return (
+        f"{format_expression(literal.left)} {literal.comparison.value} "
+        f"{format_expression(literal.right)}"
+    )
+
+
+def format_literal_set(literals: LiteralSet) -> str:
+    """Return the comma-separated form of a conjunction (``""`` for the empty set)."""
+    return ", ".join(format_literal(literal) for literal in literals)

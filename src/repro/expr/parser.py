@@ -15,11 +15,18 @@ Grammar (whitespace-insensitive)::
     expr        := term (("+" | "-") term)*
     term        := unary (("*" | "/") unary)*
     unary       := "-" unary | primary
-    primary     := NUMBER | IDENT "." IDENT | "(" expr ")" | "|" expr "|"
+    primary     := NUMBER | STRING | IDENT "." IDENT | "(" expr ")" | "|" expr "|"
 
-Identifiers are ``[A-Za-z_][A-Za-z0-9_]*``; numbers are integers or decimals.
+Identifiers are ``[A-Za-z_][A-Za-z0-9_]*``; numbers are integers or decimals;
+strings are double-quoted with backslash escaping (``"living people"``,
+``"he said \\"hi\\""``) and become string *constants* — used by rules that
+compare categorical attributes, e.g. ``z.val != "living people"`` (NGD1).
 The parser builds the general (possibly non-linear) expression classes;
 linearity is enforced later, at NGD construction time.
+
+:mod:`repro.expr.format` is the inverse: it renders these ASTs back to text
+that re-parses structurally unchanged, which is what rule-set serialization
+(:meth:`repro.core.ngd.RuleSet.to_json`) round-trips through.
 """
 
 from __future__ import annotations
@@ -47,6 +54,7 @@ __all__ = ["parse_expression", "parse_literal", "parse_literal_set"]
 _TOKEN_PATTERN = re.compile(
     r"""
     (?P<number>\d+(?:\.\d+)?)
+  | (?P<string>"(?:[^"\\]|\\.)*")
   | (?P<ident>[A-Za-z_][A-Za-z0-9_]*)
   | (?P<cmp><=|>=|==|!=|<>|≤|≥|≠|=|<|>)
   | (?P<op>[+\-*/().|,])
@@ -54,6 +62,13 @@ _TOKEN_PATTERN = re.compile(
     """,
     re.VERBOSE,
 )
+
+_ESCAPE_PATTERN = re.compile(r"\\(.)")
+
+
+def _unquote(text: str) -> str:
+    """Strip the quotes of a STRING token and resolve backslash escapes."""
+    return _ESCAPE_PATTERN.sub(r"\1", text[1:-1])
 
 
 @dataclass(frozen=True)
@@ -137,12 +152,14 @@ class _Parser:
         return self.parse_primary()
 
     def parse_primary(self) -> Expression:
-        """primary := NUMBER | IDENT "." IDENT | "(" expr ")" | "|" expr "|" """
+        """primary := NUMBER | STRING | IDENT "." IDENT | "(" expr ")" | "|" expr "|" """
         token = self._advance()
         if token.kind == "number":
             text = token.text
             value = float(text) if "." in text else int(text)
             return const(value)
+        if token.kind == "string":
+            return const(_unquote(token.text))
         if token.kind == "ident":
             dot = self._peek()
             if dot is None or dot.text != ".":

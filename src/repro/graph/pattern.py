@@ -282,6 +282,45 @@ class Pattern:
 
         return order
 
+    # ----------------------------------------------------------- serialization
+
+    def to_dict(self) -> dict:
+        """Return a JSON-serialisable description of the pattern.
+
+        Shape: ``{"name": ..., "nodes": [[variable, label], ...],
+        "edges": [[source, target, label], ...]}`` with nodes in variable
+        order and edges in insertion order, so :meth:`from_dict` rebuilds an
+        ``==``-identical pattern.
+        """
+        return {
+            "name": self.name,
+            "nodes": [[variable, self._nodes[variable].label] for variable in self._order],
+            "edges": [[edge.source, edge.target, edge.label] for edge in self._edges],
+        }
+
+    @classmethod
+    def from_dict(cls, document: dict) -> "Pattern":
+        """Rebuild a pattern from :meth:`to_dict` output.
+
+        Raises :class:`PatternError` on structurally malformed documents
+        (wrong entry shapes included), so callers such as the CLI's
+        ``--rules-file`` loader can map any bad input to a usage error.
+        """
+        if not isinstance(document, dict) or "nodes" not in document:
+            raise PatternError("pattern document must be a dict with a 'nodes' list")
+        try:
+            nodes = [(variable, label) for variable, label in document["nodes"]]
+            edges = [
+                (source, target, label)
+                for source, target, label in document.get("edges", ())
+            ]
+        except (TypeError, ValueError) as exc:
+            raise PatternError(
+                "pattern document entries must be [variable, label] node pairs "
+                f"and [source, target, label] edge triples: {exc}"
+            ) from exc
+        return cls.from_edges(document.get("name", "Q"), nodes=nodes, edges=edges)
+
     def to_graph(self, label_attributes: Optional[dict[str, dict[str, object]]] = None) -> Graph:
         """Materialise the pattern as a data graph (used by the satisfiability checker).
 

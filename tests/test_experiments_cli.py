@@ -104,10 +104,15 @@ class TestRunners:
 
 
 class TestCLI:
+    """Basic drive-through of the subcommand CLI (details in tests/test_cli.py).
+
+    Exit codes are stable: 0 = clean, 1 = violations found, 2 = usage error.
+    """
+
     def test_batch_mode(self, tmp_path, capsys):
         graph_path = tmp_path / "g4.json"
         save_graph(figure1_g4(), graph_path)
-        assert cli_main([str(graph_path)]) == 0
+        assert cli_main(["run", str(graph_path)]) == 1
         output = capsys.readouterr().out
         assert "Dect: 1 violations" in output
         assert "phi4" in output
@@ -117,7 +122,7 @@ class TestCLI:
         update_path = tmp_path / "delta.json"
         save_graph(figure1_g4(), graph_path)
         save_update(BatchUpdate().delete("NatWest Help", "NatWest Help/status", "status"), update_path)
-        assert cli_main([str(graph_path), "--update", str(update_path)]) == 0
+        assert cli_main(["incremental", str(graph_path), "--update", str(update_path)]) == 1
         output = capsys.readouterr().out
         assert "IncDect" in output
         assert "-1 violations" in output or "/ -1" in output
@@ -127,11 +132,14 @@ class TestCLI:
         update_path = tmp_path / "delta.json"
         save_graph(figure1_g2(), graph_path)
         save_update(BatchUpdate().delete("Bhonpur", "total", "populationTotal"), update_path)
-        assert cli_main([str(graph_path), "--update", str(update_path), "--processors", "4"]) == 0
+        exit_code = cli_main(
+            ["incremental", str(graph_path), "--update", str(update_path), "--processors", "4"]
+        )
+        assert exit_code == 1
         assert "PIncDect" in capsys.readouterr().out
 
     def test_effectiveness_rule_choice(self, tmp_path, capsys):
         graph_path = tmp_path / "g2.json"
         save_graph(figure1_g2(), graph_path)
-        assert cli_main([str(graph_path), "--rules", "effectiveness"]) == 0
+        assert cli_main(["run", str(graph_path), "--rules", "effectiveness"]) == 0
         assert "0 violations" in capsys.readouterr().out
