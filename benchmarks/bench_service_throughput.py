@@ -1,0 +1,161 @@
+"""Micro-benchmark: the detection service's streaming overhead is bounded.
+
+``repro-detect serve`` wraps ``Detector.stream`` in HTTP + NDJSON: every
+violation is JSON-encoded, written to a socket, flushed, and re-parsed by
+the client.  This benchmark measures that full round trip against consuming
+``Detector.stream`` directly, on the Exp-2 synthetic workload, and asserts
+the relative wall-time overhead stays below 25 % — i.e. the service tax is
+a constant per violation, not a change to the detection complexity.
+
+Two further service-only figures are reported (no direct analogue):
+
+* **requests/sec** — sequential small detections (the Figure-1 G2 graph)
+  through one client, measuring fixed per-request cost;
+* **first-violation latency** — time from sending the request to decoding
+  the first violation record, the "time to first finding" a streaming
+  client actually experiences.
+
+Run standalone (``python benchmarks/bench_service_throughput.py``) or via
+pytest; ``generate_experiments_report.py`` records the numbers in
+EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.datasets.figure1 import figure1_g2  # noqa: E402
+from repro.datasets.rules import benchmark_rules  # noqa: E402
+from repro.datasets.synthetic import synthetic_graph  # noqa: E402
+from repro.detect import Detector  # noqa: E402
+from repro.service import DetectionService, ServiceClient  # noqa: E402
+
+#: Exp-2 synthetic workload — the same shape bench_detector_overhead uses.
+WORKLOAD = {"num_nodes": 16_000, "num_edges": 32_000, "rules_count": 24, "seed": 1}
+
+#: Small-request workload for the requests/sec figure.
+SMALL_REQUESTS = 40
+
+#: Acceptance bound on the relative streaming overhead of the service path.
+#: Override with REPRO_SERVICE_OVERHEAD_BOUND on noisy machines; the
+#: violation-identity assertions are unconditional either way.
+MAX_OVERHEAD = float(os.environ.get("REPRO_SERVICE_OVERHEAD_BOUND", "0.25"))
+
+
+def _consume_direct(detector: Detector, graph) -> tuple[int, float, float]:
+    """Drain ``Detector.stream``; return (violations, elapsed, first-violation latency)."""
+    started = time.perf_counter()
+    first = None
+    count = 0
+    for _ in detector.stream(graph):
+        if first is None:
+            first = time.perf_counter() - started
+        count += 1
+    return count, time.perf_counter() - started, first or 0.0
+
+
+def _consume_service(client: ServiceClient, graph_name: str, catalog: str) -> tuple[int, float, float]:
+    """Drain one service stream; return (violations, elapsed, first-violation latency)."""
+    started = time.perf_counter()
+    first = None
+    count = 0
+    for record in client.stream_detect(graph_name, catalog=catalog):
+        if record["type"] == "violation":
+            if first is None:
+                first = time.perf_counter() - started
+            count += 1
+    return count, time.perf_counter() - started, first or 0.0
+
+
+def measure_service_throughput(rounds: int = 3) -> dict:
+    """Time direct streaming against the full HTTP/NDJSON path.
+
+    Best-of-``rounds`` per path, alternating runs to cancel scheduler noise
+    (the same protocol as ``bench_detector_overhead``).  Also measures
+    requests/sec on a stream of small detections.
+    """
+    graph = synthetic_graph(
+        num_nodes=WORKLOAD["num_nodes"],
+        num_edges=WORKLOAD["num_edges"],
+        seed=WORKLOAD["seed"],
+        name="service-workload",
+    )
+    rules = benchmark_rules(graph, count=WORKLOAD["rules_count"], max_diameter=5, seed=0)
+
+    service = DetectionService(port=0)
+    service.registry.register("bench", graph)
+    service.registry.register("small", figure1_g2())
+    service.manager.register_catalog("bench", rules)
+
+    with service:
+        client = ServiceClient(service.url, timeout=600)
+
+        direct_count, _, _ = _consume_direct(Detector(rules, engine="batch"), graph)
+        service_count, _, service_first = _consume_service(client, "bench", "bench")
+
+        direct_time = service_time = float("inf")
+        for _ in range(rounds):
+            _, elapsed, _ = _consume_direct(Detector(rules, engine="batch"), graph)
+            direct_time = min(direct_time, elapsed)
+            _, elapsed, first = _consume_service(client, "bench", "bench")
+            if elapsed < service_time:
+                service_time, service_first = elapsed, first
+
+        started = time.perf_counter()
+        for _ in range(SMALL_REQUESTS):
+            client.detect("small", catalog="bench")
+        small_elapsed = time.perf_counter() - started
+
+    per_violation = lambda seconds, count: seconds / count if count else 0.0  # noqa: E731
+
+    return {
+        "workload": dict(WORKLOAD),
+        "violations": service_count,
+        "counts_identical": direct_count == service_count,
+        "direct_seconds": direct_time,
+        "service_seconds": service_time,
+        "overhead": service_time / direct_time - 1.0,
+        "direct_ms_per_violation": per_violation(direct_time, direct_count) * 1000,
+        "service_ms_per_violation": per_violation(service_time, service_count) * 1000,
+        "first_violation_ms": service_first * 1000,
+        "small_requests": SMALL_REQUESTS,
+        "requests_per_second": SMALL_REQUESTS / small_elapsed,
+    }
+
+
+def test_service_streaming_overhead():
+    """Service streams are violation-identical to the kernel and < 25 % slower.
+
+    The timing half retries a couple of times before failing (shared
+    machines burst); the count-identity assertion is unconditional.
+    """
+    measured = measure_service_throughput()
+    assert measured["counts_identical"], measured
+    assert measured["violations"] > 0, "workload must actually produce violations"
+    assert measured["requests_per_second"] > 0
+    for _ in range(2):
+        if measured["overhead"] < MAX_OVERHEAD:
+            break
+        measured = measure_service_throughput()
+    assert measured["overhead"] < MAX_OVERHEAD, (
+        f"service streaming costs {measured['overhead']:.1%} over direct "
+        f"Detector.stream (bound {MAX_OVERHEAD:.0%}): {measured}"
+    )
+
+
+if __name__ == "__main__":
+    report = measure_service_throughput()
+    print(
+        f"direct {report['direct_seconds'] * 1000:.1f} ms, "
+        f"service {report['service_seconds'] * 1000:.1f} ms, "
+        f"overhead {report['overhead']:+.2%} "
+        f"({report['violations']} violations, "
+        f"{report['service_ms_per_violation']:.2f} ms/violation streamed, "
+        f"first violation after {report['first_violation_ms']:.1f} ms, "
+        f"{report['requests_per_second']:.0f} small requests/sec)"
+    )

@@ -35,6 +35,7 @@ from repro.experiments.runner import ExperimentSeries  # noqa: E402
 sys.path.insert(0, str(Path(__file__).resolve().parent))
 
 from bench_detector_overhead import measure_overhead  # noqa: E402
+from bench_service_throughput import measure_service_throughput  # noqa: E402
 
 
 def _block(series: ExperimentSeries, precision: int = 1) -> str:
@@ -183,6 +184,31 @@ def generate(output_path: Path) -> None:
         f"relative overhead:               {overhead['overhead']:+.2%}\n"
         f"violations: {overhead['violations']} (identical: {overhead['violations_identical']}), "
         f"cost identical: {overhead['costs_identical']}\n"
+        "```\n"
+    )
+
+    # ------------------------------------------------------- service overhead
+    sections.append("\n## Detection service — streaming overhead and throughput (no paper analogue)\n")
+    sections.append(
+        "`repro-detect serve` (`repro.service`) streams detections over HTTP as NDJSON "
+        "with per-request budgets and keeps continuous sessions current through "
+        "`run_incremental`.  `benchmarks/bench_service_throughput.py` asserts the full "
+        "HTTP + NDJSON round trip stays within 25 % of consuming `Detector.stream` "
+        "directly on the Exp-2 workload; the measured run:\n"
+    )
+    service = measure_service_throughput()
+    sections.append(
+        "```\n"
+        f"workload: {service['workload']}\n"
+        f"direct (Detector.stream):        {service['direct_seconds'] * 1000:.1f} ms\n"
+        f"service (HTTP NDJSON stream):    {service['service_seconds'] * 1000:.1f} ms\n"
+        f"relative overhead:               {service['overhead']:+.2%}\n"
+        f"per streamed violation:          {service['service_ms_per_violation']:.2f} ms "
+        f"(direct {service['direct_ms_per_violation']:.2f} ms)\n"
+        f"first violation after:           {service['first_violation_ms']:.1f} ms\n"
+        f"small requests/sec:              {service['requests_per_second']:.0f} "
+        f"({service['small_requests']} sequential Figure-1 detections)\n"
+        f"violations: {service['violations']} (identical: {service['counts_identical']})\n"
         "```\n"
     )
 

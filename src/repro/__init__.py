@@ -29,8 +29,14 @@ surface with streaming and early termination::
 
 Rule sets are data: ``RuleSet.to_json`` / ``RuleSet.from_json`` round-trip
 rules through the textual literal notation, and the ``repro-detect`` CLI
-(``run`` / ``incremental`` / ``rules`` subcommands) drives everything from
-the shell.  The module-level functions ``dect`` / ``inc_dect`` / ``p_dect``
+(``run`` / ``incremental`` / ``rules`` / ``serve`` subcommands) drives
+everything from the shell.  Violations are data too —
+``Violation.to_dict`` / ``ViolationSet.to_json`` /
+``ViolationDelta.to_dict`` define the wire form shared by the CLI's JSON
+output and the streaming detection server in :mod:`repro.service`
+(``repro-detect serve``: a graph registry with versioned updates, NDJSON
+violation streams with per-request budgets, and continuous incremental
+sessions).  The module-level functions ``dect`` / ``inc_dect`` / ``p_dect``
 / ``pinc_dect`` remain as the compatibility layer over the session API.
 """
 
@@ -79,7 +85,7 @@ from repro.graph import (
     apply_update,
 )
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "BalancingPolicy",

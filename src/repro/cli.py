@@ -7,11 +7,19 @@ Installed as ``repro-detect``.  Subcommands::
                                 [--format text|json] [--max-violations N]
     repro-detect incremental GRAPH.json --update UPDATE.json [--processors 8] [...]
     repro-detect rules list|export [--rules effectiveness] [--output RULES.json]
+    repro-detect rules discover GRAPH.json [-o RULES.json] [--min-support N]
+                                [--min-confidence C] [--max-rules N]
+    repro-detect serve [--host 127.0.0.1] [--port 8731]
+                       [--graph NAME=GRAPH.json ...] [--catalog NAME=RULES.json ...]
 
 ``run`` performs batch detection of ``Vio(Σ, G)``; ``incremental`` computes
 ΔVio(Σ, G, ΔG) against the batch update stored in ``--update``; ``rules``
 inspects or exports rule sets in the JSON rule-file format
-(:meth:`repro.core.ngd.RuleSet.to_json`), which ``--rules-file`` loads back.
+(:meth:`repro.core.ngd.RuleSet.to_json`), which ``--rules-file`` loads back;
+``rules discover`` mines NGDs from a graph (:mod:`repro.discovery`) straight
+into that same rule-file format; ``serve`` starts the streaming detection
+server (:mod:`repro.service`) with the named graphs and rule catalogs
+pre-registered, printing one ``serving on http://…`` line once it is ready.
 
 Exit codes are stable for scripting: **0** — the graph is verified clean
 (the search completed with no violations / empty ΔVio), **1** — violations
@@ -25,6 +33,7 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+import threading
 from collections.abc import Sequence
 from typing import Optional, Union
 
@@ -61,12 +70,11 @@ def result_to_dict(result: Union[DetectionResult, IncrementalDetectionResult]) -
     """
 
     def violation_entry(violation) -> dict:
-        return {
-            "rule": violation.rule,
-            "variables": list(violation.variables),
-            "nodes": list(violation.nodes),
-            "assignment": violation.mapping(),
-        }
+        # the wire form shared with the service protocol, plus the
+        # variable → node dictionary for human consumption
+        entry = violation.to_dict()
+        entry["assignment"] = dict(zip(entry["variables"], entry["nodes"]))
+        return entry
 
     document: dict = {
         "algorithm": result.algorithm,
@@ -213,9 +221,15 @@ def _build_parser() -> argparse.ArgumentParser:
     incremental_parser.set_defaults(handler=_cmd_incremental)
 
     rules_parser = subparsers.add_parser(
-        "rules", help="list or export rule sets in the JSON rule-file format"
+        "rules", help="list, export, or discover rule sets in the JSON rule-file format"
     )
-    rules_parser.add_argument("action", choices=("list", "export"))
+    rules_parser.add_argument("action", choices=("list", "export", "discover"))
+    rules_parser.add_argument(
+        "graph",
+        nargs="?",
+        default=None,
+        help="graph JSON file to mine rules from ('discover' only)",
+    )
     _add_rules_arguments(rules_parser)
     rules_parser.add_argument(
         "--format",
@@ -225,9 +239,66 @@ def _build_parser() -> argparse.ArgumentParser:
         help="output format for 'list' (default: text)",
     )
     rules_parser.add_argument(
-        "--output", "-o", default=None, help="write 'export' output to this file instead of stdout"
+        "--output",
+        "-o",
+        default=None,
+        help="write 'export'/'discover' output to this file instead of stdout",
+    )
+    rules_parser.add_argument(
+        "--min-support", type=int, default=5, help="discovery: pattern support threshold (default: 5)"
+    )
+    rules_parser.add_argument(
+        "--min-confidence",
+        type=float,
+        default=0.95,
+        help="discovery: literal confidence threshold (default: 0.95)",
+    )
+    rules_parser.add_argument(
+        "--max-rules", type=int, default=100, help="discovery: cap on mined rules (default: 100)"
+    )
+    rules_parser.add_argument(
+        "--seed", type=int, default=0, help="discovery: miner RNG seed (default: 0)"
+    )
+    rules_parser.add_argument(
+        "--store",
+        choices=sorted(STORE_REGISTRY),
+        default=None,
+        help="graph storage backend for 'discover' (default: process default)",
     )
     rules_parser.set_defaults(handler=_cmd_rules)
+
+    serve_parser = subparsers.add_parser(
+        "serve", help="start the streaming detection server (repro.service)"
+    )
+    serve_parser.add_argument("--host", default="127.0.0.1", help="bind address (default: 127.0.0.1)")
+    serve_parser.add_argument(
+        "--port", type=int, default=8731, help="TCP port; 0 picks an ephemeral one (default: 8731)"
+    )
+    serve_parser.add_argument(
+        "--graph",
+        action="append",
+        default=[],
+        metavar="NAME=GRAPH.json",
+        help="pre-register a graph under NAME (repeatable)",
+    )
+    serve_parser.add_argument(
+        "--catalog",
+        action="append",
+        default=[],
+        metavar="NAME=RULES.json",
+        help="pre-register a rule catalog under NAME (repeatable); "
+        "'example' and 'effectiveness' built-ins are always available",
+    )
+    serve_parser.add_argument(
+        "--store",
+        choices=sorted(STORE_REGISTRY),
+        default=None,
+        help="graph storage backend for registered/uploaded graphs",
+    )
+    serve_parser.add_argument(
+        "--verbose", action="store_true", help="log one line per HTTP request to stderr"
+    )
+    serve_parser.set_defaults(handler=_cmd_serve)
 
     return parser
 
@@ -278,6 +349,11 @@ def _cmd_incremental(args: argparse.Namespace) -> int:
 
 
 def _cmd_rules(args: argparse.Namespace) -> int:
+    if args.action == "discover":
+        return _cmd_rules_discover(args)
+    if args.graph is not None:
+        print("repro-detect: error: a graph argument is only valid with 'discover'", file=sys.stderr)
+        return EXIT_USAGE
     rule_set = _load_rules(args)
     if args.action == "export":
         if args.output:
@@ -302,6 +378,70 @@ def _cmd_rules(args: argparse.Namespace) -> int:
         print(f"{rule_set.name}: {len(rule_set)} rules, dΣ={rule_set.diameter()}")
         for rule in rule_set:
             print(f"  {rule}")
+    return EXIT_CLEAN
+
+
+def _cmd_rules_discover(args: argparse.Namespace) -> int:
+    """Mine NGDs from a graph into the rule-file format (``RuleSet.save``)."""
+    from repro.discovery import DiscoveryConfig, discover_ngds
+
+    if args.graph is None:
+        print("repro-detect: error: 'rules discover' needs a graph file", file=sys.stderr)
+        return EXIT_USAGE
+    graph = load_graph(args.graph, store=args.store)
+    config = DiscoveryConfig(
+        min_support=args.min_support,
+        min_confidence=args.min_confidence,
+        max_rules=args.max_rules,
+        seed=args.seed,
+    )
+    mined = discover_ngds(graph, config)
+    if args.output:
+        mined.save(args.output)
+        print(
+            f"discovered {len(mined)} rule(s) from {args.graph} "
+            f"(dΣ={mined.diameter()}) -> {args.output}"
+        )
+    else:
+        print(mined.to_json())
+    return EXIT_CLEAN
+
+
+def _parse_name_path_specs(specs: list[str], option: str) -> list[tuple[str, str]]:
+    pairs: list[tuple[str, str]] = []
+    for spec in specs:
+        name, separator, path = spec.partition("=")
+        if not separator or not name or not path:
+            raise ReproError(f"{option} expects NAME=PATH, got {spec!r}")
+        pairs.append((name, path))
+    return pairs
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Start the detection service and block until interrupted."""
+    from repro.service import DetectionService
+
+    service = DetectionService(
+        host=args.host, port=args.port, store=args.store, verbose=args.verbose
+    )
+    for name, path in _parse_name_path_specs(args.graph, "--graph"):
+        service.registry.register_file(name, path, store=args.store)
+    service.manager.register_catalog("example", example_rules())
+    service.manager.register_catalog("effectiveness", effectiveness_rules())
+    for name, path in _parse_name_path_specs(args.catalog, "--catalog"):
+        service.manager.register_catalog(name, RuleSet.load(path))
+    with service:
+        # the ready line is the contract scripts wait on (tests, CI smoke)
+        print(f"repro-detect: serving on {service.url}", flush=True)
+        print(
+            f"repro-detect: {len(service.registry)} graph(s), "
+            f"{len(service.manager.catalogs)} catalog(s); Ctrl-C to stop",
+            file=sys.stderr,
+        )
+        try:
+            threading.Event().wait()
+        except KeyboardInterrupt:
+            print("repro-detect: shutting down", file=sys.stderr)
     return EXIT_CLEAN
 
 

@@ -15,10 +15,26 @@ represented here by :class:`ViolationDelta`.
 
 from __future__ import annotations
 
+import json
 from collections.abc import Hashable, Iterable, Iterator, Mapping
 from dataclasses import dataclass
 
-__all__ = ["Violation", "ViolationSet", "ViolationDelta"]
+from repro.errors import SerializationError
+
+__all__ = ["Violation", "ViolationSet", "ViolationDelta", "wire_node_id"]
+
+
+def wire_node_id(node_id: Hashable) -> Hashable:
+    """Return the JSON-safe wire form of a node id.
+
+    JSON scalars pass through untouched; anything else is rendered with
+    ``str`` — the same (lossy) convention :func:`repro.graph.io.save_graph`
+    applies via ``json.dump(..., default=str)``, so a violation serialized
+    here names the same node ids as the graph file it was detected in.
+    """
+    if node_id is None or isinstance(node_id, (str, int, float, bool)):
+        return node_id
+    return str(node_id)
 
 
 @dataclass(frozen=True)
@@ -43,6 +59,44 @@ class Violation:
     def mapping(self) -> dict[str, Hashable]:
         """Return the match as a variable → node-id dictionary."""
         return dict(zip(self.variables, self.nodes))
+
+    def to_dict(self) -> dict:
+        """Return the JSON-serialisable wire form of this violation.
+
+        Shape: ``{"rule", "variables", "nodes"}`` with the node ids passed
+        through :func:`wire_node_id`.  Used by the service protocol and the
+        CLI's ``--format json`` payload alike.
+        """
+        return {
+            "rule": self.rule,
+            "variables": list(self.variables),
+            "nodes": [wire_node_id(node) for node in self.nodes],
+        }
+
+    @classmethod
+    def from_dict(cls, document: Mapping) -> "Violation":
+        """Rebuild a violation from :meth:`to_dict` output.
+
+        Raises :class:`~repro.errors.SerializationError` when the document
+        is missing entries or its variable/node vectors disagree in length.
+        """
+        if not isinstance(document, Mapping):
+            raise SerializationError(f"violation document must be a mapping, got {type(document).__name__}")
+        try:
+            rule = document["rule"]
+            variables = document["variables"]
+            nodes = document["nodes"]
+        except KeyError as exc:
+            raise SerializationError(f"violation document is missing entry {exc}") from exc
+        if not isinstance(rule, str):
+            raise SerializationError(f"violation 'rule' must be a string, got {rule!r}")
+        if not isinstance(variables, (list, tuple)) or not isinstance(nodes, (list, tuple)):
+            raise SerializationError("violation 'variables' and 'nodes' must be lists")
+        if len(variables) != len(nodes):
+            raise SerializationError(
+                f"violation has {len(variables)} variables but {len(nodes)} nodes"
+            )
+        return cls(rule, tuple(variables), tuple(nodes))
 
     def involves_node(self, node_id: Hashable) -> bool:
         """Return True when ``node_id`` is part of the violating match."""
@@ -119,6 +173,30 @@ class ViolationSet:
         """Return ``Vio ⊕ ΔVio``: add the introduced violations, drop the removed ones."""
         return ViolationSet((self._violations - delta.removed.as_set()) | delta.introduced.as_set())
 
+    def to_dict(self) -> dict:
+        """Return ``{"violations": [Violation.to_dict(), ...]}`` sorted by textual form."""
+        return {"violations": [v.to_dict() for v in sorted(self._violations, key=str)]}
+
+    @classmethod
+    def from_dict(cls, document: Mapping) -> "ViolationSet":
+        """Rebuild a violation set from :meth:`to_dict` output."""
+        if not isinstance(document, Mapping) or not isinstance(document.get("violations"), list):
+            raise SerializationError("violation-set document must be a dict with a 'violations' list")
+        return cls(Violation.from_dict(entry) for entry in document["violations"])
+
+    def to_json(self, indent: "int | None" = None) -> str:
+        """Serialise to a JSON string (deterministic: violations sorted by str)."""
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "ViolationSet":
+        """Rebuild a violation set from :meth:`to_json` output."""
+        try:
+            document = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise SerializationError(f"violation-set JSON is malformed: {exc}") from exc
+        return cls.from_dict(document)
+
     def __repr__(self) -> str:  # pragma: no cover - debugging helper
         return f"ViolationSet({len(self._violations)} violations)"
 
@@ -147,6 +225,26 @@ class ViolationDelta:
     def total_changes(self) -> int:
         """Return |ΔVio⁺| + |ΔVio⁻|."""
         return len(self.introduced) + len(self.removed)
+
+    def to_dict(self) -> dict:
+        """Return ``{"introduced": [...], "removed": [...]}`` (each sorted by str)."""
+        return {
+            "introduced": self.introduced.to_dict()["violations"],
+            "removed": self.removed.to_dict()["violations"],
+        }
+
+    @classmethod
+    def from_dict(cls, document: Mapping) -> "ViolationDelta":
+        """Rebuild a delta from :meth:`to_dict` output."""
+        if not isinstance(document, Mapping):
+            raise SerializationError("violation-delta document must be a mapping")
+        for key in ("introduced", "removed"):
+            if not isinstance(document.get(key), list):
+                raise SerializationError(f"violation-delta document needs a {key!r} list")
+        return cls(
+            introduced=ViolationSet(Violation.from_dict(e) for e in document["introduced"]),
+            removed=ViolationSet(Violation.from_dict(e) for e in document["removed"]),
+        )
 
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, ViolationDelta):

@@ -15,10 +15,32 @@ building blocks the kernels share to support that natively:
 Both are threaded through the kernels as optional keyword arguments; the
 :class:`~repro.detect.session.Detector` session wires them up from
 :class:`~repro.detect.session.DetectionOptions`.
+
+Threading contract
+------------------
+
+A single detection run notifies its sink from one thread: the generator
+kernels call ``on_violation`` from whichever thread is consuming the
+iterator, and the simulated parallel engines (PDect / PIncDect) notify in
+*worker completion order* but still from the consuming thread.  The
+thread-based engine (:mod:`repro.detect.parallel.threaded`) and — more
+importantly — the detection service (:mod:`repro.service`) break that
+assumption: the service shares sinks across concurrently-running sessions
+served by :class:`http.server.ThreadingHTTPServer` worker threads, so a
+sink instance may receive interleaved ``on_violation`` / ``on_finish``
+calls from several threads at once.
+
+The rule is therefore: a sink attached to exactly one :class:`Detector`
+used from one thread may be as simple as it likes; **any sink shared
+between sessions or threads must serialise its own state changes**.  The
+sinks shipped here follow it — :class:`CollectingSink` guards its violation
+sets and :class:`FanOutSink` holds an internal lock across each broadcast
+so children observe every event atomically and in a consistent order.
 """
 
 from __future__ import annotations
 
+import threading
 from collections.abc import Callable, Iterable, Iterator
 from dataclasses import dataclass
 from typing import Optional
@@ -69,12 +91,18 @@ class ViolationSink:
 
 
 class CollectingSink(ViolationSink):
-    """A sink that accumulates streamed violations into violation sets."""
+    """A sink that accumulates streamed violations into violation sets.
+
+    Safe to share between concurrently-running detections: additions to the
+    violation sets and the results list are serialised by an internal lock
+    (see the module's threading contract).
+    """
 
     def __init__(self) -> None:
         self.introduced = ViolationSet()
         self.removed = ViolationSet()
         self.results: list[object] = []
+        self._lock = threading.Lock()
 
     @property
     def violations(self) -> ViolationSet:
@@ -82,10 +110,12 @@ class CollectingSink(ViolationSink):
         return self.introduced
 
     def on_violation(self, violation: Violation, introduced: bool = True) -> None:
-        (self.introduced if introduced else self.removed).add(violation)
+        with self._lock:
+            (self.introduced if introduced else self.removed).add(violation)
 
     def on_finish(self, result: object) -> None:
-        self.results.append(result)
+        with self._lock:
+            self.results.append(result)
 
 
 class CallbackSink(ViolationSink):
@@ -99,22 +129,34 @@ class CallbackSink(ViolationSink):
 
 
 class FanOutSink(ViolationSink):
-    """Broadcast every notification to a list of child sinks, in order."""
+    """Broadcast every notification to a list of child sinks, in order.
+
+    Thread-safe: an internal lock is held across each whole broadcast, so
+    when the fan-out is shared between sessions (as the detection service
+    does) every child sink sees each event exactly once, events are never
+    interleaved mid-broadcast, and all children observe the same order.
+    Child sinks therefore need no locking of their own *against siblings*,
+    though a child also attached elsewhere must still guard itself.
+    """
 
     def __init__(self, sinks: Iterable[ViolationSink]) -> None:
         self._sinks = tuple(sinks)
+        self._lock = threading.Lock()
 
     def on_start(self, detector: object) -> None:
-        for sink in self._sinks:
-            sink.on_start(detector)
+        with self._lock:
+            for sink in self._sinks:
+                sink.on_start(detector)
 
     def on_violation(self, violation: Violation, introduced: bool = True) -> None:
-        for sink in self._sinks:
-            sink.on_violation(violation, introduced)
+        with self._lock:
+            for sink in self._sinks:
+                sink.on_violation(violation, introduced)
 
     def on_finish(self, result: object) -> None:
-        for sink in self._sinks:
-            sink.on_finish(result)
+        with self._lock:
+            for sink in self._sinks:
+                sink.on_finish(result)
 
 
 @dataclass(frozen=True)

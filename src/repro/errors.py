@@ -29,6 +29,8 @@ __all__ = [
     "ExperimentError",
     "ClusterError",
     "SessionError",
+    "SerializationError",
+    "ServiceError",
 ]
 
 
@@ -148,4 +150,22 @@ class SessionError(ReproError):
 
     Raised for unknown engine names and for operations the configured engine
     cannot perform (e.g. a full ``run`` on ``engine="incremental"``).
+    """
+
+
+class SerializationError(ReproError):
+    """A wire document (violation, violation set, delta) has the wrong shape.
+
+    Raised by the ``to_dict``/``from_dict`` round-trip helpers in
+    :mod:`repro.core.violations` and by the service protocol when a JSON
+    payload cannot be decoded into the object it claims to describe.
+    """
+
+
+class ServiceError(ReproError):
+    """A request to the detection service cannot be honoured.
+
+    Raised for unknown graph/session/catalog names, duplicate registrations,
+    and malformed request documents; the HTTP layer maps it to a 4xx response
+    with the message in the JSON error body.
     """

@@ -1,0 +1,55 @@
+"""repro.service — a streaming, multi-tenant detection server.
+
+The paper's IncDect regime — keep ``Vio(Σ, G)`` current as ΔG updates
+arrive — is naturally a long-lived service, not a batch CLI.  This package
+turns the :class:`~repro.detect.session.Detector` session API into exactly
+that, with nothing beyond the standard library:
+
+* :mod:`repro.service.registry` — named, versioned graphs behind per-graph
+  locks; updates build new snapshots, so detections are version-isolated;
+* :mod:`repro.service.jobs` — per-request budgeted detection jobs and
+  *continuous sessions* that maintain a ``ViolationSet`` incrementally,
+  recording the :class:`~repro.core.violations.ViolationDelta` per version;
+* :mod:`repro.service.protocol` — JSON request schemas and the NDJSON
+  streaming wire format (one violation per line, terminal summary record);
+* :mod:`repro.service.server` — the ``ThreadingHTTPServer`` front end
+  (:class:`DetectionService`), started by ``repro-detect serve``;
+* :mod:`repro.service.client` — the stdlib HTTP client
+  (:class:`ServiceClient`), thread-safe by construction.
+"""
+
+from repro.service.client import DetectReply, ServiceClient
+from repro.service.jobs import ContinuousSession, SessionManager
+from repro.service.protocol import (
+    MIME_JSON,
+    MIME_NDJSON,
+    DetectRequest,
+    decode_record,
+    encode_record,
+    error_record,
+    parse_detect_request,
+    summary_record,
+    violation_record,
+)
+from repro.service.registry import GraphRegistry, RegisteredGraph, UpdateOutcome
+from repro.service.server import DetectionService
+
+__all__ = [
+    "ContinuousSession",
+    "DetectReply",
+    "DetectRequest",
+    "DetectionService",
+    "GraphRegistry",
+    "MIME_JSON",
+    "MIME_NDJSON",
+    "RegisteredGraph",
+    "ServiceClient",
+    "SessionManager",
+    "UpdateOutcome",
+    "decode_record",
+    "encode_record",
+    "error_record",
+    "parse_detect_request",
+    "summary_record",
+    "violation_record",
+]

@@ -1,0 +1,235 @@
+"""A stdlib (``http.client``) client for the detection service.
+
+One :class:`ServiceClient` per server URL; every call opens its own
+connection (the server speaks HTTP/1.0, one request per connection), so a
+single client instance may be shared freely between threads — the
+concurrency tests hammer one client from N threads.
+
+The streaming call is a generator::
+
+    client = ServiceClient("http://127.0.0.1:8731")
+    for record in client.stream_detect("yago", catalog="example", max_violations=5):
+        if record["type"] == "violation":
+            print(record["rule"], record["nodes"])
+        elif record["type"] == "summary":
+            print("version", record["graph_version"], record["stop_reason"])
+
+:meth:`ServiceClient.detect` is the buffered convenience on top: it drains
+the stream into ``(violations, summary)`` with the violations already
+rebuilt as :class:`~repro.core.violations.Violation` objects.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Iterator, Optional
+from urllib.parse import urlsplit
+
+from http.client import HTTPConnection, HTTPResponse
+
+from repro.core.ngd import RuleSet
+from repro.core.violations import Violation
+from repro.errors import ServiceError
+from repro.graph.graph import Graph
+from repro.graph.io import graph_to_dict, update_to_list
+from repro.graph.updates import BatchUpdate
+from repro.service.protocol import decode_record
+from repro.service.registry import validate_resource_name
+
+__all__ = ["ServiceClient", "DetectReply"]
+
+
+class DetectReply:
+    """The buffered form of one detection stream: violations + summary."""
+
+    def __init__(self, violations: list[Violation], summary: dict) -> None:
+        self.violations = violations
+        self.summary = summary
+
+    @property
+    def graph_version(self) -> int:
+        return self.summary["graph_version"]
+
+    @property
+    def stopped_early(self) -> bool:
+        return bool(self.summary.get("stopped_early"))
+
+    def __len__(self) -> int:
+        return len(self.violations)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"DetectReply({len(self.violations)} violations @ v{self.summary.get('graph_version')})"
+
+
+class ServiceClient:
+    """Talks the service wire protocol; raises :class:`ServiceError` on 4xx/5xx."""
+
+    def __init__(self, base_url: str, timeout: float = 60.0) -> None:
+        parsed = urlsplit(base_url)
+        if parsed.scheme != "http" or not parsed.hostname:
+            raise ServiceError(f"service URL must be http://host:port, got {base_url!r}")
+        self.host = parsed.hostname
+        self.port = parsed.port or 80
+        self.timeout = timeout
+
+    # -------------------------------------------------------------- plumbing
+
+    def _request(self, method: str, path: str, body: Optional[object] = None) -> HTTPResponse:
+        connection = HTTPConnection(self.host, self.port, timeout=self.timeout)
+        payload = None
+        headers = {}
+        if body is not None:
+            payload = json.dumps(body, default=str).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        connection.request(method, path, body=payload, headers=headers)
+        return connection.getresponse()
+
+    def _json(self, method: str, path: str, body: Optional[object] = None) -> dict:
+        response = self._request(method, path, body)
+        try:
+            raw = response.read()
+        finally:
+            response.close()
+        document = json.loads(raw.decode("utf-8")) if raw else {}
+        if response.status >= 400:
+            raise ServiceError(
+                f"{method} {path} failed with {response.status}: "
+                f"{document.get('error', raw.decode('utf-8', 'replace'))}"
+            )
+        return document
+
+    @staticmethod
+    def _detect_body(
+        rules: Optional[RuleSet],
+        catalog: Optional[str],
+        engine: str,
+        processors: Optional[int],
+        max_violations: Optional[int],
+        max_cost: Optional[float],
+        use_literal_pruning: bool,
+    ) -> dict:
+        body: dict = {"engine": engine, "use_literal_pruning": use_literal_pruning}
+        if rules is not None:
+            body["rules"] = rules.to_dict()
+        if catalog is not None:
+            body["catalog"] = catalog
+        if processors is not None:
+            body["processors"] = processors
+        if max_violations is not None:
+            body["max_violations"] = max_violations
+        if max_cost is not None:
+            body["max_cost"] = max_cost
+        return body
+
+    # ---------------------------------------------------------------- basics
+
+    def health(self) -> dict:
+        return self._json("GET", "/health")
+
+    def list_graphs(self) -> list[dict]:
+        return self._json("GET", "/graphs")["graphs"]
+
+    def register_graph(self, name: str, graph: Graph) -> dict:
+        """Upload a graph (``graph_to_dict`` wire form) and register it."""
+        validate_resource_name(name, "graph")
+        return self._json("POST", f"/graphs/{name}", graph_to_dict(graph))
+
+    def graph_info(self, name: str) -> dict:
+        return self._json("GET", f"/graphs/{name}")
+
+    def post_update(self, name: str, delta: BatchUpdate) -> dict:
+        """Apply ΔG to a registered graph; returns the new version."""
+        return self._json("POST", f"/graphs/{name}/updates", update_to_list(delta))
+
+    def register_rules(self, name: str, rules: RuleSet) -> dict:
+        validate_resource_name(name, "catalog")
+        return self._json("POST", f"/rules/{name}", rules.to_dict())
+
+    def list_rules(self) -> list[dict]:
+        return self._json("GET", "/rules")["catalogs"]
+
+    # ------------------------------------------------------------- detection
+
+    def stream_detect(
+        self,
+        graph: str,
+        rules: Optional[RuleSet] = None,
+        catalog: Optional[str] = None,
+        engine: str = "auto",
+        processors: Optional[int] = None,
+        max_violations: Optional[int] = None,
+        max_cost: Optional[float] = None,
+        use_literal_pruning: bool = True,
+    ) -> Iterator[dict]:
+        """Yield the NDJSON records of one detection request as they arrive.
+
+        Raises :class:`ServiceError` if the request is rejected up front
+        (4xx before the stream starts) or if the stream terminates with an
+        ``error`` record instead of a summary.
+        """
+        body = self._detect_body(
+            rules, catalog, engine, processors, max_violations, max_cost, use_literal_pruning
+        )
+        response = self._request("POST", f"/graphs/{graph}/detect", body)
+        try:
+            if response.status >= 400:
+                raw = response.read().decode("utf-8", "replace")
+                try:
+                    message = json.loads(raw).get("error", raw)
+                except json.JSONDecodeError:
+                    message = raw
+                raise ServiceError(f"detect on {graph!r} failed with {response.status}: {message}")
+            finished = False
+            for line in response:
+                line = line.strip()
+                if not line:
+                    continue
+                record = decode_record(line)
+                if record["type"] == "error":
+                    raise ServiceError(f"detection stream failed: {record['error']}")
+                yield record
+                if record["type"] == "summary":
+                    finished = True
+            if not finished:
+                raise ServiceError("detection stream ended without a summary record")
+        finally:
+            response.close()
+
+    def detect(self, graph: str, **kwargs) -> DetectReply:
+        """Run one detection request to completion; buffered convenience."""
+        violations: list[Violation] = []
+        summary: Optional[dict] = None
+        for record in self.stream_detect(graph, **kwargs):
+            if record["type"] == "violation":
+                violations.append(Violation.from_dict(record))
+            else:
+                summary = record
+        assert summary is not None  # stream_detect guarantees a summary
+        return DetectReply(violations, summary)
+
+    # -------------------------------------------------------------- sessions
+
+    def create_session(
+        self,
+        graph: str,
+        rules: Optional[RuleSet] = None,
+        catalog: Optional[str] = None,
+        engine: str = "auto",
+        processors: Optional[int] = None,
+        use_literal_pruning: bool = True,
+    ) -> dict:
+        """Open a continuous session; returns its initial state document."""
+        body = self._detect_body(rules, catalog, engine, processors, None, None, use_literal_pruning)
+        return self._json("POST", f"/graphs/{graph}/sessions", body)
+
+    def list_sessions(self) -> list[dict]:
+        return self._json("GET", "/sessions")["sessions"]
+
+    def session_state(self, session_id: str) -> dict:
+        return self._json("GET", f"/sessions/{session_id}")
+
+    def session_deltas(self, session_id: str, since: int = 0) -> dict:
+        return self._json("GET", f"/sessions/{session_id}/deltas?since={since}")
+
+    def close_session(self, session_id: str) -> dict:
+        return self._json("DELETE", f"/sessions/{session_id}")

@@ -1,0 +1,273 @@
+"""Detection jobs and continuous incremental sessions.
+
+Two execution shapes live here, both built on the
+:class:`~repro.detect.session.Detector` session API:
+
+* **One-shot streaming jobs** (:meth:`SessionManager.stream_detection`) —
+  the HTTP handler snapshots ``(graph, version)`` from the registry, then
+  iterates the generator this module returns; each yielded record is one
+  NDJSON line.  Every request gets its *own* ``Detector`` with its own
+  :class:`~repro.detect.observers.DetectionBudget`, which is the
+  multi-tenant fairness mechanism: a tenant asking for ``max_cost=500``
+  cannot make the server do more than 500 work units on its behalf, no
+  matter what the graph looks like.
+
+* **Continuous sessions** (:class:`ContinuousSession`) — a session pins a
+  registered graph, runs one full batch detection at its base version, and
+  from then on keeps its ``ViolationSet`` current by feeding every accepted
+  update through ``Detector.run_incremental`` (the paper's IncDect regime).
+  The per-version :class:`~repro.core.violations.ViolationDelta` is
+  recorded, so a client can ask "what changed between versions 4 and 9"
+  without replaying detection.  Session maintenance runs inside the graph
+  lock (see :mod:`repro.service.registry`), so deltas are observed exactly
+  once, in version order.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+from typing import Iterator, Optional
+
+from repro.core.ngd import RuleSet
+from repro.core.violations import ViolationDelta, ViolationSet
+from repro.detect.session import DetectionOptions, Detector
+from repro.errors import ServiceError
+from repro.service.protocol import DetectRequest, summary_record, violation_record
+from repro.service.registry import GraphRegistry, UpdateOutcome, validate_resource_name
+
+__all__ = ["ContinuousSession", "SessionManager"]
+
+
+class ContinuousSession:
+    """A long-lived incremental session over one registered graph.
+
+    ``violations`` is kept equal to ``Vio(Σ, G_v)`` for the session's
+    ``current_version`` ``v``; ``deltas[v]`` records the ΔVio that took the
+    session from version ``v - 1`` to ``v``.
+    """
+
+    def __init__(
+        self,
+        session_id: str,
+        graph_name: str,
+        rules: RuleSet,
+        detector: Detector,
+        base_version: int,
+        violations: ViolationSet,
+    ) -> None:
+        self.session_id = session_id
+        self.graph_name = graph_name
+        self.rules = rules
+        self.detector = detector
+        self.base_version = base_version
+        self.current_version = base_version
+        self.violations = violations
+        self.deltas: dict[int, ViolationDelta] = {}
+        self._lock = threading.Lock()
+
+    def advance(self, version: int, delta: ViolationDelta) -> None:
+        """Record ΔVio for ``version`` and roll the violation set forward."""
+        with self._lock:
+            self.violations = self.violations.apply_delta(delta)
+            self.deltas[version] = delta
+            self.current_version = version
+
+    def deltas_since(self, since: int) -> list[dict]:
+        """Return ``[{"version", "introduced", "removed"}, ...]`` for versions > ``since``."""
+        with self._lock:
+            return [
+                {"version": version, **self.deltas[version].to_dict()}
+                for version in sorted(self.deltas)
+                if version > since
+            ]
+
+    def state_document(self) -> dict:
+        """Return the JSON description served by ``GET /sessions/{id}``."""
+        with self._lock:
+            return {
+                "session": self.session_id,
+                "graph": self.graph_name,
+                "rules": self.rules.name,
+                "rule_count": len(self.rules),
+                "base_version": self.base_version,
+                "current_version": self.current_version,
+                "violation_count": len(self.violations),
+                **self.violations.to_dict(),
+            }
+
+
+class SessionManager:
+    """Runs detection jobs and owns the continuous sessions of a service."""
+
+    def __init__(self, registry: GraphRegistry, catalogs: Optional[dict[str, RuleSet]] = None) -> None:
+        self.registry = registry
+        self.catalogs: dict[str, RuleSet] = dict(catalogs or {})
+        self._catalog_lock = threading.Lock()
+        self._sessions: dict[str, ContinuousSession] = {}
+        self._sessions_lock = threading.Lock()
+        self._session_ids = itertools.count(1)
+        registry.add_listener(self._on_update)
+
+    # -------------------------------------------------------------- catalogs
+
+    def register_catalog(self, name: str, rules: RuleSet) -> None:
+        """Register a named rule catalog requests can reference."""
+        validate_resource_name(name, "catalog")
+        with self._catalog_lock:
+            if name in self.catalogs:
+                raise ServiceError(f"rule catalog {name!r} is already registered")
+            self.catalogs[name] = rules
+
+    def catalog(self, name: str) -> RuleSet:
+        """Return a registered catalog or raise :class:`ServiceError`."""
+        with self._catalog_lock:
+            try:
+                return self.catalogs[name]
+            except KeyError:
+                raise ServiceError(f"no rule catalog registered under {name!r}") from None
+
+    def describe_catalogs(self) -> list[dict]:
+        """Return ``{"name", "rules", "diameter"}`` for every catalog."""
+        with self._catalog_lock:
+            names = sorted(self.catalogs)
+            return [
+                {
+                    "name": name,
+                    "rules": len(self.catalogs[name]),
+                    "diameter": self.catalogs[name].diameter(),
+                }
+                for name in names
+            ]
+
+    def resolve_rules(self, request: DetectRequest) -> RuleSet:
+        """Return the rule set a request asks for (inline beats catalog)."""
+        if request.rules is not None:
+            return request.rules
+        if request.catalog is not None:
+            return self.catalog(request.catalog)
+        raise ServiceError("detect request must carry inline 'rules' or name a 'catalog'")
+
+    # -------------------------------------------------------- one-shot jobs
+
+    def stream_detection(self, graph_name: str, request: DetectRequest) -> Iterator[dict]:
+        """Yield the NDJSON records of one budgeted detection request.
+
+        Snapshots the graph once, then runs a per-request ``Detector``
+        against that frozen version: concurrent updates bump the registry
+        but never affect this stream.  The final record is the summary
+        carrying ``graph_version`` and the budget outcome.
+        """
+        rules = self.resolve_rules(request)
+        graph, version = self.registry.get(graph_name).snapshot()
+        detector = Detector(
+            rules,
+            engine=request.engine,
+            processors=request.processors,
+            options=DetectionOptions(
+                use_literal_pruning=request.use_literal_pruning,
+                max_violations=request.max_violations,
+                max_cost=request.max_cost,
+            ),
+        )
+        for violation in detector.stream(graph):
+            yield violation_record(violation, introduced=True)
+        yield summary_record(detector.last_result, graph_name, version)
+
+    # ---------------------------------------------------------------- sessions
+
+    def create_session(self, graph_name: str, request: DetectRequest) -> ContinuousSession:
+        """Open a continuous session: full run now, incremental forever after.
+
+        Budgets are refused: a truncated run (full or incremental) would
+        leave the maintained violation set a strict subset of the truth,
+        and every later delta would compound the error.
+
+        The initial batch run executes while *holding the graph lock*, so
+        no update can slip between "snapshot the base version" and "start
+        observing deltas"; updates queued behind the lock are applied (and
+        fed to the new session) as soon as registration completes.
+        """
+        if request.max_violations is not None or request.max_cost is not None:
+            raise ServiceError(
+                "continuous sessions cannot run under a budget: a truncated "
+                "violation set cannot be kept consistent by later deltas"
+            )
+        rules = self.resolve_rules(request)
+        registered = self.registry.get(graph_name)
+        with registered.lock:
+            graph, version = registered.snapshot()
+            batch = Detector(
+                rules,
+                engine=request.engine,
+                processors=request.processors,
+                options=DetectionOptions(use_literal_pruning=request.use_literal_pruning),
+            )
+            violations = batch.run(graph).violations
+            incremental = Detector(
+                rules,
+                engine="incremental",
+                options=DetectionOptions(use_literal_pruning=request.use_literal_pruning),
+            )
+            session = ContinuousSession(
+                session_id=f"s{next(self._session_ids)}",
+                graph_name=graph_name,
+                rules=rules,
+                detector=incremental,
+                base_version=version,
+                violations=violations,
+            )
+            with self._sessions_lock:
+                self._sessions[session.session_id] = session
+            return session
+
+    def session(self, session_id: str) -> ContinuousSession:
+        """Return a live session or raise :class:`ServiceError`."""
+        with self._sessions_lock:
+            try:
+                return self._sessions[session_id]
+            except KeyError:
+                raise ServiceError(f"no session {session_id!r}") from None
+
+    def close_session(self, session_id: str) -> None:
+        """Drop a session (its recorded deltas go with it)."""
+        with self._sessions_lock:
+            if self._sessions.pop(session_id, None) is None:
+                raise ServiceError(f"no session {session_id!r}")
+
+    def describe_sessions(self) -> list[dict]:
+        """Return a compact listing of every live session."""
+        with self._sessions_lock:
+            sessions = sorted(self._sessions.values(), key=lambda s: s.session_id)
+        return [
+            {
+                "session": s.session_id,
+                "graph": s.graph_name,
+                "current_version": s.current_version,
+                "violation_count": len(s.violations),
+            }
+            for s in sessions
+        ]
+
+    def session_count(self) -> int:
+        with self._sessions_lock:
+            return len(self._sessions)
+
+    # ------------------------------------------------------- update fan-out
+
+    def _on_update(self, outcome: UpdateOutcome) -> None:
+        """Registry listener: advance every session of the updated graph.
+
+        Runs inside the graph's lock (see the registry), so sessions see
+        versions strictly in order.  ``graph_after`` is handed to the
+        incremental kernel directly — ``G ⊕ ΔG`` is already materialised by
+        the registry, exactly the "storage layer maintains the updated
+        graph" assumption the paper makes.
+        """
+        with self._sessions_lock:
+            sessions = [s for s in self._sessions.values() if s.graph_name == outcome.name]
+        for session in sessions:
+            result = session.detector.run_incremental(
+                outcome.graph_before, outcome.delta, graph_after=outcome.graph_after
+            )
+            session.advance(outcome.version, result.delta)

@@ -1,0 +1,196 @@
+"""The service wire protocol: request schemas and NDJSON streaming records.
+
+Detection responses are streamed as NDJSON (``application/x-ndjson``): one
+JSON object per line, written and flushed the moment the detection kernel
+yields the violation, so a slow search delivers its first findings while it
+is still running.  A stream is a sequence of ``violation`` records followed
+by exactly one terminal ``summary`` record::
+
+    {"type": "violation", "introduced": true, "rule": "φ2",
+     "variables": ["x", "y", "z", "w"], "nodes": ["Bhonpur", ...]}
+    ...
+    {"type": "summary", "algorithm": "Dect", "violation_count": 3,
+     "stopped_early": false, "stop_reason": null, "cost": 841.0,
+     "graph": "yago", "graph_version": 7, "wall_time": 0.012}
+
+A failed stream ends with an ``error`` record instead of a summary, so a
+client can always distinguish "completed" from "died mid-flight" even
+though the HTTP status line was sent long before the failure.
+
+Detection *requests* are one JSON object.  Rules come either inline
+(``{"rules": <RuleSet.to_dict() document>}``) or by reference to a catalog
+registered with the server (``{"catalog": "name"}``); budgets, engine and
+processor count ride along::
+
+    {"catalog": "example", "engine": "auto", "processors": 1,
+     "max_violations": 10, "max_cost": null, "use_literal_pruning": true}
+
+:func:`parse_detect_request` validates the document into a
+:class:`DetectRequest`; resolution of catalog names against the server's
+registry happens in :mod:`repro.service.jobs`.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Mapping, Optional
+
+from repro.core.ngd import RuleSet
+from repro.core.violations import Violation
+from repro.detect.base import DetectionResult, IncrementalDetectionResult
+from repro.errors import ReproError, SerializationError, ServiceError
+
+__all__ = [
+    "MIME_NDJSON",
+    "MIME_JSON",
+    "DetectRequest",
+    "parse_detect_request",
+    "violation_record",
+    "summary_record",
+    "error_record",
+    "encode_record",
+    "decode_record",
+]
+
+MIME_NDJSON = "application/x-ndjson"
+MIME_JSON = "application/json"
+
+#: Engines a detection request may ask for (``incremental`` is driven by the
+#: updates endpoint + continuous sessions, not by one-shot detect requests).
+REQUEST_ENGINES = ("auto", "batch", "parallel")
+
+
+@dataclass(frozen=True)
+class DetectRequest:
+    """One validated detection request (rules inline xor by catalog name)."""
+
+    rules: Optional[RuleSet] = None
+    catalog: Optional[str] = None
+    engine: str = "auto"
+    processors: Optional[int] = None
+    max_violations: Optional[int] = None
+    max_cost: Optional[float] = None
+    use_literal_pruning: bool = True
+
+
+def _optional_positive_int(document: Mapping, key: str) -> Optional[int]:
+    value = document.get(key)
+    if value is None:
+        return None
+    if not isinstance(value, int) or isinstance(value, bool) or value < 1:
+        raise ServiceError(f"{key!r} must be a positive integer, got {value!r}")
+    return value
+
+
+def _optional_positive_number(document: Mapping, key: str) -> Optional[float]:
+    value = document.get(key)
+    if value is None:
+        return None
+    if not isinstance(value, (int, float)) or isinstance(value, bool) or value <= 0:
+        raise ServiceError(f"{key!r} must be a positive number, got {value!r}")
+    return float(value)
+
+
+def parse_detect_request(document: object) -> DetectRequest:
+    """Validate a request JSON document into a :class:`DetectRequest`.
+
+    Raises :class:`~repro.errors.ServiceError` on shape errors: both or
+    neither rule source, unknown engines, non-positive budgets.  An inline
+    rule document is parsed eagerly so a malformed rule fails the request
+    up front, not mid-stream.
+    """
+    if document is None:
+        document = {}
+    if not isinstance(document, Mapping):
+        raise ServiceError(f"detect request must be a JSON object, got {type(document).__name__}")
+    inline = document.get("rules")
+    catalog = document.get("catalog")
+    if inline is not None and catalog is not None:
+        raise ServiceError("detect request must name 'rules' inline or a 'catalog', not both")
+    rules: Optional[RuleSet] = None
+    if inline is not None:
+        try:
+            rules = RuleSet.from_dict(inline)
+        except ReproError as exc:
+            raise ServiceError(f"inline rule set is malformed: {exc}") from exc
+    if catalog is not None and not isinstance(catalog, str):
+        raise ServiceError(f"'catalog' must be a string, got {catalog!r}")
+    engine = document.get("engine", "auto")
+    if engine not in REQUEST_ENGINES:
+        raise ServiceError(f"unknown engine {engine!r}; expected one of {REQUEST_ENGINES}")
+    return DetectRequest(
+        rules=rules,
+        catalog=catalog,
+        engine=engine,
+        processors=_optional_positive_int(document, "processors"),
+        max_violations=_optional_positive_int(document, "max_violations"),
+        max_cost=_optional_positive_number(document, "max_cost"),
+        use_literal_pruning=bool(document.get("use_literal_pruning", True)),
+    )
+
+
+# ------------------------------------------------------------------ records
+
+
+def violation_record(violation: Violation, introduced: bool = True) -> dict:
+    """Return the NDJSON record for one streamed violation."""
+    return {"type": "violation", "introduced": introduced, **violation.to_dict()}
+
+
+def summary_record(
+    result: "DetectionResult | IncrementalDetectionResult",
+    graph_name: str,
+    graph_version: int,
+) -> dict:
+    """Return the terminal record of a stream: counts, budget outcome, cost.
+
+    ``graph_version`` is the registry version the run was snapshotted at —
+    the client's proof of which consistent graph state its stream reflects.
+    """
+    record = {
+        "type": "summary",
+        "algorithm": result.algorithm,
+        "cost": result.cost,
+        "wall_time": result.wall_time,
+        "processors": result.processors,
+        "stopped_early": result.stopped_early,
+        "stop_reason": result.stop_reason,
+        "graph": graph_name,
+        "graph_version": graph_version,
+    }
+    if isinstance(result, IncrementalDetectionResult):
+        record["introduced_count"] = len(result.introduced())
+        record["removed_count"] = len(result.removed())
+        record["total_changes"] = result.total_changes()
+    else:
+        record["violation_count"] = result.violation_count()
+    return record
+
+
+def error_record(message: str) -> dict:
+    """Return the terminal record of a stream that failed mid-flight."""
+    return {"type": "error", "error": message}
+
+
+def encode_record(record: Mapping) -> bytes:
+    """Encode one record as an NDJSON line (sorted keys, ``default=str``).
+
+    ``default=str`` applies the :func:`~repro.core.violations.wire_node_id`
+    convention to anything a record smuggled past it (the violation records
+    are already wire-safe).
+    """
+    return (json.dumps(record, sort_keys=True, default=str) + "\n").encode("utf-8")
+
+
+def decode_record(line: "bytes | str") -> dict:
+    """Decode one NDJSON line back into a record dictionary."""
+    if isinstance(line, bytes):
+        line = line.decode("utf-8")
+    try:
+        record = json.loads(line)
+    except json.JSONDecodeError as exc:
+        raise SerializationError(f"malformed NDJSON record {line!r}: {exc}") from exc
+    if not isinstance(record, dict) or "type" not in record:
+        raise SerializationError(f"NDJSON record must be an object with a 'type': {line!r}")
+    return record

@@ -1,0 +1,388 @@
+"""The HTTP detection server (stdlib ``http.server.ThreadingHTTPServer``).
+
+Endpoints (all request/response bodies are JSON; detection streams are
+NDJSON, flushed per record):
+
+========  ================================  =====================================
+Method    Path                              Meaning
+========  ================================  =====================================
+GET       /health                           liveness + graph/session counts
+GET       /graphs                           list registered graphs
+POST      /graphs/{name}                    register a graph (body: graph doc)
+GET       /graphs/{name}                    name, version, node/edge counts
+POST      /graphs/{name}/updates            apply a BatchUpdate, bump version
+POST      /graphs/{name}/detect             stream one budgeted detection (NDJSON)
+POST      /graphs/{name}/sessions           open a continuous session
+GET       /sessions                         list live sessions
+GET       /sessions/{id}                    current ViolationSet + version
+GET       /sessions/{id}/deltas?since=V     per-version ViolationDeltas after V
+DELETE    /sessions/{id}                    close a session
+GET       /rules                            list rule catalogs
+POST      /rules/{name}                     register a catalog (RuleSet document)
+========  ================================  =====================================
+
+Error mapping: malformed requests and unknown names raise
+:class:`~repro.errors.ReproError` subclasses, which become a 4xx JSON body
+``{"error": message}`` (404 for unknown resources, 409 for duplicate
+registrations, 400 otherwise).  A failure *after* a stream has started
+cannot change the status line any more, so the stream is terminated with an
+``error`` record instead (see :mod:`repro.service.protocol`).
+
+Responses use HTTP/1.0 framing (connection closes at end of body), which is
+what lets detection streams run without a Content-Length: the client reads
+NDJSON lines until EOF.  :class:`DetectionService` wraps server + registry +
+session manager into one object with ``start()`` / ``stop()`` and context-
+manager support; ``port=0`` binds an ephemeral port, reported via ``url``.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Optional
+
+from repro.core.ngd import RuleSet
+from repro.errors import ReproError, ServiceError
+from repro.graph.graph import Graph
+from repro.graph.io import graph_from_dict, update_from_list
+from repro.service.jobs import SessionManager
+from repro.service.protocol import (
+    MIME_JSON,
+    MIME_NDJSON,
+    encode_record,
+    error_record,
+    parse_detect_request,
+)
+from repro.service.registry import GraphRegistry
+
+__all__ = ["DetectionService"]
+
+#: Refuse request bodies beyond this size (a malformed client should not be
+#: able to balloon server memory; 64 MiB comfortably fits every test graph).
+MAX_BODY_BYTES = 64 * 1024 * 1024
+
+
+class _ServiceHandler(BaseHTTPRequestHandler):
+    """Routes HTTP requests onto the service's registry and session manager.
+
+    One instance per request (http.server semantics); the shared state lives
+    on ``self.server.service``.  Request handling must stay re-entrant: the
+    ThreadingHTTPServer runs each connection on its own thread.
+    """
+
+    server_version = "repro-detect"
+    # HTTP/1.0: responses are framed by connection close, enabling unbounded
+    # NDJSON streams without chunked-encoding bookkeeping.
+    protocol_version = "HTTP/1.0"
+
+    # ------------------------------------------------------------- plumbing
+
+    @property
+    def service(self) -> "DetectionService":
+        return self.server.service  # type: ignore[attr-defined]
+
+    def log_message(self, format: str, *args) -> None:  # noqa: A002 - stdlib signature
+        if self.service.verbose:
+            super().log_message(format, *args)
+
+    def _read_json_body(self) -> object:
+        length = int(self.headers.get("Content-Length") or 0)
+        if length > MAX_BODY_BYTES:
+            # drain what the client declared before erroring, else it is
+            # still blocked sending the body when we close the socket and
+            # sees ECONNRESET instead of the JSON error explaining the limit
+            remaining = length
+            while remaining > 0:
+                chunk = self.rfile.read(min(remaining, 1 << 20))
+                if not chunk:
+                    break
+                remaining -= len(chunk)
+            raise ServiceError(f"request body of {length} bytes exceeds the {MAX_BODY_BYTES} byte limit")
+        if length == 0:
+            return None
+        raw = self.rfile.read(length)
+        try:
+            return json.loads(raw.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise ServiceError(f"request body is not valid JSON: {exc}") from exc
+
+    def _send_json(self, document: object, status: int = 200) -> None:
+        body = (json.dumps(document, sort_keys=True, default=str) + "\n").encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", MIME_JSON)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_error_json(self, exc: Exception) -> None:
+        message = str(exc)
+        status = 400
+        if isinstance(exc, ServiceError):
+            if message.startswith("no "):
+                status = 404
+            elif "already registered" in message:
+                status = 409
+        self._send_json({"error": message}, status=status)
+
+    def _path_parts(self) -> tuple[list[str], dict[str, str]]:
+        path, _, query = self.path.partition("?")
+        parts = [part for part in path.split("/") if part]
+        params: dict[str, str] = {}
+        for pair in query.split("&"):
+            if "=" in pair:
+                key, _, value = pair.partition("=")
+                params[key] = value
+        return parts, params
+
+    # ------------------------------------------------------------- dispatch
+
+    def do_GET(self) -> None:  # noqa: N802 - stdlib naming
+        parts, params = self._path_parts()
+        try:
+            if parts == ["health"]:
+                self._send_json(self.service.health())
+            elif parts == ["graphs"]:
+                self._send_json({"graphs": self.service.registry.describe()})
+            elif len(parts) == 2 and parts[0] == "graphs":
+                self._send_json(self.service.registry.get(parts[1]).info())
+            elif parts == ["sessions"]:
+                self._send_json({"sessions": self.service.manager.describe_sessions()})
+            elif len(parts) == 2 and parts[0] == "sessions":
+                self._send_json(self.service.manager.session(parts[1]).state_document())
+            elif len(parts) == 3 and parts[0] == "sessions" and parts[2] == "deltas":
+                session = self.service.manager.session(parts[1])
+                since = self._parse_since(params)
+                self._send_json(
+                    {
+                        "session": session.session_id,
+                        "since": since,
+                        "current_version": session.current_version,
+                        "deltas": session.deltas_since(since),
+                    }
+                )
+            elif parts == ["rules"]:
+                self._send_json({"catalogs": self.service.manager.describe_catalogs()})
+            else:
+                raise ServiceError(f"no resource at {self.path!r}")
+        except ReproError as exc:
+            self._send_error_json(exc)
+        except Exception as exc:  # noqa: BLE001 - a crashed handler drops the connection
+            self._send_json({"error": f"internal error: {exc!r}"}, status=500)
+
+    def do_POST(self) -> None:  # noqa: N802 - stdlib naming
+        parts, _ = self._path_parts()
+        try:
+            body = self._read_json_body()
+            if len(parts) == 2 and parts[0] == "graphs":
+                self._register_graph(parts[1], body)
+            elif len(parts) == 3 and parts[0] == "graphs" and parts[2] == "updates":
+                self._apply_update(parts[1], body)
+            elif len(parts) == 3 and parts[0] == "graphs" and parts[2] == "detect":
+                self._stream_detect(parts[1], body)
+            elif len(parts) == 3 and parts[0] == "graphs" and parts[2] == "sessions":
+                self._create_session(parts[1], body)
+            elif len(parts) == 2 and parts[0] == "rules":
+                self._register_catalog(parts[1], body)
+            else:
+                raise ServiceError(f"no resource at {self.path!r}")
+        except ReproError as exc:
+            self._send_error_json(exc)
+        except Exception as exc:  # noqa: BLE001 - a crashed handler drops the connection
+            # _stream_detect never lets non-socket errors escape once the
+            # 200 is committed, so replying here is always still possible
+            self._send_json({"error": f"internal error: {exc!r}"}, status=500)
+
+    def do_DELETE(self) -> None:  # noqa: N802 - stdlib naming
+        parts, _ = self._path_parts()
+        try:
+            if len(parts) == 2 and parts[0] == "sessions":
+                self.service.manager.close_session(parts[1])
+                self._send_json({"closed": parts[1]})
+            else:
+                raise ServiceError(f"no resource at {self.path!r}")
+        except ReproError as exc:
+            self._send_error_json(exc)
+        except Exception as exc:  # noqa: BLE001 - a crashed handler drops the connection
+            self._send_json({"error": f"internal error: {exc!r}"}, status=500)
+
+    # ------------------------------------------------------------- handlers
+
+    @staticmethod
+    def _parse_since(params: dict[str, str]) -> int:
+        raw = params.get("since", "0")
+        try:
+            return int(raw)
+        except ValueError:
+            raise ServiceError(f"'since' must be an integer version, got {raw!r}") from None
+
+    def _register_graph(self, name: str, body: object) -> None:
+        if not isinstance(body, dict):
+            raise ServiceError("graph registration body must be a graph JSON document")
+        # the io decoders raise builtin exceptions on malformed-but-JSON
+        # shapes (a nodes entry missing its label, a non-list edges value);
+        # convert them so the tenant gets the documented 4xx error body
+        try:
+            graph = graph_from_dict(body, store=self.service.store)
+        except (KeyError, TypeError, ValueError, AttributeError) as exc:
+            raise ServiceError(f"graph document is malformed: {exc!r}") from exc
+        registered = self.service.registry.register(name, graph)
+        self._send_json(registered.info(), status=201)
+
+    def _apply_update(self, name: str, body: object) -> None:
+        if not isinstance(body, list):
+            raise ServiceError("update body must be a list of unit-update objects")
+        try:
+            delta = update_from_list(body)
+        except (KeyError, TypeError, ValueError, AttributeError) as exc:
+            raise ServiceError(f"update document is malformed: {exc!r}") from exc
+        outcome = self.service.registry.apply_update(name, delta)
+        self._send_json(
+            {
+                "graph": outcome.name,
+                "version": outcome.version,
+                "applied": outcome.applied,
+                "sessions_advanced": sum(
+                    1
+                    for s in self.service.manager.describe_sessions()
+                    if s["graph"] == name and s["current_version"] == outcome.version
+                ),
+            }
+        )
+
+    def _create_session(self, name: str, body: object) -> None:
+        request = parse_detect_request(body)
+        session = self.service.manager.create_session(name, request)
+        self._send_json(session.state_document(), status=201)
+
+    def _register_catalog(self, name: str, body: object) -> None:
+        if not isinstance(body, dict):
+            raise ServiceError("catalog body must be a RuleSet JSON document")
+        try:
+            rules = RuleSet.from_dict(body)
+        except (KeyError, TypeError, ValueError, AttributeError) as exc:
+            raise ServiceError(f"rule-set document is malformed: {exc!r}") from exc
+        self.service.manager.register_catalog(name, rules)
+        self._send_json({"catalog": name, "rules": len(rules)}, status=201)
+
+    def _stream_detect(self, name: str, body: object) -> None:
+        request = parse_detect_request(body)
+        records = self.service.manager.stream_detection(name, request)
+        # pull the first record before committing the 200: a bad catalog
+        # name or unknown graph still gets a clean JSON error response
+        try:
+            first = next(records)
+        except StopIteration:
+            first = None
+        self.send_response(200)
+        self.send_header("Content-Type", MIME_NDJSON)
+        self.end_headers()
+        try:
+            if first is not None:
+                self.wfile.write(encode_record(first))
+                self.wfile.flush()
+            for record in records:
+                self.wfile.write(encode_record(record))
+                self.wfile.flush()
+        except OSError:
+            pass  # the client hung up mid-stream; nothing left to tell it
+        except Exception as exc:  # noqa: BLE001 - headers are sent: report in-band
+            try:
+                self.wfile.write(encode_record(error_record(f"{exc!r}")))
+                self.wfile.flush()
+            except OSError:
+                pass
+
+
+class DetectionService:
+    """Registry + session manager + threaded HTTP server, as one object.
+
+    ::
+
+        service = DetectionService(port=0)
+        service.registry.register("g", graph)
+        service.manager.register_catalog("example", example_rules())
+        with service:                      # start() / stop()
+            client = ServiceClient(service.url)
+            ...
+
+    ``stop()`` shuts the listener down and joins the serving thread; in-
+    flight request threads are daemonic, so shutdown does not hang on a
+    slow stream.
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        registry: Optional[GraphRegistry] = None,
+        store: Optional[str] = None,
+        verbose: bool = False,
+    ) -> None:
+        self.registry = registry if registry is not None else GraphRegistry()
+        self.manager = SessionManager(self.registry)
+        self.store = store
+        self.verbose = verbose
+        self._httpd = ThreadingHTTPServer((host, port), _ServiceHandler)
+        self._httpd.daemon_threads = True
+        self._httpd.service = self  # type: ignore[attr-defined]
+        self._thread: Optional[threading.Thread] = None
+
+    # -------------------------------------------------------------- lifecycle
+
+    @property
+    def address(self) -> tuple[str, int]:
+        """The bound ``(host, port)`` — the port is concrete even for port=0."""
+        return self._httpd.server_address[:2]
+
+    @property
+    def url(self) -> str:
+        host, port = self.address
+        return f"http://{host}:{port}"
+
+    def start(self) -> "DetectionService":
+        """Serve requests on a background thread; returns self."""
+        if self._thread is not None:
+            raise ServiceError("service is already running")
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever,
+            name=f"repro-service:{self.address[1]}",
+            daemon=True,
+        )
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        """Stop accepting connections and join the serving thread."""
+        if self._thread is None:
+            return
+        self._httpd.shutdown()
+        self._thread.join()
+        self._httpd.server_close()
+        self._thread = None
+
+    @property
+    def running(self) -> bool:
+        return self._thread is not None and self._thread.is_alive()
+
+    def __enter__(self) -> "DetectionService":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    # -------------------------------------------------------------- reporting
+
+    def health(self) -> dict:
+        """The ``GET /health`` document."""
+        return {
+            "status": "ok",
+            "graphs": len(self.registry),
+            "sessions": self.manager.session_count(),
+        }
+
+    # ---------------------------------------------------------- convenience
+
+    def register_graph(self, name: str, graph: Graph) -> None:
+        """Register an in-process graph (the HTTP-free path for embedding)."""
+        self.registry.register(name, graph)

@@ -215,3 +215,62 @@ class TestDetectionFlags:
         result = Detector(example_rules()).run(figure1_g2())
         assert document["cost"] == result.cost
         assert document["violation_count"] == result.violation_count()
+
+
+class TestRulesDiscover:
+    """`repro-detect rules discover` mines NGDs straight into the rule-file format."""
+
+    @pytest.fixture
+    def minable_graph_path(self, tmp_path):
+        from repro.datasets.synthetic import synthetic_graph
+
+        path = tmp_path / "minable.json"
+        save_graph(synthetic_graph(num_nodes=400, num_edges=800, seed=3, name="minable"), path)
+        return str(path)
+
+    def test_discover_writes_a_loadable_rule_file(self, minable_graph_path, tmp_path, capsys):
+        from repro.core.ngd import RuleSet
+        from repro.discovery import DiscoveryConfig, discover_ngds
+        from repro.graph.io import load_graph
+
+        out = tmp_path / "mined.json"
+        code = main(
+            [
+                "rules",
+                "discover",
+                minable_graph_path,
+                "-o",
+                str(out),
+                "--max-rules",
+                "6",
+                "--min-support",
+                "4",
+            ]
+        )
+        assert code == 0
+        assert "discovered" in capsys.readouterr().out
+        loaded = RuleSet.load(out)
+        assert 0 < len(loaded) <= 6
+        # the file round-trips exactly and matches a direct miner run
+        assert RuleSet.from_json(loaded.to_json()).rules() == loaded.rules()
+        direct = discover_ngds(
+            load_graph(minable_graph_path),
+            DiscoveryConfig(max_rules=6, min_support=4),
+        )
+        assert loaded.rules() == direct.rules()
+        # mined rules are usable by the detection path
+        assert main(["run", minable_graph_path, "--rules-file", str(out)]) in (0, 1)
+
+    def test_discover_to_stdout(self, minable_graph_path, capsys):
+        code = main(["rules", "discover", minable_graph_path, "--max-rules", "3", "--min-support", "4"])
+        assert code == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document["rules"]
+
+    def test_discover_without_graph_exits_2(self, capsys):
+        assert main(["rules", "discover"]) == 2
+        assert "needs a graph file" in capsys.readouterr().err
+
+    def test_list_with_graph_argument_exits_2(self, g2_path, capsys):
+        assert main(["rules", "list", g2_path]) == 2
+        assert "only valid with 'discover'" in capsys.readouterr().err

@@ -1,0 +1,134 @@
+"""Round-trip tests for the violation wire format (core/violations.py).
+
+The same ``to_dict``/``from_dict`` forms are consumed by the service
+protocol (NDJSON streams, session state documents) and the CLI's
+``--format json`` payload, so the round-trip guarantees here underwrite
+both surfaces.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import result_to_dict
+from repro.core.violations import Violation, ViolationDelta, ViolationSet, wire_node_id
+from repro.detect import Detector
+from repro.errors import SerializationError
+
+
+def _violation(rule: str = "phi2", suffix: str = "") -> Violation:
+    return Violation(
+        rule,
+        ("x", "y", "z", "w"),
+        (f"Bhonpur{suffix}", f"female{suffix}", f"male{suffix}", f"total{suffix}"),
+    )
+
+
+class TestWireNodeId:
+    def test_json_scalars_pass_through(self):
+        for value in ("a", 7, 3.5, True, None):
+            assert wire_node_id(value) == value
+
+    def test_non_json_ids_use_the_io_convention(self):
+        # graph/io.save_graph serialises unknown types with json default=str;
+        # the violation wire form must name the same ids a graph file would
+        assert wire_node_id(("p", 3)) == str(("p", 3))
+        assert wire_node_id(frozenset({1})) == str(frozenset({1}))
+
+
+class TestViolationRoundTrip:
+    def test_to_dict_shape(self):
+        document = _violation().to_dict()
+        assert document == {
+            "rule": "phi2",
+            "variables": ["x", "y", "z", "w"],
+            "nodes": ["Bhonpur", "female", "male", "total"],
+        }
+        # the document is pure JSON
+        json.dumps(document)
+
+    def test_round_trip_identity(self):
+        violation = _violation()
+        assert Violation.from_dict(violation.to_dict()) == violation
+
+    def test_round_trip_through_json_text(self):
+        violation = _violation()
+        rebuilt = Violation.from_dict(json.loads(json.dumps(violation.to_dict())))
+        assert rebuilt == violation
+        assert rebuilt.mapping() == violation.mapping()
+
+    def test_tuple_node_ids_serialize_via_str(self):
+        violation = Violation("r", ("x",), (("composite", 1),))
+        document = violation.to_dict()
+        assert document["nodes"] == [str(("composite", 1))]
+        # lossy by design: the rebuilt violation carries the string form
+        assert Violation.from_dict(document).nodes == (str(("composite", 1)),)
+
+    @pytest.mark.parametrize(
+        "document",
+        [
+            "not a mapping",
+            {},
+            {"rule": "r", "variables": ["x"]},
+            {"rule": 7, "variables": ["x"], "nodes": ["a"]},
+            {"rule": "r", "variables": "x", "nodes": ["a"]},
+            {"rule": "r", "variables": ["x", "y"], "nodes": ["a"]},
+        ],
+    )
+    def test_malformed_documents_raise(self, document):
+        with pytest.raises(SerializationError):
+            Violation.from_dict(document)
+
+
+class TestViolationSetRoundTrip:
+    def test_json_round_trip(self):
+        violations = ViolationSet([_violation(), _violation(suffix="2"), _violation("phi1")])
+        assert ViolationSet.from_json(violations.to_json()) == violations
+
+    def test_to_dict_is_sorted_and_deterministic(self):
+        violations = ViolationSet([_violation(suffix="2"), _violation()])
+        listed = violations.to_dict()["violations"]
+        assert [v["nodes"][0] for v in listed] == ["Bhonpur", "Bhonpur2"]
+        assert violations.to_json() == ViolationSet(list(violations)).to_json()
+
+    def test_empty_set_round_trips(self):
+        assert ViolationSet.from_json(ViolationSet().to_json()) == ViolationSet()
+
+    def test_malformed_json_raises(self):
+        with pytest.raises(SerializationError):
+            ViolationSet.from_json("{nope")
+        with pytest.raises(SerializationError):
+            ViolationSet.from_dict({"violations": "not-a-list"})
+
+
+class TestViolationDeltaRoundTrip:
+    def test_round_trip(self):
+        delta = ViolationDelta(
+            introduced=ViolationSet([_violation()]),
+            removed=ViolationSet([_violation(suffix="2"), _violation("phi3")]),
+        )
+        assert ViolationDelta.from_dict(delta.to_dict()) == delta
+
+    def test_empty_delta_round_trips(self):
+        assert ViolationDelta.from_dict(ViolationDelta.empty().to_dict()) == ViolationDelta.empty()
+
+    def test_missing_key_raises(self):
+        with pytest.raises(SerializationError):
+            ViolationDelta.from_dict({"introduced": []})
+
+
+class TestCliPayloadReuse:
+    """The CLI ``--format json`` violation entries are the wire form + assignment."""
+
+    def test_run_payload_uses_wire_form(self, g2, figure1_rules):
+        result = Detector(figure1_rules).run(g2)
+        document = result_to_dict(result)
+        assert document["violation_count"] == 1
+        (entry,) = document["violations"]
+        wire = dict(entry)
+        assignment = wire.pop("assignment")
+        rebuilt = Violation.from_dict(wire)
+        assert rebuilt in result.violations
+        assert assignment == {v: n for v, n in zip(entry["variables"], entry["nodes"])}
