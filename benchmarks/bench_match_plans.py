@@ -1,0 +1,168 @@
+"""Match-planner benchmark: planned vs static ordering, indexed vs CSR.
+
+Two claims of the compile-then-execute refactor are measured here on the
+skewed-label synthetic workload:
+
+* **planning wins** — the cost-based variable order (start from the rarest
+  label, anchor through label-filtered adjacency, fire literals at their
+  earliest depth) performs at least 1.5× fewer algorithmic work units
+  (``MatchStatistics.total_operations()``) than the static
+  ``Pattern.matching_order`` pipeline, with byte-identical violation sets;
+* **backend parity** — the planner produces identical violation sets and
+  identical operation counts on every storage backend (dict, indexed, and
+  the frozen CSR array store), while the CSR store serves the planner's
+  batch scans from compact arrays.
+
+Run standalone (``python benchmarks/bench_match_plans.py``) or through
+pytest; ``generate_experiments_report.py`` records the measured ratios in
+EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+import pytest  # noqa: E402
+
+from repro.core.ngd import NGD  # noqa: E402
+from repro.datasets.synthetic import synthetic_graph  # noqa: E402
+from repro.detect.session import DetectionOptions, Detector  # noqa: E402
+from repro.graph.graph import Graph  # noqa: E402
+from repro.graph.pattern import Pattern  # noqa: E402
+
+#: The skewed-label synthetic workload: a large common-label population, a
+#: tiny rare-label population, and rules declared common-side-first so the
+#: static order must scan the big bucket.
+WORKLOAD = {"accounts": 4000, "flags": 16, "flag_stride": 10, "seed": 3}
+
+#: Acceptance bar: planned ordering must do >= this factor fewer operations.
+MIN_OPERATION_RATIO = 1.5
+
+
+def skewed_label_graph(store=None) -> Graph:
+    """Build the skewed workload graph: |account| >> |flag|."""
+    graph = Graph("skewed", store=store)
+    accounts = WORKLOAD["accounts"]
+    flags = WORKLOAD["flags"]
+    for index in range(accounts):
+        graph.add_node(f"acct{index}", "account", {"val": index % 211})
+    for index in range(flags):
+        graph.add_node(f"flag{index}", "flag", {"val": index * 7})
+    for index in range(0, accounts, WORKLOAD["flag_stride"]):
+        graph.add_edge(f"acct{index}", f"flag{index % flags}", "flagged")
+        graph.add_edge(f"acct{index}", f"acct{(index + 1) % accounts}", "peer")
+    return graph
+
+
+def skewed_rules() -> list[NGD]:
+    flagged = Pattern.from_edges(
+        "flagged",
+        nodes=[("x", "account"), ("y", "flag")],
+        edges=[("x", "y", "flagged")],
+    )
+    chain = Pattern.from_edges(
+        "chain",
+        nodes=[("x", "account"), ("y", "account"), ("z", "flag")],
+        edges=[("x", "y", "peer"), ("y", "z", "flagged")],
+    )
+    return [
+        NGD.from_text(flagged, "x.val >= 0", "y.val < x.val", name="flag_order"),
+        NGD.from_text(chain, "x.val > 10", "x.val + y.val > z.val", name="peer_chain"),
+    ]
+
+
+def measure_match_plans() -> dict:
+    """Measure planned vs static operations and indexed vs CSR wall time."""
+    rules = skewed_rules()
+    indexed = skewed_label_graph(store="indexed")
+
+    planned = Detector(rules, engine="batch", options=DetectionOptions(use_planner=True))
+    static = Detector(rules, engine="batch", options=DetectionOptions(use_planner=False))
+
+    planned_result = planned.run(indexed)
+    static_result = static.run(indexed)
+    operation_ratio = static_result.stats.total_operations() / max(
+        1, planned_result.stats.total_operations()
+    )
+
+    violations = {"indexed": planned_result.violations.to_json()}
+    seconds = {}
+    for backend in ("indexed", "csr", "dict"):
+        graph = indexed if backend == "indexed" else indexed.with_backend(backend)
+        if backend == "csr":
+            list(graph.successors(next(iter(graph.node_ids()))))  # freeze outside the timer
+        detector = Detector(rules, engine="batch", options=DetectionOptions(use_planner=True))
+        best = float("inf")
+        result = None
+        for _ in range(3):
+            started = time.perf_counter()
+            result = detector.run(graph)
+            best = min(best, time.perf_counter() - started)
+        seconds[backend] = best
+        violations[backend] = result.violations.to_json()
+
+    return {
+        "workload": dict(WORKLOAD),
+        "planned_operations": planned_result.stats.total_operations(),
+        "static_operations": static_result.stats.total_operations(),
+        "operation_ratio": operation_ratio,
+        "planned_cost": planned_result.cost,
+        "static_cost": static_result.cost,
+        "violations": len(planned_result.violations),
+        "violations_identical": len(set(violations.values())) == 1
+        and planned_result.violations.to_json() == static_result.violations.to_json(),
+        "seconds": seconds,
+        "csr_vs_indexed": seconds["indexed"] / seconds["csr"] if seconds["csr"] else 0.0,
+    }
+
+
+def test_planned_ordering_beats_static_ordering():
+    """Planner >= 1.5x fewer total_operations, identical violations everywhere."""
+    measured = measure_match_plans()
+    assert measured["violations"] > 0, "workload must actually produce violations"
+    assert measured["violations_identical"], measured
+    assert measured["operation_ratio"] >= MIN_OPERATION_RATIO, (
+        f"planned ordering only {measured['operation_ratio']:.2f}x fewer operations "
+        f"(bound {MIN_OPERATION_RATIO}x): {measured}"
+    )
+
+
+def test_exp2_workload_planner_not_worse():
+    """On the unskewed Exp-2 synthetic workload the planner must not regress."""
+    graph = synthetic_graph(num_nodes=4000, num_edges=8000, seed=2, name="exp2-plan")
+    from repro.datasets.rules import benchmark_rules
+
+    rules = benchmark_rules(graph, count=12, max_diameter=4, seed=0)
+    planned = Detector(rules, engine="batch", options=DetectionOptions(use_planner=True)).run(graph)
+    static = Detector(rules, engine="batch", options=DetectionOptions(use_planner=False)).run(graph)
+    assert planned.violations.to_json() == static.violations.to_json()
+    assert planned.stats.total_operations() <= static.stats.total_operations() * 1.05, (
+        planned.stats.total_operations(),
+        static.stats.total_operations(),
+    )
+
+
+@pytest.mark.benchmark(group="match-plans")
+def test_match_plan_benchmark(benchmark):
+    measured = benchmark.pedantic(measure_match_plans, rounds=1, iterations=1)
+    print(
+        f"\nplanned {measured['planned_operations']} ops vs static "
+        f"{measured['static_operations']} ops ({measured['operation_ratio']:.2f}x), "
+        f"csr {measured['seconds']['csr'] * 1000:.1f} ms vs indexed "
+        f"{measured['seconds']['indexed'] * 1000:.1f} ms"
+    )
+    assert measured["operation_ratio"] >= MIN_OPERATION_RATIO
+
+
+if __name__ == "__main__":
+    report = measure_match_plans()
+    print(
+        f"planned {report['planned_operations']} ops, static {report['static_operations']} ops "
+        f"-> {report['operation_ratio']:.2f}x fewer; "
+        f"violations {report['violations']} (identical: {report['violations_identical']}); "
+        + ", ".join(f"{k} {v * 1000:.1f} ms" for k, v in report["seconds"].items())
+    )

@@ -6,6 +6,7 @@ Installed as ``repro-detect``.  Subcommands::
                                 [--engine auto|batch|parallel] [--processors 8]
                                 [--format text|json] [--max-violations N]
     repro-detect incremental GRAPH.json --update UPDATE.json [--processors 8] [...]
+    repro-detect explain GRAPH.json [--rules example] [--format text|json]
     repro-detect rules list|export [--rules effectiveness] [--output RULES.json]
     repro-detect rules discover GRAPH.json [-o RULES.json] [--min-support N]
                                 [--min-confidence C] [--max-rules N]
@@ -13,7 +14,10 @@ Installed as ``repro-detect``.  Subcommands::
                        [--graph NAME=GRAPH.json ...] [--catalog NAME=RULES.json ...]
 
 ``run`` performs batch detection of ``Vio(Σ, G)``; ``incremental`` computes
-ΔVio(Σ, G, ΔG) against the batch update stored in ``--update``; ``rules``
+ΔVio(Σ, G, ΔG) against the batch update stored in ``--update``; ``explain``
+compiles and prints the cost-based :class:`~repro.matching.plan.MatchPlan`
+of every rule (variable order, per-variable candidate strategy with
+estimated cardinality, literal schedule) without running detection; ``rules``
 inspects or exports rule sets in the JSON rule-file format
 (:meth:`repro.core.ngd.RuleSet.to_json`), which ``--rules-file`` loads back;
 ``rules discover`` mines NGDs from a graph (:mod:`repro.discovery`) straight
@@ -220,6 +224,26 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     incremental_parser.set_defaults(handler=_cmd_incremental)
 
+    explain_parser = subparsers.add_parser(
+        "explain", help="print the compiled match plan of every rule against a graph"
+    )
+    explain_parser.add_argument("graph", help="path to a graph JSON file (see repro.graph.io)")
+    _add_rules_arguments(explain_parser)
+    explain_parser.add_argument(
+        "--store",
+        choices=sorted(STORE_REGISTRY),
+        default=None,
+        help="graph storage backend (default: process default)",
+    )
+    explain_parser.add_argument(
+        "--format",
+        dest="output_format",
+        choices=("text", "json"),
+        default="text",
+        help="output format (default: text)",
+    )
+    explain_parser.set_defaults(handler=_cmd_explain)
+
     rules_parser = subparsers.add_parser(
         "rules", help="list, export, or discover rule sets in the JSON rule-file format"
     )
@@ -296,6 +320,14 @@ def _build_parser() -> argparse.ArgumentParser:
         help="graph storage backend for registered/uploaded graphs",
     )
     serve_parser.add_argument(
+        "--retain-versions",
+        type=int,
+        default=None,
+        metavar="K",
+        help="snapshot GC: keep the last K graph snapshots addressable and "
+        "squash session deltas older than the window (default: unbounded)",
+    )
+    serve_parser.add_argument(
         "--verbose", action="store_true", help="log one line per HTTP request to stderr"
     )
     serve_parser.set_defaults(handler=_cmd_serve)
@@ -346,6 +378,33 @@ def _cmd_incremental(args: argparse.Namespace) -> int:
     if result.total_changes():
         return EXIT_VIOLATIONS
     return EXIT_INCOMPLETE if result.stopped_early else EXIT_CLEAN
+
+
+def _cmd_explain(args: argparse.Namespace) -> int:
+    """Compile and print the match plan of every rule (cost-based order,
+    per-variable strategy + estimated cardinality, literal schedule)."""
+    from repro.matching.plan import compile_plans, format_plan
+
+    graph = load_graph(args.graph, store=args.store)
+    rule_set = _load_rules(args)
+    plans = compile_plans(graph, rule_set)
+    if args.output_format == "json":
+        document = {
+            "graph": args.graph,
+            "nodes": graph.node_count(),
+            "edges": graph.edge_count(),
+            "rules": rule_set.name,
+            "plans": [plan.to_dict() for plan in plans],
+        }
+        print(json.dumps(document, indent=2, ensure_ascii=False))
+    else:
+        print(
+            f"match plans for {rule_set.name} over {args.graph} "
+            f"(|V|={graph.node_count()}, |E|={graph.edge_count()})"
+        )
+        for plan in plans:
+            print(format_plan(plan))
+    return EXIT_CLEAN
 
 
 def _cmd_rules(args: argparse.Namespace) -> int:
@@ -422,7 +481,11 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.service import DetectionService
 
     service = DetectionService(
-        host=args.host, port=args.port, store=args.store, verbose=args.verbose
+        host=args.host,
+        port=args.port,
+        store=args.store,
+        verbose=args.verbose,
+        retain_versions=args.retain_versions,
     )
     for name, path in _parse_name_path_specs(args.graph, "--graph"):
         service.registry.register_file(name, path, store=args.store)

@@ -222,6 +222,28 @@ class ViolationDelta:
         """Return True when the update changed nothing."""
         return not self.introduced and not self.removed
 
+    def compose(self, later: "ViolationDelta") -> "ViolationDelta":
+        """Return the net delta of applying ``self`` then ``later``.
+
+        Used by the service's delta-log compaction: a window of per-version
+        deltas squashes into one delta with the same effect on any base set
+        (``base.apply_delta(d1).apply_delta(d2) ==
+        base.apply_delta(d1.compose(d2))``).  A violation introduced then
+        removed (or vice versa) cancels out of the net delta.
+        """
+        first_introduced = self.introduced.as_set()
+        first_removed = self.removed.as_set()
+        later_introduced = later.introduced.as_set()
+        later_removed = later.removed.as_set()
+        return ViolationDelta(
+            introduced=ViolationSet(
+                (first_introduced - later_removed) | (later_introduced - first_removed)
+            ),
+            removed=ViolationSet(
+                (first_removed - later_introduced) | (later_removed - first_introduced)
+            ),
+        )
+
     def total_changes(self) -> int:
         """Return |ΔVio⁺| + |ΔVio⁻|."""
         return len(self.introduced) + len(self.removed)

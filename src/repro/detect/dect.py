@@ -24,7 +24,7 @@ original batch entry point, kept as a thin compatibility shim over the
 from __future__ import annotations
 
 import time
-from collections.abc import Iterator
+from collections.abc import Iterator, Sequence
 from typing import Optional
 
 from repro.core.ngd import NGD, RuleSet
@@ -33,8 +33,9 @@ from repro.detect.base import DetectionResult
 from repro.detect.observers import DetectionBudget, ViolationSink
 from repro.detect.parallel.workunits import WorkUnit, expand_work_unit
 from repro.graph.graph import Graph
-from repro.matching.candidates import MatchStatistics, candidate_nodes
+from repro.matching.candidates import MatchStatistics
 from repro.matching.matchn import match_violates_dependency
+from repro.matching.plan import MatchPlan, first_step_candidates, resolve_plans
 
 __all__ = ["dect", "iter_dect"]
 
@@ -45,6 +46,7 @@ def iter_dect(
     use_literal_pruning: bool = True,
     budget: Optional[DetectionBudget] = None,
     sink: Optional[ViolationSink] = None,
+    plans: Optional[Sequence[MatchPlan]] = None,
 ) -> Iterator[Violation]:
     """Run batch detection, yielding each violation as it is confirmed.
 
@@ -52,10 +54,14 @@ def iter_dect(
     :func:`repro.detect.observers.drain`) is the :class:`DetectionResult`.
     ``budget`` limits are enforced between work units, so a capped run
     performs strictly less work than a full one; ``sink`` (if given) is
-    notified of every violation right before it is yielded.
+    notified of every violation right before it is yielded.  ``plans``
+    carries pre-compiled :class:`~repro.matching.plan.MatchPlan`\\ s (one per
+    rule, the session's cache); when omitted they are compiled here unless
+    the planner is disabled.
     """
     rule_set = rules if isinstance(rules, RuleSet) else RuleSet(rules)
     rule_list = list(rule_set)
+    plans = resolve_plans(graph, rule_list, plans)
     stats = MatchStatistics()
     started = time.perf_counter()
     violations = ViolationSet()
@@ -64,19 +70,15 @@ def iter_dect(
     stop_reason: Optional[str] = None
 
     for rule_index, rule in enumerate(rule_list):
-        order = tuple(rule.pattern.matching_order())
+        plan = plans[rule_index] if plans is not None else None
+        order = plan.order if plan is not None else tuple(rule.pattern.matching_order())
         if not order:
             continue
         first = order[0]
-        candidates = candidate_nodes(
-            graph,
-            rule.pattern,
-            first,
-            premise=rule.premise if use_literal_pruning else None,
-            use_literal_pruning=use_literal_pruning,
-            stats=stats,
+        candidates, scan_cost = first_step_candidates(
+            graph, rule, plan, order, use_literal_pruning, stats
         )
-        cost += len(graph.nodes_with_label(rule.pattern.node(first).label))
+        cost += scan_cost
         if budget is not None and budget.cost_exhausted(cost):
             stop_reason = "max_cost"
             break
@@ -100,7 +102,9 @@ def iter_dect(
                 stack.append(unit)
         while stop_reason is None and stack:
             unit = stack.pop()
-            outcome = expand_work_unit(graph, rule, unit, use_literal_pruning=use_literal_pruning, stats=stats)
+            outcome = expand_work_unit(
+                graph, rule, unit, use_literal_pruning=use_literal_pruning, stats=stats, plan=plan
+            )
             cost += max(outcome.filtering_adjacency, 1) + outcome.verification_adjacency
             stack.extend(outcome.new_units)
             for violation in outcome.violations:

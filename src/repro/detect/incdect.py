@@ -32,7 +32,7 @@ compatibility shim over the :class:`~repro.detect.session.Detector` session.
 from __future__ import annotations
 
 import time
-from collections.abc import Iterator
+from collections.abc import Iterator, Sequence
 from typing import Optional
 
 from repro.core.ngd import NGD, RuleSet
@@ -50,6 +50,7 @@ from repro.graph.neighborhood import multi_source_nodes_within_hops, update_neig
 from repro.graph.updates import BatchUpdate, apply_update
 from repro.matching.candidates import MatchStatistics
 from repro.matching.incmatch import find_update_pivots
+from repro.matching.plan import MatchPlan, resolve_plans
 
 __all__ = ["inc_dect", "iter_inc_dect"]
 
@@ -63,6 +64,7 @@ def iter_inc_dect(
     graph_after: Optional[Graph] = None,
     budget: Optional[DetectionBudget] = None,
     sink: Optional[ViolationSink] = None,
+    plans: Optional[Sequence[MatchPlan]] = None,
 ) -> Iterator[ViolationEvent]:
     """Run incremental detection, yielding each ΔVio event as it is confirmed.
 
@@ -94,6 +96,15 @@ def iter_inc_dect(
         region_after = update_neighborhood(updated, delta, hops)
         neighborhood_size = max(region_before.total_size(), region_after.total_size())
         search_before, search_after = region_before, region_after
+        if plans:
+            # session-cached plans were compiled against the whole graph; the
+            # restricted regions have their own statistics, so recompile there
+            # (the empty "planner off" marker passes through untouched)
+            plans = None
+
+    # one plan per rule serves both expansion directions (the statistics of
+    # G and G ⊕ ΔG differ by at most |ΔG|, well within estimate noise)
+    plans = resolve_plans(search_after, rule_list, plans)
 
     introduced = ViolationSet()
     removed = ViolationSet()
@@ -102,6 +113,7 @@ def iter_inc_dect(
     stop_reason: Optional[str] = None
 
     for rule_index, rule in enumerate(rule_list):
+        plan = plans[rule_index] if plans is not None else None
         if budget is not None and budget.cost_exhausted(cost):
             stop_reason = "max_cost"
             break
@@ -110,7 +122,9 @@ def iter_inc_dect(
             continue
         stack: list[WorkUnit] = []
         for pivot in pivots:
-            unit = initial_units_for_pivot(rule_index, rule, pivot.seed(), pivot.from_insertion)
+            unit = initial_units_for_pivot(
+                rule_index, rule, pivot.seed(), pivot.from_insertion, plan=plan
+            )
             search_graph = search_after if pivot.from_insertion else search_before
             if not seed_consistent(search_graph, rule, unit):
                 continue
@@ -119,7 +133,7 @@ def iter_inc_dect(
         while stop_reason is None and stack:
             unit = stack.pop()
             search_graph = search_after if unit.from_insertion else search_before
-            outcome = expand_work_unit(search_graph, rule, unit, use_literal_pruning, stats)
+            outcome = expand_work_unit(search_graph, rule, unit, use_literal_pruning, stats, plan=plan)
             cost += max(outcome.filtering_adjacency, 1) + outcome.verification_adjacency
             stack.extend(outcome.new_units)
             target = introduced if unit.from_insertion else removed

@@ -24,7 +24,7 @@ compatibility shim over the :class:`~repro.detect.session.Detector` session.
 from __future__ import annotations
 
 import time
-from collections.abc import Iterator
+from collections.abc import Iterator, Sequence
 from typing import Optional
 
 from repro.core.ngd import NGD, RuleSet
@@ -35,8 +35,9 @@ from repro.detect.parallel.balancing import BalancingPolicy, plan_rebalancing, s
 from repro.detect.parallel.cluster import ClusterSimulator
 from repro.detect.parallel.workunits import WorkUnit, expand_work_unit
 from repro.graph.graph import Graph
-from repro.matching.candidates import MatchStatistics, candidate_nodes
+from repro.matching.candidates import MatchStatistics
 from repro.matching.matchn import match_violates_dependency
+from repro.matching.plan import MatchPlan, first_step_candidates, resolve_plans
 
 __all__ = ["p_dect", "iter_p_dect"]
 
@@ -49,16 +50,21 @@ def iter_p_dect(
     use_literal_pruning: bool = True,
     budget: Optional[DetectionBudget] = None,
     sink: Optional[ViolationSink] = None,
+    plans: Optional[Sequence[MatchPlan]] = None,
 ) -> Iterator[Violation]:
     """Run parallel batch detection, yielding violations as units complete.
 
     The generator's return value is the :class:`DetectionResult` whose
     ``cost`` is the simulated makespan; ``budget.max_cost`` therefore caps
     the makespan, and ``budget.max_violations`` caps the number of emitted
-    violations.
+    violations.  With compiled plans, seed work units are placed on the
+    least-loaded processor by the plan's candidate estimates (instead of
+    blind round-robin), so the initial distribution already reflects the
+    expected subtree sizes.
     """
     rule_set = rules if isinstance(rules, RuleSet) else RuleSet(rules)
     rule_list = list(rule_set)
+    plans = resolve_plans(graph, rule_list, plans)
     policy = policy if policy is not None else BalancingPolicy.hybrid()
     stats = MatchStatistics()
     started = time.perf_counter()
@@ -70,21 +76,19 @@ def iter_p_dect(
 
     # seed work units: one per candidate of the first variable of every rule
     position = 0
+    estimated_loads = [0.0] * processors
     for rule_index, rule in enumerate(rule_list):
-        order = tuple(rule.pattern.matching_order())
+        plan = plans[rule_index] if plans is not None else None
+        order = plan.order if plan is not None else tuple(rule.pattern.matching_order())
         if not order:
             continue
         first = order[0]
-        candidates = candidate_nodes(
-            graph,
-            rule.pattern,
-            first,
-            premise=rule.premise if use_literal_pruning else None,
-            use_literal_pruning=use_literal_pruning,
-            stats=stats,
+        candidates, _ = first_step_candidates(
+            graph, rule, plan, order, use_literal_pruning, stats
         )
         # the scan of the label index is shared evenly by the processors
         cluster.charge_broadcast(0, len(candidates) / processors, policy.latency)
+        unit_estimate = plan.estimated_unit_cost(1) if plan is not None else 1.0
         for candidate in candidates:
             unit = WorkUnit(
                 rule_index=rule_index,
@@ -106,6 +110,13 @@ def iter_p_dect(
                 if budget is not None and budget.violations_exhausted(emitted):
                     stop_reason = "max_violations"
                     break
+            elif plan is not None:
+                # plan-estimated placement: each seed unit lands on the
+                # processor with the least estimated pending work (first
+                # index wins ties, so placement is deterministic)
+                owner = min(range(processors), key=lambda i: (estimated_loads[i], i))
+                estimated_loads[owner] += unit_estimate
+                cluster.enqueue(owner, unit)
             else:
                 cluster.enqueue(position % processors, unit)
             position += 1
@@ -137,7 +148,14 @@ def iter_p_dect(
             break
         unit: WorkUnit = cluster.pop_unit(worker)
         rule = rule_list[unit.rule_index]
-        outcome = expand_work_unit(graph, rule, unit, use_literal_pruning=use_literal_pruning, stats=stats)
+        outcome = expand_work_unit(
+            graph,
+            rule,
+            unit,
+            use_literal_pruning=use_literal_pruning,
+            stats=stats,
+            plan=plans[unit.rule_index] if plans is not None else None,
+        )
 
         depth = unit.depth()
         filtering = max(outcome.filtering_adjacency, 1)

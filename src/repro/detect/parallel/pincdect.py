@@ -34,7 +34,7 @@ from __future__ import annotations
 
 import time
 import zlib
-from collections.abc import Iterator
+from collections.abc import Iterator, Sequence
 from typing import Optional
 
 from repro.core.ngd import NGD, RuleSet
@@ -54,6 +54,7 @@ from repro.graph.neighborhood import multi_source_nodes_within_hops
 from repro.graph.updates import BatchUpdate, apply_update
 from repro.matching.candidates import MatchStatistics
 from repro.matching.incmatch import find_update_pivots
+from repro.matching.plan import MatchPlan, resolve_plans
 
 __all__ = ["pinc_dect", "iter_pinc_dect"]
 
@@ -68,6 +69,7 @@ def iter_pinc_dect(
     graph_after: Optional[Graph] = None,
     budget: Optional[DetectionBudget] = None,
     sink: Optional[ViolationSink] = None,
+    plans: Optional[Sequence[MatchPlan]] = None,
 ) -> Iterator[ViolationEvent]:
     """Run parallel incremental detection, yielding ΔVio events as they complete.
 
@@ -82,6 +84,7 @@ def iter_pinc_dect(
     started = time.perf_counter()
 
     updated = graph_after if graph_after is not None else apply_update(graph, delta)
+    plans = resolve_plans(updated, rule_list, plans)
     cluster = ClusterSimulator(processors, policy.latency)
 
     # ---------------------------------------------------------- phase 1: pivots
@@ -106,7 +109,13 @@ def iter_pinc_dect(
     # creates the workload skew the balancing machinery then has to fix.
     for rule_index, seed, from_insertion in pivots:
         rule = rule_list[rule_index]
-        unit = initial_units_for_pivot(rule_index, rule, seed, from_insertion)
+        unit = initial_units_for_pivot(
+            rule_index,
+            rule,
+            seed,
+            from_insertion,
+            plan=plans[rule_index] if plans is not None else None,
+        )
         reference = updated if from_insertion else graph
         if not seed_consistent(reference, rule, unit):
             continue
@@ -148,7 +157,12 @@ def iter_pinc_dect(
         search_graph = updated if unit.from_insertion else graph
 
         outcome = expand_work_unit(
-            search_graph, rule, unit, use_literal_pruning=use_literal_pruning, stats=stats
+            search_graph,
+            rule,
+            unit,
+            use_literal_pruning=use_literal_pruning,
+            stats=stats,
+            plan=plans[unit.rule_index] if plans is not None else None,
         )
 
         # candidate filtering cost (possibly split across processors)

@@ -17,13 +17,16 @@ from __future__ import annotations
 
 from collections.abc import Hashable
 from dataclasses import dataclass
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
 
 from repro.core.ngd import NGD
 from repro.core.violations import Violation
 from repro.graph.graph import Graph
 from repro.matching.candidates import MatchStatistics, node_satisfies_unary_premise
 from repro.matching.matchn import assignment_for_match, match_violates_dependency
+
+if TYPE_CHECKING:  # pragma: no cover - annotations only
+    from repro.matching.plan import MatchPlan
 
 __all__ = [
     "WorkUnit",
@@ -106,9 +109,18 @@ def initial_units_for_pivot(
     rule: NGD,
     seed: dict[str, Hashable],
     from_insertion: bool,
+    plan: Optional["MatchPlan"] = None,
 ) -> WorkUnit:
-    """Build the work unit corresponding to an update pivot (or any seed match)."""
-    order = tuple(rule.pattern.matching_order(seed=list(seed.keys())))
+    """Build the work unit corresponding to an update pivot (or any seed match).
+
+    With a compiled plan, the remainder of the matching order is chosen by
+    the plan's cost model (seed variables stay first — they are already
+    bound); without one, by the static ``Pattern.matching_order``.
+    """
+    if plan is not None:
+        order = plan.order_for_seed(tuple(seed.keys()))
+    else:
+        order = tuple(rule.pattern.matching_order(seed=list(seed.keys())))
     assignment = tuple((variable, seed[variable]) for variable in order if variable in seed)
     return WorkUnit(rule_index=rule_index, order=order, assignment=assignment, from_insertion=from_insertion)
 
@@ -128,16 +140,21 @@ def expand_work_unit(
     unit: WorkUnit,
     use_literal_pruning: bool = True,
     stats: Optional[MatchStatistics] = None,
+    plan: Optional["MatchPlan"] = None,
 ) -> ExpansionOutcome:
     """Expand ``unit`` by matching its next pattern variable.
 
-    Candidates are drawn from the adjacency list of an already-matched
+    With a compiled plan, the step executes the plan's candidate strategy
+    and literal schedule (:func:`_expand_with_plan`).  Without one,
+    candidates are drawn from the adjacency list of an already-matched
     neighbour of the next variable (the "anchor"), checked for label and edge
     consistency against the whole partial solution, and pruned with the
     premise literals.  Completed matches are checked against X → Y and turned
     into violations.
     """
     stats = stats if stats is not None else MatchStatistics()
+    if plan is not None and not unit.is_complete():
+        return _expand_with_plan(graph, rule, unit, plan, use_literal_pruning, stats)
     if unit.is_complete():
         # a pivot can already cover every pattern variable (e.g. a two-node pattern);
         # the only remaining work is the dependency check itself
@@ -220,5 +237,81 @@ def expand_work_unit(
         violations=violations,
         filtering_adjacency=filtering_adjacency,
         verification_adjacency=verification_adjacency,
+        candidates_considered=len(candidates),
+    )
+
+
+def _expand_with_plan(
+    graph: Graph,
+    rule: NGD,
+    unit: WorkUnit,
+    plan: "MatchPlan",
+    use_literal_pruning: bool,
+    stats: MatchStatistics,
+) -> ExpansionOutcome:
+    """One plan-driven expansion step.
+
+    The plan's anchored intersection enforces every pattern edge between the
+    next variable and the bound prefix during candidate generation, so the
+    residual per-candidate verification is the self-loop edges plus the
+    scheduled literals — O(1) in the candidate's degree.  Cost-model sizes:
+    ``filtering_adjacency`` is the index scan the strategy performed,
+    ``verification_adjacency`` one unit per surviving candidate.
+    """
+    from repro.matching.plan import step_candidates
+
+    schedule = plan.schedule_for(unit.order)
+    step = schedule[unit.depth()]
+    partial = unit.mapping()
+    candidates, scanned = step_candidates(graph, plan, step, partial, stats, use_literal_pruning)
+
+    new_units: list[WorkUnit] = []
+    violations: list[Violation] = []
+    verification = 0
+    conclusion_literals = rule.conclusion.literals()
+    for candidate in candidates:
+        consistent = True
+        for label in step.self_loops:
+            stats.edge_checks += 1
+            if not graph.has_edge(candidate, candidate, label):
+                consistent = False
+                break
+        if not consistent:
+            continue
+        verification += 1
+        partial[step.variable] = candidate
+        pruned = False
+        if use_literal_pruning:
+            for literal_index in step.premise_checks:
+                literal = plan.premise_literal(literal_index)
+                stats.literal_evaluations += 1
+                assignment = assignment_for_match(graph, partial, literal.variables())
+                if not literal.holds_for(assignment):
+                    pruned = True
+                    break
+            if not pruned and step.check_conclusion and len(conclusion_literals) == 1:
+                literal = conclusion_literals[0]
+                stats.literal_evaluations += 1
+                assignment = assignment_for_match(graph, partial, literal.variables())
+                if set(assignment) == set(literal.variables()) and literal.holds_for(assignment):
+                    pruned = True
+        del partial[step.variable]
+        if pruned:
+            continue
+        stats.expansions += 1
+        extended = unit.extended(step.variable, candidate)
+        if extended.is_complete():
+            match = extended.mapping()
+            if match_violates_dependency(graph, match, rule.premise, rule.conclusion, stats):
+                stats.matches_emitted += 1
+                violations.append(Violation.from_mapping(rule.name, match, rule.pattern.variables))
+        else:
+            new_units.append(extended)
+
+    return ExpansionOutcome(
+        new_units=new_units,
+        violations=violations,
+        filtering_adjacency=scanned,
+        verification_adjacency=verification,
         candidates_considered=len(candidates),
     )

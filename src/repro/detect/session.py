@@ -46,7 +46,7 @@ The module-level functions ``dect`` / ``inc_dect`` / ``p_dect`` /
 from __future__ import annotations
 
 import time
-from collections.abc import Iterable, Iterator
+from collections.abc import Iterable, Iterator, Sequence
 from dataclasses import dataclass
 from typing import Optional
 
@@ -65,8 +65,13 @@ from repro.errors import SessionError
 from repro.graph.graph import Graph
 from repro.graph.store import STORE_REGISTRY
 from repro.graph.updates import BatchUpdate, apply_update
+from repro.matching.plan import MatchPlan, compile_plans, planner_enabled
 
 __all__ = ["DetectionOptions", "Detector", "ENGINES"]
+
+#: Sessions keep compiled plans for at most this many distinct graph
+#: snapshots; older entries are evicted first (insertion order).
+PLAN_CACHE_LIMIT = 8
 
 #: The execution regimes a session can be pinned to.
 ENGINES = ("auto", "batch", "incremental", "parallel")
@@ -87,7 +92,12 @@ class DetectionOptions:
       cannot honour a budget is ``engine="batch"`` incremental detection
       (the BatchDiff oracle: a capped batch run would make the diff
       unsound); a session configured that way raises :class:`SessionError`
-      rather than silently running unbounded.
+      rather than silently running unbounded;
+    * ``use_planner`` — execute compiled
+      :class:`~repro.matching.plan.MatchPlan`\\ s (cost-based variable
+      orders, pre-resolved literal schedules) instead of the static
+      pipeline.  ``None`` (the default) defers to the
+      ``REPRO_MATCH_PLANNER`` environment switch.
     """
 
     use_literal_pruning: bool = True
@@ -95,6 +105,13 @@ class DetectionOptions:
     policy: Optional[BalancingPolicy] = None
     max_violations: Optional[int] = None
     max_cost: Optional[float] = None
+    use_planner: Optional[bool] = None
+
+    def planner_active(self) -> bool:
+        """Return whether sessions should compile and execute match plans."""
+        if self.use_planner is not None:
+            return self.use_planner
+        return planner_enabled()
 
     def budget(self) -> Optional[DetectionBudget]:
         """Return the termination budget, or None when the run is unbounded."""
@@ -137,6 +154,11 @@ class Detector:
         self.options = options if options is not None else DetectionOptions()
         self._sinks: list[ViolationSink] = list(sinks)
         self.last_result: Optional[DetectionResult | IncrementalDetectionResult] = None
+        # plan cache: id(store) -> (node_count, edge_count, plans); a stale
+        # id collision is benign (any plan over this session's rules is a
+        # valid execution order), but count drift forces a recompile so the
+        # cost model never runs on stale statistics
+        self._plan_cache: dict[int, tuple[int, int, tuple[MatchPlan, ...]]] = {}
 
     # ------------------------------------------------------------------ sinks
 
@@ -151,6 +173,36 @@ class Detector:
         if len(self._sinks) == 1:
             return self._sinks[0]
         return FanOutSink(self._sinks)
+
+    # ------------------------------------------------------------------ plans
+
+    def compile_plans(self, graph: Graph) -> Optional[tuple[MatchPlan, ...]]:
+        """Compile (or fetch cached) :class:`MatchPlan`\\ s for this session's rules.
+
+        Returns ``None`` when the planner is disabled.  Plans are cached per
+        graph snapshot (store identity + node/edge counts) and recompiled
+        when the counts drift, so repeated runs against the same snapshot —
+        the service's per-version detection jobs — compile exactly once.
+        Callers holding a plan set across snapshots (continuous sessions)
+        may pass it back explicitly via the ``plans=`` argument of the run
+        methods instead.
+        """
+        if not self.options.planner_active():
+            return None
+        key = id(graph.store)
+        cached = self._plan_cache.get(key)
+        counts = (graph.node_count(), graph.edge_count())
+        if cached is not None and cached[:2] == counts:
+            return cached[2]
+        plans = compile_plans(graph, self.rules)
+        self._plan_cache[key] = (*counts, plans)
+        while len(self._plan_cache) > PLAN_CACHE_LIMIT:
+            self._plan_cache.pop(next(iter(self._plan_cache)))
+        return plans
+
+    def clear_plan_cache(self) -> None:
+        """Drop every cached plan (the next run recompiles)."""
+        self._plan_cache.clear()
 
     # ------------------------------------------------------------- resolution
 
@@ -181,20 +233,26 @@ class Detector:
 
     # ------------------------------------------------------------------- runs
 
-    def run(self, graph: Graph) -> DetectionResult:
-        """Compute ``Vio(Σ, G)`` (subject to the session's budget)."""
-        result = drain(self._batch_events(graph))
+    def run(self, graph: Graph, plans: Optional[Sequence[MatchPlan]] = None) -> DetectionResult:
+        """Compute ``Vio(Σ, G)`` (subject to the session's budget).
+
+        ``plans`` overrides the session's compiled-plan cache (continuous
+        sessions hand back the plans they compiled at an earlier version).
+        """
+        result = drain(self._batch_events(graph, plans))
         self._finish(result)
         return result
 
-    def stream(self, graph: Graph) -> Iterator[Violation]:
+    def stream(
+        self, graph: Graph, plans: Optional[Sequence[MatchPlan]] = None
+    ) -> Iterator[Violation]:
         """Yield violations of ``Vio(Σ, G)`` as their work units complete.
 
         The same violations, in the same deterministic order, as the sinks
         observe during :meth:`run`; after exhaustion the full
         :class:`DetectionResult` is available as ``last_result``.
         """
-        result = yield from self._batch_events(graph)
+        result = yield from self._batch_events(graph, plans)
         self._finish(result)
 
     def run_incremental(
@@ -202,6 +260,7 @@ class Detector:
         graph: Graph,
         delta: BatchUpdate,
         graph_after: Optional[Graph] = None,
+        plans: Optional[Sequence[MatchPlan]] = None,
     ) -> IncrementalDetectionResult:
         """Compute ΔVio(Σ, G, ΔG) (subject to the session's budget).
 
@@ -209,7 +268,7 @@ class Detector:
         materialised; otherwise it is computed (uncharged, as the paper
         assumes the storage layer maintains it).
         """
-        result = drain(self._incremental_events(graph, delta, graph_after))
+        result = drain(self._incremental_events(graph, delta, graph_after, plans))
         self._finish(result)
         return result
 
@@ -218,9 +277,10 @@ class Detector:
         graph: Graph,
         delta: BatchUpdate,
         graph_after: Optional[Graph] = None,
+        plans: Optional[Sequence[MatchPlan]] = None,
     ) -> Iterator[ViolationEvent]:
         """Yield :class:`ViolationEvent`\\ s of ΔVio(Σ, G, ΔG) as found."""
-        result = yield from self._incremental_events(graph, delta, graph_after)
+        result = yield from self._incremental_events(graph, delta, graph_after, plans)
         self._finish(result)
 
     # ------------------------------------------------------------- internals
@@ -231,16 +291,22 @@ class Detector:
         if sink is not None:
             sink.on_finish(result)
 
-    def _batch_events(self, graph: Graph) -> Iterator[Violation]:
+    def _batch_events(
+        self, graph: Graph, plans: Optional[Sequence[MatchPlan]] = None
+    ) -> Iterator[Violation]:
         from repro.detect.dect import iter_dect
         from repro.detect.parallel.pdect import iter_p_dect
 
         mode = self._resolve_batch_engine()
         graph = self._prepare(graph)
+        if plans is None:
+            plans = self.compile_plans(graph)
         sink = self._sink()
         budget = self.options.budget()
         if sink is not None:
             sink.on_start(self)
+        if not self.options.planner_active():
+            plans = ()  # explicit off marker: the kernel must not recompile
         if mode == "batch":
             return iter_dect(
                 graph,
@@ -248,6 +314,7 @@ class Detector:
                 use_literal_pruning=self.options.use_literal_pruning,
                 budget=budget,
                 sink=sink,
+                plans=plans,
             )
         return iter_p_dect(
             graph,
@@ -257,6 +324,7 @@ class Detector:
             use_literal_pruning=self.options.use_literal_pruning,
             budget=budget,
             sink=sink,
+            plans=plans,
         )
 
     def _incremental_events(
@@ -264,6 +332,7 @@ class Detector:
         graph: Graph,
         delta: BatchUpdate,
         graph_after: Optional[Graph],
+        plans: Optional[Sequence[MatchPlan]] = None,
     ) -> Iterator[ViolationEvent]:
         from repro.detect.incdect import iter_inc_dect
         from repro.detect.parallel.pincdect import iter_pinc_dect
@@ -272,10 +341,17 @@ class Detector:
         graph = self._prepare(graph)
         if graph_after is not None:
             graph_after = self._prepare(graph_after)
+        if plans is None and mode in ("incremental", "parallel"):
+            # plans are compiled against G ⊕ ΔG when it is already
+            # materialised (the service always hands it over); otherwise
+            # against G — the statistics differ by at most |ΔG|
+            plans = self.compile_plans(graph_after if graph_after is not None else graph)
         sink = self._sink()
         budget = self.options.budget()
         if sink is not None:
             sink.on_start(self)
+        if not self.options.planner_active():
+            plans = ()  # explicit off marker: the kernel must not recompile
         if mode == "incremental":
             return iter_inc_dect(
                 graph,
@@ -286,6 +362,7 @@ class Detector:
                 graph_after=graph_after,
                 budget=budget,
                 sink=sink,
+                plans=plans,
             )
         if mode == "parallel":
             return iter_pinc_dect(
@@ -298,6 +375,7 @@ class Detector:
                 graph_after=graph_after,
                 budget=budget,
                 sink=sink,
+                plans=plans,
             )
         if budget is not None:
             raise SessionError(
@@ -306,7 +384,7 @@ class Detector:
                 "diff unsound; drop max_violations/max_cost or use "
                 "engine='incremental'/'parallel'"
             )
-        return self._batch_diff_events(graph, delta, graph_after, sink)
+        return self._batch_diff_events(graph, delta, graph_after, sink, plans)
 
     def _batch_diff_events(
         self,
@@ -314,6 +392,7 @@ class Detector:
         delta: BatchUpdate,
         graph_after: Optional[Graph],
         sink: Optional[ViolationSink],
+        plans: Optional[Sequence[MatchPlan]] = None,
     ) -> Iterator[ViolationEvent]:
         """Ground-truth incremental mode for ``engine="batch"``.
 
@@ -321,14 +400,26 @@ class Detector:
         violation sets — exactly the oracle the incremental algorithms are
         validated against in the tests.  Budgets are rejected upstream in
         :meth:`_incremental_events` (a capped batch run would make the diff
-        unsound); events stream only after the second run completes.
+        unsound); events stream only after the second run completes.  Each
+        batch run receives its own plans (explicit ``plans`` serve both
+        graphs; ``()`` is the session's planner-off marker, which pins the
+        static pipeline regardless of ``REPRO_MATCH_PLANNER``).
         """
         from repro.detect.dect import iter_dect
 
         started = time.perf_counter()
-        before = drain(iter_dect(graph, self.rules, self.options.use_literal_pruning))
         updated = graph_after if graph_after is not None else apply_update(graph, delta)
-        after = drain(iter_dect(updated, self.rules, self.options.use_literal_pruning))
+        if plans is None:
+            before_plans = self.compile_plans(graph)
+            after_plans = self.compile_plans(updated)
+        else:
+            before_plans = after_plans = plans
+        before = drain(
+            iter_dect(graph, self.rules, self.options.use_literal_pruning, plans=before_plans)
+        )
+        after = drain(
+            iter_dect(updated, self.rules, self.options.use_literal_pruning, plans=after_plans)
+        )
         violation_delta = ViolationDelta.from_sets(before.violations, after.violations)
         stats = before.stats
         stats.merge(after.stats)

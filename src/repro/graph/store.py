@@ -32,6 +32,8 @@ from __future__ import annotations
 import os
 import sys
 from abc import ABC, abstractmethod
+from array import array
+from bisect import bisect_left
 from collections.abc import Hashable, Iterator, Set as AbstractSet
 from typing import Optional, Union
 
@@ -42,6 +44,7 @@ __all__ = [
     "GraphStore",
     "DictStore",
     "IndexedStore",
+    "CsrStore",
     "STORE_REGISTRY",
     "default_store_name",
     "make_store",
@@ -104,6 +107,11 @@ class GraphStore(ABC):
 
     #: Registry name of the backend (e.g. ``"dict"``, ``"indexed"``).
     backend: str = "abstract"
+
+    #: False for frozen engines (:class:`CsrStore`): mutation raises once the
+    #: compact layout is built.  The parity suites use this to scope the
+    #: interleaved-mutation tests to engines that support them.
+    supports_mutation: bool = True
 
     def fresh(self) -> "GraphStore":
         """Return a new, empty store of the same backend."""
@@ -775,10 +783,416 @@ class IndexedStore(GraphStore):
                 raise GraphError(f"in-degree counter drifted for node {node_id!r}")
 
 
-#: Name -> backend class; future engines (CSR, sharded, remote) register here.
+class _CsrNeighboursView(AbstractSet):
+    """Zero-copy view of the neighbour ids behind one (node, label) CSR slice.
+
+    Backed by a contiguous ``array('q')`` slice of neighbour *ranks* sorted
+    ascending, so ``len`` is O(1), iteration is a sequential array walk (the
+    cache-friendly scan the backend exists for), and membership is a binary
+    search.
+    """
+
+    __slots__ = ("_ranks", "_start", "_stop", "_ids", "_index")
+
+    def __init__(self, ranks: array, start: int, stop: int, ids: list, index: dict) -> None:
+        self._ranks = ranks
+        self._start = start
+        self._stop = stop
+        self._ids = ids
+        self._index = index
+
+    def __len__(self) -> int:
+        return self._stop - self._start
+
+    def __iter__(self) -> Iterator[Hashable]:
+        ids = self._ids
+        ranks = self._ranks
+        for position in range(self._start, self._stop):
+            yield ids[ranks[position]]
+
+    def __contains__(self, item: object) -> bool:
+        rank = self._index.get(item)
+        if rank is None:
+            return False
+        position = bisect_left(self._ranks, rank, self._start, self._stop)
+        return position < self._stop and self._ranks[position] == rank
+
+    @classmethod
+    def _from_iterable(cls, iterable) -> frozenset:
+        return frozenset(iterable)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"CsrNeighboursView({set(self)!r})"
+
+
+class _CsrPairsView(AbstractSet):
+    """Zero-copy ``(neighbour, edge_label)`` pairs over one node's CSR slices."""
+
+    __slots__ = ("_slices", "_ranks", "_ids", "_index", "_degree")
+
+    def __init__(self, slices: dict, ranks: array, ids: list, index: dict, degree: int) -> None:
+        self._slices = slices
+        self._ranks = ranks
+        self._ids = ids
+        self._index = index
+        self._degree = degree
+
+    def __len__(self) -> int:
+        return self._degree
+
+    def __iter__(self) -> Iterator[tuple[Hashable, str]]:
+        ids = self._ids
+        ranks = self._ranks
+        for label, (start, stop) in self._slices.items():
+            for position in range(start, stop):
+                yield (ids[ranks[position]], label)
+
+    def __contains__(self, item: object) -> bool:
+        if not isinstance(item, tuple) or len(item) != 2:
+            return False
+        neighbour, label = item
+        bounds = self._slices.get(label)
+        if bounds is None:
+            return False
+        rank = self._index.get(neighbour)
+        if rank is None:
+            return False
+        start, stop = bounds
+        position = bisect_left(self._ranks, rank, start, stop)
+        return position < stop and self._ranks[position] == rank
+
+    @classmethod
+    def _from_iterable(cls, iterable) -> frozenset:
+        return frozenset(iterable)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"CsrPairsView({set(self)!r})"
+
+
+class CsrStore(GraphStore):
+    """A frozen compressed-sparse-row engine for cache-friendly batch detection.
+
+    The build protocol is append-only: load nodes and edges (``Graph.
+    with_backend("csr")``, ``graph/io.load_graph(store="csr")``, or any bulk
+    build that only adds), then the first adjacency read *freezes* the store —
+    one pass over E compacts the adjacency into flat ``array('q')`` rank
+    arrays:
+
+    * per node and direction, a ``{edge_label: (start, stop)}`` slice table
+      into one shared neighbour-rank array, neighbours sorted by rank inside
+      each slice — ``successors_by_label`` is an O(1) table probe returning a
+      zero-copy array-slice view, membership a binary search, iteration a
+      sequential array walk;
+    * node ranks are dense (0..|V|-1 in insertion order, no removals can
+      have happened), so ranks double as array indexes.
+
+    After the freeze every mutator raises :class:`GraphError`; removals are
+    refused even while building (they would break rank density).  ``clone()``
+    of a frozen store returns the store itself — it is immutable, so sharing
+    is safe and free, which is exactly what the planner's repeated batch
+    passes want.  To modify a CSR graph, rebuild it on a mutable engine
+    (``graph.with_backend("indexed")``).
+    """
+
+    backend = "csr"
+    supports_mutation = False
+
+    def __init__(self) -> None:
+        self._nodes: dict[Hashable, Node] = {}
+        self._rank: dict[Hashable, int] = {}
+        self._edges: dict[EdgeKey, Edge] = {}
+        self._label_index: dict[str, dict[Hashable, None]] = {}
+        self._frozen = False
+        # built by _freeze():
+        self._ids: list[Hashable] = []
+        self._out_ranks: array = array("q")
+        self._in_ranks: array = array("q")
+        self._out_slices: list[dict[str, tuple[int, int]]] = []
+        self._in_slices: list[dict[str, tuple[int, int]]] = []
+        self._out_degree: array = array("q")
+        self._in_degree: array = array("q")
+        # the signature index is lazy, exactly as on IndexedStore
+        self._signatures: Optional[dict[Signature, dict[EdgeKey, None]]] = None
+
+    # ------------------------------------------------------------- freezing
+
+    def _refuse_mutation(self, operation: str) -> None:
+        raise GraphError(
+            f"csr store is frozen: {operation} is not supported (rebuild the "
+            "graph on a mutable backend, e.g. graph.with_backend('indexed'))"
+        )
+
+    def _freeze(self) -> None:
+        """Compact the adjacency into CSR arrays (first adjacency read)."""
+        if self._frozen:
+            return
+        ids = list(self._nodes.keys())
+        rank = self._rank
+        n = len(ids)
+        out_groups: list[dict[str, list[int]]] = [{} for _ in range(n)]
+        in_groups: list[dict[str, list[int]]] = [{} for _ in range(n)]
+        for edge in self._edges.values():
+            source_rank = rank[edge.source]
+            target_rank = rank[edge.target]
+            out_groups[source_rank].setdefault(edge.label, []).append(target_rank)
+            in_groups[target_rank].setdefault(edge.label, []).append(source_rank)
+        for groups, ranks, slices, degrees in (
+            (out_groups, self._out_ranks, self._out_slices, self._out_degree),
+            (in_groups, self._in_ranks, self._in_slices, self._in_degree),
+        ):
+            for node_rank in range(n):
+                table: dict[str, tuple[int, int]] = {}
+                degree = 0
+                for label, neighbour_ranks in groups[node_rank].items():
+                    neighbour_ranks.sort()
+                    start = len(ranks)
+                    ranks.extend(neighbour_ranks)
+                    table[label] = (start, len(ranks))
+                    degree += len(neighbour_ranks)
+                slices.append(table)
+                degrees.append(degree)
+        self._ids = ids
+        self._frozen = True
+
+    @property
+    def frozen(self) -> bool:
+        """Return True once the CSR arrays have been built."""
+        return self._frozen
+
+    # ------------------------------------------------------------------ nodes
+
+    def add_node(self, node: Node) -> None:
+        if self._frozen:
+            self._refuse_mutation("add_node")
+        label = sys.intern(node.label)
+        if label is not node.label:
+            node = Node(node.id, label, node.attributes)
+        self._nodes[node.id] = node
+        self._rank[node.id] = len(self._rank)
+        bucket = self._label_index.get(label)
+        if bucket is None:
+            self._label_index[label] = bucket = {}
+        bucket[node.id] = None
+
+    def replace_node(self, node: Node) -> None:
+        if self._frozen:
+            self._refuse_mutation("replace_node")
+        self._nodes[node.id] = node
+
+    def remove_node(self, node_id: Hashable) -> None:
+        self._refuse_mutation("remove_node")
+
+    def get_node(self, node_id: Hashable) -> Optional[Node]:
+        return self._nodes.get(node_id)
+
+    def has_node(self, node_id: Hashable) -> bool:
+        return node_id in self._nodes
+
+    def node_count(self) -> int:
+        return len(self._nodes)
+
+    def nodes(self) -> Iterator[Node]:
+        return iter(self._nodes.values())
+
+    def node_ids(self) -> Iterator[Hashable]:
+        return iter(self._nodes.keys())
+
+    def all_node_ids(self):
+        return self._nodes.keys()
+
+    def node_rank(self, node_id: Hashable) -> int:
+        return self._rank[node_id]
+
+    def nodes_with_label(self, label: str):
+        bucket = self._label_index.get(label)
+        return bucket.keys() if bucket is not None else _EMPTY_KEYS
+
+    def labels(self) -> frozenset[str]:
+        return frozenset(self._label_index.keys())
+
+    # ------------------------------------------------------------------ edges
+
+    def add_edge(self, edge: Edge) -> None:
+        if self._frozen:
+            self._refuse_mutation("add_edge")
+        label = sys.intern(edge.label)
+        if label is not edge.label:
+            edge = Edge(edge.source, edge.target, label)
+        self._edges[(edge.source, edge.target, label)] = edge
+
+    def remove_edge(self, key: EdgeKey) -> None:
+        self._refuse_mutation("remove_edge")
+
+    def get_edge(self, key: EdgeKey) -> Optional[Edge]:
+        return self._edges.get(key)
+
+    def has_edge_key(self, key: EdgeKey) -> bool:
+        return key in self._edges
+
+    def has_any_edge(self, source: Hashable, target: Hashable) -> bool:
+        if not self._frozen:
+            return any(
+                edge_source == source and edge_target == target
+                for edge_source, edge_target, _ in self._edges
+            )
+        source_rank = self._rank.get(source)
+        target_rank = self._rank.get(target)
+        if source_rank is None or target_rank is None:
+            return False
+        ranks = self._out_ranks
+        for start, stop in self._out_slices[source_rank].values():
+            position = bisect_left(ranks, target_rank, start, stop)
+            if position < stop and ranks[position] == target_rank:
+                return True
+        return False
+
+    def edge_count(self) -> int:
+        return len(self._edges)
+
+    def edges(self) -> Iterator[Edge]:
+        return iter(self._edges.values())
+
+    def edge_labels(self) -> frozenset[str]:
+        return frozenset(edge.label for edge in self._edges.values())
+
+    def _built_signatures(self) -> dict[Signature, dict[EdgeKey, None]]:
+        if self._signatures is None:
+            nodes = self._nodes
+            signatures: dict[Signature, dict[EdgeKey, None]] = {}
+            for key, edge in self._edges.items():
+                signature = (nodes[edge.source].label, edge.label, nodes[edge.target].label)
+                bucket = signatures.get(signature)
+                if bucket is None:
+                    signatures[signature] = bucket = {}
+                bucket[key] = None
+            self._signatures = signatures
+        return self._signatures
+
+    def edges_with_exact_signature(self, signature: Signature) -> list[Edge]:
+        keys = self._built_signatures().get(signature, _EMPTY_DICT)
+        return [self._edges[key] for key in keys]
+
+    def signature_items(self) -> Iterator[tuple[Signature, list[Edge]]]:
+        for signature, keys in self._built_signatures().items():
+            yield signature, [self._edges[key] for key in keys]
+
+    # -------------------------------------------------------------- adjacency
+
+    def successors(self, node_id: Hashable) -> _CsrPairsView:
+        self._freeze()
+        rank = self._rank[node_id]
+        return _CsrPairsView(
+            self._out_slices[rank], self._out_ranks, self._ids, self._rank, self._out_degree[rank]
+        )
+
+    def predecessors(self, node_id: Hashable) -> _CsrPairsView:
+        self._freeze()
+        rank = self._rank[node_id]
+        return _CsrPairsView(
+            self._in_slices[rank], self._in_ranks, self._ids, self._rank, self._in_degree[rank]
+        )
+
+    def successors_by_label(self, node_id: Hashable, edge_label: str):
+        self._freeze()
+        bounds = self._out_slices[self._rank[node_id]].get(edge_label)
+        if bounds is None:
+            return _EMPTY_KEYS
+        return _CsrNeighboursView(self._out_ranks, bounds[0], bounds[1], self._ids, self._rank)
+
+    def predecessors_by_label(self, node_id: Hashable, edge_label: str):
+        self._freeze()
+        bounds = self._in_slices[self._rank[node_id]].get(edge_label)
+        if bounds is None:
+            return _EMPTY_KEYS
+        return _CsrNeighboursView(self._in_ranks, bounds[0], bounds[1], self._ids, self._rank)
+
+    def out_edge_labels(self, node_id: Hashable):
+        self._freeze()
+        return self._out_slices[self._rank[node_id]].keys()
+
+    def in_edge_labels(self, node_id: Hashable):
+        self._freeze()
+        return self._in_slices[self._rank[node_id]].keys()
+
+    def out_degree(self, node_id: Hashable) -> int:
+        self._freeze()
+        return self._out_degree[self._rank[node_id]]
+
+    def in_degree(self, node_id: Hashable) -> int:
+        self._freeze()
+        return self._in_degree[self._rank[node_id]]
+
+    def neighbour_ids(self, node_id: Hashable) -> frozenset[Hashable]:
+        self._freeze()
+        rank = self._rank[node_id]
+        ids = self._ids
+        collected: set[Hashable] = set()
+        for ranks, slices in (
+            (self._out_ranks, self._out_slices[rank]),
+            (self._in_ranks, self._in_slices[rank]),
+        ):
+            for start, stop in slices.values():
+                for position in range(start, stop):
+                    collected.add(ids[ranks[position]])
+        return frozenset(collected)
+
+    def edges_between(self, wanted: AbstractSet) -> Iterator[Edge]:
+        self._freeze()
+        edges = self._edges
+        ids = self._ids
+        ranks = self._out_ranks
+        for node_id in sorted(wanted, key=self._rank.__getitem__):
+            for label, (start, stop) in self._out_slices[self._rank[node_id]].items():
+                for position in range(start, stop):
+                    target = ids[ranks[position]]
+                    if target in wanted:
+                        yield edges[(node_id, target, label)]
+
+    # ------------------------------------------------------------- lifecycle
+
+    def clone(self) -> "CsrStore":
+        if self._frozen:
+            # a frozen store is immutable: sharing it is safe and free
+            return self
+        other = CsrStore()
+        other._nodes = dict(self._nodes)
+        other._rank = dict(self._rank)
+        other._edges = dict(self._edges)
+        other._label_index = {label: dict(ids) for label, ids in self._label_index.items()}
+        return other
+
+    def validate(self) -> None:
+        self._freeze()
+        for (source, target, label), edge in self._edges.items():
+            if source not in self._nodes or target not in self._nodes:
+                raise GraphError(f"edge {edge!r} references a missing node")
+            bounds = self._out_slices[self._rank[source]].get(label)
+            if bounds is None or target not in _CsrNeighboursView(
+                self._out_ranks, bounds[0], bounds[1], self._ids, self._rank
+            ):
+                raise GraphError(f"out-CSR slice missing for {edge!r}")
+            bounds = self._in_slices[self._rank[target]].get(label)
+            if bounds is None or source not in _CsrNeighboursView(
+                self._in_ranks, bounds[0], bounds[1], self._ids, self._rank
+            ):
+                raise GraphError(f"in-CSR slice missing for {edge!r}")
+        if len(self._out_ranks) != len(self._edges) or len(self._in_ranks) != len(self._edges):
+            raise GraphError("CSR arrays drifted from the edge set")
+        for label, ids in self._label_index.items():
+            for node_id in ids:
+                node = self._nodes.get(node_id)
+                if node is None or node.label != label:
+                    raise GraphError(f"label index corrupt for label {label!r}, node {node_id!r}")
+        for position, node_id in enumerate(self._ids):
+            if self._rank[node_id] != position:
+                raise GraphError(f"rank table corrupt for node {node_id!r}")
+
+
+#: Name -> backend class; future engines (sharded, remote) register here.
 STORE_REGISTRY: dict[str, type[GraphStore]] = {
     DictStore.backend: DictStore,
     IndexedStore.backend: IndexedStore,
+    CsrStore.backend: CsrStore,
 }
 
 

@@ -1,4 +1,4 @@
-"""Subgraph homomorphism matching: batch (Matchn) and update-driven (IncMatch)."""
+"""Subgraph homomorphism matching: compiled plans, batch (Matchn) and update-driven (IncMatch)."""
 
 from repro.matching.candidates import MatchStatistics, candidate_nodes, node_satisfies_unary_premise
 from repro.matching.incmatch import IncrementalMatcher, UpdatePivot, find_update_pivots
@@ -7,15 +7,31 @@ from repro.matching.matchn import (
     assignment_for_match,
     match_violates_dependency,
 )
+from repro.matching.plan import (
+    GraphStatistics,
+    MatchPlan,
+    PlanStep,
+    compile_plan,
+    compile_plans,
+    format_plan,
+    planner_enabled,
+)
 
 __all__ = [
+    "GraphStatistics",
     "HomomorphismMatcher",
     "IncrementalMatcher",
+    "MatchPlan",
     "MatchStatistics",
+    "PlanStep",
     "UpdatePivot",
     "assignment_for_match",
     "candidate_nodes",
+    "compile_plan",
+    "compile_plans",
     "find_update_pivots",
+    "format_plan",
     "match_violates_dependency",
     "node_satisfies_unary_premise",
+    "planner_enabled",
 ]

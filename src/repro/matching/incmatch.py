@@ -20,7 +20,7 @@ from __future__ import annotations
 
 from collections.abc import Hashable, Iterator
 from dataclasses import dataclass
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
 
 from repro.core.ngd import NGD
 from repro.graph.graph import Graph
@@ -28,6 +28,9 @@ from repro.graph.pattern import PatternEdge
 from repro.graph.updates import BatchUpdate
 from repro.matching.candidates import MatchStatistics
 from repro.matching.matchn import HomomorphismMatcher
+
+if TYPE_CHECKING:  # pragma: no cover - annotations only
+    from repro.matching.plan import MatchPlan
 
 __all__ = ["UpdatePivot", "find_update_pivots", "IncrementalMatcher"]
 
@@ -96,7 +99,14 @@ def find_update_pivots(
 
 
 class IncrementalMatcher:
-    """Expands update pivots into update-driven violations for one NGD."""
+    """Expands update pivots into update-driven violations for one NGD.
+
+    ``plan`` optionally carries a compiled
+    :class:`~repro.matching.plan.MatchPlan` shared by both directions: pivot
+    seeds are expanded in the plan's cost-based order instead of the static
+    connectivity order (the plan's seeded schedules put the pivot variables
+    first, so the neighbourhood restriction of Section 6.2 is preserved).
+    """
 
     def __init__(
         self,
@@ -105,12 +115,14 @@ class IncrementalMatcher:
         graph_after: Graph,
         use_literal_pruning: bool = True,
         stats: Optional[MatchStatistics] = None,
+        plan: Optional["MatchPlan"] = None,
     ) -> None:
         self.rule = rule
         self.graph_before = graph_before
         self.graph_after = graph_after
         self.use_literal_pruning = use_literal_pruning
         self.stats = stats if stats is not None else MatchStatistics()
+        self.plan = plan
         self._matcher_after = HomomorphismMatcher(
             graph_after,
             rule.pattern,
@@ -118,6 +130,7 @@ class IncrementalMatcher:
             conclusion=rule.conclusion,
             use_literal_pruning=use_literal_pruning,
             stats=self.stats,
+            plan=plan,
         )
         self._matcher_before = HomomorphismMatcher(
             graph_before,
@@ -126,6 +139,7 @@ class IncrementalMatcher:
             conclusion=rule.conclusion,
             use_literal_pruning=use_literal_pruning,
             stats=self.stats,
+            plan=plan,
         )
 
     def introduced_violations(self, pivot: UpdatePivot) -> Iterator[dict[str, Hashable]]:

@@ -15,19 +15,29 @@ extensions the NGD algorithms need:
 * *seeded search* — a partial solution can be supplied up front, which is how
   update pivots drive incremental matching (``IncMatch``).
 
+The matcher is a *plan executor*: hand it a compiled
+:class:`~repro.matching.plan.MatchPlan` and it follows the plan's cost-based
+variable order, per-step candidate strategies, and pre-resolved literal
+schedule.  Without a plan it falls back to the static pipeline
+(``Pattern.matching_order`` plus per-expansion literal scans), which is also
+what ``REPRO_MATCH_PLANNER=off`` selects end to end.
+
 The matcher yields matches lazily as ``{variable: node_id}`` dictionaries.
 """
 
 from __future__ import annotations
 
 from collections.abc import Hashable, Iterator, Mapping
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
 
 from repro.expr.expressions import Assignment
 from repro.expr.literals import LiteralSet
 from repro.graph.graph import Graph
 from repro.graph.pattern import Pattern
 from repro.matching.candidates import MatchStatistics, candidate_nodes, node_satisfies_unary_premise
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for annotations only
+    from repro.matching.plan import MatchPlan, PlanStep
 
 __all__ = ["HomomorphismMatcher", "assignment_for_match", "match_violates_dependency"]
 
@@ -82,6 +92,7 @@ class HomomorphismMatcher:
         conclusion: Optional[LiteralSet] = None,
         use_literal_pruning: bool = True,
         stats: Optional[MatchStatistics] = None,
+        plan: Optional["MatchPlan"] = None,
     ) -> None:
         self.graph = graph
         self.pattern = pattern
@@ -89,6 +100,7 @@ class HomomorphismMatcher:
         self.conclusion = conclusion if conclusion is not None else LiteralSet()
         self.use_literal_pruning = use_literal_pruning
         self.stats = stats if stats is not None else MatchStatistics()
+        self.plan = plan
 
     # --------------------------------------------------------------- matching
 
@@ -106,6 +118,12 @@ class HomomorphismMatcher:
             if not self.pattern.node(variable).matches_label(self.graph.node(node_id).label):
                 return
         if not self._seed_edges_consistent(partial):
+            return
+        if self.plan is not None:
+            order = self.plan.order_for_seed(tuple(partial.keys()))
+            schedule = self.plan.schedule_for(order)
+            remaining_steps = [step for step in schedule if step.variable not in partial]
+            yield from self._expand_plan(partial, remaining_steps)
             return
         order = self.pattern.matching_order(seed=list(partial.keys()))
         remaining = [variable for variable in order if variable not in partial]
@@ -126,6 +144,62 @@ class HomomorphismMatcher:
                 if not self.graph.has_edge(partial[edge.source], partial[edge.target], edge.label):
                     return False
         return True
+
+    def _expand_plan(
+        self, partial: dict[str, Hashable], remaining: list["PlanStep"]
+    ) -> Iterator[dict[str, Hashable]]:
+        """Plan-mode expansion: candidates, residual checks and literals per the schedule.
+
+        The step's anchored intersection already enforces every pattern edge
+        between the new variable and the bound prefix, so the only residual
+        structural checks are self-loop edges; premise literals fire exactly
+        once, at the depth the plan scheduled them.
+        """
+        from repro.matching.plan import step_candidates
+
+        if not remaining:
+            self.stats.matches_emitted += 1
+            yield dict(partial)
+            return
+        step = remaining[0]
+        graph = self.graph
+        candidates, _ = step_candidates(
+            graph, self.plan, step, partial, self.stats, self.use_literal_pruning
+        )
+        for candidate in candidates:
+            self.stats.expansions += 1
+            consistent = True
+            for label in step.self_loops:
+                self.stats.edge_checks += 1
+                if not graph.has_edge(candidate, candidate, label):
+                    consistent = False
+                    break
+            if not consistent:
+                continue
+            partial[step.variable] = candidate
+            if self._pruned_by_schedule(step, partial):
+                del partial[step.variable]
+                continue
+            yield from self._expand_plan(partial, remaining[1:])
+            del partial[step.variable]
+
+    def _pruned_by_schedule(self, step: "PlanStep", partial: Mapping[str, Hashable]) -> bool:
+        """Apply the plan's literal schedule after binding ``step.variable``."""
+        if not self.use_literal_pruning:
+            return False
+        for literal_index in step.premise_checks:
+            literal = self.plan.premise_literal(literal_index)
+            self.stats.literal_evaluations += 1
+            assignment = assignment_for_match(self.graph, partial, literal.variables())
+            if not literal.holds_for(assignment):
+                return True
+        if step.check_conclusion and len(self.conclusion) == 1:
+            literal = self.conclusion.literals()[0]
+            self.stats.literal_evaluations += 1
+            assignment = assignment_for_match(self.graph, partial, literal.variables())
+            if set(assignment) == set(literal.variables()) and literal.holds_for(assignment):
+                return True
+        return False
 
     def _expand(
         self, partial: dict[str, Hashable], remaining: list[str]
@@ -153,37 +227,40 @@ class HomomorphismMatcher:
         index (O(result) on the indexed engine, not O(degree)); the returned
         list is ordered by the store's insertion rank, which is deterministic
         across runs and O(1) per key (unlike the old ``sorted(key=repr)``).
+
+        Accounting matches :func:`~repro.matching.candidates.candidate_nodes`
+        exactly: one ``candidates_examined`` per node drawn from the scanned
+        index (here the smallest anchored adjacency view), *before* label and
+        literal filtering — the parallel benchmarks bill these counters to
+        worker clocks, so the two paths must count in the same unit.
         """
         graph = self.graph
         pattern_node = self.pattern.node(variable)
-        anchored: Optional[set[Hashable]] = None
+        views = []
         for edge in self.pattern.out_edges(variable):
             if edge.target in partial:
-                sources = graph.predecessors_by_label(partial[edge.target], edge.label)
-                if anchored is None:
-                    anchored = set(sources)
-                else:
-                    anchored.intersection_update(sources)
+                views.append(graph.predecessors_by_label(partial[edge.target], edge.label))
         for edge in self.pattern.in_edges(variable):
             if edge.source in partial:
-                targets = graph.successors_by_label(partial[edge.source], edge.label)
-                if anchored is None:
-                    anchored = set(targets)
-                else:
-                    anchored.intersection_update(targets)
-        if anchored is not None:
-            self.stats.candidates_examined += len(anchored)
-            candidates = [
-                node_id
-                for node_id in anchored
-                if pattern_node.matches_label(graph.node(node_id).label)
-            ]
-            if self.use_literal_pruning and self.premise:
-                candidates = [
-                    node_id
-                    for node_id in candidates
-                    if node_satisfies_unary_premise(graph, node_id, variable, self.premise, self.stats)
-                ]
+                views.append(graph.successors_by_label(partial[edge.source], edge.label))
+        if views:
+            base_index = min(range(len(views)), key=lambda i: len(views[i]))
+            base = views[base_index]
+            others = [view for i, view in enumerate(views) if i != base_index]
+            candidates = []
+            for node_id in base:
+                self.stats.candidates_examined += 1
+                if others and not all(node_id in view for view in others):
+                    continue
+                if not pattern_node.matches_label(graph.node(node_id).label):
+                    continue
+                if (
+                    self.use_literal_pruning
+                    and self.premise
+                    and not node_satisfies_unary_premise(graph, node_id, variable, self.premise, self.stats)
+                ):
+                    continue
+                candidates.append(node_id)
         else:
             candidates = candidate_nodes(
                 graph,

@@ -1,0 +1,587 @@
+"""Cost-based match planning: compile an NGD into an immutable :class:`MatchPlan`.
+
+The ``Matchn`` framework (paper, Section 6.2) leaves two degrees of freedom
+open: the order in which pattern variables are matched, and how the candidate
+set of each variable is generated.  The original matcher fixed both
+statically — ``Pattern.matching_order`` (pure connectivity, blind to the data)
+plus per-call filtering that re-derived the same literal subsets on every
+expansion.  This module separates *planning* from *execution*:
+
+* :class:`GraphStatistics` snapshots the store statistics the cost model
+  reads: label cardinalities (``len(nodes_with_label(l))`` — O(1) on the
+  indexed engines) and per-edge-label average fan-out;
+* :func:`compile_plan` chooses a variable order greedily by estimated
+  candidate cardinality — start from the rarest label, then repeatedly bind
+  the frontier variable whose anchored candidate set is estimated smallest —
+  and resolves, per step, the candidate *strategy* (``scan`` over the label
+  index vs ``anchored`` intersection of label-filtered adjacency views,
+  smallest set first) and the *literal schedule* (which premise literals
+  fire at which binding depth, replacing the per-expansion ``frozenset``
+  scans the old matcher performed);
+* :class:`MatchPlan` is the immutable result.  ``schedule_for(order)``
+  resolves a step schedule for any variable order (seeded orders included),
+  so one plan serves batch search, pivot-seeded incremental search, and the
+  parallel work-unit kernels alike; resolved schedules are memoised.
+
+Executors (``HomomorphismMatcher``, ``expand_work_unit`` and the four
+detection kernels) take a plan and run it; without one they fall back to the
+pre-plan behaviour.  The process-wide switch is the ``REPRO_MATCH_PLANNER``
+environment variable (``off`` restores the static pipeline end to end, which
+the parity suite uses as the oracle).
+
+Cost accounting is uniform across strategies: every node drawn from an index
+and examined is billed one ``candidates_examined``, each adjacency membership
+probe one ``edge_checks``, each literal evaluation one
+``literal_evaluations`` — the same unit scheme as the static pipeline, so
+planned and static runs are directly comparable through
+``MatchStatistics.total_operations()``.
+"""
+
+from __future__ import annotations
+
+import os
+from collections.abc import Hashable, Mapping, Sequence
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.ngd import NGD
+from repro.expr.literals import Literal
+from repro.graph.graph import WILDCARD, Graph
+from repro.matching.candidates import MatchStatistics
+
+__all__ = [
+    "PLANNER_ENV",
+    "planner_enabled",
+    "GraphStatistics",
+    "Anchor",
+    "PlanStep",
+    "MatchPlan",
+    "compile_plan",
+    "compile_plans",
+    "step_candidates",
+    "format_plan",
+]
+
+#: Environment switch for the compile-then-execute pipeline; any of
+#: ``off``/``0``/``false``/``no`` (case-insensitive) restores the static
+#: pre-plan matcher end to end.
+PLANNER_ENV = "REPRO_MATCH_PLANNER"
+
+
+def planner_enabled() -> bool:
+    """Return True unless ``REPRO_MATCH_PLANNER`` disables the planner."""
+    return os.environ.get(PLANNER_ENV, "on").strip().lower() not in ("off", "0", "false", "no")
+
+
+# ------------------------------------------------------------------ statistics
+
+
+@dataclass(frozen=True)
+class GraphStatistics:
+    """The store statistics the plan cost model reads, snapshotted once.
+
+    Label cardinalities come straight from the label index
+    (``len(nodes_with_label(l))``); edge-label counts from one pass over E.
+    Both are pure functions of the graph content, independent of the storage
+    backend, so the same graph compiles to the same plan on every engine.
+    """
+
+    node_count: int
+    edge_count: int
+    label_counts: Mapping[str, int]
+    edge_label_counts: Mapping[str, int]
+
+    @classmethod
+    def from_graph(cls, graph: Graph) -> "GraphStatistics":
+        """Snapshot the statistics of ``graph`` (one O(|E|) pass)."""
+        label_counts = {
+            label: len(graph.nodes_with_label(label)) for label in sorted(graph.labels())
+        }
+        edge_label_counts: dict[str, int] = {}
+        for edge in graph.edges():
+            edge_label_counts[edge.label] = edge_label_counts.get(edge.label, 0) + 1
+        return cls(
+            node_count=graph.node_count(),
+            edge_count=graph.edge_count(),
+            label_counts=label_counts,
+            edge_label_counts=edge_label_counts,
+        )
+
+    def label_cardinality(self, label: str) -> int:
+        """Return |{v : L(v) = label}| (the wildcard matches every node)."""
+        if label == WILDCARD:
+            return self.node_count
+        return self.label_counts.get(label, 0)
+
+    def average_fan(self, edge_label: str) -> float:
+        """Return the expected number of ``edge_label`` neighbours of one node."""
+        if self.node_count == 0:
+            return 0.0
+        return self.edge_label_counts.get(edge_label, 0) / self.node_count
+
+
+# ----------------------------------------------------------------- plan model
+
+
+@dataclass(frozen=True)
+class Anchor:
+    """One already-bound pattern neighbour constraining a step's candidates.
+
+    ``direction`` names the adjacency view of the *anchor's* data node that
+    serves the candidates: ``"succ"`` for a pattern edge anchor → step
+    variable (candidates ⊆ ``successors_by_label(h(anchor), edge_label)``),
+    ``"pred"`` for step variable → anchor (candidates ⊆
+    ``predecessors_by_label``).
+    """
+
+    variable: str
+    edge_label: str
+    direction: str
+
+    def view(self, graph: Graph, anchor_node: Hashable):
+        """Return the label-filtered adjacency view this anchor contributes."""
+        if self.direction == "succ":
+            return graph.successors_by_label(anchor_node, self.edge_label)
+        return graph.predecessors_by_label(anchor_node, self.edge_label)
+
+
+@dataclass(frozen=True)
+class PlanStep:
+    """One variable binding of a compiled schedule.
+
+    ``strategy`` is ``"scan"`` (enumerate the label index, filtered by the
+    degree signature) or ``"anchored"`` (intersect the anchors' label-filtered
+    adjacency views, smallest set first).  The literal schedule is
+    pre-resolved: ``unary_premise`` holds indices (into the rule's premise
+    literal tuple) evaluated during candidate filtering, ``premise_checks``
+    the multi-variable premise literals that become fully bound when this
+    variable binds, and ``check_conclusion`` marks the step at which a
+    single-literal conclusion is fully bound (a bound conclusion that already
+    holds cannot become a violation, so the branch is pruned — Section 6.2,
+    step (3)).
+    """
+
+    variable: str
+    label: str
+    strategy: str
+    anchors: tuple[Anchor, ...]
+    self_loops: tuple[str, ...]
+    out_labels: tuple[str, ...]
+    in_labels: tuple[str, ...]
+    unary_premise: tuple[int, ...]
+    premise_checks: tuple[int, ...]
+    check_conclusion: bool
+    estimated_candidates: float
+
+    def to_dict(self) -> dict:
+        """Return the JSON form used by ``repro-detect explain --format json``."""
+        return {
+            "variable": self.variable,
+            "label": self.label,
+            "strategy": self.strategy,
+            "anchors": [
+                {"variable": a.variable, "edge_label": a.edge_label, "direction": a.direction}
+                for a in self.anchors
+            ],
+            "estimated_candidates": round(self.estimated_candidates, 3),
+            "unary_premise_literals": list(self.unary_premise),
+            "premise_literals": list(self.premise_checks),
+            "checks_conclusion": self.check_conclusion,
+        }
+
+
+class MatchPlan:
+    """An immutable compiled execution plan for one NGD over one graph snapshot.
+
+    The root schedule (``steps`` / ``order``) drives batch search; seeded
+    searches (update pivots) ask :meth:`order_for_seed` for a cost-based
+    order beginning with the seed variables and :meth:`schedule_for` for the
+    matching step schedule.  Schedules are pure functions of
+    ``(statistics, rule, order)``; the internal memo tables only cache their
+    results, so a plan can be shared freely across threads and kernels.
+    """
+
+    __slots__ = ("rule", "statistics", "steps", "_premise_literals", "_schedules", "_seed_orders")
+
+    def __init__(self, rule: NGD, statistics: GraphStatistics, steps: tuple[PlanStep, ...]) -> None:
+        self.rule = rule
+        self.statistics = statistics
+        self.steps = steps
+        self._premise_literals: tuple[Literal, ...] = rule.premise.literals()
+        self._schedules: dict[tuple[str, ...], tuple[PlanStep, ...]] = {self.order: steps}
+        self._seed_orders: dict[tuple[str, ...], tuple[str, ...]] = {}
+
+    @property
+    def order(self) -> tuple[str, ...]:
+        """Return the cost-based root variable order."""
+        return tuple(step.variable for step in self.steps)
+
+    def premise_literal(self, index: int) -> Literal:
+        """Return the premise literal a schedule index refers to."""
+        return self._premise_literals[index]
+
+    def order_for_seed(self, seed: Sequence[str]) -> tuple[str, ...]:
+        """Return a cost-based order starting with ``seed`` (in the given order)."""
+        key = tuple(seed)
+        if not key:
+            return self.order
+        cached = self._seed_orders.get(key)
+        if cached is None:
+            cached = _greedy_order(self.statistics, self.rule.pattern, key)
+            self._seed_orders[key] = cached
+        return cached
+
+    def schedule_for(self, order: tuple[str, ...]) -> tuple[PlanStep, ...]:
+        """Return the step schedule for an arbitrary complete variable order.
+
+        Step ``d`` is compiled against the bound prefix ``order[:d]``, so the
+        same schedule serves every work unit following ``order`` regardless
+        of how many leading variables its seed already bound.
+        """
+        cached = self._schedules.get(order)
+        if cached is None:
+            cached = _steps_for_order(self.statistics, self.rule, order)
+            self._schedules[order] = cached
+        return cached
+
+    def estimated_unit_cost(self, depth: int) -> float:
+        """Return the estimated subtree size of a work unit bound to ``depth`` variables.
+
+        The product of the remaining steps' candidate estimates — the
+        quantity PDect's seed placement balances across processors.
+        """
+        cost = 1.0
+        for step in self.steps[depth:]:
+            cost *= max(step.estimated_candidates, 1.0)
+            if cost > 1e18:
+                return 1e18
+        return cost
+
+    def to_dict(self) -> dict:
+        """Return the JSON description used by ``repro-detect explain``."""
+        return {
+            "rule": self.rule.name,
+            "order": list(self.order),
+            "estimated_cost": round(self.estimated_unit_cost(0), 3),
+            "steps": [step.to_dict() for step in self.steps],
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"MatchPlan({self.rule.name!r}, order={list(self.order)})"
+
+
+# ------------------------------------------------------------------- compiler
+
+
+def _anchors_for(pattern, variable: str, bound: set) -> tuple[Anchor, ...]:
+    """Return every pattern edge linking ``variable`` to a bound variable."""
+    anchors: list[Anchor] = []
+    for edge in pattern.out_edges(variable):
+        if edge.target in bound and edge.target != variable:
+            anchors.append(Anchor(edge.target, edge.label, "pred"))
+    for edge in pattern.in_edges(variable):
+        if edge.source in bound and edge.source != variable:
+            anchors.append(Anchor(edge.source, edge.label, "succ"))
+    return tuple(anchors)
+
+
+def _estimate(stats: GraphStatistics, pattern, variable: str, anchors: tuple[Anchor, ...]) -> float:
+    """Estimate |C(variable)| given the bound anchors.
+
+    An unanchored variable scans its label bucket; an anchored one reads the
+    smallest label-filtered adjacency view, whose expected size is the
+    edge-label fan-out — the intersection can only be smaller, so the minimum
+    over the anchors (capped by the label cardinality) is an upper-bound
+    estimate consistent across anchors.
+    """
+    label_cardinality = float(stats.label_cardinality(pattern.node(variable).label))
+    if not anchors:
+        return label_cardinality
+    fan = min(stats.average_fan(anchor.edge_label) for anchor in anchors)
+    return min(label_cardinality, fan)
+
+
+def _greedy_order(
+    stats: GraphStatistics, pattern, seed: Sequence[str] = ()
+) -> tuple[str, ...]:
+    """Choose a variable order greedily by estimated candidate cardinality.
+
+    Ties break on pattern-variable declaration index, so the order is a
+    deterministic pure function of (statistics, pattern, seed) and identical
+    on every storage backend.
+    """
+    variables = pattern.variables
+    index = {variable: position for position, variable in enumerate(variables)}
+    order: list[str] = []
+    bound: set = set()
+    for variable in seed:
+        if variable not in bound:
+            order.append(variable)
+            bound.add(variable)
+    while len(order) < len(variables):
+        frontier = [
+            variable
+            for variable in variables
+            if variable not in bound and _anchors_for(pattern, variable, bound)
+        ]
+        pool = frontier if frontier else [v for v in variables if v not in bound]
+        best = min(
+            pool,
+            key=lambda v: (
+                _estimate(stats, pattern, v, _anchors_for(pattern, v, bound)),
+                index[v],
+            ),
+        )
+        order.append(best)
+        bound.add(best)
+    return tuple(order)
+
+
+def _steps_for_order(stats: GraphStatistics, rule: NGD, order: tuple[str, ...]) -> tuple[PlanStep, ...]:
+    """Compile the per-step strategies and literal schedule for a fixed order."""
+    pattern = rule.pattern
+    premise_literals = rule.premise.literals()
+    conclusion_literals = rule.conclusion.literals()
+    single_conclusion = conclusion_literals[0] if len(conclusion_literals) == 1 else None
+
+    scheduled: set[int] = set()
+    conclusion_done = False
+    steps: list[PlanStep] = []
+    bound: set = set()
+    for variable in order:
+        anchors = _anchors_for(pattern, variable, bound)
+        self_loops = tuple(
+            edge.label for edge in pattern.out_edges(variable) if edge.target == variable
+        )
+        unary: list[int] = []
+        checks: list[int] = []
+        now_bound = bound | {variable}
+        for literal_index, literal in enumerate(premise_literals):
+            if literal_index in scheduled:
+                continue
+            mentioned = literal.pattern_variables()
+            if not (mentioned <= now_bound):
+                continue
+            scheduled.add(literal_index)
+            if mentioned == frozenset({variable}):
+                unary.append(literal_index)
+            else:
+                checks.append(literal_index)
+        check_conclusion = False
+        if single_conclusion is not None and not conclusion_done:
+            if single_conclusion.pattern_variables() <= now_bound:
+                check_conclusion = True
+                conclusion_done = True
+        steps.append(
+            PlanStep(
+                variable=variable,
+                label=pattern.node(variable).label,
+                strategy="anchored" if anchors else "scan",
+                anchors=anchors,
+                self_loops=self_loops,
+                out_labels=tuple(edge.label for edge in pattern.out_edges(variable)),
+                in_labels=tuple(edge.label for edge in pattern.in_edges(variable)),
+                unary_premise=tuple(unary),
+                premise_checks=tuple(checks),
+                check_conclusion=check_conclusion,
+                estimated_candidates=_estimate(stats, pattern, variable, anchors),
+            )
+        )
+        bound = now_bound
+    return tuple(steps)
+
+
+def compile_plan(
+    graph: Graph, rule: NGD, statistics: Optional[GraphStatistics] = None
+) -> MatchPlan:
+    """Compile one NGD into a :class:`MatchPlan` against ``graph``'s statistics."""
+    stats = statistics if statistics is not None else GraphStatistics.from_graph(graph)
+    order = _greedy_order(stats, rule.pattern)
+    return MatchPlan(rule, stats, _steps_for_order(stats, rule, order))
+
+
+def compile_plans(graph: Graph, rules) -> tuple[MatchPlan, ...]:
+    """Compile every rule of an iterable/RuleSet, sharing one statistics pass."""
+    stats = GraphStatistics.from_graph(graph)
+    return tuple(compile_plan(graph, rule, statistics=stats) for rule in rules)
+
+
+# ------------------------------------------------------------------- executor
+
+
+def _literal_rules_out(
+    graph: Graph,
+    node_id: Hashable,
+    variable: str,
+    literal: Literal,
+    stats: MatchStatistics,
+) -> bool:
+    """Return True when a unary premise literal rules the candidate out."""
+    node = graph.node(node_id)
+    assignment = {
+        (variable, attribute): node.attribute(attribute)
+        for _, attribute in literal.variables()
+        if node.has_attribute(attribute)
+    }
+    stats.literal_evaluations += 1
+    expected = {(variable, attribute) for _, attribute in literal.variables()}
+    return set(assignment) != expected or not literal.holds_for(assignment)
+
+
+def step_candidates(
+    graph: Graph,
+    plan: MatchPlan,
+    step: PlanStep,
+    partial: Mapping[str, Hashable],
+    stats: MatchStatistics,
+    use_literal_pruning: bool = True,
+) -> tuple[list[Hashable], int]:
+    """Execute one step's candidate strategy.
+
+    Returns ``(candidates, scanned)`` where ``candidates`` is rank-sorted and
+    already label- and unary-literal-filtered, and ``scanned`` is the size of
+    the index scan performed (the filtering cost the parallel cost model
+    charges).  Billing: one ``candidates_examined`` per node drawn from the
+    scanned index — identically for both strategies — plus one ``edge_checks``
+    per adjacency membership probe of the anchored intersection.
+    """
+    pattern_node = plan.rule.pattern.node(step.variable)
+    candidates: list[Hashable] = []
+
+    if step.strategy == "anchored":
+        views = [anchor.view(graph, partial[anchor.variable]) for anchor in step.anchors]
+        base_index = min(range(len(views)), key=lambda i: len(views[i]))
+        base = views[base_index]
+        others = [view for i, view in enumerate(views) if i != base_index]
+        scanned = len(base)
+        for node_id in base:
+            stats.candidates_examined += 1
+            if others:
+                stats.edge_checks += len(others)
+                if not all(node_id in view for view in others):
+                    continue
+            if not pattern_node.matches_label(graph.node(node_id).label):
+                continue
+            if use_literal_pruning and any(
+                _literal_rules_out(graph, node_id, step.variable, plan.premise_literal(i), stats)
+                for i in step.unary_premise
+            ):
+                continue
+            candidates.append(node_id)
+    else:
+        bucket = graph.nodes_with_label(step.label)
+        scanned = len(bucket)
+        for node_id in bucket:
+            stats.candidates_examined += 1
+            if step.out_labels:
+                available = graph.out_edge_labels(node_id)
+                if not all(label in available for label in step.out_labels):
+                    continue
+            if step.in_labels:
+                available = graph.in_edge_labels(node_id)
+                if not all(label in available for label in step.in_labels):
+                    continue
+            if use_literal_pruning and any(
+                _literal_rules_out(graph, node_id, step.variable, plan.premise_literal(i), stats)
+                for i in step.unary_premise
+            ):
+                continue
+            candidates.append(node_id)
+
+    candidates.sort(key=graph.node_rank)
+    return candidates, scanned
+
+
+# -------------------------------------------------------------- kernel helpers
+
+
+def resolve_plans(graph: Graph, rule_list, plans) -> Optional[tuple["MatchPlan", ...]]:
+    """Resolve the compiled plans a detection kernel should execute.
+
+    ``plans`` passed by the session (cache hit) wins — an *empty* sequence
+    is the explicit "planner off" marker (``DetectionOptions(use_planner=
+    False)``) and resolves to the static pipeline.  Otherwise plans are
+    compiled here when the planner is enabled, and ``None`` (the static
+    pre-plan pipeline) when ``REPRO_MATCH_PLANNER=off``.  Shared by all four
+    kernels so the compatibility shims behave like the session.
+    """
+    if plans is not None:
+        return tuple(plans) or None
+    if planner_enabled():
+        return compile_plans(graph, rule_list)
+    return None
+
+
+def first_step_candidates(
+    graph: Graph,
+    rule: NGD,
+    plan: Optional["MatchPlan"],
+    order: tuple[str, ...],
+    use_literal_pruning: bool,
+    stats: MatchStatistics,
+) -> tuple[list, float]:
+    """Return the seed candidates of a rule plus the scan cost charged for them.
+
+    The plan path executes the compiled first step (its scan size is the
+    charge); the static path reproduces the original ``candidate_nodes``
+    call charged at the label-index cardinality.  Used by the batch kernels
+    (Dect / PDect) to seed their work-unit queues.
+    """
+    from repro.matching.candidates import candidate_nodes
+
+    if plan is not None:
+        candidates, scanned = step_candidates(
+            graph, plan, plan.steps[0], {}, stats, use_literal_pruning
+        )
+        return candidates, float(scanned)
+    first = order[0]
+    candidates = candidate_nodes(
+        graph,
+        rule.pattern,
+        first,
+        premise=rule.premise if use_literal_pruning else None,
+        use_literal_pruning=use_literal_pruning,
+        stats=stats,
+    )
+    return candidates, float(len(graph.nodes_with_label(rule.pattern.node(first).label)))
+
+
+# ------------------------------------------------------------------ reporting
+
+
+def format_plan(plan: MatchPlan) -> str:
+    """Render a compiled plan for the terminal (``repro-detect explain``)."""
+    lines = [f"{plan.rule.name}: order {' -> '.join(plan.order)}"]
+    for depth, step in enumerate(plan.steps):
+        if step.strategy == "anchored":
+            via = ", ".join(
+                f"{a.variable} -[{a.edge_label}]-> {step.variable}"
+                if a.direction == "succ"
+                else f"{step.variable} -[{a.edge_label}]-> {a.variable}"
+                for a in step.anchors
+            )
+            strategy = f"anchored intersection ({via})"
+        else:
+            strategy = f"indexed scan of label {step.label!r}"
+        lines.append(
+            f"  [{depth}] {step.variable}: {strategy}, "
+            f"~{step.estimated_candidates:.1f} candidates"
+        )
+        schedule_bits = []
+        if step.unary_premise:
+            schedule_bits.append(
+                "premise "
+                + "; ".join(str(plan.premise_literal(i)) for i in step.unary_premise)
+                + " (during filtering)"
+            )
+        if step.premise_checks:
+            schedule_bits.append(
+                "premise "
+                + "; ".join(str(plan.premise_literal(i)) for i in step.premise_checks)
+                + " (on binding)"
+            )
+        if step.check_conclusion:
+            schedule_bits.append("conclusion fully bound: prune satisfied branches")
+        for bit in schedule_bits:
+            lines.append(f"        literals: {bit}")
+    return "\n".join(lines)

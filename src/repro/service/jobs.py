@@ -39,12 +39,32 @@ from repro.service.registry import GraphRegistry, UpdateOutcome, validate_resour
 __all__ = ["ContinuousSession", "SessionManager"]
 
 
+#: A session's cached plans are recompiled once the graph's |V|+|E| has
+#: drifted by more than this fraction from the statistics they were compiled
+#: against (update-driven invalidation of the cross-version plan reuse).
+PLAN_DRIFT_TOLERANCE = 0.2
+
+
 class ContinuousSession:
     """A long-lived incremental session over one registered graph.
 
     ``violations`` is kept equal to ``Vio(Σ, G_v)`` for the session's
     ``current_version`` ``v``; ``deltas[v]`` records the ΔVio that took the
     session from version ``v - 1`` to ``v``.
+
+    Two bounded-resource mechanisms ride along:
+
+    * **plan reuse** — the :class:`~repro.matching.plan.MatchPlan`\\ s the
+      detector compiled at the base version are passed back to every
+      ``run_incremental``, so per-update maintenance skips the statistics
+      pass; an update that drifts ``|V| + |E|`` beyond
+      :data:`PLAN_DRIFT_TOLERANCE` invalidates them (recompiled against the
+      new snapshot, counted in ``plan_compilations``);
+    * **delta-log compaction** — :meth:`compact` squashes deltas older than
+      a retention window into one net delta
+      (:meth:`~repro.core.violations.ViolationDelta.compose`), so
+      long-running update loops hold a bounded number of per-version
+      entries.
     """
 
     def __init__(
@@ -55,6 +75,8 @@ class ContinuousSession:
         detector: Detector,
         base_version: int,
         violations: ViolationSet,
+        plans=None,
+        plan_size: int = 0,
     ) -> None:
         self.session_id = session_id
         self.graph_name = graph_name
@@ -64,7 +86,24 @@ class ContinuousSession:
         self.current_version = base_version
         self.violations = violations
         self.deltas: dict[int, ViolationDelta] = {}
+        self.plans = plans
+        self.plan_size = plan_size
+        self.plan_compilations = 1 if plans is not None else 0
+        self.compacted_through: Optional[int] = None
+        self._squashed: Optional[ViolationDelta] = None
         self._lock = threading.Lock()
+
+    def plans_for(self, graph) -> object:
+        """Return the session's cached plans, recompiling on statistics drift."""
+        if self.plans is None:
+            return None
+        size = graph.total_size()
+        reference = max(self.plan_size, 1)
+        if abs(size - self.plan_size) > PLAN_DRIFT_TOLERANCE * reference:
+            self.plans = self.detector.compile_plans(graph)
+            self.plan_size = size
+            self.plan_compilations += 1
+        return self.plans
 
     def advance(self, version: int, delta: ViolationDelta) -> None:
         """Record ΔVio for ``version`` and roll the violation set forward."""
@@ -73,19 +112,71 @@ class ContinuousSession:
             self.deltas[version] = delta
             self.current_version = version
 
-    def deltas_since(self, since: int) -> list[dict]:
-        """Return ``[{"version", "introduced", "removed"}, ...]`` for versions > ``since``."""
+    def compact(self, retain_versions: int) -> None:
+        """Squash deltas older than the last ``retain_versions`` into one net delta."""
         with self._lock:
-            return [
+            cutoff = self.current_version - retain_versions
+            stale = sorted(version for version in self.deltas if version <= cutoff)
+            if not stale:
+                return
+            squashed = self._squashed if self._squashed is not None else ViolationDelta.empty()
+            for version in stale:
+                squashed = squashed.compose(self.deltas.pop(version))
+            self._squashed = squashed
+            self.compacted_through = stale[-1]
+
+    def deltas_since(self, since: int) -> list[dict]:
+        """Return ``[{"version", "introduced", "removed"}, ...]`` for versions > ``since``.
+
+        When compaction has squashed part of the requested range, the first
+        entry is the net squashed delta, flagged ``"squashed": true`` and
+        spanning ``(base_version, compacted_through]``.  That record is only
+        a valid catch-up from the session's *base version* — a client whose
+        last synced version lies strictly inside the squashed window cannot
+        be brought up to date from the net delta (intermediate
+        remove/reintroduce pairs have cancelled out of it), so such a
+        request is refused with :class:`ServiceError`; the client must
+        resync from the full session state (``GET /sessions/{id}``).
+        """
+        with self._lock:
+            records: list[dict] = []
+            if (
+                self._squashed is not None
+                and self.compacted_through is not None
+                and since < self.compacted_through
+            ):
+                if since > self.base_version:
+                    raise ServiceError(
+                        f"session {self.session_id!r} has squashed deltas through "
+                        f"version {self.compacted_through}; a catch-up from version "
+                        f"{since} is no longer reconstructible — resync from the "
+                        "full session state (GET /sessions/{id}) or request "
+                        f"since<={self.base_version}"
+                    )
+                records.append(
+                    {
+                        "version": self.compacted_through,
+                        "squashed": True,
+                        "squashed_from": self.base_version,
+                        **self._squashed.to_dict(),
+                    }
+                )
+            records.extend(
                 {"version": version, **self.deltas[version].to_dict()}
                 for version in sorted(self.deltas)
                 if version > since
-            ]
+            )
+            return records
+
+    def delta_count(self) -> int:
+        """Return the number of per-version deltas currently held."""
+        with self._lock:
+            return len(self.deltas)
 
     def state_document(self) -> dict:
         """Return the JSON description served by ``GET /sessions/{id}``."""
         with self._lock:
-            return {
+            document = {
                 "session": self.session_id,
                 "graph": self.graph_name,
                 "rules": self.rules.name,
@@ -93,15 +184,30 @@ class ContinuousSession:
                 "base_version": self.base_version,
                 "current_version": self.current_version,
                 "violation_count": len(self.violations),
+                "plan_compilations": self.plan_compilations,
                 **self.violations.to_dict(),
             }
+            if self.compacted_through is not None:
+                document["compacted_through"] = self.compacted_through
+            return document
 
 
 class SessionManager:
-    """Runs detection jobs and owns the continuous sessions of a service."""
+    """Runs detection jobs and owns the continuous sessions of a service.
 
-    def __init__(self, registry: GraphRegistry, catalogs: Optional[dict[str, RuleSet]] = None) -> None:
+    ``retain_versions`` (matching the registry's snapshot window) bounds the
+    per-session delta logs: after each advance, deltas older than the last K
+    versions are squashed into one net delta.
+    """
+
+    def __init__(
+        self,
+        registry: GraphRegistry,
+        catalogs: Optional[dict[str, RuleSet]] = None,
+        retain_versions: Optional[int] = None,
+    ) -> None:
         self.registry = registry
+        self.retain_versions = retain_versions
         self.catalogs: dict[str, RuleSet] = dict(catalogs or {})
         self._catalog_lock = threading.Lock()
         self._sessions: dict[str, ContinuousSession] = {}
@@ -209,6 +315,9 @@ class SessionManager:
                 engine="incremental",
                 options=DetectionOptions(use_literal_pruning=request.use_literal_pruning),
             )
+            # compile the maintenance plans once against the base snapshot;
+            # the session reuses them across versions until statistics drift
+            plans = incremental.compile_plans(graph)
             session = ContinuousSession(
                 session_id=f"s{next(self._session_ids)}",
                 graph_name=graph_name,
@@ -216,6 +325,8 @@ class SessionManager:
                 detector=incremental,
                 base_version=version,
                 violations=violations,
+                plans=plans,
+                plan_size=graph.total_size(),
             )
             with self._sessions_lock:
                 self._sessions[session.session_id] = session
@@ -268,6 +379,11 @@ class SessionManager:
             sessions = [s for s in self._sessions.values() if s.graph_name == outcome.name]
         for session in sessions:
             result = session.detector.run_incremental(
-                outcome.graph_before, outcome.delta, graph_after=outcome.graph_after
+                outcome.graph_before,
+                outcome.delta,
+                graph_after=outcome.graph_after,
+                plans=session.plans_for(outcome.graph_after),
             )
             session.advance(outcome.version, result.delta)
+            if self.retain_versions is not None:
+                session.compact(self.retain_versions)

@@ -76,18 +76,54 @@ class RegisteredGraph:
     accepted batch update.  ``graph`` always points at the snapshot for the
     current version; older snapshots stay alive for as long as some
     detection job or session still holds a reference.
+
+    ``retain_versions`` optionally keeps a bounded window of recent
+    snapshots addressable by version (:meth:`snapshot_at`): the last K
+    versions are pinned, anything older is dropped from the window on each
+    update — the registry's snapshot GC.  With the default ``None`` no
+    history is pinned at all (exactly the pre-GC behaviour: old snapshots
+    survive only through outstanding references).
     """
 
-    def __init__(self, name: str, graph: Graph) -> None:
+    def __init__(self, name: str, graph: Graph, retain_versions: Optional[int] = None) -> None:
+        if retain_versions is not None and retain_versions < 1:
+            raise ServiceError(f"retain_versions must be >= 1, got {retain_versions}")
         self.name = name
         self.graph = graph
         self.version = 1
+        self.retain_versions = retain_versions
         self.lock = threading.RLock()
+        self._snapshots: dict[int, Graph] = {1: graph} if retain_versions else {}
 
     def snapshot(self) -> tuple[Graph, int]:
         """Return the current ``(graph, version)`` pair atomically."""
         with self.lock:
             return self.graph, self.version
+
+    def snapshot_at(self, version: int) -> Graph:
+        """Return a retained snapshot by version, or raise :class:`ServiceError`."""
+        with self.lock:
+            try:
+                return self._snapshots[version]
+            except KeyError:
+                raise ServiceError(
+                    f"graph {self.name!r} has no retained snapshot for version {version} "
+                    f"(retained: {sorted(self._snapshots) or 'none'})"
+                ) from None
+
+    def retained_versions(self) -> list[int]:
+        """Return the versions currently pinned by the retention window."""
+        with self.lock:
+            return sorted(self._snapshots)
+
+    def _record_snapshot(self, version: int, graph: Graph) -> None:
+        """Pin a new snapshot and drop the ones that fell out of the window."""
+        if not self.retain_versions:
+            return
+        self._snapshots[version] = graph
+        cutoff = version - self.retain_versions
+        for old_version in [v for v in self._snapshots if v <= cutoff]:
+            del self._snapshots[old_version]
 
     def info(self) -> dict:
         """Return the JSON description served by ``GET /graphs/{name}``."""
@@ -102,12 +138,17 @@ class RegisteredGraph:
 
 
 class GraphRegistry:
-    """Thread-safe name → :class:`RegisteredGraph` map with update fan-out."""
+    """Thread-safe name → :class:`RegisteredGraph` map with update fan-out.
 
-    def __init__(self) -> None:
+    ``retain_versions`` is handed to every registered graph: keep the last K
+    snapshots addressable (and GC older ones); ``None`` pins no history.
+    """
+
+    def __init__(self, retain_versions: Optional[int] = None) -> None:
         self._graphs: dict[str, RegisteredGraph] = {}
         self._lock = threading.Lock()
         self._listeners: list[UpdateListener] = []
+        self.retain_versions = retain_versions
 
     # ------------------------------------------------------------ membership
 
@@ -121,7 +162,7 @@ class GraphRegistry:
         with self._lock:
             if name in self._graphs:
                 raise ServiceError(f"graph {name!r} is already registered")
-            registered = RegisteredGraph(name, graph)
+            registered = RegisteredGraph(name, graph, retain_versions=self.retain_versions)
             self._graphs[name] = registered
             return registered
 
@@ -170,6 +211,7 @@ class GraphRegistry:
             graph_after = apply_update(graph_before, delta)
             registered.graph = graph_after
             registered.version += 1
+            registered._record_snapshot(registered.version, graph_after)
             outcome = UpdateOutcome(
                 name=name,
                 version=registered.version,

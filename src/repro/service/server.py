@@ -318,9 +318,22 @@ class DetectionService:
         registry: Optional[GraphRegistry] = None,
         store: Optional[str] = None,
         verbose: bool = False,
+        retain_versions: Optional[int] = None,
     ) -> None:
-        self.registry = registry if registry is not None else GraphRegistry()
-        self.manager = SessionManager(self.registry)
+        if registry is not None and retain_versions is not None:
+            # a caller-supplied registry carries its own retention window; a
+            # mismatched retain_versions here would silently no-op the
+            # snapshot half of the GC while the session half still compacts
+            if registry.retain_versions != retain_versions:
+                raise ServiceError(
+                    f"retain_versions={retain_versions} conflicts with the supplied "
+                    f"registry's retain_versions={registry.retain_versions}; construct "
+                    "the registry with GraphRegistry(retain_versions=...) instead"
+                )
+        self.registry = (
+            registry if registry is not None else GraphRegistry(retain_versions=retain_versions)
+        )
+        self.manager = SessionManager(self.registry, retain_versions=retain_versions)
         self.store = store
         self.verbose = verbose
         self._httpd = ThreadingHTTPServer((host, port), _ServiceHandler)

@@ -27,7 +27,7 @@ from repro.detect import CollectingSink, Detector, FanOutSink
 from repro.errors import SerializationError, ServiceError, UpdateError
 from repro.graph.graph import Graph
 from repro.graph.io import save_graph
-from repro.graph.updates import BatchUpdate, apply_update
+from repro.graph.updates import BatchUpdate, NodePayload, apply_update
 from repro.service import (
     DetectionService,
     GraphRegistry,
@@ -491,3 +491,192 @@ class TestServeCli:
             proc.send_signal(signal.SIGINT)
             code = proc.wait(timeout=30)
         assert code == 0
+
+
+# -------------------------------------------- snapshot GC + delta compaction
+
+
+class TestRetentionWindow:
+    """PR-3 follow-on: bounded snapshots and squashed session deltas."""
+
+    def _update(self, i: int) -> BatchUpdate:
+        # flip one area's total back and forth so every update changes ΔVio
+        return (
+            BatchUpdate()
+            .delete("area0", f"t0" if i % 2 == 0 else "t0x", "populationTotal")
+            .insert(
+                "area0",
+                "t0x" if i % 2 == 0 else "t0",
+                "populationTotal",
+            )
+        )
+
+    def test_registry_retains_bounded_snapshot_window(self):
+        registry = GraphRegistry(retain_versions=3)
+        registry.register("g", multi_area_graph(2))
+        registered = registry.get("g")
+        assert registered.retained_versions() == [1]
+        for i in range(8):
+            registry.apply_update("g", self._update(i))
+        versions = registered.retained_versions()
+        assert len(versions) == 3
+        assert versions == [7, 8, 9]
+        # retained snapshots are addressable, GC'd ones refuse
+        assert registered.snapshot_at(9) is registered.snapshot()[0]
+        with pytest.raises(ServiceError, match="no retained snapshot"):
+            registered.snapshot_at(2)
+
+    def test_invalid_retention_window_rejected(self):
+        with pytest.raises(ServiceError, match="retain_versions"):
+            GraphRegistry(retain_versions=0).register("g", multi_area_graph(1))
+
+    def test_long_update_loop_holds_bounded_deltas_and_consistent_state(self):
+        """The GC acceptance test: a long-running update loop stays bounded
+        while the session's maintained violation set stays exactly right."""
+        retain = 4
+        service = DetectionService(port=0, retain_versions=retain)
+        service.manager.register_catalog("example", example_rules())
+        graph = multi_area_graph(3)
+        service.registry.register("g", graph)
+        request = parse_detect_request({"catalog": "example"})
+        session = service.manager.create_session("g", request)
+        rounds = 12
+        for i in range(rounds):
+            service.registry.apply_update("g", self._update(i))
+        # bounded: the registry window and the session's delta log
+        assert len(service.registry.get("g").retained_versions()) <= retain
+        assert session.delta_count() <= retain
+        assert session.compacted_through == rounds + 1 - retain
+        # consistent: the maintained set equals a fresh batch run
+        current, version = service.registry.get("g").snapshot()
+        expected = Detector(example_rules(), engine="batch").run(current).violations
+        assert session.violations.to_json() == expected.to_json()
+        assert session.current_version == version
+        # the squashed prefix plus the retained tail reproduces every change
+        records = session.deltas_since(session.base_version)
+        assert records[0]["squashed"] is True
+        rebuilt = session_base = Detector(example_rules(), engine="batch").run(graph).violations
+        from repro.core.violations import ViolationDelta
+
+        for record in records:
+            rebuilt = rebuilt.apply_delta(ViolationDelta.from_dict(record))
+        assert rebuilt.to_json() == expected.to_json()
+        assert session_base is not rebuilt
+        # state document reports the compaction point
+        assert session.state_document()["compacted_through"] == session.compacted_through
+
+    def test_deltas_since_inside_window_unchanged(self):
+        service = DetectionService(port=0, retain_versions=4)
+        service.manager.register_catalog("example", example_rules())
+        service.registry.register("g", multi_area_graph(2))
+        session = service.manager.create_session("g", parse_detect_request({"catalog": "example"}))
+        for i in range(3):
+            service.registry.apply_update("g", self._update(i))
+        records = session.deltas_since(1)
+        assert [r["version"] for r in records] == [2, 3, 4]
+        assert all("squashed" not in r for r in records)
+
+
+class TestSessionPlanReuse:
+    def test_plans_reused_across_versions_until_drift(self, monkeypatch):
+        monkeypatch.setenv("REPRO_MATCH_PLANNER", "on")
+        service = DetectionService(port=0)
+        service.manager.register_catalog("example", example_rules())
+        service.registry.register("g", multi_area_graph(3))
+        session = service.manager.create_session("g", parse_detect_request({"catalog": "example"}))
+        assert session.plan_compilations == 1
+        # small flip-flop updates stay within the drift tolerance
+        delta_a = BatchUpdate().delete("area0", "t0", "populationTotal")
+        delta_b = BatchUpdate().insert("area0", "t0", "populationTotal")
+        for _ in range(3):
+            service.registry.apply_update("g", delta_a)
+            service.registry.apply_update("g", delta_b)
+        assert session.plan_compilations == 1
+        # a bulk insert beyond the tolerance invalidates the cached plans
+        grow = BatchUpdate()
+        for i in range(30):
+            grow.insert(
+                f"extra{i}",
+                f"extra{i + 1}",
+                "link",
+                source_payload=NodePayload("filler", {}),
+                target_payload=NodePayload("filler", {}),
+            )
+        service.registry.apply_update("g", grow)
+        assert session.plan_compilations == 2
+
+
+class TestCompactionCatchUpSafety:
+    """Regressions for the review findings on the GC/retention feature."""
+
+    def _flip(self, i: int) -> BatchUpdate:
+        return (
+            BatchUpdate()
+            .delete("area0", "t0" if i % 2 == 0 else "t0x", "populationTotal")
+            .insert("area0", "t0x" if i % 2 == 0 else "t0", "populationTotal")
+        )
+
+    def test_mid_window_catch_up_refused_after_squash(self):
+        """A client inside the squashed window cannot be served a net delta
+        (remove/reintroduce pairs have cancelled out of it) — refuse loudly."""
+        service = DetectionService(port=0, retain_versions=2)
+        service.manager.register_catalog("example", example_rules())
+        service.registry.register("g", multi_area_graph(2))
+        session = service.manager.create_session("g", parse_detect_request({"catalog": "example"}))
+        for i in range(6):
+            service.registry.apply_update("g", self._flip(i))
+        assert session.compacted_through is not None
+        mid_window = session.base_version + 1
+        assert mid_window < session.compacted_through
+        with pytest.raises(ServiceError, match="no longer reconstructible"):
+            session.deltas_since(mid_window)
+        # catch-up from the base version and from inside the retained tail
+        # both still reproduce the server's maintained set exactly
+        from repro.core.violations import ViolationDelta
+
+        current, _ = service.registry.get("g").snapshot()
+        expected = Detector(example_rules(), engine="batch").run(current).violations
+        base = Detector(example_rules(), engine="batch").run(multi_area_graph(2)).violations
+        rebuilt = base
+        for record in session.deltas_since(session.base_version):
+            rebuilt = rebuilt.apply_delta(ViolationDelta.from_dict(record))
+        assert rebuilt.to_json() == expected.to_json()
+        tail_records = session.deltas_since(session.compacted_through)
+        assert all("squashed" not in r for r in tail_records)
+
+    def test_service_rejects_conflicting_registry_retention(self):
+        registry = GraphRegistry()  # no retention window of its own
+        with pytest.raises(ServiceError, match="conflicts with the supplied registry"):
+            DetectionService(port=0, registry=registry, retain_versions=3)
+        # matching windows are accepted
+        matching = GraphRegistry(retain_versions=3)
+        service = DetectionService(port=0, registry=matching, retain_versions=3)
+        assert service.manager.retain_versions == 3
+
+
+class TestBatchDiffPlannerOption:
+    def test_use_planner_false_pins_static_pipeline(self, monkeypatch):
+        """BatchDiff must honour DetectionOptions(use_planner=...) even when
+        the environment switch disagrees (the planner-off oracle contract)."""
+        monkeypatch.setenv("REPRO_MATCH_PLANNER", "on")
+        graph = multi_area_graph(2)
+        delta = BatchUpdate().delete("area0", "t0", "populationTotal")
+        from repro.detect.session import DetectionOptions
+
+        compiled = []
+        off = Detector(
+            example_rules(), engine="batch", options=DetectionOptions(use_planner=False)
+        )
+        monkeypatch.setattr(
+            type(off), "compile_plans",
+            lambda self, g, _orig=type(off).compile_plans: compiled.append(1) or _orig(self, g),
+        )
+        result_off = off.run_incremental(graph, delta)
+        assert compiled == [], "planner-off BatchDiff must not compile plans"
+        on = Detector(
+            example_rules(), engine="batch", options=DetectionOptions(use_planner=True)
+        )
+        result_on = on.run_incremental(graph, delta)
+        assert result_on.removed().to_json() == result_off.removed().to_json()
+        # planner-off costs follow the static pipeline, which here scans more
+        assert result_off.cost >= result_on.cost

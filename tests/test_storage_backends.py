@@ -36,14 +36,17 @@ from repro.graph.updates import UpdateGenerator, apply_update
 from repro.matching.matchn import HomomorphismMatcher
 
 BACKENDS = sorted(STORE_REGISTRY)
+#: Engines whose stores accept interleaved mutation (the CSR engine is
+#: append-only and freezes on first adjacency read).
+MUTABLE_BACKENDS = [name for name in BACKENDS if STORE_REGISTRY[name].supports_mutation]
 
 
 # ------------------------------------------------------------- store selection
 
 
 class TestStoreSelection:
-    def test_registry_contains_both_engines(self):
-        assert {"dict", "indexed"} <= set(STORE_REGISTRY)
+    def test_registry_contains_all_engines(self):
+        assert {"dict", "indexed", "csr"} <= set(STORE_REGISTRY)
 
     def test_default_backend_is_indexed(self, monkeypatch):
         monkeypatch.delenv("REPRO_GRAPH_STORE", raising=False)
@@ -304,7 +307,7 @@ class TestDeterministicEnumeration:
         assert outputs[0] == outputs[1] == outputs[2]
         assert outputs[0].strip(), "matcher produced no matches"
 
-    @pytest.mark.parametrize("backend", BACKENDS)
+    @pytest.mark.parametrize("backend", MUTABLE_BACKENDS)
     def test_detection_costs_stable_across_hash_seeds(self, backend, tmp_path):
         """Algorithm costs must be pure functions of (graph, rules, Δ, seed).
 
@@ -347,7 +350,7 @@ class TestDeterministicEnumeration:
         assert ranks == sorted(ranks)
 
     def test_node_rank_is_monotonic_and_survives_removal(self):
-        for backend in BACKENDS:
+        for backend in MUTABLE_BACKENDS:
             graph = Graph(store=backend)
             graph.add_node("a", "x")
             graph.add_node("b", "x")
@@ -400,7 +403,7 @@ class TestAdjacencyBuiltSubgraphs:
         oracle = self._reference_induced(graph, slow_union)
         assert fast == oracle
 
-    @pytest.mark.parametrize("backend", BACKENDS)
+    @pytest.mark.parametrize("backend", MUTABLE_BACKENDS)
     def test_copy_clone_fast_path_is_equal_and_independent(self, backend):
         graph = random_labeled_graph(200, 400, num_labels=5, num_edge_labels=3, seed=8, store=backend)
         clone = graph.copy()
@@ -469,3 +472,107 @@ class TestReadViews:
         anchored = {"a", "b", "zz"}
         anchored.intersection_update(sources)
         assert anchored == {"a", "b"}
+
+
+# ------------------------------------------------------------ frozen CSR store
+
+
+class TestCsrStore:
+    """The ROADMAP's frozen compressed-sparse-row engine."""
+
+    def _sample_graph(self) -> Graph:
+        graph = random_labeled_graph(300, 700, num_labels=8, num_edge_labels=5, seed=11)
+        return graph
+
+    def test_with_backend_round_trip_and_adjacency_parity(self):
+        graph = self._sample_graph()
+        csr = graph.with_backend("csr")
+        assert csr.store_backend == "csr"
+        assert csr == graph
+        csr.validate_consistency()
+        for node in graph.nodes():
+            assert frozenset(graph.successors(node.id)) == frozenset(csr.successors(node.id))
+            assert frozenset(graph.predecessors(node.id)) == frozenset(csr.predecessors(node.id))
+            assert graph.degree(node.id) == csr.degree(node.id)
+            assert graph.neighbours(node.id) == csr.neighbours(node.id)
+            assert frozenset(graph.out_edge_labels(node.id)) == frozenset(csr.out_edge_labels(node.id))
+            for label in graph.edge_labels():
+                assert frozenset(graph.successors_by_label(node.id, label)) == frozenset(
+                    csr.successors_by_label(node.id, label)
+                )
+                assert frozenset(graph.predecessors_by_label(node.id, label)) == frozenset(
+                    csr.predecessors_by_label(node.id, label)
+                )
+
+    def test_mutation_raises_after_freeze(self):
+        graph = self._sample_graph().with_backend("csr")
+        graph.node_rank(next(iter(graph.node_ids())))  # building reads don't freeze
+        list(graph.successors(next(iter(graph.node_ids()))))  # adjacency read freezes
+        assert graph.store.frozen
+        some_edge = next(iter(graph.edges()))
+        with pytest.raises(GraphError):
+            graph.add_node("fresh", "label")
+        with pytest.raises(GraphError):
+            graph.add_edge(some_edge.source, some_edge.target, "new-label")
+        with pytest.raises(GraphError):
+            graph.set_attribute(some_edge.source, "val", 1)
+
+    def test_removal_refused_even_while_building(self):
+        graph = Graph(store="csr")
+        graph.add_node("a", "x")
+        graph.add_node("b", "x")
+        graph.add_edge("a", "b", "e")
+        with pytest.raises(GraphError):
+            graph.remove_edge("a", "b", "e")
+        with pytest.raises(GraphError):
+            graph.remove_node("a")
+
+    def test_apply_update_refused_on_frozen_graph(self):
+        graph = self._sample_graph().with_backend("csr")
+        generator = UpdateGenerator(seed=3)
+        delta = generator.generate(graph, size=5)
+        with pytest.raises(GraphError):
+            apply_update(graph, delta)
+
+    def test_induced_subgraph_and_signature_queries(self):
+        graph = self._sample_graph()
+        csr = graph.with_backend("csr")
+        wanted = sorted(graph.node_ids())[:60]
+        assert csr.induced_subgraph(wanted) == graph.induced_subgraph(wanted)
+        for edge in list(graph.edges())[:25]:
+            signature = (
+                graph.node(edge.source).label,
+                edge.label,
+                graph.node(edge.target).label,
+            )
+            expected = {e.key() for e in graph.edges_with_signature(*signature)}
+            assert {e.key() for e in csr.edges_with_signature(*signature)} == expected
+
+    def test_views_support_len_contains_and_set_operations(self):
+        graph = Graph(store="csr")
+        for name in ("a", "b", "c", "d"):
+            graph.add_node(name, "person")
+        graph.add_edge("a", "b", "knows")
+        graph.add_edge("a", "c", "knows")
+        graph.add_edge("a", "d", "likes")
+        view = graph.successors_by_label("a", "knows")
+        assert len(view) == 2
+        assert "b" in view and "d" not in view
+        assert view == frozenset({"b", "c"})
+        assert set(view) & {"b", "zz"} == {"b"}
+        pairs = graph.successors("a")
+        assert len(pairs) == 3
+        assert ("d", "likes") in pairs and ("d", "knows") not in pairs
+
+    def test_detection_matches_mutable_backends(self):
+        graph = self._sample_graph()
+        rules = _random_rules(0)
+        # the random schema has no 'person' labels here; use label-wildcard rules
+        pattern = Pattern.from_edges(
+            "link", nodes=[("x", WILDCARD), ("y", WILDCARD)], edges=[("x", "y", "e0")]
+        )
+        rules = [NGD.from_text(pattern, "", "x.val >= y.val", name="wild_order")]
+        expected = frozenset(dect(graph, rules).violations)
+        got = dect(graph.with_backend("csr"), rules)
+        assert frozenset(got.violations) == expected
+        assert got.violations
