@@ -4,14 +4,23 @@ Installed as ``repro-detect``.  Subcommands::
 
     repro-detect run GRAPH.json [--rules example] [--rules-file RULES.json]
                                 [--engine auto|batch|parallel] [--processors 8]
+                                [--execution simulated|processes]
+                                [--plans-file PLANS.json]
                                 [--format text|json] [--max-violations N]
     repro-detect incremental GRAPH.json --update UPDATE.json [--processors 8] [...]
     repro-detect explain GRAPH.json [--rules example] [--format text|json]
+                                [--save-plans PLANS.json]
     repro-detect rules list|export [--rules effectiveness] [--output RULES.json]
     repro-detect rules discover GRAPH.json [-o RULES.json] [--min-support N]
                                 [--min-confidence C] [--max-rules N]
-    repro-detect serve [--host 127.0.0.1] [--port 8731]
+    repro-detect serve [--host 127.0.0.1] [--port 8731] [--max-jobs N]
                        [--graph NAME=GRAPH.json ...] [--catalog NAME=RULES.json ...]
+
+``--execution processes`` runs the parallel engine on real OS worker
+processes (wall-clock parallelism over a sharded store) instead of the
+deterministic cluster simulator; ``--plans-file`` / ``--save-plans``
+persist compiled match plans next to their rule catalog so restarts and
+worker processes skip recompilation.
 
 ``run`` performs batch detection of ``Vio(Σ, G)``; ``incremental`` computes
 ΔVio(Σ, G, ΔG) against the batch update stored in ``--update``; ``explain``
@@ -193,6 +202,22 @@ def _add_detection_arguments(parser: argparse.ArgumentParser) -> None:
         action="store_true",
         help="disable literal-driven pruning of partial solutions",
     )
+    parser.add_argument(
+        "--execution",
+        choices=("simulated", "processes"),
+        default="simulated",
+        help="parallel execution backend: 'simulated' = deterministic cluster "
+        "simulator (cost = makespan), 'processes' = real OS worker processes "
+        "over a sharded store (cost = aggregate work, wall-clock speedup); "
+        "implies the parallel engine",
+    )
+    parser.add_argument(
+        "--plans-file",
+        default=None,
+        metavar="PLANS.json",
+        help="load pre-compiled match plans from this file instead of "
+        "compiling (see 'repro-detect explain --save-plans')",
+    )
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -241,6 +266,13 @@ def _build_parser() -> argparse.ArgumentParser:
         choices=("text", "json"),
         default="text",
         help="output format (default: text)",
+    )
+    explain_parser.add_argument(
+        "--save-plans",
+        default=None,
+        metavar="PLANS.json",
+        help="persist the compiled plans to this file (loadable with "
+        "run/incremental --plans-file; skips recompilation on restart)",
     )
     explain_parser.set_defaults(handler=_cmd_explain)
 
@@ -328,6 +360,15 @@ def _build_parser() -> argparse.ArgumentParser:
         "squash session deltas older than the window (default: unbounded)",
     )
     serve_parser.add_argument(
+        "--max-jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help="bound the detection job pool at N concurrent streams; a "
+        "saturated pool refuses new detect requests with HTTP 429 "
+        "(default: 8)",
+    )
+    serve_parser.add_argument(
         "--verbose", action="store_true", help="log one line per HTTP request to stderr"
     )
     serve_parser.set_defaults(handler=_cmd_serve)
@@ -349,12 +390,14 @@ def _build_detector(args: argparse.Namespace, engine: str) -> Detector:
         use_literal_pruning=not args.no_literal_pruning,
         max_violations=args.max_violations,
         max_cost=args.max_cost,
+        execution=getattr(args, "execution", "simulated"),
     )
     return Detector(
         _load_rules(args),
         engine=engine,
         processors=args.processors,
         options=options,
+        plans_file=getattr(args, "plans_file", None),
     )
 
 
@@ -383,11 +426,14 @@ def _cmd_incremental(args: argparse.Namespace) -> int:
 def _cmd_explain(args: argparse.Namespace) -> int:
     """Compile and print the match plan of every rule (cost-based order,
     per-variable strategy + estimated cardinality, literal schedule)."""
-    from repro.matching.plan import compile_plans, format_plan
+    from repro.matching.plan import compile_plans, format_plan, save_plans
 
     graph = load_graph(args.graph, store=args.store)
     rule_set = _load_rules(args)
     plans = compile_plans(graph, rule_set)
+    if args.save_plans:
+        save_plans(plans, args.save_plans)
+        print(f"saved {len(plans)} compiled plan(s) -> {args.save_plans}", file=sys.stderr)
     if args.output_format == "json":
         document = {
             "graph": args.graph,
@@ -479,6 +525,7 @@ def _parse_name_path_specs(specs: list[str], option: str) -> list[tuple[str, str
 def _cmd_serve(args: argparse.Namespace) -> int:
     """Start the detection service and block until interrupted."""
     from repro.service import DetectionService
+    from repro.service.jobs import DEFAULT_MAX_JOBS
 
     service = DetectionService(
         host=args.host,
@@ -486,6 +533,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         store=args.store,
         verbose=args.verbose,
         retain_versions=args.retain_versions,
+        max_jobs=args.max_jobs if args.max_jobs is not None else DEFAULT_MAX_JOBS,
     )
     for name, path in _parse_name_path_specs(args.graph, "--graph"):
         service.registry.register_file(name, path, store=args.store)

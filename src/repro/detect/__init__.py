@@ -26,7 +26,7 @@ from repro.detect.parallel import (
     p_dect,
     pinc_dect,
 )
-from repro.detect.session import ENGINES, DetectionOptions, Detector
+from repro.detect.session import ENGINES, EXECUTION_MODES, DetectionOptions, Detector
 
 __all__ = [
     "BalancingPolicy",
@@ -37,6 +37,7 @@ __all__ = [
     "DetectionResult",
     "Detector",
     "ENGINES",
+    "EXECUTION_MODES",
     "FanOutSink",
     "IncrementalDetectionResult",
     "ViolationEvent",

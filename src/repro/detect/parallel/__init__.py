@@ -1,7 +1,19 @@
-"""Parallel detection on a simulated shared-nothing cluster."""
+"""Parallel detection: the simulated cluster and the real process backend."""
 
-from repro.detect.parallel.balancing import BalancingPolicy, plan_rebalancing, should_split, skewness
+from repro.detect.parallel.balancing import (
+    BalancingPolicy,
+    plan_rebalancing,
+    should_split,
+    should_split_planned,
+    skewness,
+)
 from repro.detect.parallel.cluster import ClusterSimulator
+from repro.detect.parallel.executor import (
+    EXECUTION_MODES,
+    ExecutionRuntime,
+    iter_process_execution,
+    resolve_start_method,
+)
 from repro.detect.parallel.pdect import iter_p_dect, p_dect
 from repro.detect.parallel.pincdect import iter_pinc_dect, pinc_dect
 from repro.detect.parallel.threaded import threaded_dect, threaded_inc_dect
@@ -10,15 +22,20 @@ from repro.detect.parallel.workunits import ExpansionOutcome, WorkUnit, expand_w
 __all__ = [
     "BalancingPolicy",
     "ClusterSimulator",
+    "EXECUTION_MODES",
+    "ExecutionRuntime",
     "ExpansionOutcome",
     "WorkUnit",
     "expand_work_unit",
     "iter_p_dect",
     "iter_pinc_dect",
+    "iter_process_execution",
     "p_dect",
     "pinc_dect",
     "plan_rebalancing",
+    "resolve_start_method",
     "should_split",
+    "should_split_planned",
     "skewness",
     "threaded_dect",
     "threaded_inc_dect",

@@ -23,7 +23,14 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-__all__ = ["BalancingPolicy", "should_split", "skewness", "plan_rebalancing"]
+__all__ = [
+    "BalancingPolicy",
+    "should_split",
+    "should_split_planned",
+    "should_split_step",
+    "skewness",
+    "plan_rebalancing",
+]
 
 #: Skewness threshold above which a processor sheds work (η in the paper).
 DEFAULT_ETA = 3.0
@@ -88,6 +95,64 @@ def should_split(adjacency_size: int, matched_depth: int, processors: int, laten
     sequential = float(adjacency_size)
     parallel = latency * (matched_depth + 1) + adjacency_size / processors
     return parallel < sequential
+
+
+def should_split_planned(
+    remaining_estimate: float,
+    adjacency_size: int,
+    matched_depth: int,
+    processors: int,
+    latency: float,
+) -> bool:
+    """Plan-guided split test: workload = the plan's remaining-subtree estimate.
+
+    The raw predicate (:func:`should_split`) only sees the *immediate*
+    adjacency scan, so it splits a step whose anchor is a hub even when the
+    subtree below it dies out one level later, and refuses to split a small
+    scan that fans out enormously below.  With a compiled
+    :class:`~repro.matching.plan.MatchPlan` the expected size of the whole
+    remaining subtree is known (``MatchPlan.remaining_cost``); the same
+    cost comparison — ``C·(k+1) + W/p < W`` — is applied to that estimate
+    instead.  The workload measure ``W`` is the larger of the estimate and
+    the actual adjacency size: the scan in front of us is a *lower bound*
+    on the remaining work, so an estimate the data has already beaten never
+    talks the scheduler out of a split the raw predicate would take.
+
+    Executors charge actual sizes either way — the plan decides, the data
+    pays — and the raw predicate stays the oracle on the planner-off path.
+    """
+    if processors <= 1:
+        return False
+    workload = max(remaining_estimate, float(adjacency_size))
+    parallel = latency * (matched_depth + 1) + workload / processors
+    return parallel < workload
+
+
+def should_split_step(
+    plan,
+    order: tuple,
+    adjacency_size: int,
+    matched_depth: int,
+    processors: int,
+    latency: float,
+) -> bool:
+    """Decide one expansion step's split — the kernels' shared entry point.
+
+    Plan-guided (:func:`should_split_planned` on the remaining-subtree
+    estimate) when a compiled :class:`~repro.matching.plan.MatchPlan` is
+    executing, the raw adjacency test on the planner-off oracle path.
+    Both simulated kernels call this for their filtering and verification
+    steps so the decision logic cannot diverge between them.
+    """
+    if plan is not None:
+        return should_split_planned(
+            plan.remaining_cost(order, matched_depth),
+            adjacency_size,
+            matched_depth,
+            processors,
+            latency,
+        )
+    return should_split(adjacency_size, matched_depth, processors, latency)
 
 
 def skewness(queue_lengths: list[int]) -> list[float]:

@@ -1,0 +1,538 @@
+"""Real multi-process execution of detection work units.
+
+The :class:`~repro.detect.parallel.cluster.ClusterSimulator` reproduces the
+paper's *scheduling* behaviour deterministically but executes every work
+unit serially — ``processors=N`` only divides virtual clocks.  This module
+is the wall-clock counterpart: ``execution="processes"`` runs the same
+:func:`~repro.detect.parallel.workunits.expand_work_unit` kernel inside N
+OS processes, so N cores really do N expansions at once.  The simulator is
+retained as the deterministic cost-model oracle; this backend is measured
+(``benchmarks/bench_parallel_speedup.py``), not modeled.
+
+Execution model
+---------------
+
+* The **parent** owns the full graph(s).  It computes the seed work units
+  exactly as the simulated kernels do (first-variable candidates for
+  PDect, update pivots for PIncDect), then places them on workers — by the
+  shard that owns the seed node when the run is sharded, else on the
+  least-loaded worker by the compiled plan's ``estimated_unit_cost``.
+* Each **worker process** owns a LIFO stack of work units and expands them
+  depth-first against a read-only graph image from a
+  :class:`~repro.graph.sharded.ShardedStore` — inherited copy-on-write
+  under the ``fork`` start method, spooled once and memo-loaded per
+  process under ``spawn``.  Children of a unit stay on the worker that
+  produced them; violations stream back over the shared result queue the
+  moment their unit completes, so the parent generator yields (and
+  notifies :class:`~repro.detect.observers.ViolationSink`\\ s) while
+  workers are still searching.
+* **Balancing** uses the same :class:`BalancingPolicy` thresholds as the
+  simulator: workers piggyback queue lengths on every report, the parent
+  computes the η/η′ skewness test and tells overloaded workers to shed
+  their oldest (shallowest, largest-subtree) units, which are re-placed on
+  the emptiest workers.  The monitoring cadence is wall-clock here
+  (``REBALANCE_PERIOD_SECONDS``) — the simulator's ``intvl`` is in virtual
+  work units and has no wall-clock meaning.  Work-unit *splitting* has no
+  process-pool analogue: a unit's children are themselves units, so the
+  shed/steal path already parallelises a hot subtree.
+* **Budgets** are enforced in the parent (the only place the global
+  violation count and aggregate cost exist): when a
+  :class:`~repro.detect.observers.DetectionBudget` trips, a shared Event
+  tells every worker to drop its pending stack, and the run reports
+  ``stopped_early`` exactly like the simulated kernels.  Cancellation is
+  prompt (workers poll the event between expansions) but asynchronous —
+  a capped run does strictly less work, not a deterministic prefix.
+
+The ``cost`` of a process run is the *aggregate* work performed (the sum
+of the per-unit filtering + verification charges, same units as the
+sequential kernels), not a simulated makespan — real wall-clock lives in
+``wall_time``.  Violations are byte-identical to the serial and simulated
+paths; per-unit cost counters can differ on sharded runs because border
+nodes have truncated adjacency (see :mod:`repro.graph.sharded`).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import queue as queue_module
+import time
+import traceback
+from collections.abc import Iterator, Sequence
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.core.ngd import NGD, RuleSet
+from repro.core.violations import Violation
+from repro.detect.base import WorkerTrace
+from repro.detect.observers import DetectionBudget, ViolationSink
+from repro.detect.parallel.balancing import BalancingPolicy, plan_rebalancing, skewness
+from repro.detect.parallel.workunits import WorkUnit, expand_work_unit
+from repro.errors import ExecutionError
+from repro.graph.sharded import ShardedStore
+from repro.matching.candidates import MatchStatistics
+from repro.matching.plan import MatchPlan, plans_from_document, plans_to_document
+
+__all__ = [
+    "EXECUTION_MODES",
+    "START_METHOD_ENV",
+    "resolve_start_method",
+    "ExecutionRuntime",
+    "ProcessRunSummary",
+    "iter_process_execution",
+]
+
+#: The execution regimes the parallel kernels accept.
+EXECUTION_MODES = ("simulated", "processes")
+
+#: Environment override for the multiprocessing start method
+#: (``fork`` shares images copy-on-write; ``spawn`` loads spooled images).
+START_METHOD_ENV = "REPRO_EXECUTION_START_METHOD"
+
+#: Parent-side minimum wall-clock seconds between skewness checks.
+REBALANCE_PERIOD_SECONDS = 0.05
+
+#: Workers report queue length / cost at least every this many expansions.
+STATUS_EVERY_EXPANSIONS = 64
+
+#: Workers poll their inbox / the stop event every this many expansions
+#: while they still hold work (responsiveness vs per-expansion overhead).
+POLL_EVERY_EXPANSIONS = 16
+
+#: Parent-side wait for worker messages before liveness checks.
+RESULT_POLL_SECONDS = 0.25
+
+#: How long the parent waits for workers to acknowledge ``exit`` before
+#: terminating them (generous: a worker finishes at most one expansion).
+SHUTDOWN_GRACE_SECONDS = 10.0
+
+
+def resolve_start_method(start_method: Optional[str] = None) -> str:
+    """Return the multiprocessing start method a run should use.
+
+    Explicit argument beats the ``REPRO_EXECUTION_START_METHOD``
+    environment override beats the platform default: ``fork`` where
+    available (zero-copy image inheritance) — but only while the parent
+    is single-threaded.  Forking a multi-threaded parent (the detection
+    service runs kernels on job threads inside a ThreadingHTTPServer) can
+    clone a lock held by another thread and deadlock the child, so there
+    the default degrades to ``spawn``; an explicit choice is honoured
+    as given.
+    """
+    import threading
+
+    chosen = start_method or os.environ.get(START_METHOD_ENV) or None
+    available = multiprocessing.get_all_start_methods()
+    if chosen is None:
+        if "fork" in available and threading.active_count() == 1:
+            return "fork"
+        return "spawn"
+    if chosen not in available:
+        raise ExecutionError(
+            f"start method {chosen!r} is not available on this platform "
+            f"(expected one of {available})"
+        )
+    return chosen
+
+
+# ---------------------------------------------------------------- worker side
+
+
+@dataclass
+class ExecutionRuntime:
+    """Everything a worker needs to expand units: rules, plans, graph images.
+
+    Built once per run in the parent.  Under ``fork`` the object itself is
+    inherited by the children (nothing is pickled); under ``spawn`` each
+    worker rebuilds it from :meth:`payload` — rules travel as their JSON
+    rule-file form, plans as their persisted document (so workers skip the
+    statistics pass entirely), and graph images by spool manifest path.
+    """
+
+    rules: list[NGD]
+    plans: Optional[tuple[MatchPlan, ...]]
+    use_literal_pruning: bool
+    shards: ShardedStore
+    before_shards: Optional[ShardedStore] = None
+
+    def graph_for(self, shard_id: int, from_insertion: bool):
+        """Return the read-only image a work unit expands against."""
+        store = self.shards if from_insertion or self.before_shards is None else self.before_shards
+        return store.shard(shard_id)
+
+    def payload(self, spool_dir: str) -> dict:
+        """Return the picklable ``spawn`` form (spools images if needed)."""
+        rule_set = RuleSet(self.rules)
+        document = {
+            "rules_json": rule_set.to_json(),
+            "plans": plans_to_document(self.plans) if self.plans is not None else None,
+            "use_literal_pruning": self.use_literal_pruning,
+            "shards_manifest": self.shards.spool(os.path.join(spool_dir, "after")),
+            "before_manifest": (
+                self.before_shards.spool(os.path.join(spool_dir, "before"))
+                if self.before_shards is not None
+                else None
+            ),
+        }
+        return document
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "ExecutionRuntime":
+        """Rebuild the runtime inside a ``spawn`` worker (no recompilation)."""
+        rules = list(RuleSet.from_json(payload["rules_json"]))
+        plans = (
+            plans_from_document(payload["plans"], rules)
+            if payload.get("plans") is not None
+            else None
+        )
+        before = (
+            ShardedStore.load(payload["before_manifest"])
+            if payload.get("before_manifest")
+            else None
+        )
+        return cls(
+            rules=rules,
+            plans=plans,
+            use_literal_pruning=payload["use_literal_pruning"],
+            shards=ShardedStore.load(payload["shards_manifest"]),
+            before_shards=before,
+        )
+
+
+def _worker_main(worker_id, runtime_or_payload, inbox, results, stop_event) -> None:
+    """Entry point of one worker process.
+
+    Message protocol (parent → worker): ``("units", [(shard_id, unit),
+    ...])``, ``("shed", count)``, ``("exit",)``.  Worker → parent:
+    ``("found", wid, [(violation, from_insertion), ...], cost, queue_len)``,
+    ``("status", wid, queue_len, cost)``, ``("idle", wid, cost)``,
+    ``("shed_units", wid, [(shard_id, unit), ...])``, ``("exited", wid,
+    stats, cost, units_processed)``, ``("error", wid, traceback_text)``.
+    Per-producer queue ordering guarantees the parent has seen every
+    violation a worker found before it sees that worker go idle.
+    """
+    try:
+        if isinstance(runtime_or_payload, ExecutionRuntime):
+            runtime = runtime_or_payload
+        else:
+            runtime = ExecutionRuntime.from_payload(runtime_or_payload)
+        stack: list[tuple[int, WorkUnit]] = []
+        stats = MatchStatistics()
+        cost_since = 0.0
+        expansions_since = 0
+        units_processed = 0
+        total_cost = 0.0
+        idle_announced = False
+        batches_seen = 0
+        since_poll = 0
+        while True:
+            # drain control messages; poll cheaply while holding work,
+            # block (briefly) only when out of it
+            if not stack or since_poll >= POLL_EVERY_EXPANSIONS:
+                since_poll = 0
+                try:
+                    while True:
+                        message = inbox.get_nowait() if stack else inbox.get(timeout=0.05)
+                        kind = message[0]
+                        if kind == "exit":
+                            results.put(("exited", worker_id, stats, total_cost, units_processed))
+                            return
+                        if kind == "units":
+                            stack.extend(message[1])
+                            batches_seen += 1
+                            idle_announced = False
+                        elif kind == "shed":
+                            # shed the oldest (shallowest) units: the largest
+                            # remaining subtrees, the best payload for a steal
+                            count = min(message[1], max(len(stack) - 1, 0))
+                            if count > 0:
+                                shed, stack = stack[:count], stack[count:]
+                                results.put(("shed_units", worker_id, shed))
+                            else:
+                                results.put(("shed_units", worker_id, []))
+                        if stack:
+                            break
+                except queue_module.Empty:
+                    pass
+                if stop_event.is_set():
+                    stack.clear()
+            if not stack:
+                if not idle_announced:
+                    # batches_seen lets the parent discard an idle report
+                    # that raced with a units batch still in this inbox
+                    results.put(("idle", worker_id, cost_since, batches_seen))
+                    cost_since = 0.0
+                    idle_announced = True
+                continue
+            shard_id, unit = stack.pop()
+            rule = runtime.rules[unit.rule_index]
+            plan = runtime.plans[unit.rule_index] if runtime.plans is not None else None
+            graph = runtime.graph_for(shard_id, unit.from_insertion)
+            outcome = expand_work_unit(
+                graph,
+                rule,
+                unit,
+                use_literal_pruning=runtime.use_literal_pruning,
+                stats=stats,
+                plan=plan,
+            )
+            stack.extend((shard_id, new_unit) for new_unit in outcome.new_units)
+            charge = float(max(outcome.filtering_adjacency, 1) + outcome.verification_adjacency)
+            cost_since += charge
+            total_cost += charge
+            units_processed += 1
+            expansions_since += 1
+            since_poll += 1
+            if outcome.violations:
+                found = [(violation, unit.from_insertion) for violation in outcome.violations]
+                results.put(("found", worker_id, found, cost_since, len(stack)))
+                cost_since = 0.0
+                expansions_since = 0
+            elif expansions_since >= STATUS_EVERY_EXPANSIONS:
+                results.put(("status", worker_id, len(stack), cost_since))
+                cost_since = 0.0
+                expansions_since = 0
+    except Exception:  # noqa: BLE001 - ship the traceback to the parent
+        try:
+            results.put(("error", worker_id, traceback.format_exc()))
+        except Exception:  # pragma: no cover - results queue itself broken
+            pass
+
+
+# ---------------------------------------------------------------- parent side
+
+
+@dataclass
+class ProcessRunSummary:
+    """What a finished (or cancelled) process run reports to its kernel."""
+
+    cost: float = 0.0
+    stats: MatchStatistics = field(default_factory=MatchStatistics)
+    stop_reason: Optional[str] = None
+    worker_traces: list[WorkerTrace] = field(default_factory=list)
+
+
+def iter_process_execution(
+    runtime: ExecutionRuntime,
+    seeds: Sequence[tuple[int, int, WorkUnit]],
+    processors: int,
+    policy: BalancingPolicy,
+    budget: Optional[DetectionBudget] = None,
+    sink: Optional[ViolationSink] = None,
+    dedupe: Optional[tuple] = None,
+    base_cost: float = 0.0,
+    start_method: Optional[str] = None,
+    summary: Optional[ProcessRunSummary] = None,
+) -> Iterator[tuple[Violation, bool]]:
+    """Run ``seeds`` on a pool of ``processors`` worker processes.
+
+    ``seeds`` are ``(worker_index, shard_id, unit)`` triples — placement is
+    the caller's policy (shard affinity / plan-estimated least-loaded).
+    Yields ``(violation, from_insertion)`` pairs as workers report them
+    (deduplicated against ``dedupe = (introduced_set, removed_set)``,
+    which the caller shares so parent-side seed results participate);
+    ``summary`` (if supplied) is filled in before the generator returns,
+    so callers that stop consuming early still see cost/stats/traces.
+    ``base_cost`` counts the parent-side seeding charges toward the
+    ``max_cost`` budget.  The generator's return value is the same
+    :class:`ProcessRunSummary`.
+    """
+    from repro.core.violations import ViolationSet
+
+    method = resolve_start_method(start_method)
+    context = multiprocessing.get_context(method)
+    spool_dir: Optional[str] = None
+    if method == "fork":
+        worker_argument = runtime
+    else:
+        spool_dir = _spool_directory()
+        worker_argument = runtime.payload(spool_dir)
+
+    stop_event = context.Event()
+    results = context.Queue()
+    inboxes = [context.Queue() for _ in range(processors)]
+    workers = [
+        context.Process(
+            target=_worker_main,
+            args=(index, worker_argument, inboxes[index], results, stop_event),
+            name=f"repro-exec-{index}",
+            daemon=True,
+        )
+        for index in range(processors)
+    ]
+    for worker in workers:
+        worker.start()
+
+    introduced, removed = dedupe if dedupe is not None else (ViolationSet(), ViolationSet())
+    summary = summary if summary is not None else ProcessRunSummary()
+    summary.cost = base_cost
+    queue_lens = [0] * processors
+    idle = [False] * processors
+    exited = [False] * processors
+    batches_sent = [0] * processors
+    pending_shed = 0
+    emitted = len(introduced) + len(removed)
+    last_balance = time.monotonic()
+
+    # initial distribution: one batch message per worker keeps startup cheap
+    batches: list[list[tuple[int, WorkUnit]]] = [[] for _ in range(processors)]
+    for worker_index, shard_id, unit in seeds:
+        batches[worker_index].append((shard_id, unit))
+    for worker_index, batch in enumerate(batches):
+        if batch:
+            inboxes[worker_index].put(("units", batch))
+            batches_sent[worker_index] += 1
+            queue_lens[worker_index] = len(batch)
+
+    def _maybe_rebalance() -> int:
+        nonlocal last_balance
+        if not policy.enable_rebalancing or pending_shed:
+            return 0
+        now = time.monotonic()
+        if now - last_balance < REBALANCE_PERIOD_SECONDS:
+            return 0
+        last_balance = now
+        lengths = list(queue_lens)
+        if max(lengths) < 4 or not any(value > policy.eta for value in skewness(lengths)):
+            return 0
+        requested = 0
+        shed_totals: dict[int, int] = {}
+        for origin, _, count in plan_rebalancing(lengths, policy.eta, policy.eta_prime):
+            shed_totals[origin] = shed_totals.get(origin, 0) + count
+        for origin, count in shed_totals.items():
+            inboxes[origin].put(("shed", count))
+            requested += 1
+        return requested
+
+    def _redistribute(units: list[tuple[int, WorkUnit]], origin: int) -> None:
+        if not units:
+            return
+        receivers = sorted(
+            (i for i in range(processors) if i != origin or processors == 1),
+            key=lambda i: (queue_lens[i], i),
+        )
+        receivers = receivers[: max(1, min(len(receivers), len(units)))]
+        share = len(units) // len(receivers)
+        remainder = len(units) - share * len(receivers)
+        position = 0
+        for rank, receiver in enumerate(receivers):
+            count = share + (1 if rank < remainder else 0)
+            if count == 0:
+                continue
+            batch = units[position : position + count]
+            position += count
+            inboxes[receiver].put(("units", batch))
+            batches_sent[receiver] += 1
+            queue_lens[receiver] += len(batch)
+            idle[receiver] = False
+
+    try:
+        while summary.stop_reason is None:
+            if all(idle) and pending_shed == 0:
+                break
+            try:
+                message = results.get(timeout=RESULT_POLL_SECONDS)
+            except queue_module.Empty:
+                dead = [w.name for i, w in enumerate(workers) if not w.is_alive() and not exited[i]]
+                if dead and not stop_event.is_set():
+                    raise ExecutionError(
+                        f"worker process(es) died without reporting: {', '.join(dead)}"
+                    )
+                continue
+            kind = message[0]
+            if kind == "found":
+                _, worker_id, found, cost_delta, queue_len = message
+                summary.cost += cost_delta
+                queue_lens[worker_id] = queue_len
+                idle[worker_id] = False
+                for violation, from_insertion in found:
+                    target = introduced if from_insertion else removed
+                    if violation in target:
+                        continue
+                    target.add(violation)
+                    emitted += 1
+                    if sink is not None:
+                        sink.on_violation(violation, introduced=from_insertion)
+                    yield violation, from_insertion
+                    if budget is not None and budget.violations_exhausted(emitted):
+                        summary.stop_reason = "max_violations"
+                        break
+                if summary.stop_reason is None and budget is not None and budget.cost_exhausted(summary.cost):
+                    summary.stop_reason = "max_cost"
+            elif kind == "status":
+                _, worker_id, queue_len, cost_delta = message
+                summary.cost += cost_delta
+                queue_lens[worker_id] = queue_len
+                idle[worker_id] = False
+                if budget is not None and budget.cost_exhausted(summary.cost):
+                    summary.stop_reason = "max_cost"
+            elif kind == "idle":
+                _, worker_id, cost_delta, batches_seen = message
+                summary.cost += cost_delta
+                if batches_seen == batches_sent[worker_id]:
+                    queue_lens[worker_id] = 0
+                    idle[worker_id] = True
+                # else: stale — a units batch was still in flight toward
+                # the worker when it reported; it will report idle again
+                if budget is not None and budget.cost_exhausted(summary.cost):
+                    summary.stop_reason = "max_cost"
+            elif kind == "shed_units":
+                _, worker_id, units = message
+                pending_shed -= 1
+                queue_lens[worker_id] = max(queue_lens[worker_id] - len(units), 0)
+                _redistribute(units, origin=worker_id)
+            elif kind == "error":
+                _, worker_id, text = message
+                raise ExecutionError(f"worker {worker_id} failed:\n{text}")
+            if summary.stop_reason is None:
+                pending_shed += _maybe_rebalance()
+    finally:
+        stop_event.set()
+        for inbox in inboxes:
+            try:
+                inbox.put(("exit",))
+            except Exception:  # pragma: no cover - queue already torn down
+                pass
+        deadline = time.monotonic() + SHUTDOWN_GRACE_SECONDS
+        while not all(exited) and time.monotonic() < deadline:
+            try:
+                message = results.get(timeout=0.1)
+            except queue_module.Empty:
+                if all(not w.is_alive() for w in workers):
+                    break
+                continue
+            if message[0] == "exited":
+                _, worker_id, stats, cost, units_processed = message
+                exited[worker_id] = True
+                summary.stats.merge(stats)
+                summary.worker_traces.append(
+                    WorkerTrace(
+                        worker=worker_id,
+                        busy_time=cost,
+                        work_units_processed=units_processed,
+                    )
+                )
+        for worker in workers:
+            worker.join(timeout=0.5)
+            if worker.is_alive():  # pragma: no cover - stuck worker
+                worker.terminate()
+                worker.join(timeout=0.5)
+        results.cancel_join_thread()
+        for inbox in inboxes:
+            inbox.cancel_join_thread()
+        summary.worker_traces.sort(key=lambda trace: trace.worker)
+        if spool_dir is not None:
+            # the per-run spool (full serialized images) must not outlive
+            # the run: a service handling repeated spawn-mode requests
+            # would otherwise leak one graph copy to disk per request
+            import shutil
+
+            shutil.rmtree(spool_dir, ignore_errors=True)
+    return summary
+
+
+def _spool_directory() -> str:
+    """Return a fresh spool directory for one run's ``spawn`` payload."""
+    import tempfile
+
+    return tempfile.mkdtemp(prefix="repro-exec-")

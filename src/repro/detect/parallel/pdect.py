@@ -31,9 +31,15 @@ from repro.core.ngd import NGD, RuleSet
 from repro.core.violations import Violation, ViolationSet
 from repro.detect.base import DetectionResult
 from repro.detect.observers import DetectionBudget, ViolationSink
-from repro.detect.parallel.balancing import BalancingPolicy, plan_rebalancing, should_split, skewness
+from repro.detect.parallel.balancing import (
+    BalancingPolicy,
+    plan_rebalancing,
+    should_split_step,
+    skewness,
+)
 from repro.detect.parallel.cluster import ClusterSimulator
 from repro.detect.parallel.workunits import WorkUnit, expand_work_unit
+from repro.errors import ExecutionError
 from repro.graph.graph import Graph
 from repro.matching.candidates import MatchStatistics
 from repro.matching.matchn import match_violates_dependency
@@ -51,6 +57,8 @@ def iter_p_dect(
     budget: Optional[DetectionBudget] = None,
     sink: Optional[ViolationSink] = None,
     plans: Optional[Sequence[MatchPlan]] = None,
+    execution: str = "simulated",
+    start_method: Optional[str] = None,
 ) -> Iterator[Violation]:
     """Run parallel batch detection, yielding violations as units complete.
 
@@ -61,11 +69,43 @@ def iter_p_dect(
     least-loaded processor by the plan's candidate estimates (instead of
     blind round-robin), so the initial distribution already reflects the
     expected subtree sizes.
+
+    ``execution="processes"`` runs the same work units on ``processors``
+    real OS processes over a sharded store
+    (:mod:`repro.detect.parallel.executor`): violations are byte-identical,
+    ``cost`` becomes the aggregate work performed (wall-clock lives in
+    ``wall_time``), and ``start_method`` picks the multiprocessing start
+    method (default: fork where available).
     """
     rule_set = rules if isinstance(rules, RuleSet) else RuleSet(rules)
     rule_list = list(rule_set)
     plans = resolve_plans(graph, rule_list, plans)
     policy = policy if policy is not None else BalancingPolicy.hybrid()
+    if execution == "processes":
+        return _iter_p_dect_processes(
+            graph, rule_set, rule_list, plans, processors, policy,
+            use_literal_pruning, budget, sink, start_method,
+        )
+    if execution != "simulated":
+        raise ExecutionError(
+            f"unknown execution mode {execution!r}; expected 'simulated' or 'processes'"
+        )
+    return _iter_p_dect_simulated(
+        graph, rule_list, plans, processors, policy, use_literal_pruning, budget, sink
+    )
+
+
+def _iter_p_dect_simulated(
+    graph: Graph,
+    rule_list: list[NGD],
+    plans: Optional[tuple[MatchPlan, ...]],
+    processors: int,
+    policy: BalancingPolicy,
+    use_literal_pruning: bool,
+    budget: Optional[DetectionBudget],
+    sink: Optional[ViolationSink],
+) -> Iterator[Violation]:
+    """The original deterministic kernel: one process, simulated clocks."""
     stats = MatchStatistics()
     started = time.perf_counter()
 
@@ -148,24 +188,32 @@ def iter_p_dect(
             break
         unit: WorkUnit = cluster.pop_unit(worker)
         rule = rule_list[unit.rule_index]
+        plan = plans[unit.rule_index] if plans is not None else None
         outcome = expand_work_unit(
             graph,
             rule,
             unit,
             use_literal_pruning=use_literal_pruning,
             stats=stats,
-            plan=plans[unit.rule_index] if plans is not None else None,
+            plan=plan,
         )
 
         depth = unit.depth()
         filtering = max(outcome.filtering_adjacency, 1)
-        if policy.enable_splitting and should_split(filtering, depth, processors, policy.latency):
+        # split decision: the plan's remaining-subtree estimate when compiled
+        # plans are executing, the raw adjacency test on the planner-off
+        # oracle path; the charges are actual sizes either way
+        if policy.enable_splitting and should_split_step(
+            plan, unit.order, filtering, depth, processors, policy.latency
+        ):
             cluster.charge_broadcast(worker, filtering / processors, policy.latency * (depth + 1))
         else:
             cluster.charge(worker, float(filtering))
         verification = outcome.verification_adjacency
         if verification:
-            if policy.enable_splitting and should_split(verification, depth + 1, processors, policy.latency):
+            if policy.enable_splitting and should_split_step(
+                plan, unit.order, verification, depth + 1, processors, policy.latency
+            ):
                 cluster.charge_broadcast(worker, verification / processors, policy.latency * (depth + 2))
             else:
                 cluster.charge(worker, float(verification))
@@ -192,6 +240,162 @@ def iter_p_dect(
         cost=cluster.makespan(),
         processors=processors,
         worker_traces=cluster.traces(),
+        algorithm="PDect",
+        stopped_early=stop_reason is not None,
+        stop_reason=stop_reason,
+    )
+
+
+def _iter_p_dect_processes(
+    graph: Graph,
+    rule_set: RuleSet,
+    rule_list: list[NGD],
+    plans: Optional[tuple[MatchPlan, ...]],
+    processors: int,
+    policy: BalancingPolicy,
+    use_literal_pruning: bool,
+    budget: Optional[DetectionBudget],
+    sink: Optional[ViolationSink],
+    start_method: Optional[str],
+) -> Iterator[Violation]:
+    """Real multi-process batch detection over a sharded store.
+
+    The parent seeds exactly the work units of the simulated kernel; when
+    every rule pattern is connected, the graph is partitioned into
+    per-fragment halo images (:class:`~repro.graph.sharded.ShardedStore`)
+    and each seed is routed to the worker owning its shard, otherwise all
+    workers share one full image.  Violations are byte-identical to the
+    simulated and serial paths; ``cost`` is the aggregate work performed.
+    """
+    from repro.detect.parallel.executor import (
+        ExecutionRuntime,
+        ProcessRunSummary,
+        iter_process_execution,
+        resolve_start_method,
+    )
+    from repro.graph.sharded import ShardedStore, supports_localized_matching
+
+    stats = MatchStatistics()
+    started = time.perf_counter()
+    violations = ViolationSet()
+    emitted = 0
+    base_cost = 0.0
+    stop_reason: Optional[str] = None
+
+    # data layout by start method: fork children share the parent's one
+    # frozen image copy-on-write (building per-fragment copies would only
+    # add parent-side work), while spawn workers are shared-nothing — they
+    # deserialize their images, so per-fragment halo shards cut each
+    # worker's load to its own fragment
+    start_method = resolve_start_method(start_method)
+    sharded = (
+        start_method != "fork"
+        and processors > 1
+        and graph.node_count() > 0
+        and supports_localized_matching(rule_list)
+    )
+    if sharded:
+        shards = ShardedStore.build(
+            graph, num_shards=processors, halo_hops=max(rule_set.diameter(), 1)
+        )
+    else:
+        shards = ShardedStore.single(graph)
+    runtime = ExecutionRuntime(
+        rules=rule_list,
+        plans=plans,
+        use_literal_pruning=use_literal_pruning,
+        shards=shards,
+    )
+
+    seeds: list[tuple[int, int, WorkUnit]] = []
+    estimated_loads = [0.0] * processors
+    if not sharded:
+        # shared full image: ship one depth-0 unit per rule — the worker
+        # performs the first-step scan itself (seeding parallelises across
+        # rules and only |Σ| units cross the queue, not one per candidate);
+        # skew between rule subtrees is the rebalancer's job
+        for rule_index, rule in enumerate(rule_list):
+            plan = plans[rule_index] if plans is not None else None
+            order = plan.order if plan is not None else tuple(rule.pattern.matching_order())
+            if not order:
+                continue
+            unit = WorkUnit(rule_index=rule_index, order=order, assignment=(), from_insertion=True)
+            rule_estimate = plan.estimated_unit_cost(0) if plan is not None else 1.0
+            owner = min(range(processors), key=lambda i: (estimated_loads[i], i))
+            estimated_loads[owner] += rule_estimate
+            seeds.append((owner, 0, unit))
+    else:
+        for rule_index, rule in enumerate(rule_list):
+            plan = plans[rule_index] if plans is not None else None
+            order = plan.order if plan is not None else tuple(rule.pattern.matching_order())
+            if not order:
+                continue
+            first = order[0]
+            candidates, scan_cost = first_step_candidates(
+                graph, rule, plan, order, use_literal_pruning, stats
+            )
+            base_cost += scan_cost
+            for candidate in candidates:
+                unit = WorkUnit(
+                    rule_index=rule_index,
+                    order=order,
+                    assignment=((first, candidate),),
+                    from_insertion=True,
+                )
+                if unit.is_complete():
+                    # single-node pattern: decided in the parent, like the simulator
+                    base_cost += 1.0
+                    if match_violates_dependency(graph, unit.mapping(), rule.premise, rule.conclusion, stats):
+                        violation = Violation.from_mapping(rule.name, unit.mapping(), rule.pattern.variables)
+                        if violation not in violations:
+                            violations.add(violation)
+                            emitted += 1
+                            if sink is not None:
+                                sink.on_violation(violation)
+                            yield violation
+                    if budget is not None and budget.violations_exhausted(emitted):
+                        stop_reason = "max_violations"
+                        break
+                else:
+                    # shard affinity: the unit expands against the image owning
+                    # its seed node; stealing re-routes the unit, not the data
+                    shard_id = shards.owner(candidate)
+                    seeds.append((shard_id % processors, shard_id, unit))
+            if stop_reason is not None:
+                break
+
+    summary = ProcessRunSummary()
+    if stop_reason is None and seeds:
+        events = iter_process_execution(
+            runtime,
+            seeds,
+            processors,
+            policy,
+            budget=budget,
+            sink=sink,
+            dedupe=(violations, ViolationSet()),
+            base_cost=base_cost,
+            start_method=start_method,
+            summary=summary,
+        )
+        try:
+            for violation, _ in events:
+                yield violation
+        finally:
+            events.close()
+        stop_reason = summary.stop_reason
+    else:
+        summary.cost = base_cost
+    stats.merge(summary.stats)
+
+    elapsed = time.perf_counter() - started
+    return DetectionResult(
+        violations=violations,
+        stats=stats,
+        wall_time=elapsed,
+        cost=summary.cost,
+        processors=processors,
+        worker_traces=summary.worker_traces,
         algorithm="PDect",
         stopped_early=stop_reason is not None,
         stop_reason=stop_reason,

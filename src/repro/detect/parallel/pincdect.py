@@ -41,8 +41,14 @@ from repro.core.ngd import NGD, RuleSet
 from repro.core.violations import ViolationDelta, ViolationSet
 from repro.detect.base import IncrementalDetectionResult
 from repro.detect.observers import DetectionBudget, ViolationEvent, ViolationSink
-from repro.detect.parallel.balancing import BalancingPolicy, plan_rebalancing, should_split, skewness
+from repro.detect.parallel.balancing import (
+    BalancingPolicy,
+    plan_rebalancing,
+    should_split_step,
+    skewness,
+)
 from repro.detect.parallel.cluster import ClusterSimulator
+from repro.errors import ExecutionError
 from repro.detect.parallel.workunits import (
     WorkUnit,
     expand_work_unit,
@@ -70,21 +76,54 @@ def iter_pinc_dect(
     budget: Optional[DetectionBudget] = None,
     sink: Optional[ViolationSink] = None,
     plans: Optional[Sequence[MatchPlan]] = None,
+    execution: str = "simulated",
+    start_method: Optional[str] = None,
 ) -> Iterator[ViolationEvent]:
     """Run parallel incremental detection, yielding ΔVio events as they complete.
 
     Yields :class:`ViolationEvent` objects; the generator's return value is
     the :class:`IncrementalDetectionResult` whose ``cost`` is the simulated
-    makespan (capped by ``budget.max_cost``).
+    makespan (capped by ``budget.max_cost``).  ``execution="processes"``
+    replicates the candidate neighbourhood ``N_C(ΔG, Σ)`` to ``processors``
+    real worker processes and expands the pivot work units there (byte-
+    identical ΔVio; ``cost`` becomes the aggregate work performed).
     """
     rule_set = rules if isinstance(rules, RuleSet) else RuleSet(rules)
     rule_list = list(rule_set)
     policy = policy if policy is not None else BalancingPolicy.hybrid()
-    stats = MatchStatistics()
-    started = time.perf_counter()
-
     updated = graph_after if graph_after is not None else apply_update(graph, delta)
     plans = resolve_plans(updated, rule_list, plans)
+    if execution == "processes":
+        return _iter_pinc_dect_processes(
+            graph, updated, rule_set, rule_list, plans, delta, processors, policy,
+            use_literal_pruning, budget, sink, start_method,
+        )
+    if execution != "simulated":
+        raise ExecutionError(
+            f"unknown execution mode {execution!r}; expected 'simulated' or 'processes'"
+        )
+    return _iter_pinc_dect_simulated(
+        graph, updated, rule_set, rule_list, plans, delta, processors, policy,
+        use_literal_pruning, budget, sink,
+    )
+
+
+def _iter_pinc_dect_simulated(
+    graph: Graph,
+    updated: Graph,
+    rule_set: RuleSet,
+    rule_list: list[NGD],
+    plans: Optional[tuple[MatchPlan, ...]],
+    delta: BatchUpdate,
+    processors: int,
+    policy: BalancingPolicy,
+    use_literal_pruning: bool,
+    budget: Optional[DetectionBudget],
+    sink: Optional[ViolationSink],
+) -> Iterator[ViolationEvent]:
+    """The original deterministic kernel: one process, simulated clocks."""
+    stats = MatchStatistics()
+    started = time.perf_counter()
     cluster = ClusterSimulator(processors, policy.latency)
 
     # ---------------------------------------------------------- phase 1: pivots
@@ -154,6 +193,7 @@ def iter_pinc_dect(
             break
         unit: WorkUnit = cluster.pop_unit(worker)
         rule = rule_list[unit.rule_index]
+        plan = plans[unit.rule_index] if plans is not None else None
         search_graph = updated if unit.from_insertion else graph
 
         outcome = expand_work_unit(
@@ -162,13 +202,18 @@ def iter_pinc_dect(
             unit,
             use_literal_pruning=use_literal_pruning,
             stats=stats,
-            plan=plans[unit.rule_index] if plans is not None else None,
+            plan=plan,
         )
 
-        # candidate filtering cost (possibly split across processors)
+        # candidate filtering cost (possibly split across processors); the
+        # split decision uses the plan's remaining-subtree estimate when
+        # compiled plans execute, the raw adjacency test on the planner-off
+        # oracle path — the charges are actual sizes either way
         depth = unit.depth()
         filtering = max(outcome.filtering_adjacency, 1)
-        if policy.enable_splitting and should_split(filtering, depth, processors, policy.latency):
+        if policy.enable_splitting and should_split_step(
+            plan, unit.order, filtering, depth, processors, policy.latency
+        ):
             cluster.charge_broadcast(worker, filtering / processors, policy.latency * (depth + 1))
         else:
             cluster.charge(worker, float(filtering))
@@ -176,7 +221,9 @@ def iter_pinc_dect(
         # verification cost (possibly split as well, with k+2 broadcast term)
         verification = outcome.verification_adjacency
         if verification:
-            if policy.enable_splitting and should_split(verification, depth + 1, processors, policy.latency):
+            if policy.enable_splitting and should_split_step(
+                plan, unit.order, verification, depth + 1, processors, policy.latency
+            ):
                 cluster.charge_broadcast(worker, verification / processors, policy.latency * (depth + 2))
             else:
                 cluster.charge(worker, float(verification))
@@ -208,6 +255,125 @@ def iter_pinc_dect(
         neighborhood_size=neighborhood_size,
         stopped_early=stop_reason is not None,
         stop_reason=stop_reason,
+    )
+
+
+def _iter_pinc_dect_processes(
+    graph: Graph,
+    updated: Graph,
+    rule_set: RuleSet,
+    rule_list: list[NGD],
+    plans: Optional[tuple[MatchPlan, ...]],
+    delta: BatchUpdate,
+    processors: int,
+    policy: BalancingPolicy,
+    use_literal_pruning: bool,
+    budget: Optional[DetectionBudget],
+    sink: Optional[ViolationSink],
+    start_method: Optional[str],
+) -> Iterator[ViolationEvent]:
+    """Real multi-process incremental detection over the replicated N_C(ΔG, Σ).
+
+    The parent finds the update pivots against the full graphs, extracts
+    the dΣ-neighbourhood of the touched nodes in both ``G`` and
+    ``G ⊕ ΔG`` (the paper's candidate neighbourhood, replicated to every
+    worker), and ships pivot work units to the processor owning the
+    updated edge — the same crc32 ownership hash the simulator uses, so
+    the initial skew the balancer must fix is the same.  A rule set with
+    a disconnected pattern falls back to replicating the full graphs
+    (neighbourhood-local search would miss its detached component).
+    """
+    from repro.detect.parallel.executor import (
+        ExecutionRuntime,
+        ProcessRunSummary,
+        iter_process_execution,
+    )
+    from repro.graph.sharded import ShardedStore, supports_localized_matching
+
+    stats = MatchStatistics()
+    started = time.perf_counter()
+
+    pivots: list[tuple[int, dict, bool]] = []
+    for rule_index, rule in enumerate(rule_list):
+        for pivot in find_update_pivots(rule, delta, graph, updated):
+            pivots.append((rule_index, pivot.seed(), pivot.from_insertion))
+
+    diameter = max(rule_set.diameter(), 1)
+    touched = delta.touched_nodes()
+    localized = supports_localized_matching(rule_list)
+    if localized:
+        after_nodes = multi_source_nodes_within_hops(updated, touched, diameter)
+        before_nodes = multi_source_nodes_within_hops(graph, touched, diameter)
+        after_image = updated.induced_subgraph(after_nodes, name=f"{updated.name}[N_C]")
+        before_image = graph.induced_subgraph(before_nodes, name=f"{graph.name}[N_C]")
+    else:
+        after_nodes = multi_source_nodes_within_hops(updated, touched, diameter)
+        after_image, before_image = updated, graph
+    neighborhood_size = len(after_nodes)
+    base_cost = float(neighborhood_size)  # extraction + replication charge
+
+    runtime = ExecutionRuntime(
+        rules=rule_list,
+        plans=plans,
+        use_literal_pruning=use_literal_pruning,
+        shards=ShardedStore.single(after_image),
+        before_shards=ShardedStore.single(before_image),
+    )
+
+    seeds: list[tuple[int, int, WorkUnit]] = []
+    for rule_index, seed, from_insertion in pivots:
+        rule = rule_list[rule_index]
+        unit = initial_units_for_pivot(
+            rule_index,
+            rule,
+            seed,
+            from_insertion,
+            plan=plans[rule_index] if plans is not None else None,
+        )
+        reference = updated if from_insertion else graph
+        if not seed_consistent(reference, rule, unit):
+            continue
+        source_node = unit.assignment[0][1] if unit.assignment else 0
+        owner = zlib.crc32(repr(source_node).encode()) % processors
+        seeds.append((owner, 0, unit))
+
+    introduced = ViolationSet()
+    removed = ViolationSet()
+    summary = ProcessRunSummary()
+    if seeds:
+        events = iter_process_execution(
+            runtime,
+            seeds,
+            processors,
+            policy,
+            budget=budget,
+            sink=sink,
+            dedupe=(introduced, removed),
+            base_cost=base_cost,
+            start_method=start_method,
+            summary=summary,
+        )
+        try:
+            for violation, from_insertion in events:
+                yield ViolationEvent(violation, introduced=from_insertion)
+        finally:
+            events.close()
+    else:
+        summary.cost = base_cost
+    stats.merge(summary.stats)
+
+    elapsed = time.perf_counter() - started
+    return IncrementalDetectionResult(
+        delta=ViolationDelta(introduced=introduced, removed=removed),
+        stats=stats,
+        wall_time=elapsed,
+        cost=summary.cost,
+        processors=processors,
+        worker_traces=summary.worker_traces,
+        algorithm=f"PIncDect{policy.variant_suffix()}",
+        neighborhood_size=neighborhood_size,
+        stopped_early=summary.stop_reason is not None,
+        stop_reason=summary.stop_reason,
     )
 
 

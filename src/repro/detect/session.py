@@ -64,10 +64,11 @@ from repro.detect.parallel.balancing import BalancingPolicy
 from repro.errors import SessionError
 from repro.graph.graph import Graph
 from repro.graph.store import STORE_REGISTRY
+from repro.detect.parallel.executor import EXECUTION_MODES
 from repro.graph.updates import BatchUpdate, apply_update
-from repro.matching.plan import MatchPlan, compile_plans, planner_enabled
+from repro.matching.plan import MatchPlan, compile_plans, load_plans, planner_enabled
 
-__all__ = ["DetectionOptions", "Detector", "ENGINES"]
+__all__ = ["DetectionOptions", "Detector", "ENGINES", "EXECUTION_MODES"]
 
 #: Sessions keep compiled plans for at most this many distinct graph
 #: snapshots; older entries are evicted first (insertion order).
@@ -97,7 +98,15 @@ class DetectionOptions:
       :class:`~repro.matching.plan.MatchPlan`\\ s (cost-based variable
       orders, pre-resolved literal schedules) instead of the static
       pipeline.  ``None`` (the default) defers to the
-      ``REPRO_MATCH_PLANNER`` environment switch.
+      ``REPRO_MATCH_PLANNER`` environment switch;
+    * ``execution`` — how the parallel engine runs: ``"simulated"`` (the
+      deterministic cluster simulator, cost = makespan) or ``"processes"``
+      (real OS worker processes over a sharded store, cost = aggregate
+      work, wall-clock in ``wall_time``).  ``engine="auto"`` resolves to
+      the parallel engine whenever ``execution="processes"`` is asked for;
+    * ``start_method`` — multiprocessing start method for
+      ``execution="processes"`` (``None``: fork where available, the
+      ``REPRO_EXECUTION_START_METHOD`` environment variable overrides).
     """
 
     use_literal_pruning: bool = True
@@ -106,6 +115,8 @@ class DetectionOptions:
     max_violations: Optional[int] = None
     max_cost: Optional[float] = None
     use_planner: Optional[bool] = None
+    execution: str = "simulated"
+    start_method: Optional[str] = None
 
     def planner_active(self) -> bool:
         """Return whether sessions should compile and execute match plans."""
@@ -138,6 +149,7 @@ class Detector:
         store: Optional[str] = None,
         options: Optional[DetectionOptions] = None,
         sinks: Iterable[ViolationSink] = (),
+        plans_file: Optional[str] = None,
     ) -> None:
         if engine not in ENGINES:
             raise SessionError(f"unknown engine {engine!r}; expected one of {ENGINES}")
@@ -152,6 +164,22 @@ class Detector:
         self.processors = processors
         self.store = store
         self.options = options if options is not None else DetectionOptions()
+        if self.options.execution not in EXECUTION_MODES:
+            raise SessionError(
+                f"unknown execution mode {self.options.execution!r}; "
+                f"expected one of {EXECUTION_MODES}"
+            )
+        if self.options.execution == "processes" and engine in ("batch", "incremental"):
+            raise SessionError(
+                f"execution='processes' runs the parallel kernels; engine={engine!r} "
+                "is single-process by definition — use engine='auto' or 'parallel' "
+                "(or drop execution='processes')"
+            )
+        # a persisted plan set (matching.plan.save_plans, written next to its
+        # rule catalog) pins this session's plans: loaded once lazily, reused
+        # for every run, no statistics pass, no drift invalidation
+        self.plans_file = plans_file
+        self._file_plans: Optional[tuple[MatchPlan, ...]] = None
         self._sinks: list[ViolationSink] = list(sinks)
         self.last_result: Optional[DetectionResult | IncrementalDetectionResult] = None
         # plan cache: id(store) -> (node_count, edge_count, plans); a stale
@@ -189,6 +217,10 @@ class Detector:
         """
         if not self.options.planner_active():
             return None
+        if self.plans_file is not None:
+            if self._file_plans is None:
+                self._file_plans = load_plans(self.plans_file, self.rules)
+            return self._file_plans
         key = id(graph.store)
         cached = self._plan_cache.get(key)
         counts = (graph.node_count(), graph.edge_count())
@@ -217,11 +249,15 @@ class Detector:
                 "with engine='auto'/'batch' for full runs"
             )
         if self.engine == "auto":
+            if self.options.execution == "processes":
+                return "parallel"
             return "parallel" if (self.processors or 1) > 1 else "batch"
         return self.engine
 
     def _resolve_incremental_engine(self) -> str:
         if self.engine == "auto":
+            if self.options.execution == "processes":
+                return "parallel"
             return "parallel" if (self.processors or 1) > 1 else "incremental"
         return self.engine
 
@@ -325,6 +361,8 @@ class Detector:
             budget=budget,
             sink=sink,
             plans=plans,
+            execution=self.options.execution,
+            start_method=self.options.start_method,
         )
 
     def _incremental_events(
@@ -376,6 +414,8 @@ class Detector:
                 budget=budget,
                 sink=sink,
                 plans=plans,
+                execution=self.options.execution,
+                start_method=self.options.start_method,
             )
         if budget is not None:
             raise SessionError(

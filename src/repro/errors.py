@@ -28,9 +28,11 @@ __all__ = [
     "DiscoveryError",
     "ExperimentError",
     "ClusterError",
+    "ExecutionError",
     "SessionError",
     "SerializationError",
     "ServiceError",
+    "PoolSaturatedError",
 ]
 
 
@@ -145,6 +147,15 @@ class ClusterError(ReproError):
     """The simulated cluster was asked to do something inconsistent."""
 
 
+class ExecutionError(ReproError):
+    """The multi-process execution backend failed or was misconfigured.
+
+    Raised for unknown execution modes / start methods and when a worker
+    process dies or reports an exception; the message carries the worker's
+    traceback text when one is available.
+    """
+
+
 class SessionError(ReproError):
     """A :class:`~repro.detect.session.Detector` session was misconfigured or misused.
 
@@ -168,4 +179,13 @@ class ServiceError(ReproError):
     Raised for unknown graph/session/catalog names, duplicate registrations,
     and malformed request documents; the HTTP layer maps it to a 4xx response
     with the message in the JSON error body.
+    """
+
+
+class PoolSaturatedError(ServiceError):
+    """The service's detection job pool has no free slot for a new stream.
+
+    Admission control, not failure: the HTTP layer maps it to ``429 Too
+    Many Requests`` with a JSON error record, and the client should retry
+    after a backoff.  See :class:`repro.service.jobs.DetectionJobPool`.
     """

@@ -12,6 +12,7 @@ from repro.experiments.runner import (
     run_exp4_vary_latency,
     run_exp4_vary_processors,
     run_exp5_effectiveness,
+    run_parallel_speedup,
     run_storage_backend_comparison,
 )
 
@@ -31,6 +32,7 @@ __all__ = [
     "run_exp4_vary_latency",
     "run_exp4_vary_processors",
     "run_exp5_effectiveness",
+    "run_parallel_speedup",
     "run_storage_backend_comparison",
     "speedup_summary",
 ]

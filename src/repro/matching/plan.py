@@ -60,6 +60,10 @@ __all__ = [
     "compile_plans",
     "step_candidates",
     "format_plan",
+    "plans_to_document",
+    "plans_from_document",
+    "save_plans",
+    "load_plans",
 ]
 
 #: Environment switch for the compile-then-execute pipeline; any of
@@ -105,6 +109,25 @@ class GraphStatistics:
             edge_count=graph.edge_count(),
             label_counts=label_counts,
             edge_label_counts=edge_label_counts,
+        )
+
+    def to_dict(self) -> dict:
+        """Return the JSON form used by plan persistence (exact values)."""
+        return {
+            "node_count": self.node_count,
+            "edge_count": self.edge_count,
+            "label_counts": dict(self.label_counts),
+            "edge_label_counts": dict(self.edge_label_counts),
+        }
+
+    @classmethod
+    def from_dict(cls, document: Mapping) -> "GraphStatistics":
+        """Rebuild a statistics snapshot from :meth:`to_dict` output."""
+        return cls(
+            node_count=int(document["node_count"]),
+            edge_count=int(document["edge_count"]),
+            label_counts=dict(document["label_counts"]),
+            edge_label_counts=dict(document["edge_label_counts"]),
         )
 
     def label_cardinality(self, label: str) -> int:
@@ -250,21 +273,66 @@ class MatchPlan:
         The product of the remaining steps' candidate estimates — the
         quantity PDect's seed placement balances across processors.
         """
+        return self.remaining_cost(self.order, depth)
+
+    def remaining_cost(self, order: tuple[str, ...], depth: int) -> float:
+        """Return the remaining-subtree estimate of a unit following ``order``.
+
+        The product of the candidate estimates of the steps not yet bound —
+        the plan-guided workload measure :func:`~repro.detect.parallel.
+        balancing.should_split_planned` tests and the executors balance on.
+        Seeded (pivot) orders resolve through the memoised schedule, so the
+        estimate is exact for incremental work units too.
+        """
+        steps = self.steps if order == self.order else self.schedule_for(order)
         cost = 1.0
-        for step in self.steps[depth:]:
+        for step in steps[depth:]:
             cost *= max(step.estimated_candidates, 1.0)
             if cost > 1e18:
                 return 1e18
         return cost
 
     def to_dict(self) -> dict:
-        """Return the JSON description used by ``repro-detect explain``."""
+        """Return the JSON description used by ``repro-detect explain``.
+
+        The document also carries the exact ``statistics`` snapshot, which
+        makes it a complete persistent form: :meth:`from_dict` rebuilds an
+        identical plan from it (schedules are pure functions of
+        ``(statistics, rule, order)``, so only those three are stored).
+        """
         return {
             "rule": self.rule.name,
             "order": list(self.order),
             "estimated_cost": round(self.estimated_unit_cost(0), 3),
             "steps": [step.to_dict() for step in self.steps],
+            "statistics": self.statistics.to_dict(),
         }
+
+    @classmethod
+    def from_dict(cls, document: Mapping, rule: NGD) -> "MatchPlan":
+        """Rebuild a plan from :meth:`to_dict` output and its rule.
+
+        The stored variable order is authoritative (a persisted plan keeps
+        executing the order it was compiled with, even if the compiler
+        heuristic changes later); the step schedule is recompiled from the
+        stored statistics, which is exact and costs no graph pass.
+        """
+        from repro.errors import SerializationError
+
+        if document.get("rule") != rule.name:
+            raise SerializationError(
+                f"plan document is for rule {document.get('rule')!r}, not {rule.name!r}"
+            )
+        statistics = GraphStatistics.from_dict(document["statistics"])
+        order = tuple(document["order"])
+        if len(order) != len(rule.pattern.variables) or set(order) != set(
+            rule.pattern.variables
+        ):
+            raise SerializationError(
+                f"plan order {list(order)} is not a permutation of the "
+                f"variables of {rule.name!r}"
+            )
+        return cls(rule, statistics, _steps_for_order(statistics, rule, order))
 
     def __repr__(self) -> str:  # pragma: no cover - debugging helper
         return f"MatchPlan({self.rule.name!r}, order={list(self.order)})"
@@ -406,6 +474,60 @@ def compile_plans(graph: Graph, rules) -> tuple[MatchPlan, ...]:
     return tuple(compile_plan(graph, rule, statistics=stats) for rule in rules)
 
 
+# ---------------------------------------------------------------- persistence
+
+
+def plans_to_document(plans: Sequence[MatchPlan]) -> dict:
+    """Return the JSON document for a compiled plan set.
+
+    Saved next to rule catalogs (``save_plans``) so worker processes and
+    service restarts skip recompilation; also the wire form the process
+    executor ships to ``spawn``-style workers.
+    """
+    return {
+        "format": "repro-match-plans",
+        "plans": [plan.to_dict() for plan in plans],
+    }
+
+
+def plans_from_document(document: Mapping, rules) -> tuple[MatchPlan, ...]:
+    """Rebuild a plan set from :func:`plans_to_document` output.
+
+    ``rules`` must carry the same rules, in the same order, as the set the
+    document was compiled from (matched by rule name, checked per plan).
+    """
+    from repro.errors import SerializationError
+
+    if not isinstance(document, Mapping) or document.get("format") != "repro-match-plans":
+        raise SerializationError("not a match-plan document (missing repro-match-plans format tag)")
+    entries = document.get("plans")
+    rule_list = list(rules)
+    if not isinstance(entries, list) or len(entries) != len(rule_list):
+        raise SerializationError(
+            f"plan document has {len(entries) if isinstance(entries, list) else '??'} plans "
+            f"for {len(rule_list)} rules"
+        )
+    return tuple(
+        MatchPlan.from_dict(entry, rule) for entry, rule in zip(entries, rule_list)
+    )
+
+
+def save_plans(plans: Sequence[MatchPlan], path) -> None:
+    """Write a compiled plan set to ``path`` as JSON (next to its rule catalog)."""
+    import json
+
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(plans_to_document(plans), handle, indent=2, sort_keys=True)
+
+
+def load_plans(path, rules) -> tuple[MatchPlan, ...]:
+    """Load a plan set previously written by :func:`save_plans`."""
+    import json
+
+    with open(path, "r", encoding="utf-8") as handle:
+        return plans_from_document(json.load(handle), rules)
+
+
 # ------------------------------------------------------------------- executor
 
 
@@ -495,21 +617,28 @@ def step_candidates(
 # -------------------------------------------------------------- kernel helpers
 
 
-def resolve_plans(graph: Graph, rule_list, plans) -> Optional[tuple["MatchPlan", ...]]:
+def resolve_plans(
+    graph: Graph, rule_list, plans, plans_file=None
+) -> Optional[tuple["MatchPlan", ...]]:
     """Resolve the compiled plans a detection kernel should execute.
 
     ``plans`` passed by the session (cache hit) wins — an *empty* sequence
     is the explicit "planner off" marker (``DetectionOptions(use_planner=
-    False)``) and resolves to the static pipeline.  Otherwise plans are
-    compiled here when the planner is enabled, and ``None`` (the static
-    pre-plan pipeline) when ``REPRO_MATCH_PLANNER=off``.  Shared by all four
-    kernels so the compatibility shims behave like the session.
+    False)``) and resolves to the static pipeline.  ``plans_file`` names a
+    persisted plan set (:func:`save_plans`) loaded instead of compiling —
+    how service restarts and cold worker processes skip the statistics
+    pass.  Otherwise plans are compiled here when the planner is enabled,
+    and ``None`` (the static pre-plan pipeline) when
+    ``REPRO_MATCH_PLANNER=off``.  Shared by all four kernels so the
+    compatibility shims behave like the session.
     """
     if plans is not None:
         return tuple(plans) or None
-    if planner_enabled():
-        return compile_plans(graph, rule_list)
-    return None
+    if not planner_enabled():
+        return None
+    if plans_file is not None:
+        return load_plans(plans_file, rule_list)
+    return compile_plans(graph, rule_list)
 
 
 def first_step_candidates(

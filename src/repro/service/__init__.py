@@ -19,7 +19,7 @@ that, with nothing beyond the standard library:
 """
 
 from repro.service.client import DetectReply, ServiceClient
-from repro.service.jobs import ContinuousSession, SessionManager
+from repro.service.jobs import ContinuousSession, DetectionJobPool, SessionManager
 from repro.service.protocol import (
     MIME_JSON,
     MIME_NDJSON,
@@ -38,6 +38,7 @@ __all__ = [
     "ContinuousSession",
     "DetectReply",
     "DetectRequest",
+    "DetectionJobPool",
     "DetectionService",
     "GraphRegistry",
     "MIME_JSON",

@@ -107,8 +107,13 @@ class ServiceClient:
         max_violations: Optional[int],
         max_cost: Optional[float],
         use_literal_pruning: bool,
+        execution: str = "simulated",
     ) -> dict:
-        body: dict = {"engine": engine, "use_literal_pruning": use_literal_pruning}
+        body: dict = {
+            "engine": engine,
+            "use_literal_pruning": use_literal_pruning,
+            "execution": execution,
+        }
         if rules is not None:
             body["rules"] = rules.to_dict()
         if catalog is not None:
@@ -160,15 +165,25 @@ class ServiceClient:
         max_violations: Optional[int] = None,
         max_cost: Optional[float] = None,
         use_literal_pruning: bool = True,
+        execution: str = "simulated",
     ) -> Iterator[dict]:
         """Yield the NDJSON records of one detection request as they arrive.
 
         Raises :class:`ServiceError` if the request is rejected up front
-        (4xx before the stream starts) or if the stream terminates with an
-        ``error`` record instead of a summary.
+        (4xx before the stream starts — including 429 when the server's
+        detection job pool is saturated, which callers should treat as
+        retry-after-backoff) or if the stream terminates with an ``error``
+        record instead of a summary.
         """
         body = self._detect_body(
-            rules, catalog, engine, processors, max_violations, max_cost, use_literal_pruning
+            rules,
+            catalog,
+            engine,
+            processors,
+            max_violations,
+            max_cost,
+            use_literal_pruning,
+            execution,
         )
         response = self._request("POST", f"/graphs/{graph}/detect", body)
         try:

@@ -26,17 +26,30 @@ Two execution shapes live here, both built on the
 from __future__ import annotations
 
 import itertools
+import queue
 import threading
 from typing import Iterator, Optional
 
 from repro.core.ngd import RuleSet
 from repro.core.violations import ViolationDelta, ViolationSet
 from repro.detect.session import DetectionOptions, Detector
-from repro.errors import ServiceError
-from repro.service.protocol import DetectRequest, summary_record, violation_record
+from repro.errors import PoolSaturatedError, ServiceError
+from repro.service.protocol import (
+    DetectRequest,
+    error_record,
+    summary_record,
+    violation_record,
+)
 from repro.service.registry import GraphRegistry, UpdateOutcome, validate_resource_name
 
-__all__ = ["ContinuousSession", "SessionManager"]
+__all__ = ["ContinuousSession", "DetectionJobPool", "SessionManager"]
+
+#: Default size of a service's detection job pool (``serve --max-jobs``).
+DEFAULT_MAX_JOBS = 8
+
+#: Records buffered between a job thread and its HTTP writer before the
+#: producer blocks (backpressure toward the detection kernel).
+JOB_QUEUE_CAPACITY = 256
 
 
 #: A session's cached plans are recompiled once the graph's |V|+|E| has
@@ -192,6 +205,120 @@ class ContinuousSession:
             return document
 
 
+class DetectionJobPool:
+    """A bounded pool of detection job threads with admission control.
+
+    One-shot detection streams used to run *on* the HTTP handler thread:
+    every connection admitted by the listener became an unbounded amount
+    of matching work.  The pool decouples the two — :meth:`run_stream`
+    admits a job only while a slot is free (429 via
+    :class:`~repro.errors.PoolSaturatedError` otherwise), runs the
+    detection generator on a pool thread, and hands the handler a bounded
+    queue to drain, so a slow client applies backpressure to its own job
+    without ever occupying more than one slot.
+
+    A job's slot is held from admission until its generator finishes (or
+    its consumer disconnects — the producer observes the cancellation
+    flag between records and winds down).  Continuous-session maintenance
+    does not go through the pool: it runs under the graph lock in version
+    order and must never be refused.
+    """
+
+    _SENTINEL = object()
+
+    def __init__(self, max_jobs: int = DEFAULT_MAX_JOBS, queue_capacity: int = JOB_QUEUE_CAPACITY) -> None:
+        if max_jobs < 1:
+            raise ServiceError(f"max_jobs must be >= 1, got {max_jobs}")
+        self.max_jobs = max_jobs
+        self._queue_capacity = queue_capacity
+        self._slots = threading.BoundedSemaphore(max_jobs)
+        self._active = 0
+        self._lock = threading.Lock()
+        self._job_ids = itertools.count(1)
+
+    def active_jobs(self) -> int:
+        """Return the number of jobs currently holding a slot."""
+        with self._lock:
+            return self._active
+
+    def run_stream(self, records: Iterator[dict]) -> Iterator[dict]:
+        """Run ``records`` on a job thread; return the consuming iterator.
+
+        Raises :class:`PoolSaturatedError` without starting anything when
+        every slot is busy.  A mid-stream exception inside the producer is
+        converted to the protocol's ``error`` record (the HTTP status line
+        is long gone by then), matching the handler-thread behaviour.
+        """
+        if not self._slots.acquire(blocking=False):
+            raise PoolSaturatedError(
+                f"detection job pool is saturated ({self.max_jobs} jobs in flight); "
+                "retry after a backoff or raise serve --max-jobs"
+            )
+        with self._lock:
+            self._active += 1
+        buffer: queue.Queue = queue.Queue(maxsize=self._queue_capacity)
+        cancelled = threading.Event()
+
+        def _put_until_cancelled(record: object) -> None:
+            while not cancelled.is_set():
+                try:
+                    buffer.put(record, timeout=0.1)
+                    return
+                except queue.Full:
+                    continue
+
+        def produce() -> None:
+            try:
+                for record in records:
+                    if cancelled.is_set():
+                        break
+                    _put_until_cancelled(record)
+            except Exception as exc:  # noqa: BLE001 - report in-band, never crash the pool
+                # same backpressure loop as ordinary records: a full buffer
+                # must delay the error record, not drop it — the client is
+                # owed a terminal record (summary or error) on every stream
+                _put_until_cancelled(error_record(f"{exc!r}"))
+            finally:
+                # nothing below may be skipped: the sentinel unblocks the
+                # consumer and the release frees the slot, so a close() that
+                # raises (e.g. a kernel generator failing during shutdown)
+                # must not abort this block
+                try:
+                    close = getattr(records, "close", None)
+                    if close is not None:
+                        close()
+                except Exception:  # noqa: BLE001 - shutdown failure must not leak the slot
+                    pass
+                while True:
+                    try:
+                        buffer.put(self._SENTINEL, timeout=0.1)
+                        break
+                    except queue.Full:
+                        if cancelled.is_set():
+                            break
+                        continue
+                with self._lock:
+                    self._active -= 1
+                self._slots.release()
+
+        thread = threading.Thread(
+            target=produce, name=f"repro-job-{next(self._job_ids)}", daemon=True
+        )
+        thread.start()
+
+        def consume() -> Iterator[dict]:
+            try:
+                while True:
+                    record = buffer.get()
+                    if record is self._SENTINEL:
+                        break
+                    yield record
+            finally:
+                cancelled.set()
+
+        return consume()
+
+
 class SessionManager:
     """Runs detection jobs and owns the continuous sessions of a service.
 
@@ -205,9 +332,11 @@ class SessionManager:
         registry: GraphRegistry,
         catalogs: Optional[dict[str, RuleSet]] = None,
         retain_versions: Optional[int] = None,
+        job_pool: Optional[DetectionJobPool] = None,
     ) -> None:
         self.registry = registry
         self.retain_versions = retain_versions
+        self.job_pool = job_pool if job_pool is not None else DetectionJobPool()
         self.catalogs: dict[str, RuleSet] = dict(catalogs or {})
         self._catalog_lock = threading.Lock()
         self._sessions: dict[str, ContinuousSession] = {}
@@ -257,12 +386,18 @@ class SessionManager:
     # -------------------------------------------------------- one-shot jobs
 
     def stream_detection(self, graph_name: str, request: DetectRequest) -> Iterator[dict]:
-        """Yield the NDJSON records of one budgeted detection request.
+        """Return the NDJSON record stream of one budgeted detection request.
 
-        Snapshots the graph once, then runs a per-request ``Detector``
-        against that frozen version: concurrent updates bump the registry
-        but never affect this stream.  The final record is the summary
-        carrying ``graph_version`` and the budget outcome.
+        Request validation — rule resolution and the graph snapshot —
+        happens eagerly, so a bad name still raises before any HTTP status
+        is committed.  The detection itself is then *admitted* to the
+        bounded :class:`DetectionJobPool` (429 via
+        :class:`PoolSaturatedError` when saturated) and runs on a job
+        thread, off the HTTP handler; the handler drains the returned
+        iterator.  The snapshot freezes ``(graph, version)``: concurrent
+        updates bump the registry but never affect this stream.  The final
+        record is the summary carrying ``graph_version`` and the budget
+        outcome.
         """
         rules = self.resolve_rules(request)
         graph, version = self.registry.get(graph_name).snapshot()
@@ -274,11 +409,16 @@ class SessionManager:
                 use_literal_pruning=request.use_literal_pruning,
                 max_violations=request.max_violations,
                 max_cost=request.max_cost,
+                execution=request.execution,
             ),
         )
-        for violation in detector.stream(graph):
-            yield violation_record(violation, introduced=True)
-        yield summary_record(detector.last_result, graph_name, version)
+
+        def generate() -> Iterator[dict]:
+            for violation in detector.stream(graph):
+                yield violation_record(violation, introduced=True)
+            yield summary_record(detector.last_result, graph_name, version)
+
+        return self.job_pool.run_stream(generate())
 
     # ---------------------------------------------------------------- sessions
 

@@ -19,15 +19,36 @@ though the HTTP status line was sent long before the failure.
 
 Detection *requests* are one JSON object.  Rules come either inline
 (``{"rules": <RuleSet.to_dict() document>}``) or by reference to a catalog
-registered with the server (``{"catalog": "name"}``); budgets, engine and
-processor count ride along::
+registered with the server (``{"catalog": "name"}``); budgets, engine,
+processor count and execution mode ride along::
 
     {"catalog": "example", "engine": "auto", "processors": 1,
-     "max_violations": 10, "max_cost": null, "use_literal_pruning": true}
+     "max_violations": 10, "max_cost": null, "use_literal_pruning": true,
+     "execution": "simulated"}
+
+``execution`` is ``"simulated"`` (default — the deterministic cluster
+simulator) or ``"processes"`` (the real multi-process backend; the server
+does actual parallel matching work on ``processors`` OS processes).
 
 :func:`parse_detect_request` validates the document into a
 :class:`DetectRequest`; resolution of catalog names against the server's
 registry happens in :mod:`repro.service.jobs`.
+
+Admission control
+-----------------
+
+Detection streams run on a bounded job pool
+(:class:`~repro.service.jobs.DetectionJobPool`, sized by
+``serve --max-jobs N``).  When every slot is busy a new detect request is
+refused **before** any record is written, with status ``429 Too Many
+Requests`` and the standard JSON error body::
+
+    {"error": "detection job pool is saturated (8 jobs in flight); ..."}
+
+A 429 is not a failure of the request itself — the client should retry
+after a backoff.  Graph/session/catalog management endpoints and
+continuous-session maintenance never consume pool slots, so a saturated
+pool still accepts updates and serves state documents.
 """
 
 from __future__ import annotations
@@ -60,6 +81,9 @@ MIME_JSON = "application/json"
 #: updates endpoint + continuous sessions, not by one-shot detect requests).
 REQUEST_ENGINES = ("auto", "batch", "parallel")
 
+#: Execution modes a detection request may ask for (see module docstring).
+REQUEST_EXECUTION_MODES = ("simulated", "processes")
+
 
 @dataclass(frozen=True)
 class DetectRequest:
@@ -72,6 +96,7 @@ class DetectRequest:
     max_violations: Optional[int] = None
     max_cost: Optional[float] = None
     use_literal_pruning: bool = True
+    execution: str = "simulated"
 
 
 def _optional_positive_int(document: Mapping, key: str) -> Optional[int]:
@@ -119,6 +144,11 @@ def parse_detect_request(document: object) -> DetectRequest:
     engine = document.get("engine", "auto")
     if engine not in REQUEST_ENGINES:
         raise ServiceError(f"unknown engine {engine!r}; expected one of {REQUEST_ENGINES}")
+    execution = document.get("execution", "simulated")
+    if execution not in REQUEST_EXECUTION_MODES:
+        raise ServiceError(
+            f"unknown execution mode {execution!r}; expected one of {REQUEST_EXECUTION_MODES}"
+        )
     return DetectRequest(
         rules=rules,
         catalog=catalog,
@@ -127,6 +157,7 @@ def parse_detect_request(document: object) -> DetectRequest:
         max_violations=_optional_positive_int(document, "max_violations"),
         max_cost=_optional_positive_number(document, "max_cost"),
         use_literal_pruning=bool(document.get("use_literal_pruning", True)),
+        execution=execution,
     )
 
 

@@ -24,9 +24,18 @@ POST      /rules/{name}                     register a catalog (RuleSet document
 Error mapping: malformed requests and unknown names raise
 :class:`~repro.errors.ReproError` subclasses, which become a 4xx JSON body
 ``{"error": message}`` (404 for unknown resources, 409 for duplicate
-registrations, 400 otherwise).  A failure *after* a stream has started
-cannot change the status line any more, so the stream is terminated with an
-``error`` record instead (see :mod:`repro.service.protocol`).
+registrations, 429 when the detection job pool is saturated — see below —
+and 400 otherwise).  A failure *after* a stream has started cannot change
+the status line any more, so the stream is terminated with an ``error``
+record instead (see :mod:`repro.service.protocol`).
+
+Detection streams do **not** run on the HTTP handler thread: each detect
+request is admitted to a bounded :class:`~repro.service.jobs.
+DetectionJobPool` (``max_jobs`` slots, ``serve --max-jobs N``) and the
+kernel runs on a job thread while the handler drains a bounded record
+queue.  A saturated pool refuses the request up front with ``429 Too Many
+Requests`` — admission control, not failure; management endpoints and
+continuous-session maintenance never occupy slots.
 
 Responses use HTTP/1.0 framing (connection closes at end of body), which is
 what lets detection streams run without a Content-Length: the client reads
@@ -43,10 +52,10 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Optional
 
 from repro.core.ngd import RuleSet
-from repro.errors import ReproError, ServiceError
+from repro.errors import PoolSaturatedError, ReproError, ServiceError
 from repro.graph.graph import Graph
 from repro.graph.io import graph_from_dict, update_from_list
-from repro.service.jobs import SessionManager
+from repro.service.jobs import DEFAULT_MAX_JOBS, DetectionJobPool, SessionManager
 from repro.service.protocol import (
     MIME_JSON,
     MIME_NDJSON,
@@ -118,7 +127,9 @@ class _ServiceHandler(BaseHTTPRequestHandler):
     def _send_error_json(self, exc: Exception) -> None:
         message = str(exc)
         status = 400
-        if isinstance(exc, ServiceError):
+        if isinstance(exc, PoolSaturatedError):
+            status = 429
+        elif isinstance(exc, ServiceError):
             if message.startswith("no "):
                 status = 404
             elif "already registered" in message:
@@ -274,6 +285,15 @@ class _ServiceHandler(BaseHTTPRequestHandler):
             first = next(records)
         except StopIteration:
             first = None
+        if first is not None and first.get("type") == "error":
+            # the job thread converts kernel exceptions to in-band error
+            # records; one arriving before anything streamed means the
+            # detection failed to start — the status line is still ours
+            # to set, so report it as a proper error response
+            close = getattr(records, "close", None)
+            if close is not None:
+                close()
+            raise ServiceError(f"detection failed to start: {first.get('error')}")
         self.send_response(200)
         self.send_header("Content-Type", MIME_NDJSON)
         self.end_headers()
@@ -292,6 +312,12 @@ class _ServiceHandler(BaseHTTPRequestHandler):
                 self.wfile.flush()
             except OSError:
                 pass
+        finally:
+            # closing the consumer iterator signals the job pool to cancel
+            # the producing detection job and free its slot promptly
+            close = getattr(records, "close", None)
+            if close is not None:
+                close()
 
 
 class DetectionService:
@@ -319,6 +345,7 @@ class DetectionService:
         store: Optional[str] = None,
         verbose: bool = False,
         retain_versions: Optional[int] = None,
+        max_jobs: int = DEFAULT_MAX_JOBS,
     ) -> None:
         if registry is not None and retain_versions is not None:
             # a caller-supplied registry carries its own retention window; a
@@ -333,7 +360,11 @@ class DetectionService:
         self.registry = (
             registry if registry is not None else GraphRegistry(retain_versions=retain_versions)
         )
-        self.manager = SessionManager(self.registry, retain_versions=retain_versions)
+        self.manager = SessionManager(
+            self.registry,
+            retain_versions=retain_versions,
+            job_pool=DetectionJobPool(max_jobs=max_jobs),
+        )
         self.store = store
         self.verbose = verbose
         self._httpd = ThreadingHTTPServer((host, port), _ServiceHandler)
@@ -388,10 +419,12 @@ class DetectionService:
 
     def health(self) -> dict:
         """The ``GET /health`` document."""
+        pool = self.manager.job_pool
         return {
             "status": "ok",
             "graphs": len(self.registry),
             "sessions": self.manager.session_count(),
+            "jobs": {"active": pool.active_jobs(), "max": pool.max_jobs},
         }
 
     # ---------------------------------------------------------- convenience
