@@ -21,6 +21,7 @@ from repro.detect.observers import (
 )
 from repro.detect.parallel import (
     BalancingPolicy,
+    WarmExecutorPool,
     iter_p_dect,
     iter_pinc_dect,
     p_dect,
@@ -42,6 +43,7 @@ __all__ = [
     "IncrementalDetectionResult",
     "ViolationEvent",
     "ViolationSink",
+    "WarmExecutorPool",
     "WorkerTrace",
     "dect",
     "drain",

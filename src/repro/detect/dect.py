@@ -33,6 +33,7 @@ from repro.detect.base import DetectionResult
 from repro.detect.observers import DetectionBudget, ViolationSink
 from repro.detect.parallel.workunits import WorkUnit, expand_work_unit
 from repro.graph.graph import Graph
+from repro.matching.adaptive import resolve_adaptive
 from repro.matching.candidates import MatchStatistics
 from repro.matching.matchn import match_violates_dependency
 from repro.matching.plan import MatchPlan, first_step_candidates, resolve_plans
@@ -47,6 +48,7 @@ def iter_dect(
     budget: Optional[DetectionBudget] = None,
     sink: Optional[ViolationSink] = None,
     plans: Optional[Sequence[MatchPlan]] = None,
+    adaptive=None,
 ) -> Iterator[Violation]:
     """Run batch detection, yielding each violation as it is confirmed.
 
@@ -57,11 +59,14 @@ def iter_dect(
     notified of every violation right before it is yielded.  ``plans``
     carries pre-compiled :class:`~repro.matching.plan.MatchPlan`\\ s (one per
     rule, the session's cache); when omitted they are compiled here unless
-    the planner is disabled.
+    the planner is disabled.  ``adaptive`` follows
+    :func:`~repro.matching.adaptive.resolve_adaptive` conventions (None =
+    environment default, bool = force, sequence = the caller's controllers).
     """
     rule_set = rules if isinstance(rules, RuleSet) else RuleSet(rules)
     rule_list = list(rule_set)
     plans = resolve_plans(graph, rule_list, plans)
+    controllers = resolve_adaptive(plans, adaptive)
     stats = MatchStatistics()
     started = time.perf_counter()
     violations = ViolationSet()
@@ -71,6 +76,7 @@ def iter_dect(
 
     for rule_index, rule in enumerate(rule_list):
         plan = plans[rule_index] if plans is not None else None
+        controller = controllers[rule_index] if controllers is not None else None
         order = plan.order if plan is not None else tuple(rule.pattern.matching_order())
         if not order:
             continue
@@ -103,7 +109,13 @@ def iter_dect(
         while stop_reason is None and stack:
             unit = stack.pop()
             outcome = expand_work_unit(
-                graph, rule, unit, use_literal_pruning=use_literal_pruning, stats=stats, plan=plan
+                graph,
+                rule,
+                unit,
+                use_literal_pruning=use_literal_pruning,
+                stats=stats,
+                plan=plan,
+                adaptive=controller,
             )
             cost += max(outcome.filtering_adjacency, 1) + outcome.verification_adjacency
             stack.extend(outcome.new_units)

@@ -48,6 +48,7 @@ from repro.detect.parallel.workunits import (
 from repro.graph.graph import Graph
 from repro.graph.neighborhood import multi_source_nodes_within_hops, update_neighborhood
 from repro.graph.updates import BatchUpdate, apply_update
+from repro.matching.adaptive import resolve_adaptive
 from repro.matching.candidates import MatchStatistics
 from repro.matching.incmatch import find_update_pivots
 from repro.matching.plan import MatchPlan, resolve_plans
@@ -65,6 +66,7 @@ def iter_inc_dect(
     budget: Optional[DetectionBudget] = None,
     sink: Optional[ViolationSink] = None,
     plans: Optional[Sequence[MatchPlan]] = None,
+    adaptive=None,
 ) -> Iterator[ViolationEvent]:
     """Run incremental detection, yielding each ΔVio event as it is confirmed.
 
@@ -101,10 +103,14 @@ def iter_inc_dect(
             # restricted regions have their own statistics, so recompile there
             # (the empty "planner off" marker passes through untouched)
             plans = None
+            if not isinstance(adaptive, (bool, type(None))):
+                # caller-built controllers belong to the discarded plans
+                adaptive = None
 
     # one plan per rule serves both expansion directions (the statistics of
     # G and G ⊕ ΔG differ by at most |ΔG|, well within estimate noise)
     plans = resolve_plans(search_after, rule_list, plans)
+    controllers = resolve_adaptive(plans, adaptive)
 
     introduced = ViolationSet()
     removed = ViolationSet()
@@ -114,6 +120,7 @@ def iter_inc_dect(
 
     for rule_index, rule in enumerate(rule_list):
         plan = plans[rule_index] if plans is not None else None
+        controller = controllers[rule_index] if controllers is not None else None
         if budget is not None and budget.cost_exhausted(cost):
             stop_reason = "max_cost"
             break
@@ -133,7 +140,9 @@ def iter_inc_dect(
         while stop_reason is None and stack:
             unit = stack.pop()
             search_graph = search_after if unit.from_insertion else search_before
-            outcome = expand_work_unit(search_graph, rule, unit, use_literal_pruning, stats, plan=plan)
+            outcome = expand_work_unit(
+                search_graph, rule, unit, use_literal_pruning, stats, plan=plan, adaptive=controller
+            )
             cost += max(outcome.filtering_adjacency, 1) + outcome.verification_adjacency
             stack.extend(outcome.new_units)
             target = introduced if unit.from_insertion else removed

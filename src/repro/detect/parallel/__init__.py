@@ -11,6 +11,7 @@ from repro.detect.parallel.cluster import ClusterSimulator
 from repro.detect.parallel.executor import (
     EXECUTION_MODES,
     ExecutionRuntime,
+    WarmExecutorPool,
     iter_process_execution,
     resolve_start_method,
 )
@@ -25,6 +26,7 @@ __all__ = [
     "EXECUTION_MODES",
     "ExecutionRuntime",
     "ExpansionOutcome",
+    "WarmExecutorPool",
     "WorkUnit",
     "expand_work_unit",
     "iter_p_dect",

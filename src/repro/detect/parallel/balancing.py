@@ -25,6 +25,7 @@ from dataclasses import dataclass
 
 __all__ = [
     "BalancingPolicy",
+    "rebalancing_pays",
     "should_split",
     "should_split_planned",
     "should_split_step",
@@ -153,6 +154,36 @@ def should_split_step(
             latency,
         )
     return should_split(adjacency_size, matched_depth, processors, latency)
+
+
+def rebalancing_pays(
+    moves: list[tuple[int, int, int]],
+    latency: float,
+    average_unit_cost: float,
+) -> bool:
+    """Return True when a planned redistribution round is worth its messages.
+
+    Shipping units charges one message latency ``C`` to every participant
+    (origins and destinations alike), so a round costs ``C · |participants|``.
+    The benefit is the work the receivers take off the stragglers' critical
+    path — at most the moved unit count times the *observed* average cost of
+    one unit.  The same cost-vs-benefit shape as the splitting predicate
+    (Section 6.3), but fed by measured unit costs rather than adjacency
+    estimates: a skewed queue of tiny units is not worth a round of
+    messages at large ``C``, while the same queue at small ``C`` is.
+
+    ``average_unit_cost`` is what the executor has observed so far
+    (``work_done / units_done``); with no observations yet the round is
+    declined — the interval clock only advances once work has been
+    charged, so this arises only in degenerate simulations.
+    """
+    if not moves:
+        return False
+    moved = sum(count for _origin, _destination, count in moves)
+    participants = {
+        endpoint for origin, destination, _count in moves for endpoint in (origin, destination)
+    }
+    return moved * average_unit_cost > latency * len(participants)
 
 
 def skewness(queue_lengths: list[int]) -> list[float]:

@@ -56,11 +56,14 @@ from __future__ import annotations
 import multiprocessing
 import os
 import queue as queue_module
+import shutil
+import threading
 import time
 import traceback
-from collections.abc import Iterator, Sequence
+import weakref
+from collections.abc import Callable, Hashable, Iterator, Sequence
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Any, Optional
 
 from repro.core.ngd import NGD, RuleSet
 from repro.core.violations import Violation
@@ -70,15 +73,18 @@ from repro.detect.parallel.balancing import BalancingPolicy, plan_rebalancing, s
 from repro.detect.parallel.workunits import WorkUnit, expand_work_unit
 from repro.errors import ExecutionError
 from repro.graph.sharded import ShardedStore
+from repro.matching.adaptive import resolve_adaptive
 from repro.matching.candidates import MatchStatistics
 from repro.matching.plan import MatchPlan, plans_from_document, plans_to_document
 
 __all__ = [
     "EXECUTION_MODES",
     "START_METHOD_ENV",
+    "DEFAULT_IDLE_TTL_SECONDS",
     "resolve_start_method",
     "ExecutionRuntime",
     "ProcessRunSummary",
+    "WarmExecutorPool",
     "iter_process_execution",
 ]
 
@@ -105,6 +111,10 @@ RESULT_POLL_SECONDS = 0.25
 #: How long the parent waits for workers to acknowledge ``exit`` before
 #: terminating them (generous: a worker finishes at most one expansion).
 SHUTDOWN_GRACE_SECONDS = 10.0
+
+#: A :class:`WarmExecutorPool` crew untouched for this long is torn down by
+#: the next :meth:`~WarmExecutorPool.maintain` call.
+DEFAULT_IDLE_TTL_SECONDS = 300.0
 
 
 def resolve_start_method(start_method: Optional[str] = None) -> str:
@@ -154,6 +164,10 @@ class ExecutionRuntime:
     use_literal_pruning: bool
     shards: ShardedStore
     before_shards: Optional[ShardedStore] = None
+    #: Adaptive replanning switch for the workers (True/False force, None =
+    #: environment default).  Controllers themselves never cross the process
+    #: boundary: every worker builds its own from the shipped plans.
+    adaptive: Optional[bool] = None
 
     def graph_for(self, shard_id: int, from_insertion: bool):
         """Return the read-only image a work unit expands against."""
@@ -173,6 +187,7 @@ class ExecutionRuntime:
                 if self.before_shards is not None
                 else None
             ),
+            "adaptive": self.adaptive,
         }
         return document
 
@@ -196,26 +211,45 @@ class ExecutionRuntime:
             use_literal_pruning=payload["use_literal_pruning"],
             shards=ShardedStore.load(payload["shards_manifest"]),
             before_shards=before,
+            adaptive=payload.get("adaptive"),
         )
+
+
+def _worker_controllers(runtime: Optional[ExecutionRuntime]):
+    """Build this worker's adaptive controllers for ``runtime`` (or None)."""
+    if runtime is None or runtime.plans is None:
+        return None
+    return resolve_adaptive(runtime.plans, runtime.adaptive)
 
 
 def _worker_main(worker_id, runtime_or_payload, inbox, results, stop_event) -> None:
     """Entry point of one worker process.
 
     Message protocol (parent → worker): ``("units", [(shard_id, unit),
-    ...])``, ``("shed", count)``, ``("exit",)``.  Worker → parent:
+    ...])``, ``("shed", count)``, ``("runtime", payload)``, ``("sync",)``,
+    ``("exit",)``.  Worker → parent:
     ``("found", wid, [(violation, from_insertion), ...], cost, queue_len)``,
     ``("status", wid, queue_len, cost)``, ``("idle", wid, cost)``,
-    ``("shed_units", wid, [(shard_id, unit), ...])``, ``("exited", wid,
-    stats, cost, units_processed)``, ``("error", wid, traceback_text)``.
+    ``("shed_units", wid, [(shard_id, unit), ...])``, ``("synced", wid,
+    stats, cost, units_processed)``, ``("exited", wid, stats, cost,
+    units_processed)``, ``("error", wid, traceback_text)``.
     Per-producer queue ordering guarantees the parent has seen every
     violation a worker found before it sees that worker go idle.
+
+    ``runtime_or_payload`` may be None: a :class:`WarmExecutorPool` worker
+    bootstraps empty and receives its runtime as a ``("runtime", payload)``
+    message (and a new one whenever the pool's cached key misses).
+    ``("sync",)`` is the pool's end-of-run barrier: the worker reports and
+    then resets its per-run counters, staying alive for the next run.
     """
     try:
-        if isinstance(runtime_or_payload, ExecutionRuntime):
+        if runtime_or_payload is None:
+            runtime = None
+        elif isinstance(runtime_or_payload, ExecutionRuntime):
             runtime = runtime_or_payload
         else:
             runtime = ExecutionRuntime.from_payload(runtime_or_payload)
+        controllers = _worker_controllers(runtime)
         stack: list[tuple[int, WorkUnit]] = []
         stats = MatchStatistics()
         cost_since = 0.0
@@ -250,6 +284,23 @@ def _worker_main(worker_id, runtime_or_payload, inbox, results, stop_event) -> N
                                 results.put(("shed_units", worker_id, shed))
                             else:
                                 results.put(("shed_units", worker_id, []))
+                        elif kind == "runtime":
+                            runtime = ExecutionRuntime.from_payload(message[1])
+                            controllers = _worker_controllers(runtime)
+                            stack.clear()
+                        elif kind == "sync":
+                            results.put(("synced", worker_id, stats, total_cost, units_processed))
+                            stack.clear()
+                            stats = MatchStatistics()
+                            cost_since = 0.0
+                            expansions_since = 0
+                            units_processed = 0
+                            total_cost = 0.0
+                            batches_seen = 0
+                            idle_announced = False
+                            # fresh controllers per run: observations from one
+                            # request must not replan another's tiny workload
+                            controllers = _worker_controllers(runtime)
                         if stack:
                             break
                 except queue_module.Empty:
@@ -275,6 +326,7 @@ def _worker_main(worker_id, runtime_or_payload, inbox, results, stop_event) -> N
                 use_literal_pruning=runtime.use_literal_pruning,
                 stats=stats,
                 plan=plan,
+                adaptive=controllers[unit.rule_index] if controllers is not None else None,
             )
             stack.extend((shard_id, new_unit) for new_unit in outcome.new_units)
             charge = float(max(outcome.filtering_adjacency, 1) + outcome.verification_adjacency)
@@ -312,63 +364,84 @@ class ProcessRunSummary:
     worker_traces: list[WorkerTrace] = field(default_factory=list)
 
 
-def iter_process_execution(
-    runtime: ExecutionRuntime,
-    seeds: Sequence[tuple[int, int, WorkUnit]],
-    processors: int,
-    policy: BalancingPolicy,
-    budget: Optional[DetectionBudget] = None,
-    sink: Optional[ViolationSink] = None,
-    dedupe: Optional[tuple] = None,
-    base_cost: float = 0.0,
-    start_method: Optional[str] = None,
-    summary: Optional[ProcessRunSummary] = None,
-) -> Iterator[tuple[Violation, bool]]:
-    """Run ``seeds`` on a pool of ``processors`` worker processes.
+@dataclass
+class _WorkerCrew:
+    """One set of live worker processes plus their shared channels."""
 
-    ``seeds`` are ``(worker_index, shard_id, unit)`` triples — placement is
-    the caller's policy (shard affinity / plan-estimated least-loaded).
-    Yields ``(violation, from_insertion)`` pairs as workers report them
-    (deduplicated against ``dedupe = (introduced_set, removed_set)``,
-    which the caller shares so parent-side seed results participate);
-    ``summary`` (if supplied) is filled in before the generator returns,
-    so callers that stop consuming early still see cost/stats/traces.
-    ``base_cost`` counts the parent-side seeding charges toward the
-    ``max_cost`` budget.  The generator's return value is the same
-    :class:`ProcessRunSummary`.
+    method: str
+    processors: int
+    workers: list
+    inboxes: list
+    results: Any
+    stop_event: Any
+
+    def alive(self) -> bool:
+        return all(worker.is_alive() for worker in self.workers)
+
+
+def _spawn_crew(processors: int, worker_argument, method: str) -> _WorkerCrew:
+    """Start ``processors`` worker processes sharing one result queue.
+
+    ``worker_argument`` is the runtime (fork), its payload (spawn), or None
+    for a warm-pool crew that receives its runtime by message later.
     """
-    from repro.core.violations import ViolationSet
-
-    method = resolve_start_method(start_method)
     context = multiprocessing.get_context(method)
-    spool_dir: Optional[str] = None
-    if method == "fork":
-        worker_argument = runtime
-    else:
-        spool_dir = _spool_directory()
-        worker_argument = runtime.payload(spool_dir)
-
     stop_event = context.Event()
     results = context.Queue()
     inboxes = [context.Queue() for _ in range(processors)]
-    workers = [
-        context.Process(
-            target=_worker_main,
-            args=(index, worker_argument, inboxes[index], results, stop_event),
-            name=f"repro-exec-{index}",
-            daemon=True,
-        )
-        for index in range(processors)
-    ]
-    for worker in workers:
-        worker.start()
+    workers = []
+    try:
+        for index in range(processors):
+            worker = context.Process(
+                target=_worker_main,
+                args=(index, worker_argument, inboxes[index], results, stop_event),
+                name=f"repro-exec-{index}",
+                daemon=True,
+            )
+            worker.start()
+            workers.append(worker)
+    except BaseException:  # pragma: no cover - start failures are environmental
+        for worker in workers:
+            worker.terminate()
+        raise
+    return _WorkerCrew(
+        method=method,
+        processors=processors,
+        workers=workers,
+        inboxes=inboxes,
+        results=results,
+        stop_event=stop_event,
+    )
 
+
+def _drive_run(
+    crew: _WorkerCrew,
+    seeds: Sequence[tuple[int, int, WorkUnit]],
+    policy: BalancingPolicy,
+    budget: Optional[DetectionBudget],
+    sink: Optional[ViolationSink],
+    dedupe: Optional[tuple],
+    base_cost: float,
+    summary: ProcessRunSummary,
+) -> Iterator[tuple[Violation, bool]]:
+    """Distribute ``seeds`` over a live crew and stream back violations.
+
+    The shared drive loop of one run — identical for a one-shot crew
+    (:func:`iter_process_execution`) and a warm one
+    (:class:`WarmExecutorPool`): initial placement, the found/status/idle
+    message loop, skewness-based rebalancing, and budget enforcement.
+    Per-run bookkeeping (queue lengths, batch counters) is local; the
+    caller owns crew lifecycle and end-of-run reconciliation.
+    """
+    from repro.core.violations import ViolationSet
+
+    processors = crew.processors
+    inboxes, results, workers = crew.inboxes, crew.results, crew.workers
+    stop_event = crew.stop_event
     introduced, removed = dedupe if dedupe is not None else (ViolationSet(), ViolationSet())
-    summary = summary if summary is not None else ProcessRunSummary()
     summary.cost = base_cost
     queue_lens = [0] * processors
     idle = [False] * processors
-    exited = [False] * processors
     batches_sent = [0] * processors
     pending_shed = 0
     emitted = len(introduced) + len(removed)
@@ -426,84 +499,93 @@ def iter_process_execution(
             queue_lens[receiver] += len(batch)
             idle[receiver] = False
 
-    try:
-        while summary.stop_reason is None:
-            if all(idle) and pending_shed == 0:
-                break
-            try:
-                message = results.get(timeout=RESULT_POLL_SECONDS)
-            except queue_module.Empty:
-                dead = [w.name for i, w in enumerate(workers) if not w.is_alive() and not exited[i]]
-                if dead and not stop_event.is_set():
-                    raise ExecutionError(
-                        f"worker process(es) died without reporting: {', '.join(dead)}"
-                    )
-                continue
-            kind = message[0]
-            if kind == "found":
-                _, worker_id, found, cost_delta, queue_len = message
-                summary.cost += cost_delta
-                queue_lens[worker_id] = queue_len
-                idle[worker_id] = False
-                for violation, from_insertion in found:
-                    target = introduced if from_insertion else removed
-                    if violation in target:
-                        continue
-                    target.add(violation)
-                    emitted += 1
-                    if sink is not None:
-                        sink.on_violation(violation, introduced=from_insertion)
-                    yield violation, from_insertion
-                    if budget is not None and budget.violations_exhausted(emitted):
-                        summary.stop_reason = "max_violations"
-                        break
-                if summary.stop_reason is None and budget is not None and budget.cost_exhausted(summary.cost):
-                    summary.stop_reason = "max_cost"
-            elif kind == "status":
-                _, worker_id, queue_len, cost_delta = message
-                summary.cost += cost_delta
-                queue_lens[worker_id] = queue_len
-                idle[worker_id] = False
-                if budget is not None and budget.cost_exhausted(summary.cost):
-                    summary.stop_reason = "max_cost"
-            elif kind == "idle":
-                _, worker_id, cost_delta, batches_seen = message
-                summary.cost += cost_delta
-                if batches_seen == batches_sent[worker_id]:
-                    queue_lens[worker_id] = 0
-                    idle[worker_id] = True
-                # else: stale — a units batch was still in flight toward
-                # the worker when it reported; it will report idle again
-                if budget is not None and budget.cost_exhausted(summary.cost):
-                    summary.stop_reason = "max_cost"
-            elif kind == "shed_units":
-                _, worker_id, units = message
-                pending_shed -= 1
-                queue_lens[worker_id] = max(queue_lens[worker_id] - len(units), 0)
-                _redistribute(units, origin=worker_id)
-            elif kind == "error":
-                _, worker_id, text = message
-                raise ExecutionError(f"worker {worker_id} failed:\n{text}")
-            if summary.stop_reason is None:
-                pending_shed += _maybe_rebalance()
-    finally:
-        stop_event.set()
-        for inbox in inboxes:
-            try:
-                inbox.put(("exit",))
-            except Exception:  # pragma: no cover - queue already torn down
-                pass
-        deadline = time.monotonic() + SHUTDOWN_GRACE_SECONDS
-        while not all(exited) and time.monotonic() < deadline:
-            try:
-                message = results.get(timeout=0.1)
-            except queue_module.Empty:
-                if all(not w.is_alive() for w in workers):
+    while summary.stop_reason is None:
+        if all(idle) and pending_shed == 0:
+            break
+        try:
+            message = results.get(timeout=RESULT_POLL_SECONDS)
+        except queue_module.Empty:
+            dead = [w.name for w in workers if not w.is_alive()]
+            if dead and not stop_event.is_set():
+                raise ExecutionError(
+                    f"worker process(es) died without reporting: {', '.join(dead)}"
+                )
+            continue
+        kind = message[0]
+        if kind == "found":
+            _, worker_id, found, cost_delta, queue_len = message
+            summary.cost += cost_delta
+            queue_lens[worker_id] = queue_len
+            idle[worker_id] = False
+            for violation, from_insertion in found:
+                target = introduced if from_insertion else removed
+                if violation in target:
+                    continue
+                target.add(violation)
+                emitted += 1
+                if sink is not None:
+                    sink.on_violation(violation, introduced=from_insertion)
+                yield violation, from_insertion
+                if budget is not None and budget.violations_exhausted(emitted):
+                    summary.stop_reason = "max_violations"
                     break
-                continue
-            if message[0] == "exited":
-                _, worker_id, stats, cost, units_processed = message
-                exited[worker_id] = True
+            if summary.stop_reason is None and budget is not None and budget.cost_exhausted(summary.cost):
+                summary.stop_reason = "max_cost"
+        elif kind == "status":
+            _, worker_id, queue_len, cost_delta = message
+            summary.cost += cost_delta
+            queue_lens[worker_id] = queue_len
+            idle[worker_id] = False
+            if budget is not None and budget.cost_exhausted(summary.cost):
+                summary.stop_reason = "max_cost"
+        elif kind == "idle":
+            _, worker_id, cost_delta, batches_seen = message
+            summary.cost += cost_delta
+            if batches_seen == batches_sent[worker_id]:
+                queue_lens[worker_id] = 0
+                idle[worker_id] = True
+            # else: stale — a units batch was still in flight toward
+            # the worker when it reported; it will report idle again
+            if budget is not None and budget.cost_exhausted(summary.cost):
+                summary.stop_reason = "max_cost"
+        elif kind == "shed_units":
+            _, worker_id, units = message
+            pending_shed -= 1
+            queue_lens[worker_id] = max(queue_lens[worker_id] - len(units), 0)
+            _redistribute(units, origin=worker_id)
+        elif kind == "error":
+            _, worker_id, text = message
+            raise ExecutionError(f"worker {worker_id} failed:\n{text}")
+        if summary.stop_reason is None:
+            pending_shed += _maybe_rebalance()
+
+
+def _shutdown_crew(crew: _WorkerCrew, summary: Optional[ProcessRunSummary]) -> None:
+    """Stop a crew for good: exit messages, stats drain, join/terminate.
+
+    ``summary`` collects the workers' final stats/traces for a one-shot
+    crew; pass None for a warm crew (its runs were already reconciled by
+    the sync barrier — merging the exit reports again would double count).
+    """
+    crew.stop_event.set()
+    for inbox in crew.inboxes:
+        try:
+            inbox.put(("exit",))
+        except Exception:  # pragma: no cover - queue already torn down
+            pass
+    exited = [False] * crew.processors
+    deadline = time.monotonic() + SHUTDOWN_GRACE_SECONDS
+    while not all(exited) and time.monotonic() < deadline:
+        try:
+            message = crew.results.get(timeout=0.1)
+        except queue_module.Empty:
+            if all(not w.is_alive() for w in crew.workers):
+                break
+            continue
+        if message[0] == "exited":
+            _, worker_id, stats, cost, units_processed = message
+            exited[worker_id] = True
+            if summary is not None:
                 summary.stats.merge(stats)
                 summary.worker_traces.append(
                     WorkerTrace(
@@ -512,23 +594,336 @@ def iter_process_execution(
                         work_units_processed=units_processed,
                     )
                 )
-        for worker in workers:
+    for worker in crew.workers:
+        worker.join(timeout=0.5)
+        if worker.is_alive():  # pragma: no cover - stuck worker
+            worker.terminate()
             worker.join(timeout=0.5)
-            if worker.is_alive():  # pragma: no cover - stuck worker
-                worker.terminate()
-                worker.join(timeout=0.5)
-        results.cancel_join_thread()
-        for inbox in inboxes:
-            inbox.cancel_join_thread()
+    crew.results.cancel_join_thread()
+    for inbox in crew.inboxes:
+        inbox.cancel_join_thread()
+    if summary is not None:
         summary.worker_traces.sort(key=lambda trace: trace.worker)
-        if spool_dir is not None:
-            # the per-run spool (full serialized images) must not outlive
-            # the run: a service handling repeated spawn-mode requests
-            # would otherwise leak one graph copy to disk per request
-            import shutil
 
+
+def iter_process_execution(
+    runtime: ExecutionRuntime,
+    seeds: Sequence[tuple[int, int, WorkUnit]],
+    processors: int,
+    policy: BalancingPolicy,
+    budget: Optional[DetectionBudget] = None,
+    sink: Optional[ViolationSink] = None,
+    dedupe: Optional[tuple] = None,
+    base_cost: float = 0.0,
+    start_method: Optional[str] = None,
+    summary: Optional[ProcessRunSummary] = None,
+) -> Iterator[tuple[Violation, bool]]:
+    """Run ``seeds`` on a one-shot pool of ``processors`` worker processes.
+
+    ``seeds`` are ``(worker_index, shard_id, unit)`` triples — placement is
+    the caller's policy (shard affinity / plan-estimated least-loaded).
+    Yields ``(violation, from_insertion)`` pairs as workers report them
+    (deduplicated against ``dedupe = (introduced_set, removed_set)``,
+    which the caller shares so parent-side seed results participate);
+    ``summary`` (if supplied) is filled in before the generator returns,
+    so callers that stop consuming early still see cost/stats/traces.
+    ``base_cost`` counts the parent-side seeding charges toward the
+    ``max_cost`` budget.  The generator's return value is the same
+    :class:`ProcessRunSummary`.
+
+    The spool directory (spawn mode: full serialized images) is removed on
+    *every* exit path — clean end, worker crash, budget cancellation, and
+    failures during payload spooling or worker startup — so a service
+    handling repeated requests never leaks graph copies to disk.
+    """
+    method = resolve_start_method(start_method)
+    summary = summary if summary is not None else ProcessRunSummary()
+    spool_dir: Optional[str] = None
+    crew: Optional[_WorkerCrew] = None
+    try:
+        if method == "fork":
+            worker_argument = runtime
+        else:
+            spool_dir = _spool_directory()
+            worker_argument = runtime.payload(spool_dir)
+        crew = _spawn_crew(processors, worker_argument, method)
+        yield from _drive_run(crew, seeds, policy, budget, sink, dedupe, base_cost, summary)
+    finally:
+        if crew is not None:
+            _shutdown_crew(crew, summary)
+        if spool_dir is not None:
             shutil.rmtree(spool_dir, ignore_errors=True)
     return summary
+
+
+# ---------------------------------------------------------------- warm pool
+
+
+class WarmExecutorPool:
+    """Worker processes kept alive across runs, with their loaded runtime.
+
+    A cold ``execution="processes"`` run pays process startup plus (under
+    ``spawn``) a full graph spool/reload before the first expansion.  A
+    service answering repeated detection requests over the same graph
+    version pays that once here: the pool keeps one crew of ``processors``
+    workers alive and remembers which runtime they have loaded, keyed by
+    the caller's ``runtime_key`` (graph snapshot identity + rules digest —
+    see :meth:`~repro.detect.session.Detector`).  A matching key reuses the
+    workers' in-memory images outright; a miss ships a new runtime over the
+    control channel (workers stay alive, images are reloaded); concurrent
+    or mismatched requests fall back to a one-shot crew, so the pool is
+    an optimisation, never a correctness constraint.
+
+    End-of-run reconciliation uses a ``sync`` barrier: every worker reports
+    its stats and resets its per-run counters, leaving the crew idle and
+    reusable.  Lifecycle: :meth:`invalidate` on graph-version bumps (the
+    registry listener), :meth:`maintain` for idle-TTL eviction (call it
+    opportunistically — the pool runs no background threads, which would
+    flip :func:`resolve_start_method`'s fork default), :meth:`shutdown`
+    to stop for good.  Spool directories are finalizer-backstopped so an
+    abandoned pool cannot leak them.
+    """
+
+    def __init__(
+        self,
+        processors: int,
+        start_method: Optional[str] = None,
+        idle_ttl: float = DEFAULT_IDLE_TTL_SECONDS,
+    ) -> None:
+        self.processors = processors
+        self.idle_ttl = idle_ttl
+        self._start_method = start_method
+        self._lock = threading.Lock()
+        self._crew: Optional[_WorkerCrew] = None
+        self._runtime_key: Optional[Hashable] = None
+        self._spool_dir: Optional[str] = None
+        self._spool_finalizer = None
+        self._stale = False
+        self._last_used = time.monotonic()
+        self.hits = 0
+        self.misses = 0
+        self.fallbacks = 0
+
+    # ------------------------------------------------------------- execution
+
+    def execute(
+        self,
+        runtime_key: Optional[Hashable],
+        runtime_factory: Callable[[], ExecutionRuntime],
+        seeds: Sequence[tuple[int, int, WorkUnit]],
+        processors: int,
+        policy: BalancingPolicy,
+        budget: Optional[DetectionBudget] = None,
+        sink: Optional[ViolationSink] = None,
+        dedupe: Optional[tuple] = None,
+        base_cost: float = 0.0,
+        summary: Optional[ProcessRunSummary] = None,
+    ) -> Iterator[tuple[Violation, bool]]:
+        """Run ``seeds`` on the warm crew; same contract as
+        :func:`iter_process_execution`.
+
+        ``runtime_factory`` is only called on a key miss (or fallback), so
+        a warm hit skips building shard stores entirely; ``runtime_key`` of
+        None forces a miss.  Requests for a different processor count, or
+        arriving while another run holds the pool, fall back to a one-shot
+        crew rather than queueing.
+        """
+        summary = summary if summary is not None else ProcessRunSummary()
+        if processors != self.processors or not self._lock.acquire(blocking=False):
+            self.fallbacks += 1
+            yield from iter_process_execution(
+                runtime_factory(),
+                seeds,
+                processors,
+                policy,
+                budget=budget,
+                sink=sink,
+                dedupe=dedupe,
+                base_cost=base_cost,
+                start_method=self._start_method,
+                summary=summary,
+            )
+            return summary
+        try:
+            if self._stale:
+                self._invalidate_locked()
+                self._stale = False
+            crew = self._crew
+            if crew is not None and not crew.alive():
+                self._teardown_locked()
+                crew = None
+            if crew is None:
+                crew = self._spawn_locked()
+            if runtime_key is None or runtime_key != self._runtime_key:
+                self.misses += 1
+                self._load_runtime_locked(runtime_factory())
+                self._runtime_key = runtime_key
+            else:
+                self.hits += 1
+            run_failed = False
+            try:
+                yield from _drive_run(
+                    crew, seeds, policy, budget, sink, dedupe, base_cost, summary
+                )
+            except (ExecutionError, OSError):
+                run_failed = True
+                raise
+            finally:
+                # reconcile even when the caller abandons the generator
+                # early (GeneratorExit): cancel leftovers, then resync
+                if run_failed or not self._resync(crew, summary):
+                    self._teardown_locked()
+                else:
+                    self._last_used = time.monotonic()
+        finally:
+            self._lock.release()
+        return summary
+
+    # -------------------------------------------------------------- lifecycle
+
+    def invalidate(self) -> None:
+        """Forget the loaded runtime (e.g. the graph version was bumped).
+
+        Non-blocking: if a run is in flight the pool is marked stale and
+        the drop happens when that run releases it.  Workers stay alive —
+        only the cached key (and its spool) is discarded, so the next
+        ``execute`` reloads.
+        """
+        if self._lock.acquire(blocking=False):
+            try:
+                self._invalidate_locked()
+            finally:
+                self._lock.release()
+        else:
+            self._stale = True
+
+    def maintain(self, now: Optional[float] = None) -> bool:
+        """Tear the crew down if it has idled past ``idle_ttl``.
+
+        Returns True when an eviction happened.  Callers sprinkle this
+        after request handling; it never blocks on a busy pool.
+        """
+        if self._crew is None:
+            return False
+        now = time.monotonic() if now is None else now
+        if now - self._last_used < self.idle_ttl:
+            return False
+        if not self._lock.acquire(blocking=False):
+            return False
+        try:
+            if self._crew is not None and now - self._last_used >= self.idle_ttl:
+                self._teardown_locked()
+                return True
+            return False
+        finally:
+            self._lock.release()
+
+    def shutdown(self) -> None:
+        """Stop the crew and remove the spool; the pool may be reused after."""
+        with self._lock:
+            self._teardown_locked()
+
+    def stats(self) -> dict:
+        """Return hit/miss/fallback counters and whether a crew is warm."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "fallbacks": self.fallbacks,
+            "warm": self._crew is not None,
+        }
+
+    # -------------------------------------------------------------- internals
+
+    def _spawn_locked(self) -> _WorkerCrew:
+        method = resolve_start_method(self._start_method)
+        # workers bootstrap without a runtime; it arrives by message
+        crew = _spawn_crew(self.processors, None, method)
+        self._crew = crew
+        self._runtime_key = None
+        return crew
+
+    def _load_runtime_locked(self, runtime: ExecutionRuntime) -> None:
+        crew = self._crew
+        spool_dir = _spool_directory()
+        try:
+            payload = runtime.payload(spool_dir)
+        except BaseException:
+            shutil.rmtree(spool_dir, ignore_errors=True)
+            raise
+        for inbox in crew.inboxes:
+            inbox.put(("runtime", payload))
+        # the previous runtime can never be addressed again (units always
+        # follow their runtime message), so its spool goes now
+        self._drop_spool()
+        self._spool_dir = spool_dir
+        self._spool_finalizer = weakref.finalize(self, _remove_spool, spool_dir)
+
+    def _resync(self, crew: _WorkerCrew, summary: ProcessRunSummary) -> bool:
+        """End-of-run barrier: collect every worker's report, reset the crew.
+
+        Sets the stop event first so workers drop any stack a cancelled or
+        abandoned run left behind, then drains the result queue (discarding
+        the cancelled tail) until every worker has answered the ``sync``.
+        Returns False — caller tears the crew down — on timeout, worker
+        death, or a reported error.
+        """
+        crew.stop_event.set()
+        try:
+            for inbox in crew.inboxes:
+                inbox.put(("sync",))
+        except Exception:  # pragma: no cover - control queue torn down
+            return False
+        synced = [False] * crew.processors
+        deadline = time.monotonic() + SHUTDOWN_GRACE_SECONDS
+        while not all(synced):
+            if time.monotonic() > deadline:
+                return False
+            try:
+                message = crew.results.get(timeout=0.1)
+            except queue_module.Empty:
+                if not crew.alive():
+                    return False
+                continue
+            if message[0] == "synced":
+                _, worker_id, stats, cost, units_processed = message
+                synced[worker_id] = True
+                summary.stats.merge(stats)
+                summary.worker_traces.append(
+                    WorkerTrace(
+                        worker=worker_id,
+                        busy_time=cost,
+                        work_units_processed=units_processed,
+                    )
+                )
+            elif message[0] == "error":
+                return False
+            # found/status/idle/shed_units from the cancelled tail: discard
+        summary.worker_traces.sort(key=lambda trace: trace.worker)
+        crew.stop_event.clear()
+        return True
+
+    def _invalidate_locked(self) -> None:
+        self._runtime_key = None
+        self._drop_spool()
+
+    def _teardown_locked(self) -> None:
+        crew = self._crew
+        self._crew = None
+        self._runtime_key = None
+        self._drop_spool()
+        if crew is not None:
+            _shutdown_crew(crew, None)
+
+    def _drop_spool(self) -> None:
+        if self._spool_finalizer is not None:
+            self._spool_finalizer()  # runs _remove_spool once; later GC no-ops
+            self._spool_finalizer = None
+        self._spool_dir = None
+
+
+def _remove_spool(path: str) -> None:
+    """Finalizer target: idempotent spool removal (module-level, picklable)."""
+    shutil.rmtree(path, ignore_errors=True)
 
 
 def _spool_directory() -> str:

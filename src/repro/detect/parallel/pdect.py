@@ -34,6 +34,7 @@ from repro.detect.observers import DetectionBudget, ViolationSink
 from repro.detect.parallel.balancing import (
     BalancingPolicy,
     plan_rebalancing,
+    rebalancing_pays,
     should_split_step,
     skewness,
 )
@@ -59,6 +60,9 @@ def iter_p_dect(
     plans: Optional[Sequence[MatchPlan]] = None,
     execution: str = "simulated",
     start_method: Optional[str] = None,
+    adaptive=None,
+    warm_pool=None,
+    runtime_key=None,
 ) -> Iterator[Violation]:
     """Run parallel batch detection, yielding violations as units complete.
 
@@ -75,7 +79,10 @@ def iter_p_dect(
     (:mod:`repro.detect.parallel.executor`): violations are byte-identical,
     ``cost`` becomes the aggregate work performed (wall-clock lives in
     ``wall_time``), and ``start_method`` picks the multiprocessing start
-    method (default: fork where available).
+    method (default: fork where available).  ``warm_pool`` (a
+    :class:`~repro.detect.parallel.executor.WarmExecutorPool`) reuses live
+    workers across runs: ``runtime_key`` identifies the graph/rules
+    snapshot the workers may already have loaded.
     """
     rule_set = rules if isinstance(rules, RuleSet) else RuleSet(rules)
     rule_list = list(rule_set)
@@ -84,14 +91,15 @@ def iter_p_dect(
     if execution == "processes":
         return _iter_p_dect_processes(
             graph, rule_set, rule_list, plans, processors, policy,
-            use_literal_pruning, budget, sink, start_method,
+            use_literal_pruning, budget, sink, start_method, adaptive,
+            warm_pool, runtime_key,
         )
     if execution != "simulated":
         raise ExecutionError(
             f"unknown execution mode {execution!r}; expected 'simulated' or 'processes'"
         )
     return _iter_p_dect_simulated(
-        graph, rule_list, plans, processors, policy, use_literal_pruning, budget, sink
+        graph, rule_list, plans, processors, policy, use_literal_pruning, budget, sink, adaptive
     )
 
 
@@ -104,8 +112,12 @@ def _iter_p_dect_simulated(
     use_literal_pruning: bool,
     budget: Optional[DetectionBudget],
     sink: Optional[ViolationSink],
+    adaptive=None,
 ) -> Iterator[Violation]:
     """The original deterministic kernel: one process, simulated clocks."""
+    from repro.matching.adaptive import resolve_adaptive
+
+    controllers = resolve_adaptive(plans, adaptive)
     stats = MatchStatistics()
     started = time.perf_counter()
 
@@ -164,6 +176,8 @@ def _iter_p_dect_simulated(
             break
 
     last_balance = 0.0
+    work_done = 0.0
+    units_done = 0
     while stop_reason is None and cluster.has_pending_work():
         if budget is not None and budget.cost_exhausted(cluster.makespan()):
             stop_reason = "max_cost"
@@ -173,15 +187,19 @@ def _iter_p_dect_simulated(
             lengths = cluster.queue_lengths()
             # redistributing a near-empty system only buys message latency; rebalance
             # only when some queue holds a meaningful batch of pending units
+            # AND shipping it beats the per-participant message cost at the
+            # observed average unit cost (benefit-aware gate)
             if max(lengths) >= 4 and any(value > policy.eta for value in skewness(lengths)):
                 moves = plan_rebalancing(lengths, policy.eta, policy.eta_prime)
-                participants: set[int] = set()
-                for origin, destination, count in moves:
-                    if cluster.move_units(origin, destination, count, charge=False):
-                        participants.add(origin)
-                        participants.add(destination)
-                for worker_index in participants:
-                    cluster.charge(worker_index, policy.latency)
+                average_unit_cost = work_done / units_done if units_done else 0.0
+                if rebalancing_pays(moves, policy.latency, average_unit_cost):
+                    participants: set[int] = set()
+                    for origin, destination, count in moves:
+                        if cluster.move_units(origin, destination, count, charge=False):
+                            participants.add(origin)
+                            participants.add(destination)
+                    for worker_index in participants:
+                        cluster.charge(worker_index, policy.latency)
 
         worker = cluster.next_busy_worker()
         if worker is None:
@@ -196,6 +214,7 @@ def _iter_p_dect_simulated(
             use_literal_pruning=use_literal_pruning,
             stats=stats,
             plan=plan,
+            adaptive=controllers[unit.rule_index] if controllers is not None else None,
         )
 
         depth = unit.depth()
@@ -217,6 +236,8 @@ def _iter_p_dect_simulated(
                 cluster.charge_broadcast(worker, verification / processors, policy.latency * (depth + 2))
             else:
                 cluster.charge(worker, float(verification))
+        work_done += filtering + verification
+        units_done += 1
 
         for new_unit in outcome.new_units:
             cluster.enqueue(worker, new_unit)
@@ -257,6 +278,9 @@ def _iter_p_dect_processes(
     budget: Optional[DetectionBudget],
     sink: Optional[ViolationSink],
     start_method: Optional[str],
+    adaptive=None,
+    warm_pool=None,
+    runtime_key=None,
 ) -> Iterator[Violation]:
     """Real multi-process batch detection over a sharded store.
 
@@ -266,6 +290,11 @@ def _iter_p_dect_processes(
     and each seed is routed to the worker owning its shard, otherwise all
     workers share one full image.  Violations are byte-identical to the
     simulated and serial paths; ``cost`` is the aggregate work performed.
+
+    With a ``warm_pool`` the run always uses the shared-full-image layout
+    (one runtime serves every request, so per-run fragment shards would
+    defeat reuse) and the runtime is built lazily — a pool hit on
+    ``runtime_key`` never touches the store at all.
     """
     from repro.detect.parallel.executor import (
         ExecutionRuntime,
@@ -287,25 +316,31 @@ def _iter_p_dect_processes(
     # add parent-side work), while spawn workers are shared-nothing — they
     # deserialize their images, so per-fragment halo shards cut each
     # worker's load to its own fragment
-    start_method = resolve_start_method(start_method)
-    sharded = (
-        start_method != "fork"
-        and processors > 1
-        and graph.node_count() > 0
-        and supports_localized_matching(rule_list)
-    )
+    if warm_pool is not None:
+        sharded = False
+    else:
+        start_method = resolve_start_method(start_method)
+        sharded = (
+            start_method != "fork"
+            and processors > 1
+            and graph.node_count() > 0
+            and supports_localized_matching(rule_list)
+        )
+    shards: Optional[ShardedStore] = None
     if sharded:
         shards = ShardedStore.build(
             graph, num_shards=processors, halo_hops=max(rule_set.diameter(), 1)
         )
-    else:
-        shards = ShardedStore.single(graph)
-    runtime = ExecutionRuntime(
-        rules=rule_list,
-        plans=plans,
-        use_literal_pruning=use_literal_pruning,
-        shards=shards,
-    )
+
+    def runtime_factory() -> ExecutionRuntime:
+        return ExecutionRuntime(
+            rules=rule_list,
+            plans=plans,
+            use_literal_pruning=use_literal_pruning,
+            shards=shards if shards is not None else ShardedStore.single(graph),
+            # controllers cannot cross process boundaries: workers build their own
+            adaptive=adaptive if isinstance(adaptive, (bool, type(None))) else True,
+        )
 
     seeds: list[tuple[int, int, WorkUnit]] = []
     estimated_loads = [0.0] * processors
@@ -366,18 +401,32 @@ def _iter_p_dect_processes(
 
     summary = ProcessRunSummary()
     if stop_reason is None and seeds:
-        events = iter_process_execution(
-            runtime,
-            seeds,
-            processors,
-            policy,
-            budget=budget,
-            sink=sink,
-            dedupe=(violations, ViolationSet()),
-            base_cost=base_cost,
-            start_method=start_method,
-            summary=summary,
-        )
+        if warm_pool is not None:
+            events = warm_pool.execute(
+                runtime_key,
+                runtime_factory,
+                seeds,
+                processors,
+                policy,
+                budget=budget,
+                sink=sink,
+                dedupe=(violations, ViolationSet()),
+                base_cost=base_cost,
+                summary=summary,
+            )
+        else:
+            events = iter_process_execution(
+                runtime_factory(),
+                seeds,
+                processors,
+                policy,
+                budget=budget,
+                sink=sink,
+                dedupe=(violations, ViolationSet()),
+                base_cost=base_cost,
+                start_method=start_method,
+                summary=summary,
+            )
         try:
             for violation, _ in events:
                 yield violation

@@ -44,6 +44,7 @@ from repro.detect.observers import DetectionBudget, ViolationEvent, ViolationSin
 from repro.detect.parallel.balancing import (
     BalancingPolicy,
     plan_rebalancing,
+    rebalancing_pays,
     should_split_step,
     skewness,
 )
@@ -78,6 +79,8 @@ def iter_pinc_dect(
     plans: Optional[Sequence[MatchPlan]] = None,
     execution: str = "simulated",
     start_method: Optional[str] = None,
+    adaptive=None,
+    warm_pool=None,
 ) -> Iterator[ViolationEvent]:
     """Run parallel incremental detection, yielding ΔVio events as they complete.
 
@@ -87,6 +90,9 @@ def iter_pinc_dect(
     replicates the candidate neighbourhood ``N_C(ΔG, Σ)`` to ``processors``
     real worker processes and expands the pivot work units there (byte-
     identical ΔVio; ``cost`` becomes the aggregate work performed).
+    ``warm_pool`` reuses live worker processes between runs; the
+    neighbourhood images differ per delta, so every run reloads its runtime
+    but skips process startup.
     """
     rule_set = rules if isinstance(rules, RuleSet) else RuleSet(rules)
     rule_list = list(rule_set)
@@ -96,7 +102,7 @@ def iter_pinc_dect(
     if execution == "processes":
         return _iter_pinc_dect_processes(
             graph, updated, rule_set, rule_list, plans, delta, processors, policy,
-            use_literal_pruning, budget, sink, start_method,
+            use_literal_pruning, budget, sink, start_method, adaptive, warm_pool,
         )
     if execution != "simulated":
         raise ExecutionError(
@@ -104,7 +110,7 @@ def iter_pinc_dect(
         )
     return _iter_pinc_dect_simulated(
         graph, updated, rule_set, rule_list, plans, delta, processors, policy,
-        use_literal_pruning, budget, sink,
+        use_literal_pruning, budget, sink, adaptive,
     )
 
 
@@ -120,8 +126,12 @@ def _iter_pinc_dect_simulated(
     use_literal_pruning: bool,
     budget: Optional[DetectionBudget],
     sink: Optional[ViolationSink],
+    adaptive=None,
 ) -> Iterator[ViolationEvent]:
     """The original deterministic kernel: one process, simulated clocks."""
+    from repro.matching.adaptive import resolve_adaptive
+
+    controllers = resolve_adaptive(plans, adaptive)
     stats = MatchStatistics()
     started = time.perf_counter()
     cluster = ClusterSimulator(processors, policy.latency)
@@ -169,6 +179,8 @@ def _iter_pinc_dect_simulated(
 
     # --------------------------------------------------- phase 3: parallel expansion
     last_balance = 0.0
+    work_done = 0.0
+    units_done = 0
     while stop_reason is None and cluster.has_pending_work():
         if budget is not None and budget.cost_exhausted(cluster.makespan()):
             stop_reason = "max_cost"
@@ -178,15 +190,19 @@ def _iter_pinc_dect_simulated(
             lengths = cluster.queue_lengths()
             # redistributing a near-empty system only buys message latency; rebalance
             # only when some queue holds a meaningful batch of pending units
+            # AND shipping it beats the per-participant message cost at the
+            # observed average unit cost (benefit-aware gate)
             if max(lengths) >= 4 and any(value > policy.eta for value in skewness(lengths)):
                 moves = plan_rebalancing(lengths, policy.eta, policy.eta_prime)
-                participants: set[int] = set()
-                for origin, destination, count in moves:
-                    if cluster.move_units(origin, destination, count, charge=False):
-                        participants.add(origin)
-                        participants.add(destination)
-                for worker_index in participants:
-                    cluster.charge(worker_index, policy.latency)
+                average_unit_cost = work_done / units_done if units_done else 0.0
+                if rebalancing_pays(moves, policy.latency, average_unit_cost):
+                    participants: set[int] = set()
+                    for origin, destination, count in moves:
+                        if cluster.move_units(origin, destination, count, charge=False):
+                            participants.add(origin)
+                            participants.add(destination)
+                    for worker_index in participants:
+                        cluster.charge(worker_index, policy.latency)
 
         worker = cluster.next_busy_worker()
         if worker is None:
@@ -203,6 +219,7 @@ def _iter_pinc_dect_simulated(
             use_literal_pruning=use_literal_pruning,
             stats=stats,
             plan=plan,
+            adaptive=controllers[unit.rule_index] if controllers is not None else None,
         )
 
         # candidate filtering cost (possibly split across processors); the
@@ -227,6 +244,8 @@ def _iter_pinc_dect_simulated(
                 cluster.charge_broadcast(worker, verification / processors, policy.latency * (depth + 2))
             else:
                 cluster.charge(worker, float(verification))
+        work_done += filtering + verification
+        units_done += 1
 
         for new_unit in outcome.new_units:
             cluster.enqueue(worker, new_unit)
@@ -271,6 +290,8 @@ def _iter_pinc_dect_processes(
     budget: Optional[DetectionBudget],
     sink: Optional[ViolationSink],
     start_method: Optional[str],
+    adaptive=None,
+    warm_pool=None,
 ) -> Iterator[ViolationEvent]:
     """Real multi-process incremental detection over the replicated N_C(ΔG, Σ).
 
@@ -312,13 +333,16 @@ def _iter_pinc_dect_processes(
     neighborhood_size = len(after_nodes)
     base_cost = float(neighborhood_size)  # extraction + replication charge
 
-    runtime = ExecutionRuntime(
-        rules=rule_list,
-        plans=plans,
-        use_literal_pruning=use_literal_pruning,
-        shards=ShardedStore.single(after_image),
-        before_shards=ShardedStore.single(before_image),
-    )
+    def runtime_factory() -> ExecutionRuntime:
+        return ExecutionRuntime(
+            rules=rule_list,
+            plans=plans,
+            use_literal_pruning=use_literal_pruning,
+            shards=ShardedStore.single(after_image),
+            before_shards=ShardedStore.single(before_image),
+            # controllers cannot cross process boundaries: workers build their own
+            adaptive=adaptive if isinstance(adaptive, (bool, type(None))) else True,
+        )
 
     seeds: list[tuple[int, int, WorkUnit]] = []
     for rule_index, seed, from_insertion in pivots:
@@ -341,18 +365,34 @@ def _iter_pinc_dect_processes(
     removed = ViolationSet()
     summary = ProcessRunSummary()
     if seeds:
-        events = iter_process_execution(
-            runtime,
-            seeds,
-            processors,
-            policy,
-            budget=budget,
-            sink=sink,
-            dedupe=(introduced, removed),
-            base_cost=base_cost,
-            start_method=start_method,
-            summary=summary,
-        )
+        if warm_pool is not None:
+            # the neighbourhood images are delta-specific, so the runtime
+            # key is None: every run reloads, but worker processes survive
+            events = warm_pool.execute(
+                None,
+                runtime_factory,
+                seeds,
+                processors,
+                policy,
+                budget=budget,
+                sink=sink,
+                dedupe=(introduced, removed),
+                base_cost=base_cost,
+                summary=summary,
+            )
+        else:
+            events = iter_process_execution(
+                runtime_factory(),
+                seeds,
+                processors,
+                policy,
+                budget=budget,
+                sink=sink,
+                dedupe=(introduced, removed),
+                base_cost=base_cost,
+                start_method=start_method,
+                summary=summary,
+            )
         try:
             for violation, from_insertion in events:
                 yield ViolationEvent(violation, introduced=from_insertion)

@@ -26,6 +26,7 @@ from repro.matching.candidates import MatchStatistics, node_satisfies_unary_prem
 from repro.matching.matchn import assignment_for_match, match_violates_dependency
 
 if TYPE_CHECKING:  # pragma: no cover - annotations only
+    from repro.matching.adaptive import AdaptiveController
     from repro.matching.plan import MatchPlan
 
 __all__ = [
@@ -141,20 +142,22 @@ def expand_work_unit(
     use_literal_pruning: bool = True,
     stats: Optional[MatchStatistics] = None,
     plan: Optional["MatchPlan"] = None,
+    adaptive: Optional["AdaptiveController"] = None,
 ) -> ExpansionOutcome:
     """Expand ``unit`` by matching its next pattern variable.
 
     With a compiled plan, the step executes the plan's candidate strategy
-    and literal schedule (:func:`_expand_with_plan`).  Without one,
-    candidates are drawn from the adjacency list of an already-matched
-    neighbour of the next variable (the "anchor"), checked for label and edge
-    consistency against the whole partial solution, and pruned with the
-    premise literals.  Completed matches are checked against X → Y and turned
-    into violations.
+    and literal schedule (:func:`_expand_with_plan`); an optional adaptive
+    controller observes the step's candidate count and may re-order the
+    unit's unbound suffix first.  Without a plan, candidates are drawn from
+    the adjacency list of an already-matched neighbour of the next variable
+    (the "anchor"), checked for label and edge consistency against the whole
+    partial solution, and pruned with the premise literals.  Completed
+    matches are checked against X → Y and turned into violations.
     """
     stats = stats if stats is not None else MatchStatistics()
     if plan is not None and not unit.is_complete():
-        return _expand_with_plan(graph, rule, unit, plan, use_literal_pruning, stats)
+        return _expand_with_plan(graph, rule, unit, plan, use_literal_pruning, stats, adaptive)
     if unit.is_complete():
         # a pivot can already cover every pattern variable (e.g. a two-node pattern);
         # the only remaining work is the dependency check itself
@@ -248,6 +251,7 @@ def _expand_with_plan(
     plan: "MatchPlan",
     use_literal_pruning: bool,
     stats: MatchStatistics,
+    adaptive: Optional["AdaptiveController"] = None,
 ) -> ExpansionOutcome:
     """One plan-driven expansion step.
 
@@ -257,13 +261,28 @@ def _expand_with_plan(
     scheduled literals — O(1) in the candidate's degree.  Cost-model sizes:
     ``filtering_adjacency`` is the index scan the strategy performed,
     ``verification_adjacency`` one unit per surviving candidate.
+
+    When the adaptive controller reports drift it re-orders the unit's
+    unbound suffix before the step executes; the children inherit the
+    revised order, so one replanning decision steers the whole subtree.
     """
     from repro.matching.plan import step_candidates
 
+    if adaptive is not None:
+        revised = adaptive.order_for(unit.order, unit.depth())
+        if revised != unit.order:
+            unit = WorkUnit(
+                rule_index=unit.rule_index,
+                order=revised,
+                assignment=unit.assignment,
+                from_insertion=unit.from_insertion,
+            )
     schedule = plan.schedule_for(unit.order)
     step = schedule[unit.depth()]
     partial = unit.mapping()
     candidates, scanned = step_candidates(graph, plan, step, partial, stats, use_literal_pruning)
+    if adaptive is not None:
+        adaptive.observe(step, len(candidates))
 
     new_units: list[WorkUnit] = []
     violations: list[Violation] = []

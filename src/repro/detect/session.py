@@ -45,7 +45,11 @@ The module-level functions ``dect`` / ``inc_dect`` / ``p_dect`` /
 
 from __future__ import annotations
 
+import hashlib
+import itertools
+import json
 import time
+import weakref
 from collections.abc import Iterable, Iterator, Sequence
 from dataclasses import dataclass
 from typing import Optional
@@ -64,11 +68,30 @@ from repro.detect.parallel.balancing import BalancingPolicy
 from repro.errors import SessionError
 from repro.graph.graph import Graph
 from repro.graph.store import STORE_REGISTRY
-from repro.detect.parallel.executor import EXECUTION_MODES
+from repro.detect.parallel.executor import EXECUTION_MODES, WarmExecutorPool
 from repro.graph.updates import BatchUpdate, apply_update
+from repro.matching.adaptive import CardinalityHistory, history_from_document, resolve_adaptive
 from repro.matching.plan import MatchPlan, compile_plans, load_plans, planner_enabled
 
 __all__ = ["DetectionOptions", "Detector", "ENGINES", "EXECUTION_MODES"]
+
+#: Process-wide identity tokens for graph stores: a warm-pool runtime key
+#: must never alias two different stores the way a recycled ``id()`` can,
+#: and must not keep dead stores alive the way a strong map would.
+_STORE_TOKENS: "weakref.WeakKeyDictionary" = weakref.WeakKeyDictionary()
+_STORE_TOKEN_COUNTER = itertools.count(1)
+
+
+def _store_token(store) -> Optional[int]:
+    """Return a stable process-unique token for ``store`` (None: not weakref-able)."""
+    try:
+        token = _STORE_TOKENS.get(store)
+        if token is None:
+            token = next(_STORE_TOKEN_COUNTER)
+            _STORE_TOKENS[store] = token
+        return token
+    except TypeError:  # pragma: no cover - store without weakref support
+        return None
 
 #: Sessions keep compiled plans for at most this many distinct graph
 #: snapshots; older entries are evicted first (insertion order).
@@ -106,7 +129,17 @@ class DetectionOptions:
       the parallel engine whenever ``execution="processes"`` is asked for;
     * ``start_method`` — multiprocessing start method for
       ``execution="processes"`` (``None``: fork where available, the
-      ``REPRO_EXECUTION_START_METHOD`` environment variable overrides).
+      ``REPRO_EXECUTION_START_METHOD`` environment variable overrides);
+    * ``adaptive`` — adaptive replanning from observed cardinalities
+      (:mod:`repro.matching.adaptive`).  ``None`` (the default) defers to
+      the ``REPRO_ADAPTIVE_REPLAN`` environment switch; only meaningful
+      while the planner is active;
+    * ``warm_pool`` — for ``execution="processes"``, keep the worker
+      processes (and their loaded graph images) alive across this
+      session's runs in a
+      :class:`~repro.detect.parallel.executor.WarmExecutorPool` instead
+      of spawning a fresh crew per run.  Close the session (``close()`` or
+      the context-manager form) to stop the workers.
     """
 
     use_literal_pruning: bool = True
@@ -117,6 +150,8 @@ class DetectionOptions:
     use_planner: Optional[bool] = None
     execution: str = "simulated"
     start_method: Optional[str] = None
+    adaptive: Optional[bool] = None
+    warm_pool: bool = False
 
     def planner_active(self) -> bool:
         """Return whether sessions should compile and execute match plans."""
@@ -150,6 +185,7 @@ class Detector:
         options: Optional[DetectionOptions] = None,
         sinks: Iterable[ViolationSink] = (),
         plans_file: Optional[str] = None,
+        executor_pool: Optional[WarmExecutorPool] = None,
     ) -> None:
         if engine not in ENGINES:
             raise SessionError(f"unknown engine {engine!r}; expected one of {ENGINES}")
@@ -175,6 +211,11 @@ class Detector:
                 "is single-process by definition — use engine='auto' or 'parallel' "
                 "(or drop execution='processes')"
             )
+        if self.options.warm_pool and self.options.execution != "processes":
+            raise SessionError(
+                "warm_pool keeps OS worker processes alive and therefore "
+                "requires execution='processes'"
+            )
         # a persisted plan set (matching.plan.save_plans, written next to its
         # rule catalog) pins this session's plans: loaded once lazily, reused
         # for every run, no statistics pass, no drift invalidation
@@ -187,6 +228,15 @@ class Detector:
         # valid execution order), but count drift forces a recompile so the
         # cost model never runs on stale statistics
         self._plan_cache: dict[int, tuple[int, int, tuple[MatchPlan, ...]]] = {}
+        # observed cardinalities harvested from this session's adaptive
+        # controllers; folded into later compile_plans calls as priors and
+        # persistable next to the plan document (save_plans(history=...))
+        self.history = CardinalityHistory()
+        # warm executor pool: injected (shared, e.g. the service's) or owned
+        # (options.warm_pool); only the owned one is stopped by close()
+        self._executor_pool = executor_pool
+        self._owns_pool = False
+        self._rules_digest: Optional[str] = None
 
     # ------------------------------------------------------------------ sinks
 
@@ -220,13 +270,20 @@ class Detector:
         if self.plans_file is not None:
             if self._file_plans is None:
                 self._file_plans = load_plans(self.plans_file, self.rules)
+                # a plan document may embed the cardinality history of the
+                # runs that produced it; adopt it so this session's own
+                # observations fold on top
+                with open(self.plans_file, "r", encoding="utf-8") as handle:
+                    embedded = history_from_document(json.load(handle))
+                if embedded is not None:
+                    self.history = embedded
             return self._file_plans
         key = id(graph.store)
         cached = self._plan_cache.get(key)
         counts = (graph.node_count(), graph.edge_count())
         if cached is not None and cached[:2] == counts:
             return cached[2]
-        plans = compile_plans(graph, self.rules)
+        plans = compile_plans(graph, self.rules, history=self.history if self.history else None)
         self._plan_cache[key] = (*counts, plans)
         while len(self._plan_cache) > PLAN_CACHE_LIMIT:
             self._plan_cache.pop(next(iter(self._plan_cache)))
@@ -235,6 +292,58 @@ class Detector:
     def clear_plan_cache(self) -> None:
         """Drop every cached plan (the next run recompiles)."""
         self._plan_cache.clear()
+
+    def save_history(self, path: str) -> None:
+        """Persist the session's observed-cardinality history as JSON."""
+        self.history.save(path)
+
+    # ------------------------------------------------------------ warm pooling
+
+    def executor_pool(self) -> Optional[WarmExecutorPool]:
+        """Return the session's warm executor pool, creating an owned one
+        on first use when ``options.warm_pool`` asks for it."""
+        if self._executor_pool is None and self.options.warm_pool:
+            self._executor_pool = WarmExecutorPool(
+                self._effective_processors(), start_method=self.options.start_method
+            )
+            self._owns_pool = True
+        return self._executor_pool
+
+    def close(self) -> None:
+        """Release session resources (the owned warm pool's workers)."""
+        if self._owns_pool and self._executor_pool is not None:
+            self._executor_pool.shutdown()
+
+    def __enter__(self) -> "Detector":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def _runtime_key(self, graph: Graph, caller_plans: bool) -> Optional[tuple]:
+        """Identify a batch runtime for warm-pool reuse, or None to force a miss.
+
+        The key pins everything the workers' loaded runtime is a function
+        of: the graph snapshot (store identity token + node/edge counts —
+        graphs the session detects over are treated as immutable
+        snapshots, which is how the registry publishes them) and this
+        session's rules/flags.  Caller-supplied plans bypass the session's
+        deterministic compile, so they force a reload.
+        """
+        token = _store_token(graph.store)
+        if token is None or caller_plans:
+            return None
+        if self._rules_digest is None:
+            self._rules_digest = hashlib.sha1(self.rules.to_json().encode("utf-8")).hexdigest()
+        return (
+            token,
+            graph.node_count(),
+            graph.edge_count(),
+            self._rules_digest,
+            self.options.use_literal_pruning,
+            self.options.planner_active(),
+            self.options.adaptive,
+        )
 
     # ------------------------------------------------------------- resolution
 
@@ -327,6 +436,29 @@ class Detector:
         if sink is not None:
             sink.on_finish(result)
 
+    def _adaptive_argument(self, plans, processes: bool):
+        """Resolve what the kernels receive as ``adaptive``.
+
+        In-process kernels get session-built controllers (so the session
+        can harvest their observations into ``history`` afterwards); the
+        processes backend only gets the bool/None switch — controllers
+        cannot cross the process boundary, workers build their own.
+        """
+        if processes:
+            return self.options.adaptive
+        if not plans:
+            return self.options.adaptive
+        resolved = resolve_adaptive(plans, self.options.adaptive)
+        if resolved is None:
+            return False
+        return resolved
+
+    def _harvesting(self, events, controllers):
+        """Run ``events`` to completion, then fold controller observations."""
+        result = yield from events
+        self.history.fold_controllers(controllers)
+        return result
+
     def _batch_events(
         self, graph: Graph, plans: Optional[Sequence[MatchPlan]] = None
     ) -> Iterator[Violation]:
@@ -335,6 +467,7 @@ class Detector:
 
         mode = self._resolve_batch_engine()
         graph = self._prepare(graph)
+        caller_plans = plans is not None
         if plans is None:
             plans = self.compile_plans(graph)
         sink = self._sink()
@@ -343,27 +476,38 @@ class Detector:
             sink.on_start(self)
         if not self.options.planner_active():
             plans = ()  # explicit off marker: the kernel must not recompile
+        processes = mode == "parallel" and self.options.execution == "processes"
+        adaptive = self._adaptive_argument(plans, processes)
         if mode == "batch":
-            return iter_dect(
+            events = iter_dect(
                 graph,
                 self.rules,
                 use_literal_pruning=self.options.use_literal_pruning,
                 budget=budget,
                 sink=sink,
                 plans=plans,
+                adaptive=adaptive,
             )
-        return iter_p_dect(
-            graph,
-            self.rules,
-            processors=self._effective_processors(),
-            policy=self.options.policy,
-            use_literal_pruning=self.options.use_literal_pruning,
-            budget=budget,
-            sink=sink,
-            plans=plans,
-            execution=self.options.execution,
-            start_method=self.options.start_method,
-        )
+        else:
+            pool = self.executor_pool() if processes else None
+            events = iter_p_dect(
+                graph,
+                self.rules,
+                processors=self._effective_processors(),
+                policy=self.options.policy,
+                use_literal_pruning=self.options.use_literal_pruning,
+                budget=budget,
+                sink=sink,
+                plans=plans,
+                execution=self.options.execution,
+                start_method=self.options.start_method,
+                adaptive=adaptive,
+                warm_pool=pool,
+                runtime_key=self._runtime_key(graph, caller_plans) if pool is not None else None,
+            )
+        if isinstance(adaptive, tuple):
+            return self._harvesting(events, adaptive)
+        return events
 
     def _incremental_events(
         self,
@@ -390,8 +534,10 @@ class Detector:
             sink.on_start(self)
         if not self.options.planner_active():
             plans = ()  # explicit off marker: the kernel must not recompile
+        processes = mode == "parallel" and self.options.execution == "processes"
+        adaptive = self._adaptive_argument(plans, processes)
         if mode == "incremental":
-            return iter_inc_dect(
+            events = iter_inc_dect(
                 graph,
                 self.rules,
                 delta,
@@ -401,9 +547,13 @@ class Detector:
                 budget=budget,
                 sink=sink,
                 plans=plans,
+                adaptive=adaptive,
             )
+            if isinstance(adaptive, tuple):
+                return self._harvesting(events, adaptive)
+            return events
         if mode == "parallel":
-            return iter_pinc_dect(
+            events = iter_pinc_dect(
                 graph,
                 self.rules,
                 delta,
@@ -416,7 +566,12 @@ class Detector:
                 plans=plans,
                 execution=self.options.execution,
                 start_method=self.options.start_method,
+                adaptive=adaptive,
+                warm_pool=self.executor_pool() if processes else None,
             )
+            if isinstance(adaptive, tuple):
+                return self._harvesting(events, adaptive)
+            return events
         if budget is not None:
             raise SessionError(
                 "engine='batch' incremental detection (BatchDiff) cannot honour "

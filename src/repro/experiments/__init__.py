@@ -13,6 +13,7 @@ from repro.experiments.runner import (
     run_exp4_vary_processors,
     run_exp5_effectiveness,
     run_parallel_speedup,
+    run_selftuning,
     run_storage_backend_comparison,
 )
 
@@ -33,6 +34,7 @@ __all__ = [
     "run_exp4_vary_processors",
     "run_exp5_effectiveness",
     "run_parallel_speedup",
+    "run_selftuning",
     "run_storage_backend_comparison",
     "speedup_summary",
 ]

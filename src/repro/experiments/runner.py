@@ -45,6 +45,7 @@ __all__ = [
     "run_exp4_vary_interval",
     "run_exp5_effectiveness",
     "run_parallel_speedup",
+    "run_selftuning",
     "run_storage_backend_comparison",
 ]
 
@@ -616,6 +617,204 @@ def run_parallel_speedup(
         "speedup_vs_serial": round(speedup, 3),
         "simulated_makespan": simulated.cost,
         "byte_identical_violations": True,
+    }
+    baseline = os.environ.get("REPRO_WRITE_BENCH_BASELINE")
+    if baseline:
+        with open(baseline, "w", encoding="utf-8") as handle:
+            _json.dump(report, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+    return report
+
+
+def _correlated_hub_graph(roots: int, wide: int, narrow: int, survivor_stride: int) -> Graph:
+    """A workload the static planner misjudges: every root fans out to
+    ``wide`` ``b``-nodes (edge ``e2``) of which only one in
+    ``survivor_stride`` satisfies the premise literal, and to ``narrow``
+    ``a``-nodes (edge ``e1``) that all survive.  Statistics order the
+    cheap-looking ``a`` step first; the observed cardinalities say the
+    ``b`` step is the near-empty one and should run first."""
+    graph = Graph("kb-selftuning")
+    for index in range(roots):
+        root = f"r{index}"
+        graph.add_node(root, "root", {})
+        for j in range(wide):
+            node = f"b{index}_{j}"
+            survives = (index * wide + j) % survivor_stride == 0
+            graph.add_node(node, "b", {"val": 1 if survives else 0})
+            graph.add_edge(root, node, "e2")
+        for j in range(narrow):
+            node = f"a{index}_{j}"
+            graph.add_node(node, "a", {"val": j})
+            graph.add_edge(root, node, "e1")
+    return graph
+
+
+def _selftuning_rules() -> RuleSet:
+    from repro.core.ngd import NGD
+    from repro.graph.pattern import Pattern
+
+    pattern = Pattern.from_edges(
+        "Qst",
+        nodes=[("x", "root"), ("y", "a"), ("z", "b")],
+        edges=[("x", "y", "e1"), ("x", "z", "e2")],
+    )
+    rule = NGD.from_text(pattern, premise="z.val = 1", conclusion="y.val < 0", name="st1")
+    return RuleSet([rule], name="selftuning-rules")
+
+
+def run_selftuning(
+    roots: int = 120,
+    wide: int = 20,
+    narrow: int = 3,
+    jobs: int = 4,
+    processors: int = 2,
+    entities: int = 600,
+) -> dict:
+    """Measure both halves of the self-tuning executor.
+
+    **Adaptive replanning** runs serial Dect twice over a correlated-hub
+    workload whose statistics mislead the static planner (see
+    :func:`_correlated_hub_graph`): once with ``adaptive=False`` (the
+    compiled order executes verbatim) and once with the default observe/
+    replan loop.  Violation sets must be byte-identical; the ratio of
+    ``total_operations()`` is the reported win.
+
+    **Warm worker pools** runs the same detection request ``jobs`` times
+    through the service path (:class:`~repro.service.jobs.SessionManager`
+    with ``execution="processes"``, which runs jobs on pool threads and
+    therefore spawns workers): once with a fresh manager per job (every
+    job pays worker start-up + runtime loading — the cold regime this PR
+    retires) and once through a single shared manager whose
+    :class:`~repro.detect.parallel.WarmExecutorPool` keeps the crew alive
+    (job 1 misses, jobs 2+ hit).  Violation records must match; per-job
+    wall-clock means are reported.
+
+    ``REPRO_WRITE_BENCH_BASELINE=path`` persists the report
+    (``benchmarks/BENCH_selftuning.json`` keeps the committed baseline).
+    """
+    import json as _json
+    import os
+    import platform
+
+    from repro.datasets.kb import KBConfig, knowledge_graph
+    from repro.service.jobs import SessionManager
+    from repro.service.protocol import DetectRequest
+    from repro.service.registry import GraphRegistry
+
+    # ------------------------------------------------- adaptive replanning
+    graph = _correlated_hub_graph(roots, wide, narrow, survivor_stride=97)
+    rules = _selftuning_rules()
+    static_detector = Detector(rules, engine="batch", options=DetectionOptions(adaptive=False))
+    static_result = static_detector.run(graph)
+    adaptive_detector = Detector(rules, engine="batch", options=DetectionOptions(adaptive=True))
+    adaptive_result = adaptive_detector.run(graph)
+    if static_result.violations.to_json() != adaptive_result.violations.to_json():
+        raise AssertionError("adaptive replanning changed the violation set")
+    static_operations = static_result.stats.total_operations()
+    adaptive_operations = adaptive_result.stats.total_operations()
+
+    # ------------------------------------------------- warm worker pools
+    config = KBConfig(
+        name="kb-selftuning-service",
+        num_entities=entities,
+        num_entity_types=4,
+        num_value_relations=4,
+        num_link_relations=3,
+        values_per_entity=3,
+        links_per_entity=2.0,
+        error_rate=0.08,
+        seed=8,
+        hub_link_fraction=0.4,
+        num_hubs=2,
+    )
+    service_graph = knowledge_graph(config)
+    service_rules = benchmark_rules(service_graph, count=8, max_diameter=4, seed=2)
+    request = DetectRequest(
+        catalog="selftuning", engine="auto", processors=processors, execution="processes"
+    )
+
+    def job(manager: SessionManager) -> tuple[float, list[dict]]:
+        started = time.perf_counter()
+        records = list(manager.stream_detection("kb", request))
+        return time.perf_counter() - started, records
+
+    def fresh_manager() -> SessionManager:
+        registry = GraphRegistry()
+        registry.register("kb", service_graph)
+        return SessionManager(registry, catalogs={"selftuning": service_rules})
+
+    cold_times: list[float] = []
+    cold_records: list[dict] = []
+    for _ in range(jobs):
+        manager = fresh_manager()
+        try:
+            elapsed, records = job(manager)
+        finally:
+            manager.shutdown()
+        cold_times.append(elapsed)
+        cold_records = records
+
+    warm_manager = fresh_manager()
+    try:
+        warm_times: list[float] = []
+        warm_records: list[dict] = []
+        for _ in range(jobs):
+            elapsed, warm_records = job(warm_manager)
+            warm_times.append(elapsed)
+        pool_stats = warm_manager.executor_pool(processors).stats()
+    finally:
+        warm_manager.shutdown()
+
+    def stream_violations(records: list[dict]) -> list[dict]:
+        # completion order across worker processes is nondeterministic;
+        # the *set* of violation records is what must agree
+        return sorted(
+            (record for record in records if record.get("type") == "violation"),
+            key=lambda record: _json.dumps(record, sort_keys=True),
+        )
+
+    if stream_violations(cold_records) != stream_violations(warm_records):
+        raise AssertionError("warm-pool job records differ from cold-pool records")
+
+    cold_per_job = sum(cold_times) / len(cold_times)
+    # job 1 loads the runtime (a miss by design); jobs 2+ are the steady state
+    warm_steady = warm_times[1:] if len(warm_times) > 1 else warm_times
+    warm_per_job = sum(warm_steady) / len(warm_steady)
+
+    try:
+        cpus = len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux
+        cpus = os.cpu_count() or 1
+    report = {
+        "adaptive": {
+            "workload": {
+                "roots": roots,
+                "wide_fanout": wide,
+                "narrow_fanout": narrow,
+                "violations": len(static_result.violations),
+            },
+            "static_operations": static_operations,
+            "adaptive_operations": adaptive_operations,
+            "operations_ratio": round(static_operations / max(adaptive_operations, 1), 3),
+            "byte_identical_violations": True,
+        },
+        "warm_pool": {
+            "workload": {
+                "entities": entities,
+                "nodes": service_graph.node_count(),
+                "edges": service_graph.edge_count(),
+                "rules": len(service_rules),
+                "violations": len(stream_violations(warm_records)),
+            },
+            "jobs": jobs,
+            "processors": processors,
+            "cold_seconds_per_job": round(cold_per_job, 4),
+            "warm_seconds_per_job": round(warm_per_job, 4),
+            "warm_speedup": round(cold_per_job / warm_per_job if warm_per_job else 0.0, 3),
+            "pool": pool_stats,
+            "identical_violation_records": True,
+        },
+        "machine": {"cpus": cpus, "platform": platform.platform()},
     }
     baseline = os.environ.get("REPRO_WRITE_BENCH_BASELINE")
     if baseline:

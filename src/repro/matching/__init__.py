@@ -1,5 +1,11 @@
 """Subgraph homomorphism matching: compiled plans, batch (Matchn) and update-driven (IncMatch)."""
 
+from repro.matching.adaptive import (
+    AdaptiveController,
+    CardinalityHistory,
+    adaptive_enabled,
+    resolve_adaptive,
+)
 from repro.matching.candidates import MatchStatistics, candidate_nodes, node_satisfies_unary_premise
 from repro.matching.incmatch import IncrementalMatcher, UpdatePivot, find_update_pivots
 from repro.matching.matchn import (
@@ -18,6 +24,8 @@ from repro.matching.plan import (
 )
 
 __all__ = [
+    "AdaptiveController",
+    "CardinalityHistory",
     "GraphStatistics",
     "HomomorphismMatcher",
     "IncrementalMatcher",
@@ -25,6 +33,7 @@ __all__ = [
     "MatchStatistics",
     "PlanStep",
     "UpdatePivot",
+    "adaptive_enabled",
     "assignment_for_match",
     "candidate_nodes",
     "compile_plan",
@@ -34,4 +43,5 @@ __all__ = [
     "match_violates_dependency",
     "node_satisfies_unary_premise",
     "planner_enabled",
+    "resolve_adaptive",
 ]

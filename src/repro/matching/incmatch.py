@@ -30,6 +30,7 @@ from repro.matching.candidates import MatchStatistics
 from repro.matching.matchn import HomomorphismMatcher
 
 if TYPE_CHECKING:  # pragma: no cover - annotations only
+    from repro.matching.adaptive import AdaptiveController
     from repro.matching.plan import MatchPlan
 
 __all__ = ["UpdatePivot", "find_update_pivots", "IncrementalMatcher"]
@@ -116,6 +117,7 @@ class IncrementalMatcher:
         use_literal_pruning: bool = True,
         stats: Optional[MatchStatistics] = None,
         plan: Optional["MatchPlan"] = None,
+        adaptive: Optional["AdaptiveController"] = None,
     ) -> None:
         self.rule = rule
         self.graph_before = graph_before
@@ -131,6 +133,7 @@ class IncrementalMatcher:
             use_literal_pruning=use_literal_pruning,
             stats=self.stats,
             plan=plan,
+            adaptive=adaptive,
         )
         self._matcher_before = HomomorphismMatcher(
             graph_before,
@@ -140,6 +143,7 @@ class IncrementalMatcher:
             use_literal_pruning=use_literal_pruning,
             stats=self.stats,
             plan=plan,
+            adaptive=adaptive,
         )
 
     def introduced_violations(self, pivot: UpdatePivot) -> Iterator[dict[str, Hashable]]:

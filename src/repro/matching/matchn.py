@@ -37,6 +37,7 @@ from repro.graph.pattern import Pattern
 from repro.matching.candidates import MatchStatistics, candidate_nodes, node_satisfies_unary_premise
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for annotations only
+    from repro.matching.adaptive import AdaptiveController
     from repro.matching.plan import MatchPlan, PlanStep
 
 __all__ = ["HomomorphismMatcher", "assignment_for_match", "match_violates_dependency"]
@@ -93,6 +94,7 @@ class HomomorphismMatcher:
         use_literal_pruning: bool = True,
         stats: Optional[MatchStatistics] = None,
         plan: Optional["MatchPlan"] = None,
+        adaptive: Optional["AdaptiveController"] = None,
     ) -> None:
         self.graph = graph
         self.pattern = pattern
@@ -101,6 +103,7 @@ class HomomorphismMatcher:
         self.use_literal_pruning = use_literal_pruning
         self.stats = stats if stats is not None else MatchStatistics()
         self.plan = plan
+        self.adaptive = adaptive if plan is not None else None
 
     # --------------------------------------------------------------- matching
 
@@ -122,8 +125,7 @@ class HomomorphismMatcher:
         if self.plan is not None:
             order = self.plan.order_for_seed(tuple(partial.keys()))
             schedule = self.plan.schedule_for(order)
-            remaining_steps = [step for step in schedule if step.variable not in partial]
-            yield from self._expand_plan(partial, remaining_steps)
+            yield from self._expand_plan(partial, order, schedule, len(partial))
             return
         order = self.pattern.matching_order(seed=list(partial.keys()))
         remaining = [variable for variable in order if variable not in partial]
@@ -146,7 +148,11 @@ class HomomorphismMatcher:
         return True
 
     def _expand_plan(
-        self, partial: dict[str, Hashable], remaining: list["PlanStep"]
+        self,
+        partial: dict[str, Hashable],
+        order: tuple[str, ...],
+        schedule: tuple["PlanStep", ...],
+        depth: int,
     ) -> Iterator[dict[str, Hashable]]:
         """Plan-mode expansion: candidates, residual checks and literals per the schedule.
 
@@ -154,18 +160,32 @@ class HomomorphismMatcher:
         between the new variable and the bound prefix, so the only residual
         structural checks are self-loop edges; premise literals fire exactly
         once, at the depth the plan scheduled them.
+
+        With an adaptive controller attached, each recursion level first asks
+        it whether the observed cardinalities have drifted enough to re-order
+        the unbound suffix; a revised order resolves a fresh schedule (same
+        bound prefix, so literals already fired stay fired exactly once) and
+        the subtree continues under it.
         """
         from repro.matching.plan import step_candidates
 
-        if not remaining:
+        if depth >= len(schedule):
             self.stats.matches_emitted += 1
             yield dict(partial)
             return
-        step = remaining[0]
+        adaptive = self.adaptive
+        if adaptive is not None:
+            revised = adaptive.order_for(order, depth)
+            if revised is not order and revised != order:
+                order = revised
+                schedule = self.plan.schedule_for(order)
+        step = schedule[depth]
         graph = self.graph
         candidates, _ = step_candidates(
             graph, self.plan, step, partial, self.stats, self.use_literal_pruning
         )
+        if adaptive is not None:
+            adaptive.observe(step, len(candidates))
         for candidate in candidates:
             self.stats.expansions += 1
             consistent = True
@@ -180,7 +200,7 @@ class HomomorphismMatcher:
             if self._pruned_by_schedule(step, partial):
                 del partial[step.variable]
                 continue
-            yield from self._expand_plan(partial, remaining[1:])
+            yield from self._expand_plan(partial, order, schedule, depth + 1)
             del partial[step.variable]
 
     def _pruned_by_schedule(self, step: "PlanStep", partial: Mapping[str, Hashable]) -> bool:

@@ -88,12 +88,22 @@ class GraphStatistics:
     (``len(nodes_with_label(l))``); edge-label counts from one pass over E.
     Both are pure functions of the graph content, independent of the storage
     backend, so the same graph compiles to the same plan on every engine.
+
+    ``source_pairs`` / ``target_pairs`` record per-(node-label, edge-label)
+    co-occurrence: how many ``edge_label`` edges *leave* (resp. *enter*)
+    nodes of each label.  They sharpen the anchored-fan estimate for
+    correlated hub patterns — a graph-wide ``average_fan`` dilutes a hub
+    label's true fan-out across every node — and are gathered in the same
+    O(|E|) pass.  Both stay optional so statistics snapshots persisted by
+    older plan documents keep producing exactly their old estimates.
     """
 
     node_count: int
     edge_count: int
     label_counts: Mapping[str, int]
     edge_label_counts: Mapping[str, int]
+    source_pairs: Optional[Mapping[str, Mapping[str, int]]] = None
+    target_pairs: Optional[Mapping[str, Mapping[str, int]]] = None
 
     @classmethod
     def from_graph(cls, graph: Graph) -> "GraphStatistics":
@@ -102,32 +112,64 @@ class GraphStatistics:
             label: len(graph.nodes_with_label(label)) for label in sorted(graph.labels())
         }
         edge_label_counts: dict[str, int] = {}
+        source_pairs: dict[str, dict[str, int]] = {}
+        target_pairs: dict[str, dict[str, int]] = {}
         for edge in graph.edges():
             edge_label_counts[edge.label] = edge_label_counts.get(edge.label, 0) + 1
+            source_label = graph.node(edge.source).label
+            target_label = graph.node(edge.target).label
+            by_edge = source_pairs.setdefault(source_label, {})
+            by_edge[edge.label] = by_edge.get(edge.label, 0) + 1
+            by_edge = target_pairs.setdefault(target_label, {})
+            by_edge[edge.label] = by_edge.get(edge.label, 0) + 1
         return cls(
             node_count=graph.node_count(),
             edge_count=graph.edge_count(),
             label_counts=label_counts,
             edge_label_counts=edge_label_counts,
+            source_pairs=source_pairs,
+            target_pairs=target_pairs,
         )
 
     def to_dict(self) -> dict:
         """Return the JSON form used by plan persistence (exact values)."""
-        return {
+        document = {
             "node_count": self.node_count,
             "edge_count": self.edge_count,
             "label_counts": dict(self.label_counts),
             "edge_label_counts": dict(self.edge_label_counts),
         }
+        if self.source_pairs is not None:
+            document["source_pairs"] = {
+                label: dict(pairs) for label, pairs in self.source_pairs.items()
+            }
+        if self.target_pairs is not None:
+            document["target_pairs"] = {
+                label: dict(pairs) for label, pairs in self.target_pairs.items()
+            }
+        return document
 
     @classmethod
     def from_dict(cls, document: Mapping) -> "GraphStatistics":
-        """Rebuild a statistics snapshot from :meth:`to_dict` output."""
+        """Rebuild a statistics snapshot from :meth:`to_dict` output.
+
+        Documents written before co-occurrence statistics existed simply
+        lack the keys; the rebuilt snapshot then falls back to the
+        ``average_fan`` estimates it was compiled with.
+        """
+        source_pairs = document.get("source_pairs")
+        target_pairs = document.get("target_pairs")
         return cls(
             node_count=int(document["node_count"]),
             edge_count=int(document["edge_count"]),
             label_counts=dict(document["label_counts"]),
             edge_label_counts=dict(document["edge_label_counts"]),
+            source_pairs={label: dict(pairs) for label, pairs in source_pairs.items()}
+            if source_pairs is not None
+            else None,
+            target_pairs={label: dict(pairs) for label, pairs in target_pairs.items()}
+            if target_pairs is not None
+            else None,
         )
 
     def label_cardinality(self, label: str) -> int:
@@ -141,6 +183,35 @@ class GraphStatistics:
         if self.node_count == 0:
             return 0.0
         return self.edge_label_counts.get(edge_label, 0) / self.node_count
+
+    def anchored_fan(
+        self, anchor_label: str, edge_label: str, direction: str, candidate_label: str
+    ) -> float:
+        """Estimate the ``edge_label`` fan from one ``anchor_label`` node.
+
+        Uses the co-occurrence counts when available: only edges whose
+        source *and* target labels are compatible with the pattern edge can
+        contribute, and the compatible count is spread over the anchor
+        label's population rather than the whole node set.  ``direction``
+        follows :class:`Anchor` semantics: ``"succ"`` means the data edge
+        runs anchor → candidate, ``"pred"`` candidate → anchor.
+        """
+        if self.source_pairs is None or self.target_pairs is None:
+            return self.average_fan(edge_label)
+        total = self.edge_label_counts.get(edge_label, 0)
+        if direction == "succ":
+            source_label, target_label = anchor_label, candidate_label
+        else:
+            source_label, target_label = candidate_label, anchor_label
+        if source_label == WILDCARD:
+            from_source = total
+        else:
+            from_source = self.source_pairs.get(source_label, {}).get(edge_label, 0)
+        if target_label == WILDCARD:
+            into_target = total
+        else:
+            into_target = self.target_pairs.get(target_label, {}).get(edge_label, 0)
+        return min(from_source, into_target) / max(self.label_cardinality(anchor_label), 1)
 
 
 # ----------------------------------------------------------------- plan model
@@ -220,16 +291,38 @@ class MatchPlan:
     searches (update pivots) ask :meth:`order_for_seed` for a cost-based
     order beginning with the seed variables and :meth:`schedule_for` for the
     matching step schedule.  Schedules are pure functions of
-    ``(statistics, rule, order)``; the internal memo tables only cache their
-    results, so a plan can be shared freely across threads and kernels.
+    ``(statistics, rule, order, observed)``; the internal memo tables only
+    cache their results, so a plan can be shared freely across threads and
+    kernels.
+
+    ``observed`` optionally carries the history-informed cardinality priors
+    the plan was compiled with (``{(variable, strategy): mean}``) — purely a
+    cost-model input; it never changes which matches a plan finds.
     """
 
-    __slots__ = ("rule", "statistics", "steps", "_premise_literals", "_schedules", "_seed_orders")
+    __slots__ = (
+        "rule",
+        "statistics",
+        "steps",
+        "observed",
+        "_premise_literals",
+        "_schedules",
+        "_seed_orders",
+    )
 
-    def __init__(self, rule: NGD, statistics: GraphStatistics, steps: tuple[PlanStep, ...]) -> None:
+    def __init__(
+        self,
+        rule: NGD,
+        statistics: GraphStatistics,
+        steps: tuple[PlanStep, ...],
+        observed: Optional[Mapping[tuple[str, str], float]] = None,
+    ) -> None:
         self.rule = rule
         self.statistics = statistics
         self.steps = steps
+        self.observed: Optional[dict[tuple[str, str], float]] = (
+            dict(observed) if observed else None
+        )
         self._premise_literals: tuple[Literal, ...] = rule.premise.literals()
         self._schedules: dict[tuple[str, ...], tuple[PlanStep, ...]] = {self.order: steps}
         self._seed_orders: dict[tuple[str, ...], tuple[str, ...]] = {}
@@ -250,7 +343,7 @@ class MatchPlan:
             return self.order
         cached = self._seed_orders.get(key)
         if cached is None:
-            cached = _greedy_order(self.statistics, self.rule.pattern, key)
+            cached = _greedy_order(self.statistics, self.rule.pattern, key, self.observed)
             self._seed_orders[key] = cached
         return cached
 
@@ -263,9 +356,25 @@ class MatchPlan:
         """
         cached = self._schedules.get(order)
         if cached is None:
-            cached = _steps_for_order(self.statistics, self.rule, order)
+            cached = _steps_for_order(self.statistics, self.rule, order, self.observed)
             self._schedules[order] = cached
         return cached
+
+    def revised_order(
+        self,
+        order: tuple[str, ...],
+        depth: int,
+        observed: Mapping[tuple[str, str], float],
+    ) -> tuple[str, ...]:
+        """Re-order the unbound suffix of ``order`` using observed cardinalities.
+
+        The bound prefix ``order[:depth]`` is kept verbatim (those variables
+        are already matched in-flight); the remaining variables are
+        re-greedily ordered with ``observed`` means standing in for the
+        compile-time estimates.  The adaptive controller calls this when a
+        step's measured candidate counts drift past the threshold.
+        """
+        return _greedy_order(self.statistics, self.rule.pattern, tuple(order[:depth]), observed)
 
     def estimated_unit_cost(self, depth: int) -> float:
         """Return the estimated subtree size of a work unit bound to ``depth`` variables.
@@ -298,15 +407,21 @@ class MatchPlan:
         The document also carries the exact ``statistics`` snapshot, which
         makes it a complete persistent form: :meth:`from_dict` rebuilds an
         identical plan from it (schedules are pure functions of
-        ``(statistics, rule, order)``, so only those three are stored).
+        ``(statistics, rule, order, observed)``, so only those are stored).
         """
-        return {
+        document = {
             "rule": self.rule.name,
             "order": list(self.order),
             "estimated_cost": round(self.estimated_unit_cost(0), 3),
             "steps": [step.to_dict() for step in self.steps],
             "statistics": self.statistics.to_dict(),
         }
+        if self.observed:
+            document["observed"] = [
+                [variable, strategy, self.observed[(variable, strategy)]]
+                for variable, strategy in sorted(self.observed)
+            ]
+        return document
 
     @classmethod
     def from_dict(cls, document: Mapping, rule: NGD) -> "MatchPlan":
@@ -332,7 +447,13 @@ class MatchPlan:
                 f"plan order {list(order)} is not a permutation of the "
                 f"variables of {rule.name!r}"
             )
-        return cls(rule, statistics, _steps_for_order(statistics, rule, order))
+        observed = {
+            (str(variable), str(strategy)): float(mean)
+            for variable, strategy, mean in document.get("observed", [])
+        } or None
+        return cls(
+            rule, statistics, _steps_for_order(statistics, rule, order, observed), observed
+        )
 
     def __repr__(self) -> str:  # pragma: no cover - debugging helper
         return f"MatchPlan({self.rule.name!r}, order={list(self.order)})"
@@ -353,30 +474,57 @@ def _anchors_for(pattern, variable: str, bound: set) -> tuple[Anchor, ...]:
     return tuple(anchors)
 
 
-def _estimate(stats: GraphStatistics, pattern, variable: str, anchors: tuple[Anchor, ...]) -> float:
+def _estimate(
+    stats: GraphStatistics,
+    pattern,
+    variable: str,
+    anchors: tuple[Anchor, ...],
+    observed: Optional[Mapping[tuple[str, str], float]] = None,
+) -> float:
     """Estimate |C(variable)| given the bound anchors.
 
     An unanchored variable scans its label bucket; an anchored one reads the
     smallest label-filtered adjacency view, whose expected size is the
-    edge-label fan-out — the intersection can only be smaller, so the minimum
-    over the anchors (capped by the label cardinality) is an upper-bound
-    estimate consistent across anchors.
+    anchored co-occurrence fan — the intersection can only be smaller, so the
+    minimum over the anchors (capped by the label cardinality) is an
+    upper-bound estimate consistent across anchors.
+
+    ``observed`` optionally overrides the model with measured candidate
+    means keyed ``(variable, strategy)`` — how adaptive replanning and the
+    persisted cardinality history inject what an actual run saw.
     """
-    label_cardinality = float(stats.label_cardinality(pattern.node(variable).label))
+    strategy = "anchored" if anchors else "scan"
+    if observed is not None:
+        prior = observed.get((variable, strategy))
+        if prior is not None:
+            return max(float(prior), 0.0)
+    candidate_label = pattern.node(variable).label
+    label_cardinality = float(stats.label_cardinality(candidate_label))
     if not anchors:
         return label_cardinality
-    fan = min(stats.average_fan(anchor.edge_label) for anchor in anchors)
+    fan = min(
+        stats.anchored_fan(
+            pattern.node(anchor.variable).label,
+            anchor.edge_label,
+            anchor.direction,
+            candidate_label,
+        )
+        for anchor in anchors
+    )
     return min(label_cardinality, fan)
 
 
 def _greedy_order(
-    stats: GraphStatistics, pattern, seed: Sequence[str] = ()
+    stats: GraphStatistics,
+    pattern,
+    seed: Sequence[str] = (),
+    observed: Optional[Mapping[tuple[str, str], float]] = None,
 ) -> tuple[str, ...]:
     """Choose a variable order greedily by estimated candidate cardinality.
 
     Ties break on pattern-variable declaration index, so the order is a
-    deterministic pure function of (statistics, pattern, seed) and identical
-    on every storage backend.
+    deterministic pure function of (statistics, pattern, seed, observed) and
+    identical on every storage backend.
     """
     variables = pattern.variables
     index = {variable: position for position, variable in enumerate(variables)}
@@ -396,7 +544,7 @@ def _greedy_order(
         best = min(
             pool,
             key=lambda v: (
-                _estimate(stats, pattern, v, _anchors_for(pattern, v, bound)),
+                _estimate(stats, pattern, v, _anchors_for(pattern, v, bound), observed),
                 index[v],
             ),
         )
@@ -405,7 +553,12 @@ def _greedy_order(
     return tuple(order)
 
 
-def _steps_for_order(stats: GraphStatistics, rule: NGD, order: tuple[str, ...]) -> tuple[PlanStep, ...]:
+def _steps_for_order(
+    stats: GraphStatistics,
+    rule: NGD,
+    order: tuple[str, ...],
+    observed: Optional[Mapping[tuple[str, str], float]] = None,
+) -> tuple[PlanStep, ...]:
     """Compile the per-step strategies and literal schedule for a fixed order."""
     pattern = rule.pattern
     premise_literals = rule.premise.literals()
@@ -452,7 +605,7 @@ def _steps_for_order(stats: GraphStatistics, rule: NGD, order: tuple[str, ...]) 
                 unary_premise=tuple(unary),
                 premise_checks=tuple(checks),
                 check_conclusion=check_conclusion,
-                estimated_candidates=_estimate(stats, pattern, variable, anchors),
+                estimated_candidates=_estimate(stats, pattern, variable, anchors, observed),
             )
         )
         bound = now_bound
@@ -460,34 +613,59 @@ def _steps_for_order(stats: GraphStatistics, rule: NGD, order: tuple[str, ...]) 
 
 
 def compile_plan(
-    graph: Graph, rule: NGD, statistics: Optional[GraphStatistics] = None
+    graph: Graph,
+    rule: NGD,
+    statistics: Optional[GraphStatistics] = None,
+    observed: Optional[Mapping[tuple[str, str], float]] = None,
 ) -> MatchPlan:
-    """Compile one NGD into a :class:`MatchPlan` against ``graph``'s statistics."""
+    """Compile one NGD into a :class:`MatchPlan` against ``graph``'s statistics.
+
+    ``observed`` optionally injects measured per-step candidate means (from
+    a :class:`~repro.matching.adaptive.CardinalityHistory`) as priors over
+    the statistical estimates.
+    """
     stats = statistics if statistics is not None else GraphStatistics.from_graph(graph)
-    order = _greedy_order(stats, rule.pattern)
-    return MatchPlan(rule, stats, _steps_for_order(stats, rule, order))
+    order = _greedy_order(stats, rule.pattern, observed=observed)
+    return MatchPlan(rule, stats, _steps_for_order(stats, rule, order, observed), observed)
 
 
-def compile_plans(graph: Graph, rules) -> tuple[MatchPlan, ...]:
-    """Compile every rule of an iterable/RuleSet, sharing one statistics pass."""
+def compile_plans(graph: Graph, rules, history=None) -> tuple[MatchPlan, ...]:
+    """Compile every rule of an iterable/RuleSet, sharing one statistics pass.
+
+    ``history`` is duck-typed: anything with ``priors_for(rule_name, stats)``
+    returning an observed-cardinality mapping (or None) works — the adaptive
+    module's :class:`~repro.matching.adaptive.CardinalityHistory` in practice.
+    """
     stats = GraphStatistics.from_graph(graph)
-    return tuple(compile_plan(graph, rule, statistics=stats) for rule in rules)
+    plans = []
+    for rule in rules:
+        observed = history.priors_for(rule.name, stats) if history is not None else None
+        plans.append(compile_plan(graph, rule, statistics=stats, observed=observed))
+    return tuple(plans)
 
 
 # ---------------------------------------------------------------- persistence
 
 
-def plans_to_document(plans: Sequence[MatchPlan]) -> dict:
+def plans_to_document(plans: Sequence[MatchPlan], history=None) -> dict:
     """Return the JSON document for a compiled plan set.
 
     Saved next to rule catalogs (``save_plans``) so worker processes and
     service restarts skip recompilation; also the wire form the process
-    executor ships to ``spawn``-style workers.
+    executor ships to ``spawn``-style workers.  ``history`` optionally
+    embeds a cardinality-history document (anything with ``to_document()``,
+    or a plain mapping) under the top-level ``"history"`` key; readers that
+    predate it ignore the key.
     """
-    return {
+    document = {
         "format": "repro-match-plans",
         "plans": [plan.to_dict() for plan in plans],
     }
+    if history is not None:
+        document["history"] = (
+            history.to_document() if hasattr(history, "to_document") else dict(history)
+        )
+    return document
 
 
 def plans_from_document(document: Mapping, rules) -> tuple[MatchPlan, ...]:
@@ -512,12 +690,12 @@ def plans_from_document(document: Mapping, rules) -> tuple[MatchPlan, ...]:
     )
 
 
-def save_plans(plans: Sequence[MatchPlan], path) -> None:
+def save_plans(plans: Sequence[MatchPlan], path, history=None) -> None:
     """Write a compiled plan set to ``path`` as JSON (next to its rule catalog)."""
     import json
 
     with open(path, "w", encoding="utf-8") as handle:
-        json.dump(plans_to_document(plans), handle, indent=2, sort_keys=True)
+        json.dump(plans_to_document(plans, history=history), handle, indent=2, sort_keys=True)
 
 
 def load_plans(path, rules) -> tuple[MatchPlan, ...]:
@@ -692,9 +870,12 @@ def format_plan(plan: MatchPlan) -> str:
             strategy = f"anchored intersection ({via})"
         else:
             strategy = f"indexed scan of label {step.label!r}"
+        origin = ""
+        if plan.observed and (step.variable, step.strategy) in plan.observed:
+            origin = " (observed prior)"
         lines.append(
             f"  [{depth}] {step.variable}: {strategy}, "
-            f"~{step.estimated_candidates:.1f} candidates"
+            f"~{step.estimated_candidates:.1f} candidates{origin}"
         )
         schedule_bits = []
         if step.unary_premise:

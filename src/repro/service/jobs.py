@@ -32,6 +32,7 @@ from typing import Iterator, Optional
 
 from repro.core.ngd import RuleSet
 from repro.core.violations import ViolationDelta, ViolationSet
+from repro.detect.parallel import WarmExecutorPool
 from repro.detect.session import DetectionOptions, Detector
 from repro.errors import PoolSaturatedError, ServiceError
 from repro.service.protocol import (
@@ -342,7 +343,44 @@ class SessionManager:
         self._sessions: dict[str, ContinuousSession] = {}
         self._sessions_lock = threading.Lock()
         self._session_ids = itertools.count(1)
+        self._executor_pools: dict[int, WarmExecutorPool] = {}
+        self._executor_pools_lock = threading.Lock()
         registry.add_listener(self._on_update)
+
+    # ---------------------------------------------------- warm executor pools
+
+    def executor_pool(self, processors: Optional[int]) -> WarmExecutorPool:
+        """Return the shared warm pool for ``processors``, creating it lazily.
+
+        Pools are keyed by processor count (a :class:`WarmExecutorPool`
+        pins its crew size), shared by every ``execution="processes"`` job
+        and continuous session of this manager, and live until
+        :meth:`shutdown` — that is what lets the second request for the
+        same ``(snapshot, rules)`` skip worker start-up and runtime
+        loading entirely.
+        """
+        count = max(1, processors or 1)
+        with self._executor_pools_lock:
+            pool = self._executor_pools.get(count)
+            if pool is None:
+                pool = WarmExecutorPool(count)
+                self._executor_pools[count] = pool
+            return pool
+
+    def maintain_pools(self) -> None:
+        """Opportunistic upkeep: evict warm crews idle past their TTL."""
+        with self._executor_pools_lock:
+            pools = list(self._executor_pools.values())
+        for pool in pools:
+            pool.maintain()
+
+    def shutdown(self) -> None:
+        """Stop every warm worker crew owned by this manager."""
+        with self._executor_pools_lock:
+            pools = list(self._executor_pools.values())
+            self._executor_pools.clear()
+        for pool in pools:
+            pool.shutdown()
 
     # -------------------------------------------------------------- catalogs
 
@@ -401,6 +439,7 @@ class SessionManager:
         """
         rules = self.resolve_rules(request)
         graph, version = self.registry.get(graph_name).snapshot()
+        processes = request.execution == "processes"
         detector = Detector(
             rules,
             engine=request.engine,
@@ -411,12 +450,20 @@ class SessionManager:
                 max_cost=request.max_cost,
                 execution=request.execution,
             ),
+            # process-backed jobs draw workers from the manager's shared
+            # warm pool: repeated requests against the same snapshot reuse
+            # live crews instead of paying runtime setup per request
+            executor_pool=self.executor_pool(request.processors) if processes else None,
         )
 
         def generate() -> Iterator[dict]:
-            for violation in detector.stream(graph):
-                yield violation_record(violation, introduced=True)
-            yield summary_record(detector.last_result, graph_name, version)
+            try:
+                for violation in detector.stream(graph):
+                    yield violation_record(violation, introduced=True)
+                yield summary_record(detector.last_result, graph_name, version)
+            finally:
+                if processes:
+                    self.maintain_pools()
 
         return self.job_pool.run_stream(generate())
 
@@ -441,19 +488,34 @@ class SessionManager:
             )
         rules = self.resolve_rules(request)
         registered = self.registry.get(graph_name)
+        processes = request.execution == "processes"
+        pool = self.executor_pool(request.processors) if processes else None
         with registered.lock:
             graph, version = registered.snapshot()
             batch = Detector(
                 rules,
                 engine=request.engine,
                 processors=request.processors,
-                options=DetectionOptions(use_literal_pruning=request.use_literal_pruning),
+                options=DetectionOptions(
+                    use_literal_pruning=request.use_literal_pruning,
+                    execution=request.execution,
+                ),
+                executor_pool=pool,
             )
             violations = batch.run(graph).violations
+            # the maintenance detector keeps the per-version incremental
+            # regime; under execution="processes" it routes through the
+            # parallel kernel and reuses the manager's warm crew across
+            # version bumps (processes survive, delta images reload)
             incremental = Detector(
                 rules,
-                engine="incremental",
-                options=DetectionOptions(use_literal_pruning=request.use_literal_pruning),
+                engine="auto" if processes else "incremental",
+                processors=request.processors if processes else None,
+                options=DetectionOptions(
+                    use_literal_pruning=request.use_literal_pruning,
+                    execution=request.execution,
+                ),
+                executor_pool=pool,
             )
             # compile the maintenance plans once against the base snapshot;
             # the session reuses them across versions until statistics drift
@@ -527,3 +589,11 @@ class SessionManager:
             session.advance(outcome.version, result.delta)
             if self.retain_versions is not None:
                 session.compact(self.retain_versions)
+        # a version bump obsoletes every batch runtime the warm crews hold
+        # (their images describe the pre-update snapshot); invalidate() is
+        # non-blocking, so this is safe inside the graph lock even while a
+        # pool is mid-run on a job thread
+        with self._executor_pools_lock:
+            pools = list(self._executor_pools.values())
+        for pool in pools:
+            pool.invalidate()

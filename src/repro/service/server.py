@@ -404,6 +404,7 @@ class DetectionService:
         self._thread.join()
         self._httpd.server_close()
         self._thread = None
+        self.manager.shutdown()
 
     @property
     def running(self) -> bool:
