@@ -397,6 +397,22 @@ def _build_parser() -> argparse.ArgumentParser:
         "(default: 8)",
     )
     serve_parser.add_argument(
+        "--data-dir",
+        default=None,
+        metavar="DIR",
+        help="durable service state: recover from DIR on boot, write-ahead "
+        "log every accepted mutation, checkpoint periodically (crash-safe "
+        "kill -9 semantics; see docs/ARCHITECTURE.md)",
+    )
+    serve_parser.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=None,
+        metavar="N",
+        help="with --data-dir: checkpoint after every N accepted updates "
+        "(default: 64); checkpoints can also be forced via POST /admin/checkpoint",
+    )
+    serve_parser.add_argument(
         "--verbose", action="store_true", help="log one line per HTTP request to stderr"
     )
     serve_parser.set_defaults(handler=_cmd_serve)
@@ -572,6 +588,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.service import DetectionService
     from repro.service.jobs import DEFAULT_MAX_JOBS
 
+    if args.checkpoint_every is not None and args.data_dir is None:
+        raise ReproError("--checkpoint-every requires --data-dir")
     service = DetectionService(
         host=args.host,
         port=args.port,
@@ -579,13 +597,32 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         verbose=args.verbose,
         retain_versions=args.retain_versions,
         max_jobs=args.max_jobs if args.max_jobs is not None else DEFAULT_MAX_JOBS,
+        data_dir=args.data_dir,
+        checkpoint_every=args.checkpoint_every,
     )
+    if service.persistence is not None:
+        recovered = service.persistence.recovered
+        print(
+            "repro-detect: recovered {graphs} graph(s), {sessions} session(s) "
+            "from {checkpoint} + {replayed} WAL record(s)".format(
+                graphs=recovered.get("graphs", 0),
+                sessions=recovered.get("sessions", 0),
+                checkpoint=recovered.get("checkpoint") or "empty checkpoint",
+                replayed=recovered.get("replayed", 0),
+            ),
+            file=sys.stderr,
+        )
+    # a recovered data dir already holds its registrations: re-registering
+    # the same names must not 409 the boot, so presence wins over the flags
     for name, path in _parse_name_path_specs(args.graph, "--graph"):
-        service.registry.register_file(name, path, store=args.store)
-    service.manager.register_catalog("example", example_rules())
-    service.manager.register_catalog("effectiveness", effectiveness_rules())
+        if name not in service.registry:
+            service.registry.register_file(name, path, store=args.store)
+    for name, rules in (("example", example_rules()), ("effectiveness", effectiveness_rules())):
+        if name not in service.manager.catalogs:
+            service.manager.register_catalog(name, rules)
     for name, path in _parse_name_path_specs(args.catalog, "--catalog"):
-        service.manager.register_catalog(name, RuleSet.load(path))
+        if name not in service.manager.catalogs:
+            service.manager.register_catalog(name, RuleSet.load(path))
     with service:
         # the ready line is the contract scripts wait on (tests, CI smoke)
         print(f"repro-detect: serving on {service.url}", flush=True)

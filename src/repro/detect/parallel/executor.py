@@ -689,10 +689,17 @@ class WarmExecutorPool:
         processors: int,
         start_method: Optional[str] = None,
         idle_ttl: float = DEFAULT_IDLE_TTL_SECONDS,
+        spool_cache=None,
     ) -> None:
         self.processors = processors
         self.idle_ttl = idle_ttl
         self._start_method = start_method
+        #: Optional durable spool-directory provider (``directory_for(key)``,
+        #: the service's --data-dir segment cache).  Cache-provided
+        #: directories are owned by the cache — the pool never deletes
+        #: them, so a later miss on the same runtime key adopts the
+        #: already-serialized images instead of re-spooling.
+        self.spool_cache = spool_cache
         self._lock = threading.Lock()
         self._crew: Optional[_WorkerCrew] = None
         self._runtime_key: Optional[Hashable] = None
@@ -756,7 +763,7 @@ class WarmExecutorPool:
                 crew = self._spawn_locked()
             if runtime_key is None or runtime_key != self._runtime_key:
                 self.misses += 1
-                self._load_runtime_locked(runtime_factory())
+                self._load_runtime_locked(runtime_factory(), runtime_key)
                 self._runtime_key = runtime_key
             else:
                 self.hits += 1
@@ -842,13 +849,17 @@ class WarmExecutorPool:
         self._runtime_key = None
         return crew
 
-    def _load_runtime_locked(self, runtime: ExecutionRuntime) -> None:
+    def _load_runtime_locked(self, runtime: ExecutionRuntime, runtime_key=None) -> None:
         crew = self._crew
-        spool_dir = _spool_directory()
+        cached_dir: Optional[str] = None
+        if self.spool_cache is not None and runtime_key is not None:
+            cached_dir = self.spool_cache.directory_for(runtime_key)
+        spool_dir = cached_dir if cached_dir is not None else _spool_directory()
         try:
             payload = runtime.payload(spool_dir)
         except BaseException:
-            shutil.rmtree(spool_dir, ignore_errors=True)
+            if cached_dir is None:
+                shutil.rmtree(spool_dir, ignore_errors=True)
             raise
         for inbox in crew.inboxes:
             inbox.put(("runtime", payload))
@@ -856,7 +867,11 @@ class WarmExecutorPool:
         # follow their runtime message), so its spool goes now
         self._drop_spool()
         self._spool_dir = spool_dir
-        self._spool_finalizer = weakref.finalize(self, _remove_spool, spool_dir)
+        # only one-shot temp directories get a removal finalizer; cached
+        # segment directories outlive the pool by design (the cache prunes
+        # them at service boot and clean shutdown)
+        if cached_dir is None:
+            self._spool_finalizer = weakref.finalize(self, _remove_spool, spool_dir)
 
     def _resync(self, crew: _WorkerCrew, summary: ProcessRunSummary) -> bool:
         """End-of-run barrier: collect every worker's report, reset the crew.

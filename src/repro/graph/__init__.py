@@ -33,6 +33,10 @@ from repro.graph.updates import (
     apply_update,
 )
 
+# importing the durable engine registers "persistent" in STORE_REGISTRY so
+# every store-selection surface (env var, Graph(store=...), --store) sees it
+from repro.storage import persistent as _persistent  # noqa: E402,F401
+
 __all__ = [
     "WILDCARD",
     "Edge",

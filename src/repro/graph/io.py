@@ -19,6 +19,7 @@ Batch updates use one JSON object per unit update with an ``"op"`` field of
 from __future__ import annotations
 
 import json
+import os
 from pathlib import Path
 from typing import Optional, Union
 
@@ -32,6 +33,8 @@ __all__ = [
     "graph_from_dict",
     "save_graph",
     "load_graph",
+    "atomic_write_json",
+    "load_json_document",
     "save_update",
     "load_update",
     "write_edge_list",
@@ -75,8 +78,34 @@ def graph_from_dict(document: dict, store: StoreSpec = None) -> Graph:
     return graph
 
 
-def save_graph(graph: Graph, path: PathLike) -> None:
-    """Write ``graph`` to ``path`` as JSON."""
+def atomic_write_json(document: object, path: PathLike) -> None:
+    """Write ``document`` to ``path`` as JSON, atomically.
+
+    The bytes land in a sibling temp file that is fsync'd and then renamed
+    over ``path``, so a crash mid-write leaves either the old file or the
+    new one — never a torn JSON document.  Checkpoints and the data-dir
+    manifest rely on this: recovery must always find a parseable file.
+    """
+    path = Path(path)
+    tmp_path = path.with_name(path.name + ".tmp")
+    with open(tmp_path, "w", encoding="utf-8") as handle:
+        json.dump(document, handle, indent=2, sort_keys=True, default=str)
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.replace(tmp_path, path)
+
+
+def load_json_document(path: PathLike) -> object:
+    """Read one JSON document from ``path`` (checkpoint/manifest loader)."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+def save_graph(graph: Graph, path: PathLike, atomic: bool = False) -> None:
+    """Write ``graph`` to ``path`` as JSON (``atomic=True`` for tmp+rename)."""
+    if atomic:
+        atomic_write_json(graph_to_dict(graph), path)
+        return
     with open(path, "w", encoding="utf-8") as handle:
         json.dump(graph_to_dict(graph), handle, indent=2, sort_keys=True, default=str)
 

@@ -296,6 +296,9 @@ class ShardedStore:
             directory = tempfile.mkdtemp(prefix="repro-shards-")
         directory = Path(directory)
         directory.mkdir(parents=True, exist_ok=True)
+        adopted = self._adopt_manifest(directory)
+        if adopted is not None:
+            return adopted
         for index in range(self.num_shards):
             if self._paths[index] is None:
                 path = directory / f"shard{index}.json"
@@ -311,6 +314,43 @@ class ShardedStore:
         manifest_path = directory / "manifest.json"
         with open(manifest_path, "w", encoding="utf-8") as handle:
             json.dump(manifest, handle, indent=2, sort_keys=True)
+        self.manifest_path = str(manifest_path)
+        return self.manifest_path
+
+    def _adopt_manifest(self, directory: Path) -> Optional[str]:
+        """Reuse a manifest already spooled into ``directory``, if compatible.
+
+        The durable segment cache hands the executor the same directory for
+        the same runtime key across warm-pool reloads; when a previous load
+        already serialized this store's images there, re-serializing them
+        would only burn I/O.  Adoption requires an exact parameter match
+        (shard count, halo radius, strategy, backend) and every shard file
+        on disk — anything else falls through to a fresh spool, which
+        overwrites the stale manifest.
+        """
+        manifest_path = directory / "manifest.json"
+        if not manifest_path.is_file():
+            return None
+        try:
+            with open(manifest_path, "r", encoding="utf-8") as handle:
+                manifest = json.load(handle)
+        except (OSError, json.JSONDecodeError):
+            return None
+        if (
+            not isinstance(manifest, dict)
+            or manifest.get("format") != "repro-sharded-store"
+            or manifest.get("halo_hops") != self.halo_hops
+            or manifest.get("strategy") != self.strategy
+            or manifest.get("backend") != self.backend
+        ):
+            return None
+        names = manifest.get("shards")
+        if not isinstance(names, list) or len(names) != self.num_shards:
+            return None
+        paths = [str(directory / name) for name in names]
+        if not all(os.path.isfile(path) for path in paths):
+            return None
+        self._paths = paths
         self.manifest_path = str(manifest_path)
         return self.manifest_path
 

@@ -153,6 +153,10 @@ class ServiceClient:
     def list_rules(self) -> list[dict]:
         return self._json("GET", "/rules")["catalogs"]
 
+    def checkpoint(self) -> dict:
+        """Force a durability checkpoint (server must run with --data-dir)."""
+        return self._json("POST", "/admin/checkpoint")
+
     # ------------------------------------------------------------- detection
 
     def stream_detect(

@@ -91,6 +91,7 @@ class ContinuousSession:
         violations: ViolationSet,
         plans=None,
         plan_size: int = 0,
+        request_document: Optional[dict] = None,
     ) -> None:
         self.session_id = session_id
         self.graph_name = graph_name
@@ -106,6 +107,9 @@ class ContinuousSession:
         self.compacted_through: Optional[int] = None
         self._squashed: Optional[ViolationDelta] = None
         self._lock = threading.Lock()
+        #: The request document the session was opened with; the durability
+        #: layer persists it so recovery can rebuild an identical detector.
+        self.request_document = request_document
 
     def plans_for(self, graph) -> object:
         """Return the session's cached plans, recompiling on statistics drift."""
@@ -186,6 +190,53 @@ class ContinuousSession:
         """Return the number of per-version deltas currently held."""
         with self._lock:
             return len(self.deltas)
+
+    def durable_document(self) -> dict:
+        """Return the session's full durable state (checkpoints + WAL open).
+
+        Everything recovery needs to adopt an equivalent session without
+        re-running the initial batch detection: the opening request, the
+        current violation set, the per-version delta log (with the
+        squashed prefix, if compaction ran), and the plan-reuse counters.
+        Detectors and compiled plans are *not* serialized — they are
+        rebuilt from the request document against the recovered graph.
+        """
+        with self._lock:
+            document = {
+                "session": self.session_id,
+                "graph": self.graph_name,
+                "base_version": self.base_version,
+                "current_version": self.current_version,
+                "request": self.request_document or {},
+                "violations": self.violations.to_dict(),
+                "deltas": {
+                    str(version): self.deltas[version].to_dict()
+                    for version in sorted(self.deltas)
+                },
+                "squashed": self._squashed.to_dict() if self._squashed is not None else None,
+                "compacted_through": self.compacted_through,
+                "plan_compilations": self.plan_compilations,
+                "plan_size": self.plan_size,
+            }
+            return document
+
+    def restore_progress(
+        self,
+        current_version: int,
+        deltas: "dict[int, ViolationDelta]",
+        squashed: Optional[ViolationDelta],
+        compacted_through: Optional[int],
+        plan_compilations: int,
+        plan_size: int,
+    ) -> None:
+        """Reapply recovered delta-log state (inverse of :meth:`durable_document`)."""
+        with self._lock:
+            self.current_version = current_version
+            self.deltas = dict(deltas)
+            self._squashed = squashed
+            self.compacted_through = compacted_through
+            self.plan_compilations = plan_compilations
+            self.plan_size = plan_size
 
     def state_document(self) -> dict:
         """Return the JSON description served by ``GET /sessions/{id}``."""
@@ -345,6 +396,14 @@ class SessionManager:
         self._session_ids = itertools.count(1)
         self._executor_pools: dict[int, WarmExecutorPool] = {}
         self._executor_pools_lock = threading.Lock()
+        #: Durability hook (duck-typed, see ``GraphRegistry.journal``):
+        #: catalog registrations and session open/close are logged through
+        #: it; attached after recovery so replayed state is not re-logged.
+        self.journal = None
+        #: Optional provider of durable spool directories for the warm
+        #: executor pools (the ``--data-dir`` segment cache); None keeps
+        #: the tempdir behaviour.
+        self.spool_cache = None
         registry.add_listener(self._on_update)
 
     # ---------------------------------------------------- warm executor pools
@@ -363,7 +422,7 @@ class SessionManager:
         with self._executor_pools_lock:
             pool = self._executor_pools.get(count)
             if pool is None:
-                pool = WarmExecutorPool(count)
+                pool = WarmExecutorPool(count, spool_cache=self.spool_cache)
                 self._executor_pools[count] = pool
             return pool
 
@@ -391,6 +450,8 @@ class SessionManager:
             if name in self.catalogs:
                 raise ServiceError(f"rule catalog {name!r} is already registered")
             self.catalogs[name] = rules
+        if self.journal is not None:
+            self.journal.record_catalog_registered(name, rules)
 
     def catalog(self, name: str) -> RuleSet:
         """Return a registered catalog or raise :class:`ServiceError`."""
@@ -529,10 +590,41 @@ class SessionManager:
                 violations=violations,
                 plans=plans,
                 plan_size=graph.total_size(),
+                request_document=request.to_document(),
             )
             with self._sessions_lock:
                 self._sessions[session.session_id] = session
+            # logged inside the graph lock: no update can interleave
+            # between the base snapshot and the open record, so replay
+            # sees exactly the version order the live sessions saw
+            if self.journal is not None:
+                self.journal.record_session_opened(session)
             return session
+
+    def adopt_session(self, session: ContinuousSession) -> ContinuousSession:
+        """Install a recovered session and advance the id counter past it.
+
+        Recovery-only: never journals.  The id counter is bumped so newly
+        created sessions cannot collide with recovered ids.
+        """
+        with self._sessions_lock:
+            if session.session_id in self._sessions:
+                raise ServiceError(f"session {session.session_id!r} is already registered")
+            self._sessions[session.session_id] = session
+            numeric = session.session_id.lstrip("s")
+            if numeric.isdigit():
+                floor = int(numeric) + 1
+                probe = next(self._session_ids)
+                self._session_ids = itertools.count(max(probe, floor))
+            return session
+
+    def sessions_for(self, graph_name: str) -> list[ContinuousSession]:
+        """Return the live sessions pinned to ``graph_name`` (id-sorted)."""
+        with self._sessions_lock:
+            return sorted(
+                (s for s in self._sessions.values() if s.graph_name == graph_name),
+                key=lambda s: s.session_id,
+            )
 
     def session(self, session_id: str) -> ContinuousSession:
         """Return a live session or raise :class:`ServiceError`."""
@@ -547,6 +639,8 @@ class SessionManager:
         with self._sessions_lock:
             if self._sessions.pop(session_id, None) is None:
                 raise ServiceError(f"no session {session_id!r}")
+        if self.journal is not None:
+            self.journal.record_session_closed(session_id)
 
     def describe_sessions(self) -> list[dict]:
         """Return a compact listing of every live session."""
@@ -580,6 +674,12 @@ class SessionManager:
         with self._sessions_lock:
             sessions = [s for s in self._sessions.values() if s.graph_name == outcome.name]
         for session in sessions:
+            if session.current_version >= outcome.version:
+                # already past this version — happens only during WAL
+                # replay, when a session recovered from a checkpoint taken
+                # after the update observes the update's record again;
+                # re-applying would corrupt the violation set
+                continue
             result = session.detector.run_incremental(
                 outcome.graph_before,
                 outcome.delta,

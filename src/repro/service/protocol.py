@@ -98,6 +98,31 @@ class DetectRequest:
     use_literal_pruning: bool = True
     execution: str = "simulated"
 
+    def to_document(self) -> dict:
+        """Return the JSON request document this request parsed from.
+
+        The round trip ``parse_detect_request(request.to_document())``
+        reproduces the request exactly; the durability layer logs this
+        form in session-open WAL records and checkpoints so recovery can
+        rebuild a session's detector with identical configuration.
+        """
+        document: dict = {
+            "engine": self.engine,
+            "use_literal_pruning": self.use_literal_pruning,
+            "execution": self.execution,
+        }
+        if self.rules is not None:
+            document["rules"] = self.rules.to_dict()
+        if self.catalog is not None:
+            document["catalog"] = self.catalog
+        if self.processors is not None:
+            document["processors"] = self.processors
+        if self.max_violations is not None:
+            document["max_violations"] = self.max_violations
+        if self.max_cost is not None:
+            document["max_cost"] = self.max_cost
+        return document
+
 
 def _optional_positive_int(document: Mapping, key: str) -> Optional[int]:
     value = document.get(key)

@@ -149,6 +149,12 @@ class GraphRegistry:
         self._lock = threading.Lock()
         self._listeners: list[UpdateListener] = []
         self.retain_versions = retain_versions
+        #: Durability hook (duck-typed to avoid a storage-layer import): when
+        #: set, ``record_graph_registered`` is called for every successful
+        #: registration before the caller sees it — the WAL's
+        #: ack-implies-logged contract.  Recovery attaches this only after
+        #: replay, so restored registrations are never re-logged.
+        self.journal = None
 
     # ------------------------------------------------------------ membership
 
@@ -163,6 +169,32 @@ class GraphRegistry:
             if name in self._graphs:
                 raise ServiceError(f"graph {name!r} is already registered")
             registered = RegisteredGraph(name, graph, retain_versions=self.retain_versions)
+            self._graphs[name] = registered
+        if self.journal is not None:
+            self.journal.record_graph_registered(registered)
+        return registered
+
+    def restore(
+        self,
+        name: str,
+        graph: Graph,
+        version: int,
+        snapshots: Optional[dict[int, Graph]] = None,
+    ) -> RegisteredGraph:
+        """Re-register a graph at a recovered version (recovery only).
+
+        Unlike :meth:`register` this places the graph at an arbitrary
+        version with an explicit retained-snapshot window, and never
+        journals — the caller is replaying state that is already durable.
+        """
+        validate_resource_name(name, "graph")
+        with self._lock:
+            if name in self._graphs:
+                raise ServiceError(f"graph {name!r} is already registered")
+            registered = RegisteredGraph(name, graph, retain_versions=self.retain_versions)
+            registered.version = version
+            if self.retain_versions:
+                registered._snapshots = dict(snapshots) if snapshots else {version: graph}
             self._graphs[name] = registered
             return registered
 

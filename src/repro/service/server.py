@@ -19,7 +19,14 @@ GET       /sessions/{id}/deltas?since=V     per-version ViolationDeltas after V
 DELETE    /sessions/{id}                    close a session
 GET       /rules                            list rule catalogs
 POST      /rules/{name}                     register a catalog (RuleSet document)
+POST      /admin/checkpoint                 force a durability checkpoint
 ========  ================================  =====================================
+
+Durability: constructing the service with ``data_dir`` makes it crash-safe
+— state is recovered from the directory's checkpoint + WAL before the
+socket binds, every accepted mutation is WAL-logged before its response,
+and a checkpoint runs every ``checkpoint_every`` accepted updates (or on
+demand via ``POST /admin/checkpoint``).  See :mod:`repro.storage.manager`.
 
 Error mapping: malformed requests and unknown names raise
 :class:`~repro.errors.ReproError` subclasses, which become a 4xx JSON body
@@ -195,6 +202,8 @@ class _ServiceHandler(BaseHTTPRequestHandler):
                 self._create_session(parts[1], body)
             elif len(parts) == 2 and parts[0] == "rules":
                 self._register_catalog(parts[1], body)
+            elif parts == ["admin", "checkpoint"]:
+                self._force_checkpoint()
             else:
                 raise ServiceError(f"no resource at {self.path!r}")
         except ReproError as exc:
@@ -248,6 +257,12 @@ class _ServiceHandler(BaseHTTPRequestHandler):
         except (KeyError, TypeError, ValueError, AttributeError) as exc:
             raise ServiceError(f"update document is malformed: {exc!r}") from exc
         outcome = self.service.registry.apply_update(name, delta)
+        # the update (and its session deltas) is WAL-logged by the time
+        # apply_update returns; the periodic checkpoint runs here, after
+        # the graph lock is released, so it never extends the lock hold
+        persistence = self.service.persistence
+        if persistence is not None:
+            persistence.maybe_checkpoint()
         self._send_json(
             {
                 "graph": outcome.name,
@@ -275,6 +290,14 @@ class _ServiceHandler(BaseHTTPRequestHandler):
             raise ServiceError(f"rule-set document is malformed: {exc!r}") from exc
         self.service.manager.register_catalog(name, rules)
         self._send_json({"catalog": name, "rules": len(rules)}, status=201)
+
+    def _force_checkpoint(self) -> None:
+        persistence = self.service.persistence
+        if persistence is None:
+            raise ServiceError(
+                "no durability layer: the service was started without --data-dir"
+            )
+        self._send_json(persistence.checkpoint())
 
     def _stream_detect(self, name: str, body: object) -> None:
         request = parse_detect_request(body)
@@ -346,6 +369,8 @@ class DetectionService:
         verbose: bool = False,
         retain_versions: Optional[int] = None,
         max_jobs: int = DEFAULT_MAX_JOBS,
+        data_dir: Optional[str] = None,
+        checkpoint_every: Optional[int] = None,
     ) -> None:
         if registry is not None and retain_versions is not None:
             # a caller-supplied registry carries its own retention window; a
@@ -367,6 +392,24 @@ class DetectionService:
         )
         self.store = store
         self.verbose = verbose
+        self.persistence = None
+        if data_dir is not None:
+            # recovery runs before the socket binds: by the time any client
+            # can connect, the registry and sessions are back to the exact
+            # acknowledged state, and the journal hooks are attached
+            from repro.storage.manager import DEFAULT_CHECKPOINT_EVERY, PersistenceManager
+
+            self.persistence = PersistenceManager(
+                data_dir,
+                self.registry,
+                self.manager,
+                checkpoint_every=(
+                    checkpoint_every if checkpoint_every is not None else DEFAULT_CHECKPOINT_EVERY
+                ),
+            )
+            self.persistence.recover()
+        elif checkpoint_every is not None:
+            raise ServiceError("checkpoint_every requires data_dir")
         self._httpd = ThreadingHTTPServer((host, port), _ServiceHandler)
         self._httpd.daemon_threads = True
         self._httpd.service = self  # type: ignore[attr-defined]
@@ -405,6 +448,8 @@ class DetectionService:
         self._httpd.server_close()
         self._thread = None
         self.manager.shutdown()
+        if self.persistence is not None:
+            self.persistence.close()
 
     @property
     def running(self) -> bool:
@@ -421,12 +466,15 @@ class DetectionService:
     def health(self) -> dict:
         """The ``GET /health`` document."""
         pool = self.manager.job_pool
-        return {
+        document = {
             "status": "ok",
             "graphs": len(self.registry),
             "sessions": self.manager.session_count(),
             "jobs": {"active": pool.active_jobs(), "max": pool.max_jobs},
         }
+        if self.persistence is not None:
+            document["persistence"] = self.persistence.info()
+        return document
 
     # ---------------------------------------------------------- convenience
 

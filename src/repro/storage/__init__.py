@@ -1,0 +1,27 @@
+"""Durable storage subsystem: persistent store, WAL, checkpoints, recovery.
+
+Import layering: this package is imported by ``repro.graph`` (to register
+the ``persistent`` engine), so the modules re-exported here must not
+import the service layer.  The service-facing pieces —
+:class:`~repro.storage.manager.PersistenceManager` and friends — live in
+:mod:`repro.storage.manager`, which is resolved lazily to keep the import
+graph acyclic.
+"""
+
+from repro.storage.persistent import PersistentStore
+from repro.storage.wal import WalCorruption, WriteAheadLog
+
+__all__ = [
+    "PersistentStore",
+    "WriteAheadLog",
+    "WalCorruption",
+    "PersistenceManager",
+]
+
+
+def __getattr__(name: str):
+    if name == "PersistenceManager":
+        from repro.storage.manager import PersistenceManager
+
+        return PersistenceManager
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

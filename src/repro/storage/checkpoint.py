@@ -1,0 +1,158 @@
+"""Data-directory layout: checkpoints, manifest, and the segment cache.
+
+A ``--data-dir`` given to ``repro-detect serve`` has this shape::
+
+    DATA_DIR/
+      MANIFEST.json          # {"format", "checkpoint": "ckpt-3"|null, "cut_lsn": N}
+      wal.log                # the write-ahead log (repro.storage.wal)
+      checkpoints/
+        ckpt-3/
+          registry.json      # graphs, catalogs, sessions (one document)
+          <graph>-v<k>.json  # one graph image per retained version
+      segments/
+        run-<pid>/           # executor spool cache for the live process
+          k<digest>/...      # one sharded-store spool per runtime key
+
+The manifest is the recovery root and is always written atomically
+(:func:`repro.graph.io.atomic_write_json`): a crash mid-checkpoint leaves
+the previous manifest pointing at the previous complete checkpoint, and
+the stale half-written ``ckpt-N`` directory is garbage-collected on the
+next successful checkpoint.  Only after the manifest rename does the WAL
+prefix get truncated — the invariant is ``checkpoint ⊕ WAL suffix ==
+current state`` at every instant.
+
+This module knows nothing about the service layer; it deals purely in
+paths and JSON documents.  :mod:`repro.storage.manager` assembles the
+documents from live service state.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import shutil
+from pathlib import Path
+from typing import Optional, Union
+
+from repro.errors import ReproError
+from repro.graph.io import atomic_write_json, load_json_document
+
+__all__ = ["DataDirectory", "SegmentCache", "DATA_DIR_FORMAT"]
+
+DATA_DIR_FORMAT = "repro-data-dir"
+
+
+class DataDirectory:
+    """Path bookkeeping for one durable service data directory."""
+
+    def __init__(self, root: Union[str, Path]) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.checkpoints_root.mkdir(exist_ok=True)
+
+    # ------------------------------------------------------------------ paths
+
+    @property
+    def wal_path(self) -> Path:
+        return self.root / "wal.log"
+
+    @property
+    def manifest_path(self) -> Path:
+        return self.root / "MANIFEST.json"
+
+    @property
+    def checkpoints_root(self) -> Path:
+        return self.root / "checkpoints"
+
+    @property
+    def segments_root(self) -> Path:
+        return self.root / "segments"
+
+    def checkpoint_dir(self, name: str) -> Path:
+        return self.checkpoints_root / name
+
+    # --------------------------------------------------------------- manifest
+
+    def read_manifest(self) -> Optional[dict]:
+        """Return the manifest document, or ``None`` for a fresh data dir."""
+        if not self.manifest_path.is_file():
+            return None
+        manifest = load_json_document(self.manifest_path)
+        if not isinstance(manifest, dict) or manifest.get("format") != DATA_DIR_FORMAT:
+            raise ReproError(
+                f"{self.manifest_path} is not a {DATA_DIR_FORMAT} manifest; refusing "
+                f"to serve from a directory that holds something else"
+            )
+        return manifest
+
+    def write_manifest(self, checkpoint: Optional[str], cut_lsn: int) -> None:
+        """Atomically point the data dir at ``checkpoint`` (WAL cut at ``cut_lsn``)."""
+        atomic_write_json(
+            {"format": DATA_DIR_FORMAT, "checkpoint": checkpoint, "cut_lsn": cut_lsn},
+            self.manifest_path,
+        )
+
+    # ------------------------------------------------------------ checkpoints
+
+    def next_checkpoint_name(self) -> str:
+        """Return an unused ``ckpt-<n>`` name (strictly above every existing one)."""
+        highest = 0
+        for entry in self.checkpoints_root.iterdir():
+            if entry.name.startswith("ckpt-"):
+                try:
+                    highest = max(highest, int(entry.name[5:]))
+                except ValueError:
+                    continue
+        return f"ckpt-{highest + 1}"
+
+    def prune_checkpoints(self, keep: Optional[str]) -> None:
+        """Delete every checkpoint directory except ``keep``.
+
+        Removes both superseded checkpoints and half-written ones left by a
+        crash mid-checkpoint (they were never named by a manifest).
+        """
+        for entry in self.checkpoints_root.iterdir():
+            if entry.is_dir() and entry.name != keep:
+                shutil.rmtree(entry, ignore_errors=True)
+
+
+class SegmentCache:
+    """Durable spool directories for the executor's warm worker pools.
+
+    ``directory_for(key)`` maps a detector runtime key to a stable
+    directory under ``segments/run-<pid>/``, so a warm-pool reload with the
+    same key finds the sharded-store images already serialized there and
+    adopts them (``ShardedStore.spool`` manifest adoption) instead of
+    re-spooling the whole graph.
+
+    Runtime keys embed a process-unique store token, so a cached spool is
+    only meaningful to the process that wrote it: the cache scopes its
+    directories per run and deletes every ``run-*`` leftover at
+    construction — which is also how spools orphaned by a SIGKILL get
+    cleaned up on the next boot.  ``close()`` removes the live run's
+    directory on clean shutdown.
+    """
+
+    def __init__(self, data_dir: DataDirectory) -> None:
+        self._root = data_dir.segments_root
+        self._root.mkdir(exist_ok=True)
+        for entry in self._root.iterdir():
+            if entry.is_dir() and entry.name.startswith("run-"):
+                shutil.rmtree(entry, ignore_errors=True)
+        self._run_dir = self._root / f"run-{os.getpid()}"
+        self._run_dir.mkdir(exist_ok=True)
+
+    @property
+    def run_dir(self) -> Path:
+        return self._run_dir
+
+    def directory_for(self, runtime_key: object) -> str:
+        """Return (creating if needed) the spool directory for ``runtime_key``."""
+        digest = hashlib.sha256(repr(runtime_key).encode("utf-8")).hexdigest()[:16]
+        directory = self._run_dir / f"k{digest}"
+        directory.mkdir(exist_ok=True)
+        return str(directory)
+
+    def close(self) -> None:
+        """Remove this run's spool directories (clean shutdown)."""
+        shutil.rmtree(self._run_dir, ignore_errors=True)

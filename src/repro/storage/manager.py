@@ -1,0 +1,405 @@
+"""Crash-safe service state: WAL journaling, checkpoints, and recovery.
+
+:class:`PersistenceManager` is the glue between the durable primitives
+(:mod:`repro.storage.wal`, :mod:`repro.storage.checkpoint`) and the live
+service objects (:class:`~repro.service.registry.GraphRegistry`,
+:class:`~repro.service.jobs.SessionManager`).  One instance owns one
+``--data-dir`` and runs three protocols:
+
+**Journaling (ack-implies-logged).**  After recovery the manager attaches
+itself as the registry's and session manager's ``journal`` and as a
+registry update listener.  Every state transition is then appended to the
+WAL *before* the mutating call returns to the HTTP handler — an update and
+the per-session :class:`ViolationDelta` records it produced land in one
+``append_many`` inside the graph's lock, so a client that saw a 200 will
+see the same state after ``kill -9`` + restart.
+
+**Checkpointing.**  :meth:`checkpoint` captures each graph together with
+its continuous sessions *under that graph's lock* (the pair is mutually
+consistent by construction), writes one ``ckpt-<n>`` directory, atomically
+swings ``MANIFEST.json`` at it, and only then truncates the WAL prefix and
+prunes older checkpoints.  The cut LSN is read *before* capture, so any
+record between cut and capture is re-delivered on replay and skipped by
+the idempotence rules below.  ``checkpoint_every`` drives automatic
+checkpoints from the update path; ``POST /admin/checkpoint`` forces one.
+
+**Recovery.**  :meth:`recover` loads the manifest's checkpoint (catalogs,
+graphs at their recorded versions with their retained snapshot windows,
+sessions rebuilt from their durable documents) and replays the WAL suffix.
+Replay is idempotent: a registration whose name already exists is skipped,
+an ``update`` record at or below the graph's version is skipped, and a
+replayed update routes through ``registry.apply_update`` so the (already
+registered) session-manager listener recomputes each session's delta with
+the same deterministic incremental kernel that produced it live.  Only
+after replay does the manager attach its journal hooks — recovered state
+is never re-logged.
+"""
+
+from __future__ import annotations
+
+import threading
+from pathlib import Path
+from typing import TYPE_CHECKING, Optional, Union
+
+from repro.core.ngd import RuleSet
+from repro.core.violations import ViolationDelta, ViolationSet
+from repro.errors import ServiceError
+from repro.graph.io import (
+    atomic_write_json,
+    graph_from_dict,
+    graph_to_dict,
+    load_graph,
+    load_json_document,
+    save_graph,
+    update_from_list,
+    update_to_list,
+)
+from repro.storage.checkpoint import DataDirectory, SegmentCache
+from repro.storage.wal import WriteAheadLog
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.service.jobs import ContinuousSession, SessionManager
+    from repro.service.registry import GraphRegistry, RegisteredGraph, UpdateOutcome
+
+__all__ = ["PersistenceManager"]
+
+#: Default number of accepted updates between automatic checkpoints.
+DEFAULT_CHECKPOINT_EVERY = 64
+
+
+class PersistenceManager:
+    """Owns one data directory's WAL, checkpoints, and recovery protocol."""
+
+    def __init__(
+        self,
+        data_dir: Union[str, Path],
+        registry: "GraphRegistry",
+        manager: "SessionManager",
+        checkpoint_every: Optional[int] = DEFAULT_CHECKPOINT_EVERY,
+    ) -> None:
+        if checkpoint_every is not None and checkpoint_every < 1:
+            raise ServiceError(f"checkpoint_every must be >= 1, got {checkpoint_every}")
+        self.data = DataDirectory(data_dir)
+        self.registry = registry
+        self.manager = manager
+        self.checkpoint_every = checkpoint_every
+        self.segments = SegmentCache(self.data)
+        #: Serialises WAL appends (listeners fire under per-graph locks, so
+        #: two graphs' updates may journal concurrently) and excludes them
+        #: from checkpoint truncation.
+        self._wal_lock = threading.Lock()
+        #: Serialises whole checkpoints (admin-triggered vs automatic).
+        self._checkpoint_lock = threading.Lock()
+        self._updates_since_checkpoint = 0
+        self.recovered: dict = {"checkpoint": None, "replayed": 0}
+        self.wal: Optional[WriteAheadLog] = None
+        self.checkpoints = 0
+
+    # ------------------------------------------------------------------ boot
+
+    def recover(self) -> dict:
+        """Load checkpoint + replay WAL suffix; return a recovery summary.
+
+        Must run before the service accepts connections and before any
+        graph/catalog registration from the CLI; attaches the journal
+        hooks on success, so everything that happens afterwards is logged.
+        """
+        # durable spool directories are useful during replay too (session
+        # restores with execution="processes" warm their pools from them)
+        self.manager.spool_cache = self.segments
+        manifest = self.data.read_manifest()
+        cut_lsn = 0
+        checkpoint_name: Optional[str] = None
+        if manifest is not None:
+            checkpoint_name = manifest.get("checkpoint")
+            cut_lsn = int(manifest.get("cut_lsn") or 0)
+            if checkpoint_name is not None:
+                self._restore_checkpoint(checkpoint_name)
+        self.wal = WriteAheadLog(self.data.wal_path, start_lsn=cut_lsn + 1)
+        replayed = 0
+        for record in self.wal.records():
+            self._replay(record)
+            replayed += 1
+        # attach journal hooks only now: replayed state must not re-log
+        self.registry.journal = self
+        self.manager.journal = self
+        self.registry.add_listener(self._journal_update)
+        self.recovered = {
+            "checkpoint": checkpoint_name,
+            "replayed": replayed,
+            "graphs": len(self.registry),
+            "sessions": self.manager.session_count(),
+        }
+        return self.recovered
+
+    def close(self) -> None:
+        """Release the WAL handle and this run's segment directories."""
+        if self.wal is not None:
+            self.wal.close()
+        self.segments.close()
+
+    # -------------------------------------------------------------- journal
+
+    def record_graph_registered(self, registered: "RegisteredGraph") -> None:
+        graph = registered.graph
+        self._append(
+            {
+                "type": "register_graph",
+                "graph": registered.name,
+                "store": graph.store_backend,
+                "document": graph_to_dict(graph),
+            }
+        )
+
+    def record_catalog_registered(self, name: str, rules: RuleSet) -> None:
+        self._append({"type": "register_catalog", "catalog": name, "document": rules.to_dict()})
+
+    def record_session_opened(self, session: "ContinuousSession") -> None:
+        self._append({"type": "session_open", **session.durable_document()})
+
+    def record_session_closed(self, session_id: str) -> None:
+        self._append({"type": "session_close", "session": session_id})
+
+    def _append(self, payload: dict) -> None:
+        with self._wal_lock:
+            self.wal.append(payload)
+
+    def _journal_update(self, outcome: "UpdateOutcome") -> None:
+        """Registry listener: log an update + the deltas it produced.
+
+        Registered *after* the session manager's listener, so every
+        session of the graph has already advanced to ``outcome.version``
+        when this runs; the whole group lands under one fsync.  Runs
+        inside the graph's lock — the ack the HTTP handler sends cannot
+        overtake the log.
+        """
+        records = [
+            {
+                "type": "update",
+                "graph": outcome.name,
+                "version": outcome.version,
+                "delta": update_to_list(outcome.delta),
+            }
+        ]
+        for session in self.manager.sessions_for(outcome.name):
+            delta = session.deltas.get(outcome.version)
+            if session.current_version == outcome.version and delta is not None:
+                records.append(
+                    {
+                        "type": "session_delta",
+                        "session": session.session_id,
+                        "version": outcome.version,
+                        "delta": delta.to_dict(),
+                    }
+                )
+        with self._wal_lock:
+            self.wal.append_many(records)
+        self._updates_since_checkpoint += 1
+
+    # ----------------------------------------------------------- checkpoint
+
+    def maybe_checkpoint(self) -> bool:
+        """Checkpoint if the update counter crossed ``checkpoint_every``.
+
+        Called from the update handler *after* the graph lock is released;
+        returns True when a checkpoint ran.
+        """
+        if self.checkpoint_every is None:
+            return False
+        if self._updates_since_checkpoint < self.checkpoint_every:
+            return False
+        self.checkpoint()
+        return True
+
+    def checkpoint(self) -> dict:
+        """Write a full checkpoint, swing the manifest, truncate the WAL."""
+        with self._checkpoint_lock:
+            with self._wal_lock:
+                cut_lsn = self.wal.last_lsn
+            name = self.data.next_checkpoint_name()
+            directory = self.data.checkpoint_dir(name)
+            directory.mkdir(parents=True, exist_ok=True)
+            graphs: list[dict] = []
+            for graph_name in self.registry.names():
+                registered = self.registry.get(graph_name)
+                with registered.lock:
+                    # capture the graph AND its sessions under one lock
+                    # acquisition: the pair is a consistent cut (sessions
+                    # always sit exactly at the graph's version)
+                    versions = registered.retained_versions() or [registered.version]
+                    images: dict[str, str] = {}
+                    for version in versions:
+                        snapshot = (
+                            registered.graph
+                            if version == registered.version
+                            else registered.snapshot_at(version)
+                        )
+                        filename = f"{graph_name}-v{version}.json"
+                        save_graph(snapshot, directory / filename, atomic=True)
+                        images[str(version)] = filename
+                    sessions = [
+                        session.durable_document()
+                        for session in self.manager.sessions_for(graph_name)
+                    ]
+                    graphs.append(
+                        {
+                            "name": graph_name,
+                            "version": registered.version,
+                            "store": registered.graph.store_backend,
+                            "images": images,
+                            "sessions": sessions,
+                        }
+                    )
+            with self.manager._catalog_lock:
+                catalogs = {
+                    name_: rules.to_dict() for name_, rules in self.manager.catalogs.items()
+                }
+            atomic_write_json(
+                {"graphs": graphs, "catalogs": catalogs}, directory / "registry.json"
+            )
+            # the manifest rename is the commit point: before it, recovery
+            # uses the previous checkpoint and the still-intact WAL; after
+            # it, the WAL prefix is redundant and may be truncated
+            self.data.write_manifest(name, cut_lsn)
+            with self._wal_lock:
+                self.wal.truncate_through(cut_lsn)
+            self.data.prune_checkpoints(keep=name)
+            self._updates_since_checkpoint = 0
+            self.checkpoints += 1
+            return {"checkpoint": name, "cut_lsn": cut_lsn, "graphs": len(graphs)}
+
+    # ------------------------------------------------------------- recovery
+
+    def _restore_checkpoint(self, name: str) -> None:
+        directory = self.data.checkpoint_dir(name)
+        document = load_json_document(directory / "registry.json")
+        for catalog_name, rules_doc in sorted((document.get("catalogs") or {}).items()):
+            self.manager.register_catalog(catalog_name, RuleSet.from_dict(rules_doc))
+        for graph_doc in document.get("graphs") or []:
+            store = graph_doc.get("store")
+            snapshots = {
+                int(version): load_graph(directory / filename, store=store)
+                for version, filename in graph_doc["images"].items()
+            }
+            current = snapshots[graph_doc["version"]]
+            self.registry.restore(
+                graph_doc["name"], current, graph_doc["version"], snapshots=snapshots
+            )
+            for session_doc in graph_doc.get("sessions") or []:
+                self._restore_session(session_doc)
+
+    def _restore_session(self, document: dict) -> None:
+        """Rebuild one continuous session from its durable document.
+
+        The detector and compiled plans are reconstructed exactly the way
+        ``SessionManager.create_session`` builds them — from the original
+        request document against the graph's current snapshot — while the
+        violation set and delta log come verbatim from the document.
+        """
+        from repro.detect.session import DetectionOptions, Detector
+        from repro.service.jobs import ContinuousSession
+        from repro.service.protocol import parse_detect_request
+
+        request = parse_detect_request(document.get("request") or {})
+        rules = self.manager.resolve_rules(request)
+        registered = self.registry.get(document["graph"])
+        processes = request.execution == "processes"
+        pool = self.manager.executor_pool(request.processors) if processes else None
+        with registered.lock:
+            graph, _version = registered.snapshot()
+            incremental = Detector(
+                rules,
+                engine="auto" if processes else "incremental",
+                processors=request.processors if processes else None,
+                options=DetectionOptions(
+                    use_literal_pruning=request.use_literal_pruning,
+                    execution=request.execution,
+                ),
+                executor_pool=pool,
+            )
+            plans = incremental.compile_plans(graph)
+            session = ContinuousSession(
+                session_id=document["session"],
+                graph_name=document["graph"],
+                rules=rules,
+                detector=incremental,
+                base_version=document["base_version"],
+                violations=ViolationSet.from_dict(document["violations"]),
+                plans=plans,
+                plan_size=graph.total_size(),
+                request_document=dict(document.get("request") or {}),
+            )
+            session.restore_progress(
+                current_version=document["current_version"],
+                deltas={
+                    int(version): ViolationDelta.from_dict(delta)
+                    for version, delta in (document.get("deltas") or {}).items()
+                },
+                squashed=(
+                    ViolationDelta.from_dict(document["squashed"])
+                    if document.get("squashed")
+                    else None
+                ),
+                compacted_through=document.get("compacted_through"),
+                plan_compilations=document.get("plan_compilations") or 1,
+                plan_size=document.get("plan_size") or graph.total_size(),
+            )
+            self.manager.adopt_session(session)
+
+    def _replay(self, record: dict) -> None:
+        kind = record.get("type")
+        if kind == "register_graph":
+            if record["graph"] in self.registry:
+                return
+            graph = graph_from_dict(record["document"], store=record.get("store"))
+            self.registry.restore(record["graph"], graph, version=1)
+        elif kind == "register_catalog":
+            if record["catalog"] in self.manager.catalogs:
+                return
+            self.manager.register_catalog(record["catalog"], RuleSet.from_dict(record["document"]))
+        elif kind == "update":
+            registered = self.registry.get(record["graph"])
+            if registered.version >= record["version"]:
+                return  # the checkpoint already includes this update
+            # routes through the registered session-manager listener, so
+            # every session recomputes its delta with the same incremental
+            # kernel that produced it live — deterministically identical
+            self.registry.apply_update(record["graph"], update_from_list(record["delta"]))
+        elif kind == "session_open":
+            try:
+                self._restore_session(record)
+            except ServiceError as exc:
+                if "already registered" not in str(exc):
+                    raise
+                # the checkpoint captured this session after its open
+                # record was cut — nothing to do
+        elif kind == "session_delta":
+            # belt-and-braces: normally redundant (the update replay above
+            # recomputed it); applies only if a session somehow sits one
+            # version behind a graph the checkpoint already advanced
+            try:
+                session = self.manager.session(record["session"])
+            except ServiceError:
+                return
+            if session.current_version == record["version"] - 1:
+                session.advance(record["version"], ViolationDelta.from_dict(record["delta"]))
+        elif kind == "session_close":
+            try:
+                self.manager.close_session(record["session"])
+            except ServiceError:
+                pass  # never checkpointed — the open record was truncated too
+        # unknown record types are ignored: a newer writer's log must not
+        # brick an older reader that can still serve the state it knows
+
+    # ------------------------------------------------------------- reporting
+
+    def info(self) -> dict:
+        """Persistence block for ``GET /health``."""
+        return {
+            "data_dir": str(self.data.root),
+            "wal_lsn": self.wal.last_lsn if self.wal is not None else 0,
+            "checkpoint_every": self.checkpoint_every,
+            "checkpoints": self.checkpoints,
+            "updates_since_checkpoint": self._updates_since_checkpoint,
+            "recovered": self.recovered,
+        }

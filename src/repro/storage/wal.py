@@ -1,0 +1,189 @@
+"""Write-ahead log for the durable detection service.
+
+Every accepted mutation of service state — graph registration, an applied
+``POST /graphs/{name}/updates`` batch, catalog registration, continuous
+session lifecycle and their per-version :class:`ViolationDelta` records —
+is appended here *before* the client sees an acknowledgement.  Recovery
+(:mod:`repro.storage.manager`) replays the suffix of this log on top of
+the latest checkpoint, so the ack-implies-logged invariant is what makes
+``kill -9`` safe.
+
+Record format (one record per line)::
+
+    <crc32 of body, 8 lowercase hex chars> <body>\n
+
+where ``body`` is a compact JSON object carrying a monotonic ``"lsn"``
+plus the record payload, serialized with sorted keys so the bytes are
+deterministic.  Appends are flushed and ``fsync``'d before returning.
+
+Torn tails: a crash can leave a partially written final record.  On open
+the log is scanned sequentially; the first line that fails to parse,
+fails its CRC, or breaks LSN monotonicity marks the torn tail, and the
+file is truncated back to the last good record.  Corruption can only be
+a tail — records are appended in LSN order and fsync'd in order — so
+truncation never discards acknowledged state that a checkpoint has not
+already captured.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import zlib
+from pathlib import Path
+from typing import Iterator, Optional, Union
+
+__all__ = ["WalCorruption", "WriteAheadLog"]
+
+PathLike = Union[str, Path]
+
+
+class WalCorruption(Exception):
+    """Raised for WAL damage that cannot be repaired by tail truncation."""
+
+
+def _encode(lsn: int, payload: dict) -> bytes:
+    body = json.dumps(
+        {"lsn": lsn, **payload}, sort_keys=True, separators=(",", ":"), default=str
+    )
+    return f"{zlib.crc32(body.encode('utf-8')) & 0xFFFFFFFF:08x} {body}\n".encode("utf-8")
+
+
+def _decode(line: bytes) -> Optional[dict]:
+    """Return the record payload, or None when the line is torn/corrupt."""
+    if not line.endswith(b"\n"):
+        return None
+    try:
+        text = line.decode("utf-8")
+        crc_hex, body = text[:-1].split(" ", 1)
+        if len(crc_hex) != 8:
+            return None
+        if int(crc_hex, 16) != (zlib.crc32(body.encode("utf-8")) & 0xFFFFFFFF):
+            return None
+        record = json.loads(body)
+    except (ValueError, UnicodeDecodeError):
+        return None
+    if not isinstance(record, dict) or not isinstance(record.get("lsn"), int):
+        return None
+    return record
+
+
+class WriteAheadLog:
+    """An append-only, CRC-checked, fsync'd record log with monotonic LSNs.
+
+    Opening scans any existing file, truncates a torn tail, and positions
+    the next LSN after the last intact record (or at ``start_lsn`` for an
+    empty log — recovery passes the checkpoint's cut LSN + 1 so LSNs stay
+    monotonic across checkpoint truncations).
+    """
+
+    def __init__(self, path: PathLike, start_lsn: int = 1) -> None:
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        last_lsn = start_lsn - 1
+        good_offset = 0
+        if self.path.exists():
+            with open(self.path, "rb") as handle:
+                offset = 0
+                for line in handle:
+                    record = _decode(line)
+                    if record is None or record["lsn"] <= last_lsn:
+                        break
+                    last_lsn = record["lsn"]
+                    offset += len(line)
+                    good_offset = offset
+            if good_offset < self.path.stat().st_size:
+                with open(self.path, "r+b") as handle:
+                    handle.truncate(good_offset)
+                    handle.flush()
+                    os.fsync(handle.fileno())
+        self._last_lsn = last_lsn
+        self._handle = open(self.path, "ab")
+
+    # ------------------------------------------------------------------ state
+
+    @property
+    def last_lsn(self) -> int:
+        """LSN of the most recently appended record (start_lsn - 1 if none)."""
+        return self._last_lsn
+
+    @property
+    def next_lsn(self) -> int:
+        return self._last_lsn + 1
+
+    # ----------------------------------------------------------------- append
+
+    def append(self, payload: dict) -> int:
+        """Durably append one record; return its LSN."""
+        return self.append_many([payload])
+
+    def append_many(self, payloads: list[dict]) -> int:
+        """Durably append several records under a single flush+fsync.
+
+        The batch is atomic in the torn-tail sense only for its final
+        record; callers group records that must land together (an update
+        and the session deltas it produced) and rely on idempotent replay
+        for the prefix.  Returns the last LSN written.
+        """
+        if not payloads:
+            return self._last_lsn
+        chunk = bytearray()
+        lsn = self._last_lsn
+        for payload in payloads:
+            lsn += 1
+            chunk += _encode(lsn, payload)
+        self._handle.write(chunk)
+        self._handle.flush()
+        os.fsync(self._handle.fileno())
+        self._last_lsn = lsn
+        return lsn
+
+    # ----------------------------------------------------------------- replay
+
+    def records(self) -> Iterator[dict]:
+        """Yield every intact record in LSN order (for recovery replay)."""
+        self._handle.flush()
+        if not self.path.exists():
+            return
+        with open(self.path, "rb") as handle:
+            for line in handle:
+                record = _decode(line)
+                if record is None:
+                    return
+                yield record
+
+    # --------------------------------------------------------------- truncate
+
+    def truncate_through(self, lsn: int) -> None:
+        """Drop every record with an LSN <= ``lsn`` (checkpoint prefix GC).
+
+        Rewrites the retained suffix to a temporary file and atomically
+        renames it over the log, so a crash mid-truncation leaves either
+        the old or the new log — never a mix.
+        """
+        retained = [record for record in self.records() if record["lsn"] > lsn]
+        self._handle.close()
+        tmp_path = self.path.with_suffix(".tmp")
+        with open(tmp_path, "wb") as handle:
+            for record in retained:
+                payload = {key: value for key, value in record.items() if key != "lsn"}
+                handle.write(_encode(record["lsn"], payload))
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp_path, self.path)
+        self._last_lsn = max(self._last_lsn, lsn)
+        self._handle = open(self.path, "ab")
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    def __enter__(self) -> "WriteAheadLog":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"WriteAheadLog({str(self.path)!r}, last_lsn={self._last_lsn})"

@@ -1,0 +1,421 @@
+"""Durability suite: WAL semantics, checkpoint/recovery, kill -9 survival.
+
+The contract under test (see docs/ARCHITECTURE.md, "The durability layer"):
+any state a client saw acknowledged — graph registrations, update versions,
+continuous-session violation sets and per-version delta logs — is exactly
+reproduced after the service process dies without warning and restarts on
+the same ``--data-dir``.  Recovery must equal a never-crashed control, and
+a torn final WAL record (the one write that *can* be lost, because it was
+never acknowledged) must be truncated silently rather than poison the log.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.core.builtin_rules import example_rules, phi2
+from repro.core.ngd import RuleSet
+from repro.graph.graph import Graph
+from repro.graph.io import save_graph
+from repro.graph.updates import BatchUpdate, NodePayload
+from repro.service import DetectionService, ServiceClient
+from repro.storage import WriteAheadLog
+from repro.storage.checkpoint import DataDirectory, SegmentCache
+
+
+def multi_area_graph(areas: int = 3, name: str = "areas") -> Graph:
+    """Every area violates φ2 (female + male ≠ total), as in the service tests."""
+    graph = Graph(name)
+    for i in range(areas):
+        graph.add_node(f"area{i}", "area")
+        graph.add_node(f"f{i}", "integer", {"val": 100 + i})
+        graph.add_node(f"m{i}", "integer", {"val": 200 + i})
+        graph.add_node(f"t{i}", "integer", {"val": 999})
+        graph.add_edge(f"area{i}", f"f{i}", "femalePopulation")
+        graph.add_edge(f"area{i}", f"m{i}", "malePopulation")
+        graph.add_edge(f"area{i}", f"t{i}", "populationTotal")
+    return graph
+
+
+def _update(i: int) -> BatchUpdate:
+    """One violation-changing update per call (fixes, then re-breaks, an area)."""
+    area, visit = i % 3, i // 3
+    old, new = (f"t{area}", f"t{area}x") if visit % 2 == 0 else (f"t{area}x", f"t{area}")
+    value = 999 if visit % 2 else 301 + 2 * area + 200  # fixes φ2, then re-breaks it
+    return (
+        BatchUpdate()
+        .delete(f"area{area}", old, "populationTotal")
+        .insert(
+            f"area{area}",
+            new,
+            "populationTotal",
+            target_payload=NodePayload("integer", {"val": value}),
+        )
+    )
+
+
+# ------------------------------------------------------------------------ WAL
+
+
+class TestWriteAheadLog:
+    def test_append_and_replay_in_lsn_order(self, tmp_path):
+        path = tmp_path / "wal.log"
+        with WriteAheadLog(path) as wal:
+            assert wal.append({"type": "a"}) == 1
+            assert wal.append_many([{"type": "b"}, {"type": "c"}]) == 3
+            records = list(wal.records())
+        assert [r["lsn"] for r in records] == [1, 2, 3]
+        assert [r["type"] for r in records] == ["a", "b", "c"]
+
+    def test_torn_tail_is_truncated_on_open(self, tmp_path):
+        path = tmp_path / "wal.log"
+        with WriteAheadLog(path) as wal:
+            wal.append_many([{"type": "a"}, {"type": "b"}])
+        with open(path, "ab") as handle:
+            handle.write(b'deadbeef {"lsn":3,"type":"half-writ')  # no newline, bad CRC
+        with WriteAheadLog(path) as wal:
+            assert wal.last_lsn == 2
+            assert [r["lsn"] for r in wal.records()] == [1, 2]
+        # the torn bytes are physically gone, not just skipped
+        assert b"half-writ" not in path.read_bytes()
+
+    def test_corrupt_crc_marks_the_tail(self, tmp_path):
+        path = tmp_path / "wal.log"
+        with WriteAheadLog(path) as wal:
+            wal.append_many([{"type": "a"}, {"type": "b"}, {"type": "c"}])
+        lines = path.read_bytes().splitlines(keepends=True)
+        flipped = lines[1][:9] + (b"X" if lines[1][9:10] != b"X" else b"Y") + lines[1][10:]
+        path.write_bytes(lines[0] + flipped + lines[2])
+        with WriteAheadLog(path) as wal:
+            # corruption can only be a tail: everything from the bad record on goes
+            assert wal.last_lsn == 1
+            assert [r["lsn"] for r in wal.records()] == [1]
+
+    def test_truncate_through_drops_prefix_and_keeps_lsns(self, tmp_path):
+        path = tmp_path / "wal.log"
+        wal = WriteAheadLog(path)
+        wal.append_many([{"type": t} for t in "abcd"])
+        wal.truncate_through(2)
+        assert [r["lsn"] for r in wal.records()] == [3, 4]
+        assert wal.append({"type": "e"}) == 5
+        wal.close()
+        reopened = WriteAheadLog(path, start_lsn=3)
+        assert reopened.last_lsn == 5
+        reopened.close()
+
+    def test_start_lsn_positions_an_empty_log(self, tmp_path):
+        wal = WriteAheadLog(tmp_path / "wal.log", start_lsn=42)
+        assert wal.last_lsn == 41
+        assert wal.append({"type": "a"}) == 42
+        wal.close()
+
+
+# ------------------------------------------------------- in-process recovery
+
+
+def _drive(client: ServiceClient, updates: int, session: bool = True) -> dict:
+    """Register graph + catalog, open a session, apply updates; return acked state."""
+    client.register_graph("areas", multi_area_graph())
+    client.register_rules("mine", example_rules())
+    sid = None
+    if session:
+        sid = client.create_session("areas", catalog="mine")["session"]
+    for i in range(updates):
+        client.post_update("areas", _update(i))
+    acked = {
+        "graph": client.graph_info("areas"),
+        "session": client.session_state(sid) if sid else None,
+        "deltas": client.session_deltas(sid, since=1) if sid else None,
+    }
+    return acked
+
+
+class TestInProcessRecovery:
+    def test_crash_recovery_equals_never_crashed_control(self, tmp_path):
+        data_dir = tmp_path / "data"
+        crashed = DetectionService(port=0, data_dir=str(data_dir)).start()
+        acked = _drive(ServiceClient(crashed.url), updates=5)
+        # simulated crash: the service is abandoned without stop(); its WAL
+        # handle stays open and nothing is flushed beyond what appends fsync'd
+
+        control = DetectionService(port=0).start()
+        expected = _drive(ServiceClient(control.url), updates=5)
+        control.stop()
+
+        recovered = DetectionService(port=0, data_dir=str(data_dir))
+        with recovered:
+            client = ServiceClient(recovered.url)
+            state = {
+                "graph": client.graph_info("areas"),
+                "session": client.session_state(acked["session"]["session"]),
+                "deltas": client.session_deltas(acked["session"]["session"], since=1),
+            }
+            # byte-identical to both what was acknowledged pre-crash and to a
+            # control that never crashed (determinism across process states)
+            assert state == acked
+            assert state == expected
+            assert recovered.persistence.recovered["replayed"] > 0
+            # the recovered service keeps working: updates advance sessions
+            reply = client.post_update("areas", _update(5))
+            assert reply["version"] == acked["graph"]["version"] + 1
+            assert reply["sessions_advanced"] == 1
+
+    def test_recovery_from_checkpoint_plus_wal_suffix(self, tmp_path):
+        data_dir = tmp_path / "data"
+        crashed = DetectionService(port=0, data_dir=str(data_dir), checkpoint_every=3).start()
+        client = ServiceClient(crashed.url)
+        acked = _drive(client, updates=7)  # 2 automatic checkpoints + 1 WAL-only update
+        assert crashed.persistence.checkpoints >= 2
+
+        recovered = DetectionService(port=0, data_dir=str(data_dir))
+        with recovered:
+            summary = recovered.persistence.recovered
+            assert summary["checkpoint"] is not None
+            c2 = ServiceClient(recovered.url)
+            sid = acked["session"]["session"]
+            assert c2.session_state(sid) == acked["session"]
+            assert c2.graph_info("areas") == acked["graph"]
+            assert c2.session_deltas(sid, since=1) == acked["deltas"]
+
+    def test_forced_checkpoint_truncates_wal_and_survives(self, tmp_path):
+        data_dir = tmp_path / "data"
+        service = DetectionService(port=0, data_dir=str(data_dir)).start()
+        client = ServiceClient(service.url)
+        acked = _drive(client, updates=4)
+        outcome = client.checkpoint()
+        assert outcome["graphs"] == 1
+        # the WAL prefix is gone; only post-checkpoint records remain
+        assert list(service.persistence.wal.records()) == []
+        health = client.health()
+        assert health["persistence"]["checkpoints"] == 1
+
+        recovered = DetectionService(port=0, data_dir=str(data_dir))
+        with recovered:
+            assert recovered.persistence.recovered["replayed"] == 0
+            c2 = ServiceClient(recovered.url)
+            assert c2.session_state(acked["session"]["session"]) == acked["session"]
+
+    def test_torn_wal_tail_recovers_to_last_acknowledged_state(self, tmp_path):
+        data_dir = tmp_path / "data"
+        crashed = DetectionService(port=0, data_dir=str(data_dir)).start()
+        acked = _drive(ServiceClient(crashed.url), updates=3)
+        # simulate a crash mid-append: a partial, never-acknowledged record
+        with open(data_dir / "wal.log", "ab") as handle:
+            handle.write(b'00000000 {"lsn":99999,"type":"update","graph":"areas"')
+
+        recovered = DetectionService(port=0, data_dir=str(data_dir))
+        with recovered:
+            client = ServiceClient(recovered.url)
+            assert client.graph_info("areas") == acked["graph"]
+            assert client.session_state(acked["session"]["session"]) == acked["session"]
+
+    def test_registrations_survive_without_any_update(self, tmp_path):
+        data_dir = tmp_path / "data"
+        service = DetectionService(port=0, data_dir=str(data_dir)).start()
+        client = ServiceClient(service.url)
+        client.register_graph("areas", multi_area_graph())
+        client.register_rules("mine", RuleSet([phi2()], name="mine"))
+        service.stop()
+
+        recovered = DetectionService(port=0, data_dir=str(data_dir))
+        with recovered:
+            c2 = ServiceClient(recovered.url)
+            assert [g["name"] for g in c2.list_graphs()] == ["areas"]
+            assert {c["name"] for c in c2.list_rules()} == {"mine"}
+            # detection against the recovered graph works end to end
+            reply = c2.detect("areas", catalog="mine")
+            assert len(reply) == 3
+
+    def test_closed_sessions_stay_closed_after_recovery(self, tmp_path):
+        data_dir = tmp_path / "data"
+        service = DetectionService(port=0, data_dir=str(data_dir)).start()
+        client = ServiceClient(service.url)
+        client.register_graph("areas", multi_area_graph())
+        client.register_rules("mine", example_rules())
+        sid = client.create_session("areas", catalog="mine")["session"]
+        client.close_session(sid)
+
+        recovered = DetectionService(port=0, data_dir=str(data_dir))
+        with recovered:
+            assert recovered.manager.session_count() == 0
+            # new sessions never reuse a recovered (even closed) session id
+            c2 = ServiceClient(recovered.url)
+            new_sid = c2.create_session("areas", catalog="mine")["session"]
+            assert new_sid != sid
+
+    def test_retention_window_and_squashed_deltas_round_trip(self, tmp_path):
+        data_dir = tmp_path / "data"
+        crashed = DetectionService(
+            port=0, data_dir=str(data_dir), retain_versions=2, checkpoint_every=4
+        ).start()
+        client = ServiceClient(crashed.url)
+        client.register_graph("areas", multi_area_graph())
+        client.register_rules("mine", example_rules())
+        sid = client.create_session("areas", catalog="mine")["session"]
+        for i in range(6):
+            client.post_update("areas", _update(i))
+        acked_session = client.session_state(sid)
+        assert acked_session.get("compacted_through"), "precondition: compaction ran"
+
+        recovered = DetectionService(port=0, data_dir=str(data_dir), retain_versions=2)
+        with recovered:
+            c2 = ServiceClient(recovered.url)
+            assert c2.session_state(sid) == acked_session
+            registered = recovered.registry.get("areas")
+            assert registered.retained_versions() == [
+                registered.version - 1,
+                registered.version,
+            ]
+
+
+# ----------------------------------------------------------- segment cache
+
+
+class TestSegmentCache:
+    def test_directory_for_is_stable_per_key(self, tmp_path):
+        cache = SegmentCache(DataDirectory(tmp_path / "data"))
+        first = cache.directory_for(("token", 10, 20))
+        assert first == cache.directory_for(("token", 10, 20))
+        assert first != cache.directory_for(("token", 10, 21))
+        assert Path(first).is_dir()
+        cache.close()
+        assert not Path(first).exists()
+
+    def test_stale_run_directories_are_pruned_at_boot(self, tmp_path):
+        data = DataDirectory(tmp_path / "data")
+        stale = data.segments_root / "run-99999"
+        stale.mkdir(parents=True)
+        (stale / "leftover.json").write_text("{}")
+        cache = SegmentCache(data)
+        assert not stale.exists()
+        cache.close()
+
+    def test_sharded_store_adopts_cached_spool(self, tmp_path):
+        from repro.graph.sharded import ShardedStore, clear_spool_cache
+
+        graph = multi_area_graph(4)
+        directory = tmp_path / "segment"
+        first = ShardedStore.build(graph, num_shards=2, halo_hops=1)
+        manifest = first.spool(directory)
+        mtimes = {p.name: p.stat().st_mtime_ns for p in directory.iterdir()}
+
+        clear_spool_cache()
+        second = ShardedStore.build(graph, num_shards=2, halo_hops=1)
+        assert second.spool(directory) == manifest
+        # adoption must not have re-serialized a single byte
+        assert {p.name: p.stat().st_mtime_ns for p in directory.iterdir()} == mtimes
+        # and the adopted store still loads every shard correctly
+        reloaded = ShardedStore.load(manifest)
+        assert reloaded.num_shards == 2
+        assert sum(reloaded.shard(i).node_count() for i in range(2)) >= graph.node_count()
+
+    def test_mismatched_manifest_is_respooled(self, tmp_path):
+        from repro.graph.sharded import ShardedStore
+
+        graph = multi_area_graph(4)
+        directory = tmp_path / "segment"
+        ShardedStore.build(graph, num_shards=2, halo_hops=1).spool(directory)
+        different = ShardedStore.build(graph, num_shards=2, halo_hops=2)
+        manifest = different.spool(directory)
+        with open(manifest, "r", encoding="utf-8") as handle:
+            assert json.load(handle)["halo_hops"] == 2
+
+
+# --------------------------------------------------------- kill -9 survival
+
+
+class TestServeKillRecover:
+    """The scripted contract: SIGKILL the server, restart, state is intact."""
+
+    def _serve(self, data_dir: Path, extra: list[str] | None = None) -> subprocess.Popen:
+        src = str(Path(__file__).resolve().parent.parent / "src")
+        env = dict(os.environ, PYTHONPATH=src + os.pathsep + os.environ.get("PYTHONPATH", ""))
+        return subprocess.Popen(
+            [
+                sys.executable,
+                "-m",
+                "repro.cli",
+                "serve",
+                "--port",
+                "0",
+                "--data-dir",
+                str(data_dir),
+                *(extra or []),
+            ],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.DEVNULL,
+            text=True,
+            env=env,
+        )
+
+    def _ready(self, proc: subprocess.Popen) -> ServiceClient:
+        ready = proc.stdout.readline().strip()
+        assert ready.startswith("repro-detect: serving on http://"), ready
+        return ServiceClient(ready.split()[-1], timeout=60)
+
+    def test_sigkill_mid_stream_and_recover(self, tmp_path):
+        data_dir = tmp_path / "data"
+        rules_path = tmp_path / "rules.json"
+        example_rules().save(rules_path)
+        graph_path = tmp_path / "areas.json"
+        save_graph(multi_area_graph(), graph_path)
+
+        proc = self._serve(data_dir, ["--catalog", f"mine={rules_path}"])
+        try:
+            client = self._ready(proc)
+            client.register_graph("areas", multi_area_graph())
+            sid = client.create_session("areas", catalog="mine")["session"]
+            for i in range(5):
+                client.post_update("areas", _update(i))
+            acked_graph = client.graph_info("areas")
+            acked_session = client.session_state(sid)
+            acked_deltas = client.session_deltas(sid, since=1)
+        finally:
+            proc.kill()  # SIGKILL: no atexit, no flush, no goodbye
+            proc.wait(timeout=30)
+
+        proc = self._serve(data_dir, ["--catalog", f"mine={rules_path}"])
+        try:
+            client = self._ready(proc)
+            assert client.graph_info("areas") == acked_graph
+            assert client.session_state(sid) == acked_session
+            assert client.session_deltas(sid, since=1) == acked_deltas
+            # and the recovered server still detects + accepts updates
+            reply = client.post_update("areas", _update(5))
+            assert reply["version"] == acked_graph["version"] + 1
+            assert reply["sessions_advanced"] == 1
+        finally:
+            proc.send_signal(signal.SIGINT)
+            assert proc.wait(timeout=30) == 0
+
+    def test_cli_registrations_defer_to_recovered_state(self, tmp_path):
+        """--graph/--catalog flags must not 409 a boot from a warm data dir."""
+        data_dir = tmp_path / "data"
+        graph_path = tmp_path / "areas.json"
+        save_graph(multi_area_graph(2), graph_path)
+
+        proc = self._serve(data_dir, ["--graph", f"areas={graph_path}"])
+        try:
+            client = self._ready(proc)
+            client.post_update("areas", _update(0))
+            acked = client.graph_info("areas")
+        finally:
+            proc.kill()
+            proc.wait(timeout=30)
+
+        # same flags again: the recovered (updated) graph wins over the file
+        proc = self._serve(data_dir, ["--graph", f"areas={graph_path}"])
+        try:
+            client = self._ready(proc)
+            assert client.graph_info("areas") == acked
+            assert acked["version"] == 2
+        finally:
+            proc.send_signal(signal.SIGINT)
+            assert proc.wait(timeout=30) == 0

@@ -576,3 +576,136 @@ class TestCsrStore:
         got = dect(graph.with_backend("csr"), rules)
         assert frozenset(got.violations) == expected
         assert got.violations
+
+
+# ----------------------------------------------------------- persistent engine
+
+
+class TestPersistentStore:
+    """Durability-specific behaviour of the SQLite-backed ``persistent`` engine.
+
+    Cross-backend parity (violations, determinism, index consistency) is
+    covered by the parametrized suites above, which auto-enroll every
+    registered engine; here we exercise what only a disk-backed store has:
+    close/reopen round trips, rank persistence across removals, and clone
+    isolation from the backing file.
+    """
+
+    def _populated(self, path):
+        from repro.storage import PersistentStore
+
+        store = PersistentStore(path)
+        graph = Graph("durable", store=store)
+        graph.add_node("a", "person", {"val": 3})
+        graph.add_node("b", "person", {"val": 5})
+        graph.add_node("c", "city", {"val": -1})
+        graph.add_edge("a", "b", "knows")
+        graph.add_edge("b", "c", "near")
+        return graph
+
+    def test_registered_in_engine_registry(self):
+        assert "persistent" in STORE_REGISTRY
+        assert STORE_REGISTRY["persistent"].supports_mutation
+
+    def test_reopen_round_trip_preserves_content_and_ranks(self, tmp_path):
+        from repro.storage import PersistentStore
+
+        path = str(tmp_path / "graph.db")
+        graph = self._populated(path)
+        graph.remove_node("b")  # leaves a rank gap that must survive reopen
+        graph.add_node("d", "person", {"val": 9})
+        expected_ranks = {n.id: graph.store.node_rank(n.id) for n in graph.nodes()}
+        graph.store.close()
+
+        reopened = Graph("durable", store=PersistentStore.open(path))
+        assert sorted(reopened.node_ids()) == ["a", "c", "d"]
+        assert {n.id: reopened.store.node_rank(n.id) for n in reopened.nodes()} == expected_ranks
+        assert reopened.node("d").attributes["val"] == 9
+        assert not reopened.has_edge("a", "b", "knows")
+        reopened.store.validate()
+
+    def test_reopened_graph_detects_identically(self, tmp_path):
+        from repro.storage import PersistentStore
+
+        path = str(tmp_path / "parity.db")
+        reference, _ = _mutated_pair(3)
+        store = PersistentStore(path)
+        durable = Graph("parity", store=store)
+        for node in reference.nodes():
+            durable.add_node(node.id, node.label, dict(node.attributes))
+        for edge in reference.edges():
+            durable.add_edge(edge.source, edge.target, edge.label)
+        store.flush()
+        store.close()
+        reopened = Graph("parity", store=PersistentStore.open(path))
+        rules = _random_rules(3)
+        assert frozenset(dect(reopened, rules).violations) == frozenset(
+            dect(reference, rules).violations
+        )
+
+    def test_clone_is_independent_of_backing_file(self, tmp_path):
+        graph = self._populated(str(tmp_path / "clone.db"))
+        snapshot = graph.copy()
+        graph.remove_node("a")
+        assert snapshot.has_node("a")
+        assert snapshot.has_edge("a", "b", "knows")
+        assert not graph.has_node("a")
+        snapshot.store.validate()
+        graph.store.validate()
+
+    def test_csr_image_is_cached_and_invalidated(self, tmp_path):
+        graph = self._populated(str(tmp_path / "csr.db"))
+        first = graph.store.csr_store()
+        assert graph.store.csr_store() is first
+        graph.add_node("z", "person", {"val": 0})
+        rebuilt = graph.store.csr_store()
+        assert rebuilt is not first
+        assert rebuilt.has_node("z")
+
+    def test_non_json_node_ids_are_refused(self, tmp_path):
+        graph = Graph(store="persistent")
+        with pytest.raises(GraphError):
+            graph.add_node(object(), "person")
+
+    def test_detection_parity_across_planner_and_execution_modes(self):
+        """Acceptance: persistent detection is byte-identical to indexed
+        across planner on/off and simulated/process execution."""
+        from repro.detect import DetectionOptions, Detector
+        from repro.datasets.rules import benchmark_rules
+        from repro.datasets.kb import KBConfig, knowledge_graph
+
+        config = KBConfig(
+            name="persist-parity",
+            num_entities=60,
+            num_entity_types=4,
+            num_value_relations=3,
+            num_link_relations=2,
+            values_per_entity=2,
+            links_per_entity=1.0,
+            seed=11,
+        )
+        base = knowledge_graph(config)
+        rules = benchmark_rules(base, count=4, max_diameter=3, seed=11)
+        reference = frozenset(dect(base, rules).violations)
+        assert reference, "workload must produce violations for parity to mean anything"
+
+        durable = base.with_backend("persistent")
+        for use_planner in (True, False):
+            serial = Detector(
+                rules, engine="batch", options=DetectionOptions(use_planner=use_planner)
+            ).run(durable)
+            assert frozenset(serial.violations) == reference
+            simulated = Detector(
+                rules,
+                engine="parallel",
+                processors=2,
+                options=DetectionOptions(use_planner=use_planner),
+            ).run(durable)
+            assert frozenset(simulated.violations) == reference
+        processes = Detector(
+            rules,
+            engine="parallel",
+            processors=2,
+            options=DetectionOptions(execution="processes"),
+        ).run(durable)
+        assert frozenset(processes.violations) == reference
