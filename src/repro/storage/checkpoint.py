@@ -4,6 +4,7 @@ A ``--data-dir`` given to ``repro-detect serve`` has this shape::
 
     DATA_DIR/
       MANIFEST.json          # {"format", "checkpoint": "ckpt-3"|null, "cut_lsn": N}
+      LOCK                   # exclusive-serving advisory lock (holder's pid)
       wal.log                # the write-ahead log (repro.storage.wal)
       checkpoints/
         ckpt-3/
@@ -34,6 +35,11 @@ import shutil
 from pathlib import Path
 from typing import Optional, Union
 
+try:  # POSIX only; on other platforms the data dir runs unlocked
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX fallback
+    fcntl = None  # type: ignore[assignment]
+
 from repro.errors import ReproError
 from repro.graph.io import atomic_write_json, load_json_document
 
@@ -43,18 +49,57 @@ DATA_DIR_FORMAT = "repro-data-dir"
 
 
 class DataDirectory:
-    """Path bookkeeping for one durable service data directory."""
+    """Path bookkeeping for one durable service data directory.
+
+    Construction takes an exclusive advisory lock (``fcntl.lockf``) on a
+    ``LOCK`` file in the directory and fails fast when another *process*
+    already holds it: two servers appending to the same ``wal.log`` would
+    interleave LSNs, and each boot's :class:`SegmentCache` deletes every
+    ``run-*`` spool directory — including the other live process's.  POSIX
+    record locks are per-process, so the in-process recovery tests (which
+    abandon a crashed service object and reopen the same directory) still
+    work, and the kernel releases the lock automatically on ``kill -9``.
+    """
 
     def __init__(self, root: Union[str, Path]) -> None:
         self.root = Path(root)
         self.root.mkdir(parents=True, exist_ok=True)
         self.checkpoints_root.mkdir(exist_ok=True)
+        self._lock_handle = open(self.lock_path, "a+", encoding="utf-8")
+        if fcntl is not None:
+            try:
+                fcntl.lockf(self._lock_handle.fileno(), fcntl.LOCK_EX | fcntl.LOCK_NB)
+            except OSError:
+                self._lock_handle.seek(0)  # "a+" positions at EOF
+                pid = self._lock_handle.read().strip()
+                holder = f"pid {pid}" if pid else "unknown pid"
+                self._lock_handle.close()
+                self._lock_handle = None
+                raise ReproError(
+                    f"data directory {self.root} is already being served by "
+                    f"another process ({holder} holds {self.lock_path}); two "
+                    f"servers on one data dir would corrupt the WAL"
+                ) from None
+        self._lock_handle.seek(0)
+        self._lock_handle.truncate()
+        self._lock_handle.write(f"{os.getpid()}\n")
+        self._lock_handle.flush()
+
+    def release(self) -> None:
+        """Drop the exclusive lock (clean shutdown)."""
+        if self._lock_handle is not None:
+            self._lock_handle.close()
+            self._lock_handle = None
 
     # ------------------------------------------------------------------ paths
 
     @property
     def wal_path(self) -> Path:
         return self.root / "wal.log"
+
+    @property
+    def lock_path(self) -> Path:
+        return self.root / "LOCK"
 
     @property
     def manifest_path(self) -> Path:

@@ -118,6 +118,10 @@ class PersistenceManager:
         self.wal = WriteAheadLog(self.data.wal_path, start_lsn=cut_lsn + 1)
         replayed = 0
         for record in self.wal.records():
+            if record["lsn"] <= cut_lsn:
+                # stale prefix from a crash between the manifest swing and
+                # the WAL truncation — the checkpoint already covers it
+                continue
             self._replay(record)
             replayed += 1
         # attach journal hooks only now: replayed state must not re-log
@@ -133,10 +137,11 @@ class PersistenceManager:
         return self.recovered
 
     def close(self) -> None:
-        """Release the WAL handle and this run's segment directories."""
+        """Release the WAL handle, segment directories, and data-dir lock."""
         if self.wal is not None:
             self.wal.close()
         self.segments.close()
+        self.data.release()
 
     # -------------------------------------------------------------- journal
 

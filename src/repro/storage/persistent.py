@@ -98,13 +98,34 @@ def _encode_id(node_id: Hashable) -> str:
         ) from None
 
 
+def _tuplify(value):
+    """Recursively turn JSON lists back into tuples.
+
+    Any list in an id position must have started life as a tuple (lists
+    are unhashable, so they cannot be node ids), and that holds at every
+    nesting depth — ``('a', (1, 2))`` must decode back to itself, not to
+    the unhashable ``('a', [1, 2])``.
+    """
+    if isinstance(value, list):
+        return tuple(_tuplify(item) for item in value)
+    return value
+
+
 def _decode_id(text: str) -> Hashable:
-    value = json.loads(text)
-    return tuple(value) if isinstance(value, list) else value
+    return _tuplify(json.loads(text))
 
 
 def _encode_attributes(attributes) -> str:
-    return json.dumps(dict(attributes), sort_keys=True, separators=(",", ":"), default=str)
+    try:
+        # no default=str: silently stringifying a non-JSON value would make
+        # a reopened store disagree with the live one on attribute types
+        return json.dumps(dict(attributes), sort_keys=True, separators=(",", ":"))
+    except (TypeError, ValueError):
+        raise GraphError(
+            f"attributes {attributes!r} are not JSON-encodable; the persistent "
+            "store (like spooled images) requires JSON-round-trippable "
+            "attribute values"
+        ) from None
 
 
 class PersistentStore(GraphStore):
@@ -122,7 +143,7 @@ class PersistentStore(GraphStore):
     backend = "persistent"
     supports_mutation = True
 
-    def __init__(self, path: Optional[PathLike] = None) -> None:
+    def __init__(self, path: Optional[PathLike] = None, fast_unsafe: bool = False) -> None:
         self.path = str(path) if path is not None else None
         # autocommit: every statement lands immediately, so clones (via the
         # backup API) and reopen both see the current state without an
@@ -134,11 +155,21 @@ class PersistentStore(GraphStore):
             self.path or ":memory:", isolation_level=None, check_same_thread=False
         )
         self._connection.executescript(_SCHEMA)
-        # Durability of the service is carried by the WAL + checkpoints;
-        # the database itself only needs to be consistent on clean close,
-        # so skip the per-statement fsync cost.
-        self._connection.execute("PRAGMA synchronous=OFF")
-        self._connection.execute("PRAGMA journal_mode=MEMORY")
+        if self.path is None or fast_unsafe:
+            # ``fast_unsafe`` is for callers whose durability lives elsewhere
+            # (the service's WAL + checkpoints): a kill -9 may corrupt the
+            # database file, which such callers treat as disposable.  A
+            # :memory: database has nothing to corrupt, so it always takes
+            # the fast path.
+            self._connection.execute("PRAGMA synchronous=OFF")
+            self._connection.execute("PRAGMA journal_mode=MEMORY")
+        else:
+            # standalone durable engine: SQLite's own WAL journaling keeps
+            # the file uncorruptible under kill -9; synchronous=NORMAL can
+            # lose the last transactions on *power* failure but never
+            # consistency, and avoids an fsync per autocommitted statement.
+            self._connection.execute("PRAGMA journal_mode=WAL")
+            self._connection.execute("PRAGMA synchronous=NORMAL")
         self._mirror = IndexedStore()
         self._rank: dict[Hashable, int] = {}
         self._next_rank = 0
@@ -148,9 +179,9 @@ class PersistentStore(GraphStore):
             self._load_existing()
 
     @classmethod
-    def open(cls, path: PathLike) -> "PersistentStore":
+    def open(cls, path: PathLike, fast_unsafe: bool = False) -> "PersistentStore":
         """Open (or create) a durable store at ``path``."""
-        return cls(path)
+        return cls(path, fast_unsafe=fast_unsafe)
 
     def _load_existing(self) -> None:
         cursor = self._connection.execute(

@@ -23,6 +23,15 @@ file is truncated back to the last good record.  Corruption can only be
 a tail — records are appended in LSN order and fsync'd in order — so
 truncation never discards acknowledged state that a checkpoint has not
 already captured.
+
+Stale prefixes: a crash between a checkpoint's manifest swing and its
+WAL truncation leaves intact records at or below the manifest's cut LSN
+at the head of the file.  Those are *valid* records the checkpoint
+already covers — not corruption — so opening with ``start_lsn`` skips
+past them and keeps scanning; only a decode/CRC failure or an LSN that
+goes backwards within the live region marks the torn tail.  Treating
+the stale prefix as a tail would truncate the whole file and lose
+acknowledged records above the cut.
 """
 
 from __future__ import annotations
@@ -32,6 +41,8 @@ import os
 import zlib
 from pathlib import Path
 from typing import Iterator, Optional, Union
+
+from repro.errors import ReproError
 
 __all__ = ["WalCorruption", "WriteAheadLog"]
 
@@ -43,9 +54,14 @@ class WalCorruption(Exception):
 
 
 def _encode(lsn: int, payload: dict) -> bytes:
-    body = json.dumps(
-        {"lsn": lsn, **payload}, sort_keys=True, separators=(",", ":"), default=str
-    )
+    try:
+        body = json.dumps({"lsn": lsn, **payload}, sort_keys=True, separators=(",", ":"))
+    except (TypeError, ValueError) as exc:
+        # no default=str here: silently stringifying a datetime (or any other
+        # non-JSON value) would make replay reconstruct state whose value
+        # types differ from what the live process held — fail at append time
+        # instead, before the mutation is acknowledged
+        raise ReproError(f"WAL record is not JSON-serializable: {exc}") from None
     return f"{zlib.crc32(body.encode('utf-8')) & 0xFFFFFFFF:08x} {body}\n".encode("utf-8")
 
 
@@ -80,16 +96,28 @@ class WriteAheadLog:
     def __init__(self, path: PathLike, start_lsn: int = 1) -> None:
         self.path = Path(path)
         self.path.parent.mkdir(parents=True, exist_ok=True)
-        last_lsn = start_lsn - 1
+        cut = start_lsn - 1
+        last_lsn = cut
         good_offset = 0
         if self.path.exists():
             with open(self.path, "rb") as handle:
                 offset = 0
                 for line in handle:
                     record = _decode(line)
-                    if record is None or record["lsn"] <= last_lsn:
-                        break
-                    last_lsn = record["lsn"]
+                    if record is None:
+                        break  # torn or corrupt tail
+                    lsn = record["lsn"]
+                    if last_lsn == cut and lsn <= cut:
+                        # stale prefix: a crash between the checkpoint's
+                        # manifest swing and its truncate_through left
+                        # records the checkpoint already covers — keep
+                        # them and keep scanning for the live suffix
+                        offset += len(line)
+                        good_offset = offset
+                        continue
+                    if lsn <= last_lsn:
+                        break  # LSN went backwards in the live region: torn tail
+                    last_lsn = lsn
                     offset += len(line)
                     good_offset = offset
             if good_offset < self.path.stat().st_size:
@@ -141,7 +169,12 @@ class WriteAheadLog:
     # ----------------------------------------------------------------- replay
 
     def records(self) -> Iterator[dict]:
-        """Yield every intact record in LSN order (for recovery replay)."""
+        """Yield every intact record in LSN order (for recovery replay).
+
+        A stale prefix left by an interrupted truncation is yielded too;
+        recovery filters on the manifest's cut LSN (replay is idempotent
+        regardless).
+        """
         self._handle.flush()
         if not self.path.exists():
             return

@@ -653,6 +653,44 @@ class TestPersistentStore:
         snapshot.store.validate()
         graph.store.validate()
 
+    def test_nested_tuple_node_ids_round_trip(self, tmp_path):
+        from repro.storage import PersistentStore
+
+        path = str(tmp_path / "nested.db")
+        store = PersistentStore(path)
+        graph = Graph("nested", store=store)
+        graph.add_node(("a", (1, 2)), "person", {"val": 1})
+        graph.add_node(("b", ("x", (3,))), "person", {"val": 2})
+        graph.add_edge(("a", (1, 2)), ("b", ("x", (3,))), "knows")
+        store.close()
+
+        # ('a', (1, 2)) must decode back to itself, not the unhashable
+        # ('a', [1, 2]) — the store may not accept ids it cannot read back
+        reopened = Graph("nested", store=PersistentStore.open(path))
+        assert reopened.has_node(("a", (1, 2)))
+        assert reopened.has_edge(("a", (1, 2)), ("b", ("x", (3,))), "knows")
+        assert reopened.node(("a", (1, 2))).attributes["val"] == 1
+        reopened.store.validate()
+
+    def test_non_json_attribute_values_are_rejected(self, tmp_path):
+        from repro.storage import PersistentStore
+
+        graph = Graph("strict", store=PersistentStore(str(tmp_path / "strict.db")))
+        # default=str would silently persist str(object) and reopen with a
+        # different value type than the live process held; fail loudly instead
+        with pytest.raises(GraphError, match="JSON"):
+            graph.add_node("a", "person", {"when": object()})
+
+    def test_file_backed_store_defaults_to_crash_safe_journal(self, tmp_path):
+        from repro.storage import PersistentStore
+
+        safe = PersistentStore(str(tmp_path / "safe.db"))
+        assert safe._connection.execute("PRAGMA journal_mode").fetchone()[0] == "wal"
+        safe.close()
+        fast = PersistentStore(str(tmp_path / "fast.db"), fast_unsafe=True)
+        assert fast._connection.execute("PRAGMA journal_mode").fetchone()[0] == "memory"
+        fast.close()
+
     def test_csr_image_is_cached_and_invalidated(self, tmp_path):
         graph = self._populated(str(tmp_path / "csr.db"))
         first = graph.store.csr_store()
