@@ -1,0 +1,132 @@
+"""Micro-benchmark: full observability costs < 5 % over ``REPRO_OBS=off``.
+
+The observability subsystem instruments every layer the detection hot path
+crosses — per-step candidate counters in the match executor, per-rule spans
+in the kernels, the run root span in the session.  This benchmark runs the
+Exp-2 synthetic workload with observability fully enabled and with the
+``REPRO_OBS=off`` no-op stubs, asserts the two runs are byte-identical
+(**observe, never steer**), and bounds the relative wall-time overhead.
+
+Run standalone (``python benchmarks/bench_observability.py``) or through
+pytest.  ``REPRO_WRITE_BENCH_BASELINE=path`` persists the report JSON —
+``benchmarks/BENCH_observability.json`` keeps the committed baseline.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro import obs  # noqa: E402
+from repro.datasets.rules import benchmark_rules  # noqa: E402
+from repro.datasets.synthetic import synthetic_graph  # noqa: E402
+from repro.detect import Detector  # noqa: E402
+
+#: Exp-2 synthetic workload (Figure 4(e) shape at laptop scale).
+WORKLOAD = {"num_nodes": 16_000, "num_edges": 32_000, "rules_count": 24, "seed": 1}
+
+#: Acceptance bound on the relative overhead of enabled observability.
+#: Override with REPRO_OBS_OVERHEAD_BOUND on very noisy machines (shared CI
+#: runners); the parity assertions are unconditional either way.
+MAX_OVERHEAD = float(os.environ.get("REPRO_OBS_OVERHEAD_BOUND", "0.05"))
+
+
+def _timed(callable_) -> float:
+    started = time.perf_counter()
+    callable_()
+    return time.perf_counter() - started
+
+
+def measure_overhead(rounds: int = 5) -> dict:
+    """Time detection with observability on vs off on the Exp-2 workload.
+
+    Returns the best-of-``rounds`` wall time per configuration, the relative
+    ``overhead`` of the instrumented path, and the parity evidence (both
+    configurations must produce identical violations and cost).  The two
+    configurations alternate round by round and keep their minima, which
+    cancels scheduler noise.
+    """
+    graph = synthetic_graph(
+        num_nodes=WORKLOAD["num_nodes"],
+        num_edges=WORKLOAD["num_edges"],
+        seed=WORKLOAD["seed"],
+        name="obs-workload",
+    )
+    rules = benchmark_rules(graph, count=WORKLOAD["rules_count"], max_diameter=5, seed=0)
+
+    def run():
+        return Detector(rules, engine="batch").run(graph)
+
+    obs.configure(True)
+    on_result = run()
+    obs.configure(False)
+    off_result = run()
+
+    on_time = off_time = float("inf")
+    try:
+        for _ in range(rounds):
+            obs.configure(True)
+            on_time = min(on_time, _timed(run))
+            obs.configure(False)
+            off_time = min(off_time, _timed(run))
+    finally:
+        obs.configure()  # back to the REPRO_OBS-driven default
+
+    return {
+        "workload": dict(WORKLOAD),
+        "machine": {"cpus": os.cpu_count(), "platform": platform.platform()},
+        "obs_on_seconds": round(on_time, 4),
+        "obs_off_seconds": round(off_time, 4),
+        "overhead": round(on_time / off_time - 1.0, 4),
+        "violations": len(on_result.violations),
+        "costs_identical": on_result.cost == off_result.cost,
+        "violations_identical": (
+            on_result.violations.to_json() == off_result.violations.to_json()
+        ),
+        "trace_recorded": on_result.trace_id is not None,
+    }
+
+
+def test_observability_overhead():
+    """Instrumented runs are byte-identical to REPRO_OBS=off and < 5 % slower.
+
+    The timing half retries before failing: the true overhead is a few
+    percent at most, so one noisy scheduler burst should not fail the gate,
+    while a genuine regression exceeds the bound on every attempt.
+    """
+    measured = measure_overhead()
+    assert measured["costs_identical"], measured
+    assert measured["violations_identical"], measured
+    assert measured["trace_recorded"], measured
+    assert measured["violations"] > 0, "workload must actually produce violations"
+    for _ in range(2):
+        if measured["overhead"] < MAX_OVERHEAD:
+            break
+        measured = measure_overhead()
+    assert measured["overhead"] < MAX_OVERHEAD, (
+        f"observability costs {measured['overhead']:.1%} "
+        f"(bound {MAX_OVERHEAD:.0%}): {measured}"
+    )
+
+
+if __name__ == "__main__":
+    report = measure_overhead()
+    print(json.dumps(report, indent=2, sort_keys=True))
+    print(
+        f"obs on {report['obs_on_seconds'] * 1000:.1f} ms, "
+        f"off {report['obs_off_seconds'] * 1000:.1f} ms, "
+        f"overhead {report['overhead']:+.2%} "
+        f"({report['violations']} violations)"
+    )
+    baseline = os.environ.get("REPRO_WRITE_BENCH_BASELINE")
+    if baseline:
+        with open(baseline, "w") as handle:
+            json.dump(report, handle, indent=1, sort_keys=True)
+            handle.write("\n")
+        print(f"baseline written to {baseline}")

@@ -238,6 +238,13 @@ def _add_detection_arguments(parser: argparse.ArgumentParser) -> None:
         help="persist the cardinalities observed during this run; feed "
         "them back with 'explain --observed' or embed via --save-plans",
     )
+    parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="after the run, print the observability span tree (plan "
+        "compile, per-rule work, per-step candidate counts) to stderr; "
+        "needs REPRO_OBS unset or 'on'",
+    )
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -413,7 +420,16 @@ def _build_parser() -> argparse.ArgumentParser:
         "(default: 64); checkpoints can also be forced via POST /admin/checkpoint",
     )
     serve_parser.add_argument(
-        "--verbose", action="store_true", help="log one line per HTTP request to stderr"
+        "--verbose",
+        action="store_true",
+        help="also emit the stdlib http.server per-request lines to stderr",
+    )
+    serve_parser.add_argument(
+        "--quiet",
+        action="store_true",
+        help="suppress the structured access log (one "
+        "'method= path= status= duration_ms= trace= job=' line per request "
+        "on stderr, on by default)",
     )
     serve_parser.set_defaults(handler=_cmd_serve)
 
@@ -458,12 +474,54 @@ def _save_history(detector: Detector, args: argparse.Namespace) -> None:
     print(f"saved observed cardinalities -> {path}", file=sys.stderr)
 
 
+def _print_profile(result: Union[DetectionResult, IncrementalDetectionResult]) -> None:
+    """Print the run's span tree and per-step candidate counts to stderr."""
+    from repro import obs
+    from repro.obs.tracing import format_span_tree
+
+    trace_id = getattr(result, "trace_id", None)
+    if trace_id is None:
+        print(
+            "repro-detect: no trace recorded (is REPRO_OBS off?)", file=sys.stderr
+        )
+        return
+    print(f"profile (trace {trace_id}):", file=sys.stderr)
+    print(format_span_tree(obs.traces(), trace_id), file=sys.stderr)
+    snapshot = obs.snapshot()
+    step_rows = sorted(
+        (
+            (dict(key), value)
+            for name, key, value in snapshot["counters"]
+            if name == "repro_match_candidates_examined" and value
+        ),
+        key=lambda row: (
+            row[0].get("rule", ""),
+            row[0].get("step", ""),
+            row[0].get("strategy", ""),
+        ),
+    )
+    if step_rows:
+        print("per-step candidates examined:", file=sys.stderr)
+        for labels, value in step_rows:
+            print(
+                "  rule={rule} step={step} strategy={strategy}: {count}".format(
+                    rule=labels.get("rule", "?"),
+                    step=labels.get("step", "?"),
+                    strategy=labels.get("strategy", "?"),
+                    count=int(value),
+                ),
+                file=sys.stderr,
+            )
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
     graph = load_graph(args.graph, store=args.store)
     with _build_detector(args, engine=args.engine) as detector:
         result = detector.run(graph)
         _save_history(detector, args)
     print(format_result(result, args.output_format))
+    if args.profile:
+        _print_profile(result)
     if result.violation_count():
         return EXIT_VIOLATIONS
     # a truncated search that found nothing has not verified cleanliness
@@ -477,6 +535,8 @@ def _cmd_incremental(args: argparse.Namespace) -> int:
         result = detector.run_incremental(graph, delta)
         _save_history(detector, args)
     print(format_result(result, args.output_format))
+    if args.profile:
+        _print_profile(result)
     if result.total_changes():
         return EXIT_VIOLATIONS
     return EXIT_INCOMPLETE if result.stopped_early else EXIT_CLEAN
@@ -599,6 +659,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         max_jobs=args.max_jobs if args.max_jobs is not None else DEFAULT_MAX_JOBS,
         data_dir=args.data_dir,
         checkpoint_every=args.checkpoint_every,
+        access_log=not args.quiet,
     )
     if service.persistence is not None:
         recovered = service.persistence.recovered

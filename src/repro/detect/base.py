@@ -51,6 +51,9 @@ class DetectionResult:
     algorithm: str = "Dect"
     stopped_early: bool = False
     stop_reason: Optional[str] = None
+    #: trace id of the observability span tree covering this run (None when
+    #: the run was not driven through a Detector session or REPRO_OBS=off)
+    trace_id: Optional[str] = None
 
     def violation_count(self) -> int:
         """Return |Vio(Σ, G)| (a lower bound when ``stopped_early``)."""
@@ -71,6 +74,9 @@ class IncrementalDetectionResult:
     neighborhood_size: Optional[int] = None
     stopped_early: bool = False
     stop_reason: Optional[str] = None
+    #: trace id of the observability span tree covering this run (None when
+    #: the run was not driven through a Detector session or REPRO_OBS=off)
+    trace_id: Optional[str] = None
 
     def introduced(self) -> ViolationSet:
         """Return ΔVio⁺."""

@@ -27,10 +27,12 @@ import time
 from collections.abc import Iterator, Sequence
 from typing import Optional
 
+from repro import obs
 from repro.core.ngd import NGD, RuleSet
 from repro.core.violations import Violation, ViolationSet
 from repro.detect.base import DetectionResult
-from repro.detect.observers import DetectionBudget, ViolationSink
+from repro.detect.instrument import begin_rule_span, finish_rule, stats_snapshot
+from repro.detect.observers import DetectionBudget, ViolationSink, notify_violation
 from repro.detect.parallel.workunits import WorkUnit, expand_work_unit
 from repro.graph.graph import Graph
 from repro.matching.adaptive import resolve_adaptive
@@ -73,6 +75,9 @@ def iter_dect(
     cost = 0.0
     emitted = 0
     stop_reason: Optional[str] = None
+    # Parent for per-rule spans, captured once at generator start (the
+    # contextvar is only reliable in the consuming thread's context).
+    trace_parent = obs.current_span()
 
     for rule_index, rule in enumerate(rule_list):
         plan = plans[rule_index] if plans is not None else None
@@ -80,58 +85,65 @@ def iter_dect(
         order = plan.order if plan is not None else tuple(rule.pattern.matching_order())
         if not order:
             continue
-        first = order[0]
-        candidates, scan_cost = first_step_candidates(
-            graph, rule, plan, order, use_literal_pruning, stats
-        )
-        cost += scan_cost
-        if budget is not None and budget.cost_exhausted(cost):
-            stop_reason = "max_cost"
-            break
-        stack: list[WorkUnit] = []
-        for candidate in candidates:
-            unit = WorkUnit(rule_index=rule_index, order=order, assignment=((first, candidate),))
-            if unit.is_complete():
-                cost += 1.0
-                if match_violates_dependency(graph, unit.mapping(), rule.premise, rule.conclusion, stats):
-                    violation = Violation.from_mapping(rule.name, unit.mapping(), rule.pattern.variables)
-                    if violation not in violations:
-                        violations.add(violation)
-                        emitted += 1
-                        if sink is not None:
-                            sink.on_violation(violation)
-                        yield violation
-                        if budget is not None and budget.violations_exhausted(emitted):
-                            stop_reason = "max_violations"
-                            break
-            else:
-                stack.append(unit)
-        while stop_reason is None and stack:
-            unit = stack.pop()
-            outcome = expand_work_unit(
-                graph,
-                rule,
-                unit,
-                use_literal_pruning=use_literal_pruning,
-                stats=stats,
-                plan=plan,
-                adaptive=controller,
+        rule_before = stats_snapshot(stats)
+        rule_cost_before = cost
+        rule_emitted_before = emitted
+        rule_span = begin_rule_span(trace_parent, rule.name, "Dect")
+        try:
+            first = order[0]
+            candidates, scan_cost = first_step_candidates(
+                graph, rule, plan, order, use_literal_pruning, stats
             )
-            cost += max(outcome.filtering_adjacency, 1) + outcome.verification_adjacency
-            stack.extend(outcome.new_units)
-            for violation in outcome.violations:
-                if violation in violations:
-                    continue
-                violations.add(violation)
-                emitted += 1
-                if sink is not None:
-                    sink.on_violation(violation)
-                yield violation
-                if budget is not None and budget.violations_exhausted(emitted):
-                    stop_reason = "max_violations"
-                    break
-            if stop_reason is None and budget is not None and budget.cost_exhausted(cost):
+            cost += scan_cost
+            if budget is not None and budget.cost_exhausted(cost):
                 stop_reason = "max_cost"
+                break
+            stack: list[WorkUnit] = []
+            for candidate in candidates:
+                unit = WorkUnit(rule_index=rule_index, order=order, assignment=((first, candidate),))
+                if unit.is_complete():
+                    cost += 1.0
+                    if match_violates_dependency(graph, unit.mapping(), rule.premise, rule.conclusion, stats):
+                        violation = Violation.from_mapping(rule.name, unit.mapping(), rule.pattern.variables)
+                        if violation not in violations:
+                            violations.add(violation)
+                            emitted += 1
+                            notify_violation(sink, violation)
+                            yield violation
+                            if budget is not None and budget.violations_exhausted(emitted):
+                                stop_reason = "max_violations"
+                                break
+                else:
+                    stack.append(unit)
+            while stop_reason is None and stack:
+                unit = stack.pop()
+                outcome = expand_work_unit(
+                    graph,
+                    rule,
+                    unit,
+                    use_literal_pruning=use_literal_pruning,
+                    stats=stats,
+                    plan=plan,
+                    adaptive=controller,
+                )
+                cost += max(outcome.filtering_adjacency, 1) + outcome.verification_adjacency
+                stack.extend(outcome.new_units)
+                for violation in outcome.violations:
+                    if violation in violations:
+                        continue
+                    violations.add(violation)
+                    emitted += 1
+                    notify_violation(sink, violation)
+                    yield violation
+                    if budget is not None and budget.violations_exhausted(emitted):
+                        stop_reason = "max_violations"
+                        break
+                if stop_reason is None and budget is not None and budget.cost_exhausted(cost):
+                    stop_reason = "max_cost"
+        finally:
+            finish_rule(
+                rule.name, rule_span, rule_before, stats, cost - rule_cost_before, emitted - rule_emitted_before
+            )
         if stop_reason is not None:
             break
 

@@ -35,10 +35,17 @@ import time
 from collections.abc import Iterator, Sequence
 from typing import Optional
 
+from repro import obs
 from repro.core.ngd import NGD, RuleSet
 from repro.core.violations import ViolationDelta, ViolationSet
 from repro.detect.base import IncrementalDetectionResult
-from repro.detect.observers import DetectionBudget, ViolationEvent, ViolationSink
+from repro.detect.instrument import begin_rule_span, finish_rule, stats_snapshot
+from repro.detect.observers import (
+    DetectionBudget,
+    ViolationEvent,
+    ViolationSink,
+    notify_violation,
+)
 from repro.detect.parallel.workunits import (
     WorkUnit,
     expand_work_unit,
@@ -117,6 +124,7 @@ def iter_inc_dect(
     cost = float(neighborhood_size)
     emitted = 0
     stop_reason: Optional[str] = None
+    trace_parent = obs.current_span()
 
     for rule_index, rule in enumerate(rule_list):
         plan = plans[rule_index] if plans is not None else None
@@ -127,38 +135,46 @@ def iter_inc_dect(
         pivots = find_update_pivots(rule, delta, search_before, search_after)
         if not pivots:
             continue
-        stack: list[WorkUnit] = []
-        for pivot in pivots:
-            unit = initial_units_for_pivot(
-                rule_index, rule, pivot.seed(), pivot.from_insertion, plan=plan
-            )
-            search_graph = search_after if pivot.from_insertion else search_before
-            if not seed_consistent(search_graph, rule, unit):
-                continue
-            cost += 1.0
-            stack.append(unit)
-        while stop_reason is None and stack:
-            unit = stack.pop()
-            search_graph = search_after if unit.from_insertion else search_before
-            outcome = expand_work_unit(
-                search_graph, rule, unit, use_literal_pruning, stats, plan=plan, adaptive=controller
-            )
-            cost += max(outcome.filtering_adjacency, 1) + outcome.verification_adjacency
-            stack.extend(outcome.new_units)
-            target = introduced if unit.from_insertion else removed
-            for violation in outcome.violations:
-                if violation in target:
+        rule_before = stats_snapshot(stats)
+        rule_cost_before = cost
+        rule_emitted_before = emitted
+        rule_span = begin_rule_span(trace_parent, rule.name, "IncDect")
+        try:
+            stack: list[WorkUnit] = []
+            for pivot in pivots:
+                unit = initial_units_for_pivot(
+                    rule_index, rule, pivot.seed(), pivot.from_insertion, plan=plan
+                )
+                search_graph = search_after if pivot.from_insertion else search_before
+                if not seed_consistent(search_graph, rule, unit):
                     continue
-                target.add(violation)
-                emitted += 1
-                if sink is not None:
-                    sink.on_violation(violation, introduced=unit.from_insertion)
-                yield ViolationEvent(violation, introduced=unit.from_insertion)
-                if budget is not None and budget.violations_exhausted(emitted):
-                    stop_reason = "max_violations"
-                    break
-            if stop_reason is None and budget is not None and budget.cost_exhausted(cost):
-                stop_reason = "max_cost"
+                cost += 1.0
+                stack.append(unit)
+            while stop_reason is None and stack:
+                unit = stack.pop()
+                search_graph = search_after if unit.from_insertion else search_before
+                outcome = expand_work_unit(
+                    search_graph, rule, unit, use_literal_pruning, stats, plan=plan, adaptive=controller
+                )
+                cost += max(outcome.filtering_adjacency, 1) + outcome.verification_adjacency
+                stack.extend(outcome.new_units)
+                target = introduced if unit.from_insertion else removed
+                for violation in outcome.violations:
+                    if violation in target:
+                        continue
+                    target.add(violation)
+                    emitted += 1
+                    notify_violation(sink, violation, introduced=unit.from_insertion)
+                    yield ViolationEvent(violation, introduced=unit.from_insertion)
+                    if budget is not None and budget.violations_exhausted(emitted):
+                        stop_reason = "max_violations"
+                        break
+                if stop_reason is None and budget is not None and budget.cost_exhausted(cost):
+                    stop_reason = "max_cost"
+        finally:
+            finish_rule(
+                rule.name, rule_span, rule_before, stats, cost - rule_cost_before, emitted - rule_emitted_before
+            )
         if stop_reason is not None:
             break
 

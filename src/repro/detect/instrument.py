@@ -1,0 +1,166 @@
+"""Shared per-rule instrumentation helpers for the detection kernels.
+
+All four kernels (Dect, IncDect, PDect, PIncDect) attribute their work the
+same way: snapshot the run's :class:`~repro.matching.candidates.MatchStatistics`
+before a rule starts, diff after it ends, and emit the delta as per-rule
+counters plus one ``detect.rule`` span whose attributes carry the exact
+counter deltas.  Summing the rule spans of one trace therefore reproduces
+the run's ``MatchStatistics`` — the invariant ``repro-detect run --profile``
+and the observability tests rely on.
+
+Helpers here are cheap (a tuple of five int reads per rule) and fully
+inert when observability is disabled.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from repro import obs
+from repro.matching.candidates import STEP_COUNT_PREFIX, MatchStatistics
+
+__all__ = [
+    "stats_snapshot",
+    "begin_rule_span",
+    "finish_rule",
+    "flush_step_counts",
+    "RuleAttribution",
+]
+
+STAT_FIELDS = (
+    "candidates_examined",
+    "expansions",
+    "edge_checks",
+    "literal_evaluations",
+    "matches_emitted",
+)
+
+
+def stats_snapshot(stats: MatchStatistics) -> Tuple[int, int, int, int, int]:
+    return (
+        stats.candidates_examined,
+        stats.expansions,
+        stats.edge_checks,
+        stats.literal_evaluations,
+        stats.matches_emitted,
+    )
+
+
+def begin_rule_span(
+    trace_parent: Optional[obs.Span], rule_name: str, algorithm: str
+) -> Optional[obs.Span]:
+    """Open a ``detect.rule`` span under the run's root span (if any)."""
+    if trace_parent is None:
+        return None
+    span = obs.Span(
+        "detect.rule",
+        trace_id=trace_parent.trace_id,
+        parent_id=trace_parent.span_id,
+        attributes={"rule": rule_name, "algorithm": algorithm},
+    )
+    return span
+
+
+def finish_rule(
+    rule_name: str,
+    span: Optional[obs.Span],
+    before: Tuple[int, int, int, int, int],
+    stats: MatchStatistics,
+    cost_delta: float,
+    violations_delta: int,
+) -> None:
+    """Emit one rule's counter deltas and close its span."""
+    if not obs.enabled():
+        return
+    after = stats_snapshot(stats)
+    delta = {field: after[i] - before[i] for i, field in enumerate(STAT_FIELDS)}
+    labels = {"rule": rule_name}
+    obs.counter_inc("repro_detect_candidates_total", labels, delta["candidates_examined"])
+    obs.counter_inc("repro_detect_matches_total", labels, delta["matches_emitted"])
+    obs.counter_inc("repro_detect_violations_total", labels, violations_delta)
+    if span is not None:
+        span.set(cost=round(cost_delta, 6), violations=violations_delta, **delta)
+        span.finish()
+        obs.recorder().record(span)
+
+
+def flush_step_counts(stats: MatchStatistics) -> None:
+    """Emit the run's per-(rule, step, strategy) candidate-scan counters.
+
+    ``step_candidates`` accumulates scan counts under
+    :data:`~repro.matching.candidates.STEP_COUNT_PREFIX` keys in
+    ``stats.extra`` (plain dict arithmetic — registry label handling is too
+    slow for the per-expansion hot path); the session calls this once per
+    completed run.  ``extra`` merges additively across threads and worker
+    processes, so one flush covers every execution mode.
+    """
+    if not obs.enabled():
+        return
+    for key, scanned in stats.extra.items():
+        if not key.startswith(STEP_COUNT_PREFIX) or not scanned:
+            continue
+        _, rule_name, step, strategy = key.split("\x1f")
+        obs.counter_inc(
+            "repro_match_candidates_examined",
+            {"rule": rule_name, "step": step, "strategy": strategy},
+            scanned,
+        )
+
+
+class RuleAttribution:
+    """Per-rule accumulator for kernels whose units interleave across rules.
+
+    The parallel kernels pop work units in completion order, so rules are
+    not contiguous; instead of one live span per rule, deltas are
+    accumulated per rule (plain dict arithmetic, no registry traffic in the
+    hot loop) and emitted once at the end of the run.  The emitted
+    counters and ``detect.rule`` span attributes carry the same field set
+    as :func:`finish_rule`, so profile consumers see one shape everywhere.
+    """
+
+    __slots__ = ("enabled", "algorithm", "_acc")
+
+    def __init__(self, algorithm: str) -> None:
+        self.enabled = obs.enabled()
+        self.algorithm = algorithm
+        # rule_name -> [5 stat deltas, violations]
+        self._acc: dict = {}
+
+    def before(self, stats: MatchStatistics):
+        if not self.enabled:
+            return None
+        return stats_snapshot(stats)
+
+    def after(self, rule_name: str, before, stats: MatchStatistics) -> None:
+        if before is None:
+            return
+        after = stats_snapshot(stats)
+        cell = self._acc.setdefault(rule_name, [0, 0, 0, 0, 0, 0])
+        for index in range(5):
+            cell[index] += after[index] - before[index]
+
+    def violation(self, rule_name: str, count: int = 1) -> None:
+        if not self.enabled:
+            return
+        cell = self._acc.setdefault(rule_name, [0, 0, 0, 0, 0, 0])
+        cell[5] += count
+
+    def emit(self, trace_parent: Optional[obs.Span] = None) -> None:
+        """Flush the accumulators to the registry (reusable after)."""
+        if not self.enabled:
+            return
+        for rule_name, cell in self._acc.items():
+            labels = {"rule": rule_name}
+            obs.counter_inc("repro_detect_candidates_total", labels, cell[0])
+            obs.counter_inc("repro_detect_matches_total", labels, cell[4])
+            obs.counter_inc("repro_detect_violations_total", labels, cell[5])
+            if trace_parent is not None:
+                span = begin_rule_span(trace_parent, rule_name, self.algorithm)
+                if span is not None:
+                    span.set(
+                        violations=cell[5],
+                        **{field: cell[i] for i, field in enumerate(STAT_FIELDS)},
+                    )
+                    span.finish()
+                    obs.recorder().record(span)
+        self._acc.clear()

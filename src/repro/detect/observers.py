@@ -36,15 +36,31 @@ between sessions or threads must serialise its own state changes**.  The
 sinks shipped here follow it — :class:`CollectingSink` guards its violation
 sets and :class:`FanOutSink` holds an internal lock across each broadcast
 so children observe every event atomically and in a consistent order.
+
+Exception contract
+------------------
+
+A sink is an *observer*: it must never be able to abort the detection that
+feeds it.  Every kernel therefore notifies sinks through the
+``notify_start`` / ``notify_violation`` / ``notify_finish`` helpers below,
+which catch any exception the sink raises, log it once (logger
+``repro.detect.sink``), count it in the ``repro_sink_errors_total{method}``
+metric, and carry on.  The stream the consumer sees — violations yielded,
+the final result — is byte-identical whether a sink raises or not.
+(Before this contract, a raising sink had kernel-dependent behavior:
+some kernels crashed mid-run, others lost violations.)  Sinks that need
+their errors surfaced should catch and report them on their own channel.
 """
 
 from __future__ import annotations
 
+import logging
 import threading
 from collections.abc import Callable, Iterable, Iterator
 from dataclasses import dataclass
 from typing import Optional
 
+from repro import obs
 from repro.core.violations import Violation, ViolationSet
 from repro.errors import SessionError
 
@@ -56,7 +72,49 @@ __all__ = [
     "ViolationEvent",
     "DetectionBudget",
     "drain",
+    "notify_start",
+    "notify_violation",
+    "notify_finish",
 ]
+
+_logger = logging.getLogger("repro.detect.sink")
+
+
+def _sink_error(method: str, exc: BaseException) -> None:
+    obs.counter_inc("repro_sink_errors_total", {"method": method})
+    _logger.warning("violation sink raised in %s (ignored): %r", method, exc)
+
+
+def notify_start(sink: Optional["ViolationSink"], detector: object) -> None:
+    """Call ``sink.on_start``; a raising sink is logged + counted, never fatal."""
+    if sink is None:
+        return
+    try:
+        sink.on_start(detector)
+    except Exception as exc:
+        _sink_error("on_start", exc)
+
+
+def notify_violation(
+    sink: Optional["ViolationSink"], violation: Violation, introduced: bool = True
+) -> None:
+    """Call ``sink.on_violation``; a raising sink is logged + counted, never fatal."""
+    if sink is None:
+        return
+    try:
+        sink.on_violation(violation, introduced)
+    except Exception as exc:
+        _sink_error("on_violation", exc)
+
+
+def notify_finish(sink: Optional["ViolationSink"], result: object) -> None:
+    """Call ``sink.on_finish``; a raising sink is logged + counted, never fatal."""
+    if sink is None:
+        return
+    try:
+        sink.on_finish(result)
+    except Exception as exc:
+        _sink_error("on_finish", exc)
 
 
 @dataclass(frozen=True)

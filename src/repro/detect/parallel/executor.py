@@ -65,10 +65,12 @@ from collections.abc import Callable, Hashable, Iterator, Sequence
 from dataclasses import dataclass, field
 from typing import Any, Optional
 
+from repro import obs
 from repro.core.ngd import NGD, RuleSet
 from repro.core.violations import Violation
 from repro.detect.base import WorkerTrace
-from repro.detect.observers import DetectionBudget, ViolationSink
+from repro.detect.instrument import RuleAttribution
+from repro.detect.observers import DetectionBudget, ViolationSink, notify_violation
 from repro.detect.parallel.balancing import BalancingPolicy, plan_rebalancing, skewness
 from repro.detect.parallel.workunits import WorkUnit, expand_work_unit
 from repro.errors import ExecutionError
@@ -228,11 +230,16 @@ def _worker_main(worker_id, runtime_or_payload, inbox, results, stop_event) -> N
     Message protocol (parent → worker): ``("units", [(shard_id, unit),
     ...])``, ``("shed", count)``, ``("runtime", payload)``, ``("sync",)``,
     ``("exit",)``.  Worker → parent:
-    ``("found", wid, [(violation, from_insertion), ...], cost, queue_len)``,
-    ``("status", wid, queue_len, cost)``, ``("idle", wid, cost)``,
-    ``("shed_units", wid, [(shard_id, unit), ...])``, ``("synced", wid,
-    stats, cost, units_processed)``, ``("exited", wid, stats, cost,
-    units_processed)``, ``("error", wid, traceback_text)``.
+    ``("found", wid, [(violation, from_insertion), ...], cost, queue_len,
+    obs)``, ``("status", wid, queue_len, cost, obs)``, ``("idle", wid,
+    cost, batches_seen, obs)``, ``("shed_units", wid, [(shard_id, unit),
+    ...])``, ``("synced", wid, stats, cost, units_processed, obs)``,
+    ``("exited", wid, stats, cost, units_processed, obs)``, ``("error",
+    wid, traceback_text)``.  The trailing ``obs`` field piggybacks this
+    worker's observability delta (:func:`repro.obs.drain_for_shipping`:
+    metric deltas + completed spans, or None when disabled/empty) on the
+    messages the worker was sending anyway — no extra queue traffic, and
+    both ``fork`` and ``spawn`` ship the same plain-dict payloads.
     Per-producer queue ordering guarantees the parent has seen every
     violation a worker found before it sees that worker go idle.
 
@@ -243,6 +250,12 @@ def _worker_main(worker_id, runtime_or_payload, inbox, results, stop_event) -> N
     then resets its per-run counters, staying alive for the next run.
     """
     try:
+        # fresh per-worker observability state: fork children must not carry
+        # the parent's shards (their dumps would double-count), spawn
+        # children re-resolve REPRO_OBS from the inherited environment
+        obs.reset_for_worker()
+        obs_on = obs.enabled()
+        attribution = RuleAttribution("executor")
         if runtime_or_payload is None:
             runtime = None
         elif isinstance(runtime_or_payload, ExecutionRuntime):
@@ -255,23 +268,54 @@ def _worker_main(worker_id, runtime_or_payload, inbox, results, stop_event) -> N
         cost_since = 0.0
         expansions_since = 0
         units_processed = 0
+        units_since_ship = 0
         total_cost = 0.0
         idle_announced = False
         batches_seen = 0
         since_poll = 0
+        wait_start: Optional[float] = None
+
+        def _ship() -> Optional[dict]:
+            """Flush per-rule accumulators + unit count, drain the delta."""
+            nonlocal units_since_ship
+            if not obs_on:
+                return None
+            attribution.emit()
+            if units_since_ship:
+                obs.counter_inc("repro_executor_units_total", None, units_since_ship)
+                units_since_ship = 0
+            return obs.drain_for_shipping()
+
         while True:
             # drain control messages; poll cheaply while holding work,
             # block (briefly) only when out of it
             if not stack or since_poll >= POLL_EVERY_EXPANSIONS:
                 since_poll = 0
+                if obs_on and not stack and wait_start is None:
+                    wait_start = time.monotonic()
                 try:
                     while True:
                         message = inbox.get_nowait() if stack else inbox.get(timeout=0.05)
                         kind = message[0]
                         if kind == "exit":
-                            results.put(("exited", worker_id, stats, total_cost, units_processed))
+                            if obs_on:
+                                with obs.span(
+                                    "executor.worker", worker=worker_id,
+                                    units_processed=units_processed, cost=round(total_cost, 3),
+                                ):
+                                    pass
+                            results.put(
+                                ("exited", worker_id, stats, total_cost, units_processed, _ship())
+                            )
                             return
                         if kind == "units":
+                            if wait_start is not None:
+                                obs.histogram_observe(
+                                    "repro_executor_queue_wait_seconds",
+                                    None,
+                                    time.monotonic() - wait_start,
+                                )
+                                wait_start = None
                             stack.extend(message[1])
                             batches_seen += 1
                             idle_announced = False
@@ -281,6 +325,7 @@ def _worker_main(worker_id, runtime_or_payload, inbox, results, stop_event) -> N
                             count = min(message[1], max(len(stack) - 1, 0))
                             if count > 0:
                                 shed, stack = stack[:count], stack[count:]
+                                obs.counter_inc("repro_executor_shed_units_total", None, len(shed))
                                 results.put(("shed_units", worker_id, shed))
                             else:
                                 results.put(("shed_units", worker_id, []))
@@ -289,7 +334,15 @@ def _worker_main(worker_id, runtime_or_payload, inbox, results, stop_event) -> N
                             controllers = _worker_controllers(runtime)
                             stack.clear()
                         elif kind == "sync":
-                            results.put(("synced", worker_id, stats, total_cost, units_processed))
+                            if obs_on:
+                                with obs.span(
+                                    "executor.worker", worker=worker_id,
+                                    units_processed=units_processed, cost=round(total_cost, 3),
+                                ):
+                                    pass
+                            results.put(
+                                ("synced", worker_id, stats, total_cost, units_processed, _ship())
+                            )
                             stack.clear()
                             stats = MatchStatistics()
                             cost_since = 0.0
@@ -311,7 +364,7 @@ def _worker_main(worker_id, runtime_or_payload, inbox, results, stop_event) -> N
                 if not idle_announced:
                     # batches_seen lets the parent discard an idle report
                     # that raced with a units batch still in this inbox
-                    results.put(("idle", worker_id, cost_since, batches_seen))
+                    results.put(("idle", worker_id, cost_since, batches_seen, _ship()))
                     cost_since = 0.0
                     idle_announced = True
                 continue
@@ -319,6 +372,7 @@ def _worker_main(worker_id, runtime_or_payload, inbox, results, stop_event) -> N
             rule = runtime.rules[unit.rule_index]
             plan = runtime.plans[unit.rule_index] if runtime.plans is not None else None
             graph = runtime.graph_for(shard_id, unit.from_insertion)
+            unit_before = attribution.before(stats)
             outcome = expand_work_unit(
                 graph,
                 rule,
@@ -328,20 +382,22 @@ def _worker_main(worker_id, runtime_or_payload, inbox, results, stop_event) -> N
                 plan=plan,
                 adaptive=controllers[unit.rule_index] if controllers is not None else None,
             )
+            attribution.after(rule.name, unit_before, stats)
             stack.extend((shard_id, new_unit) for new_unit in outcome.new_units)
             charge = float(max(outcome.filtering_adjacency, 1) + outcome.verification_adjacency)
             cost_since += charge
             total_cost += charge
             units_processed += 1
+            units_since_ship += 1
             expansions_since += 1
             since_poll += 1
             if outcome.violations:
                 found = [(violation, unit.from_insertion) for violation in outcome.violations]
-                results.put(("found", worker_id, found, cost_since, len(stack)))
+                results.put(("found", worker_id, found, cost_since, len(stack), _ship()))
                 cost_since = 0.0
                 expansions_since = 0
             elif expansions_since >= STATUS_EVERY_EXPANSIONS:
-                results.put(("status", worker_id, len(stack), cost_since))
+                results.put(("status", worker_id, len(stack), cost_since, _ship()))
                 cost_since = 0.0
                 expansions_since = 0
     except Exception:  # noqa: BLE001 - ship the traceback to the parent
@@ -513,7 +569,8 @@ def _drive_run(
             continue
         kind = message[0]
         if kind == "found":
-            _, worker_id, found, cost_delta, queue_len = message
+            _, worker_id, found, cost_delta, queue_len, obs_delta = message
+            obs.absorb_shipped(obs_delta, {"worker": worker_id})
             summary.cost += cost_delta
             queue_lens[worker_id] = queue_len
             idle[worker_id] = False
@@ -523,8 +580,7 @@ def _drive_run(
                     continue
                 target.add(violation)
                 emitted += 1
-                if sink is not None:
-                    sink.on_violation(violation, introduced=from_insertion)
+                notify_violation(sink, violation, introduced=from_insertion)
                 yield violation, from_insertion
                 if budget is not None and budget.violations_exhausted(emitted):
                     summary.stop_reason = "max_violations"
@@ -532,14 +588,16 @@ def _drive_run(
             if summary.stop_reason is None and budget is not None and budget.cost_exhausted(summary.cost):
                 summary.stop_reason = "max_cost"
         elif kind == "status":
-            _, worker_id, queue_len, cost_delta = message
+            _, worker_id, queue_len, cost_delta, obs_delta = message
+            obs.absorb_shipped(obs_delta, {"worker": worker_id})
             summary.cost += cost_delta
             queue_lens[worker_id] = queue_len
             idle[worker_id] = False
             if budget is not None and budget.cost_exhausted(summary.cost):
                 summary.stop_reason = "max_cost"
         elif kind == "idle":
-            _, worker_id, cost_delta, batches_seen = message
+            _, worker_id, cost_delta, batches_seen, obs_delta = message
+            obs.absorb_shipped(obs_delta, {"worker": worker_id})
             summary.cost += cost_delta
             if batches_seen == batches_sent[worker_id]:
                 queue_lens[worker_id] = 0
@@ -552,6 +610,8 @@ def _drive_run(
             _, worker_id, units = message
             pending_shed -= 1
             queue_lens[worker_id] = max(queue_lens[worker_id] - len(units), 0)
+            if units:
+                obs.counter_inc("repro_executor_steals_total", {"mode": "processes"}, len(units))
             _redistribute(units, origin=worker_id)
         elif kind == "error":
             _, worker_id, text = message
@@ -583,7 +643,8 @@ def _shutdown_crew(crew: _WorkerCrew, summary: Optional[ProcessRunSummary]) -> N
                 break
             continue
         if message[0] == "exited":
-            _, worker_id, stats, cost, units_processed = message
+            _, worker_id, stats, cost, units_processed, obs_delta = message
+            obs.absorb_shipped(obs_delta, {"worker": worker_id})
             exited[worker_id] = True
             if summary is not None:
                 summary.stats.merge(stats)
@@ -900,7 +961,8 @@ class WarmExecutorPool:
                     return False
                 continue
             if message[0] == "synced":
-                _, worker_id, stats, cost, units_processed = message
+                _, worker_id, stats, cost, units_processed, obs_delta = message
+                obs.absorb_shipped(obs_delta, {"worker": worker_id})
                 synced[worker_id] = True
                 summary.stats.merge(stats)
                 summary.worker_traces.append(

@@ -27,10 +27,12 @@ import time
 from collections.abc import Iterator, Sequence
 from typing import Optional
 
+from repro import obs
 from repro.core.ngd import NGD, RuleSet
 from repro.core.violations import Violation, ViolationSet
 from repro.detect.base import DetectionResult
-from repro.detect.observers import DetectionBudget, ViolationSink
+from repro.detect.instrument import RuleAttribution
+from repro.detect.observers import DetectionBudget, ViolationSink, notify_violation
 from repro.detect.parallel.balancing import (
     BalancingPolicy,
     plan_rebalancing,
@@ -125,6 +127,8 @@ def _iter_p_dect_simulated(
     violations = ViolationSet()
     emitted = 0
     stop_reason: Optional[str] = None
+    attribution = RuleAttribution("PDect")
+    trace_parent = obs.current_span()
 
     # seed work units: one per candidate of the first variable of every rule
     position = 0
@@ -135,6 +139,7 @@ def _iter_p_dect_simulated(
         if not order:
             continue
         first = order[0]
+        rule_before = attribution.before(stats)
         candidates, _ = first_step_candidates(
             graph, rule, plan, order, use_literal_pruning, stats
         )
@@ -155,8 +160,8 @@ def _iter_p_dect_simulated(
                     if violation not in violations:
                         violations.add(violation)
                         emitted += 1
-                        if sink is not None:
-                            sink.on_violation(violation)
+                        attribution.violation(rule.name)
+                        notify_violation(sink, violation)
                         yield violation
                 cluster.charge(position % processors, 1.0)
                 if budget is not None and budget.violations_exhausted(emitted):
@@ -172,6 +177,7 @@ def _iter_p_dect_simulated(
             else:
                 cluster.enqueue(position % processors, unit)
             position += 1
+        attribution.after(rule.name, rule_before, stats)
         if stop_reason is not None:
             break
 
@@ -198,6 +204,8 @@ def _iter_p_dect_simulated(
                         if cluster.move_units(origin, destination, count, charge=False):
                             participants.add(origin)
                             participants.add(destination)
+                            if attribution.enabled:
+                                obs.counter_inc("repro_executor_steals_total", {"mode": "simulated"}, count)
                     for worker_index in participants:
                         cluster.charge(worker_index, policy.latency)
 
@@ -207,6 +215,7 @@ def _iter_p_dect_simulated(
         unit: WorkUnit = cluster.pop_unit(worker)
         rule = rule_list[unit.rule_index]
         plan = plans[unit.rule_index] if plans is not None else None
+        unit_before = attribution.before(stats)
         outcome = expand_work_unit(
             graph,
             rule,
@@ -216,6 +225,7 @@ def _iter_p_dect_simulated(
             plan=plan,
             adaptive=controllers[unit.rule_index] if controllers is not None else None,
         )
+        attribution.after(rule.name, unit_before, stats)
 
         depth = unit.depth()
         filtering = max(outcome.filtering_adjacency, 1)
@@ -246,13 +256,14 @@ def _iter_p_dect_simulated(
                 continue
             violations.add(violation)
             emitted += 1
-            if sink is not None:
-                sink.on_violation(violation)
+            attribution.violation(rule.name)
+            notify_violation(sink, violation)
             yield violation
             if budget is not None and budget.violations_exhausted(emitted):
                 stop_reason = "max_violations"
                 break
 
+    attribution.emit(trace_parent)
     elapsed = time.perf_counter() - started
     return DetectionResult(
         violations=violations,
@@ -310,6 +321,8 @@ def _iter_p_dect_processes(
     emitted = 0
     base_cost = 0.0
     stop_reason: Optional[str] = None
+    attribution = RuleAttribution("PDect")
+    trace_parent = obs.current_span()
 
     # data layout by start method: fork children share the parent's one
     # frozen image copy-on-write (building per-fragment copies would only
@@ -366,6 +379,7 @@ def _iter_p_dect_processes(
             if not order:
                 continue
             first = order[0]
+            rule_before = attribution.before(stats)
             candidates, scan_cost = first_step_candidates(
                 graph, rule, plan, order, use_literal_pruning, stats
             )
@@ -385,8 +399,8 @@ def _iter_p_dect_processes(
                         if violation not in violations:
                             violations.add(violation)
                             emitted += 1
-                            if sink is not None:
-                                sink.on_violation(violation)
+                            attribution.violation(rule.name)
+                            notify_violation(sink, violation)
                             yield violation
                     if budget is not None and budget.violations_exhausted(emitted):
                         stop_reason = "max_violations"
@@ -396,6 +410,7 @@ def _iter_p_dect_processes(
                     # its seed node; stealing re-routes the unit, not the data
                     shard_id = shards.owner(candidate)
                     seeds.append((shard_id % processors, shard_id, unit))
+            attribution.after(rule.name, rule_before, stats)
             if stop_reason is not None:
                 break
 
@@ -429,6 +444,7 @@ def _iter_p_dect_processes(
             )
         try:
             for violation, _ in events:
+                attribution.violation(violation.rule)
                 yield violation
         finally:
             events.close()
@@ -437,6 +453,7 @@ def _iter_p_dect_processes(
         summary.cost = base_cost
     stats.merge(summary.stats)
 
+    attribution.emit(trace_parent)
     elapsed = time.perf_counter() - started
     return DetectionResult(
         violations=violations,

@@ -37,10 +37,17 @@ import zlib
 from collections.abc import Iterator, Sequence
 from typing import Optional
 
+from repro import obs
 from repro.core.ngd import NGD, RuleSet
 from repro.core.violations import ViolationDelta, ViolationSet
 from repro.detect.base import IncrementalDetectionResult
-from repro.detect.observers import DetectionBudget, ViolationEvent, ViolationSink
+from repro.detect.instrument import RuleAttribution
+from repro.detect.observers import (
+    DetectionBudget,
+    ViolationEvent,
+    ViolationSink,
+    notify_violation,
+)
 from repro.detect.parallel.balancing import (
     BalancingPolicy,
     plan_rebalancing,
@@ -176,6 +183,8 @@ def _iter_pinc_dect_simulated(
     removed = ViolationSet()
     emitted = 0
     stop_reason: Optional[str] = None
+    attribution = RuleAttribution(f"PIncDect{policy.variant_suffix()}")
+    trace_parent = obs.current_span()
 
     # --------------------------------------------------- phase 3: parallel expansion
     last_balance = 0.0
@@ -201,6 +210,8 @@ def _iter_pinc_dect_simulated(
                         if cluster.move_units(origin, destination, count, charge=False):
                             participants.add(origin)
                             participants.add(destination)
+                            if attribution.enabled:
+                                obs.counter_inc("repro_executor_steals_total", {"mode": "simulated"}, count)
                     for worker_index in participants:
                         cluster.charge(worker_index, policy.latency)
 
@@ -212,6 +223,7 @@ def _iter_pinc_dect_simulated(
         plan = plans[unit.rule_index] if plans is not None else None
         search_graph = updated if unit.from_insertion else graph
 
+        unit_before = attribution.before(stats)
         outcome = expand_work_unit(
             search_graph,
             rule,
@@ -221,6 +233,7 @@ def _iter_pinc_dect_simulated(
             plan=plan,
             adaptive=controllers[unit.rule_index] if controllers is not None else None,
         )
+        attribution.after(rule.name, unit_before, stats)
 
         # candidate filtering cost (possibly split across processors); the
         # split decision uses the plan's remaining-subtree estimate when
@@ -255,13 +268,14 @@ def _iter_pinc_dect_simulated(
                 continue
             target.add(violation)
             emitted += 1
-            if sink is not None:
-                sink.on_violation(violation, introduced=unit.from_insertion)
+            attribution.violation(rule.name)
+            notify_violation(sink, violation, introduced=unit.from_insertion)
             yield ViolationEvent(violation, introduced=unit.from_insertion)
             if budget is not None and budget.violations_exhausted(emitted):
                 stop_reason = "max_violations"
                 break
 
+    attribution.emit(trace_parent)
     elapsed = time.perf_counter() - started
     return IncrementalDetectionResult(
         delta=ViolationDelta(introduced=introduced, removed=removed),
@@ -363,6 +377,8 @@ def _iter_pinc_dect_processes(
 
     introduced = ViolationSet()
     removed = ViolationSet()
+    attribution = RuleAttribution(f"PIncDect{policy.variant_suffix()}")
+    trace_parent = obs.current_span()
     summary = ProcessRunSummary()
     if seeds:
         if warm_pool is not None:
@@ -395,6 +411,7 @@ def _iter_pinc_dect_processes(
             )
         try:
             for violation, from_insertion in events:
+                attribution.violation(violation.rule)
                 yield ViolationEvent(violation, introduced=from_insertion)
         finally:
             events.close()
@@ -402,6 +419,7 @@ def _iter_pinc_dect_processes(
         summary.cost = base_cost
     stats.merge(summary.stats)
 
+    attribution.emit(trace_parent)
     elapsed = time.perf_counter() - started
     return IncrementalDetectionResult(
         delta=ViolationDelta(introduced=introduced, removed=removed),

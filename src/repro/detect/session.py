@@ -48,21 +48,28 @@ from __future__ import annotations
 import hashlib
 import itertools
 import json
+import logging
+import os
 import time
 import weakref
 from collections.abc import Iterable, Iterator, Sequence
 from dataclasses import dataclass
-from typing import Optional
+from typing import Callable, Optional
 
+from repro import obs
 from repro.core.ngd import NGD, RuleSet
 from repro.core.violations import Violation, ViolationDelta
 from repro.detect.base import DetectionResult, IncrementalDetectionResult
+from repro.detect.instrument import flush_step_counts
 from repro.detect.observers import (
     DetectionBudget,
     FanOutSink,
     ViolationEvent,
     ViolationSink,
     drain,
+    notify_finish,
+    notify_start,
+    notify_violation,
 )
 from repro.detect.parallel.balancing import BalancingPolicy
 from repro.errors import SessionError
@@ -99,6 +106,23 @@ PLAN_CACHE_LIMIT = 8
 
 #: The execution regimes a session can be pinned to.
 ENGINES = ("auto", "batch", "incremental", "parallel")
+
+#: Runs whose observed cost exceeds the planner's estimate by this factor
+#: are logged to ``repro.detect.slowplan`` and counted in
+#: ``repro_slow_plans_total`` (override with ``REPRO_SLOW_PLAN_RATIO``).
+DEFAULT_SLOW_PLAN_RATIO = 25.0
+
+_slow_plan_logger = logging.getLogger("repro.detect.slowplan")
+
+
+def _slow_plan_ratio() -> float:
+    raw = os.environ.get("REPRO_SLOW_PLAN_RATIO")
+    if not raw:
+        return DEFAULT_SLOW_PLAN_RATIO
+    try:
+        return float(raw)
+    except ValueError:
+        return DEFAULT_SLOW_PLAN_RATIO
 
 
 @dataclass(frozen=True)
@@ -283,7 +307,11 @@ class Detector:
         counts = (graph.node_count(), graph.edge_count())
         if cached is not None and cached[:2] == counts:
             return cached[2]
-        plans = compile_plans(graph, self.rules, history=self.history if self.history else None)
+        with obs.span("detect.compile_plans", store=graph.store_backend) as plan_span:
+            plans = compile_plans(
+                graph, self.rules, history=self.history if self.history else None
+            )
+            plan_span.set(plans=len(plans))
         self._plan_cache[key] = (*counts, plans)
         while len(self._plan_cache) > PLAN_CACHE_LIMIT:
             self._plan_cache.pop(next(iter(self._plan_cache)))
@@ -384,7 +412,7 @@ class Detector:
         ``plans`` overrides the session's compiled-plan cache (continuous
         sessions hand back the plans they compiled at an earlier version).
         """
-        result = drain(self._batch_events(graph, plans))
+        result = drain(self._traced_events(lambda: self._batch_events(graph, plans), "detect.run"))
         self._finish(result)
         return result
 
@@ -397,7 +425,9 @@ class Detector:
         observe during :meth:`run`; after exhaustion the full
         :class:`DetectionResult` is available as ``last_result``.
         """
-        result = yield from self._batch_events(graph, plans)
+        result = yield from self._traced_events(
+            lambda: self._batch_events(graph, plans), "detect.run"
+        )
         self._finish(result)
 
     def run_incremental(
@@ -413,7 +443,12 @@ class Detector:
         materialised; otherwise it is computed (uncharged, as the paper
         assumes the storage layer maintains it).
         """
-        result = drain(self._incremental_events(graph, delta, graph_after, plans))
+        result = drain(
+            self._traced_events(
+                lambda: self._incremental_events(graph, delta, graph_after, plans),
+                "detect.run_incremental",
+            )
+        )
         self._finish(result)
         return result
 
@@ -425,16 +460,109 @@ class Detector:
         plans: Optional[Sequence[MatchPlan]] = None,
     ) -> Iterator[ViolationEvent]:
         """Yield :class:`ViolationEvent`\\ s of ΔVio(Σ, G, ΔG) as found."""
-        result = yield from self._incremental_events(graph, delta, graph_after, plans)
+        result = yield from self._traced_events(
+            lambda: self._incremental_events(graph, delta, graph_after, plans),
+            "detect.run_incremental",
+        )
         self._finish(result)
 
     # ------------------------------------------------------------- internals
 
     def _finish(self, result: DetectionResult | IncrementalDetectionResult) -> None:
         self.last_result = result
-        sink = self._sink()
-        if sink is not None:
-            sink.on_finish(result)
+        notify_finish(self._sink(), result)
+
+    def _traced_events(self, factory: Callable[[], Iterator], name: str):
+        """Drive ``factory()``'s event stream under one root span.
+
+        The root span becomes the contextvar-current span before the
+        factory runs, so plan compilation and the kernels (which capture
+        ``obs.current_span()`` at generator start) parent their spans —
+        and hence the whole run's trace — under it.  On completion the
+        result gains the ``trace_id`` and the run is counted and checked
+        against the slow-plan threshold.  With observability off this is
+        a plain pass-through.
+        """
+        if not obs.enabled():
+            result = yield from factory()
+            return result
+        enclosing = obs.current_span_var.get()
+        if enclosing is not None:
+            # e.g. the service's per-job span: the whole run joins its trace
+            root = obs.Span(
+                name, trace_id=enclosing.trace_id, parent_id=enclosing.span_id
+            )
+        else:
+            root = obs.Span(name)
+        token = obs.current_span_var.set(root)
+        try:
+            result = yield from factory()
+            result.trace_id = root.trace_id
+            self._note_run(root, result)
+        except BaseException as exc:
+            root.set(error=type(exc).__name__)
+            raise
+        finally:
+            try:
+                obs.current_span_var.reset(token)
+            except ValueError:  # consumer resumed the stream from another context
+                pass
+            root.finish()
+            obs.recorder().record(root)
+        return result
+
+    def _note_run(
+        self, root: obs.Span, result: DetectionResult | IncrementalDetectionResult
+    ) -> None:
+        """Close out a traced run: root-span attributes, counters, slow-plan check."""
+        flush_step_counts(result.stats)
+        if isinstance(result, IncrementalDetectionResult):
+            changes = result.total_changes()
+        else:
+            changes = result.violation_count()
+        root.set(
+            algorithm=result.algorithm,
+            cost=round(result.cost, 6),
+            violations=changes,
+            processors=result.processors,
+        )
+        obs.counter_inc("repro_detect_runs_total", {"algorithm": result.algorithm})
+        estimate = root.attributes.get("plan_estimate")
+        if isinstance(estimate, (int, float)) and estimate > 0:
+            ratio = result.cost / estimate
+            root.set(cost_ratio=round(ratio, 3))
+            threshold = _slow_plan_ratio()
+            if ratio >= threshold:
+                obs.counter_inc("repro_slow_plans_total", {"algorithm": result.algorithm})
+                _slow_plan_logger.warning(
+                    "slow plan: %s run cost %.1f is %.1fx the planner estimate %.1f "
+                    "(threshold %.1fx, trace %s)",
+                    result.algorithm,
+                    result.cost,
+                    ratio,
+                    estimate,
+                    threshold,
+                    root.trace_id,
+                )
+
+    def _annotate_root(self, mode: str, graph: Graph, plans) -> None:
+        """Stamp run context onto the root span (no-op outside a traced run)."""
+        root = obs.current_span()
+        if root is None:
+            return
+        root.set(
+            mode=mode,
+            execution=self.options.execution,
+            store=graph.store_backend,
+            nodes=graph.node_count(),
+            edges=graph.edge_count(),
+        )
+        if plans:
+            root.set(
+                plan_estimate=round(
+                    sum(plan.estimated_unit_cost(0) for plan in plans), 3
+                )
+            )
 
     def _adaptive_argument(self, plans, processes: bool):
         """Resolve what the kernels receive as ``adaptive``.
@@ -472,10 +600,10 @@ class Detector:
             plans = self.compile_plans(graph)
         sink = self._sink()
         budget = self.options.budget()
-        if sink is not None:
-            sink.on_start(self)
+        notify_start(sink, self)
         if not self.options.planner_active():
             plans = ()  # explicit off marker: the kernel must not recompile
+        self._annotate_root(mode, graph, plans)
         processes = mode == "parallel" and self.options.execution == "processes"
         adaptive = self._adaptive_argument(plans, processes)
         if mode == "batch":
@@ -530,10 +658,10 @@ class Detector:
             plans = self.compile_plans(graph_after if graph_after is not None else graph)
         sink = self._sink()
         budget = self.options.budget()
-        if sink is not None:
-            sink.on_start(self)
+        notify_start(sink, self)
         if not self.options.planner_active():
             plans = ()  # explicit off marker: the kernel must not recompile
+        self._annotate_root(mode, graph, plans)
         processes = mode == "parallel" and self.options.execution == "processes"
         adaptive = self._adaptive_argument(plans, processes)
         if mode == "incremental":
@@ -627,11 +755,9 @@ class Detector:
             algorithm="BatchDiff",
         )
         for violation in sorted(violation_delta.introduced, key=str):
-            if sink is not None:
-                sink.on_violation(violation, introduced=True)
+            notify_violation(sink, violation, introduced=True)
             yield ViolationEvent(violation, introduced=True)
         for violation in sorted(violation_delta.removed, key=str):
-            if sink is not None:
-                sink.on_violation(violation, introduced=False)
+            notify_violation(sink, violation, introduced=False)
             yield ViolationEvent(violation, introduced=False)
         return result

@@ -26,7 +26,23 @@ from repro.expr.literals import LiteralSet
 from repro.graph.graph import Graph
 from repro.graph.pattern import Pattern
 
-__all__ = ["MatchStatistics", "candidate_nodes", "node_satisfies_unary_premise"]
+__all__ = [
+    "STEP_COUNT_PREFIX",
+    "MatchStatistics",
+    "candidate_nodes",
+    "node_satisfies_unary_premise",
+]
+
+#: ``MatchStatistics.extra`` key prefix for per-(rule, step, strategy)
+#: candidate-scan counts.  The match executor's candidate loop is far too hot
+#: for per-call registry traffic (label dicts + sorted key construction), so
+#: ``step_candidates`` accumulates plain-dict deltas under
+#: ``"step_candidates\x1f<rule>\x1f<step>\x1f<strategy>"`` keys and the
+#: detection session flushes them to ``repro_match_candidates_examined`` once
+#: per run (:func:`repro.detect.instrument.flush_step_counts`).  ``extra``
+#: merges additively across threads and worker processes, so the flush sees
+#: the whole run in every execution mode.
+STEP_COUNT_PREFIX = "step_candidates\x1f"
 
 
 @dataclass

@@ -44,10 +44,11 @@ from collections.abc import Hashable, Mapping, Sequence
 from dataclasses import dataclass
 from typing import Optional
 
+from repro import obs
 from repro.core.ngd import NGD
 from repro.expr.literals import Literal
 from repro.graph.graph import WILDCARD, Graph
-from repro.matching.candidates import MatchStatistics
+from repro.matching.candidates import STEP_COUNT_PREFIX, MatchStatistics
 
 __all__ = [
     "PLANNER_ENV",
@@ -789,6 +790,11 @@ def step_candidates(
             candidates.append(node_id)
 
     candidates.sort(key=graph.node_rank)
+    if scanned and obs.enabled():
+        # plain-dict accumulation: this is the match executor's hottest loop
+        # and the registry flush happens once per run (flush_step_counts)
+        key = f"{STEP_COUNT_PREFIX}{plan.rule.name}\x1f{step.variable}\x1f{step.strategy}"
+        stats.extra[key] = stats.extra.get(key, 0) + scanned
     return candidates, scanned
 
 
@@ -842,6 +848,7 @@ def first_step_candidates(
         )
         return candidates, float(scanned)
     first = order[0]
+    before = stats.candidates_examined
     candidates = candidate_nodes(
         graph,
         rule.pattern,
@@ -850,6 +857,10 @@ def first_step_candidates(
         use_literal_pruning=use_literal_pruning,
         stats=stats,
     )
+    examined = stats.candidates_examined - before
+    if examined and obs.enabled():
+        key = f"{STEP_COUNT_PREFIX}{rule.name}\x1f{first}\x1fstatic"
+        stats.extra[key] = stats.extra.get(key, 0) + examined
     return candidates, float(len(graph.nodes_with_label(rule.pattern.node(first).label)))
 
 

@@ -1,0 +1,366 @@
+"""Process-wide metrics registry: counters, gauges, histograms.
+
+The registry is the write side of the observability subsystem
+(:mod:`repro.obs`).  Hot paths — per-step candidate counts inside the
+match executor, per-unit expansion in the parallel kernels — increment
+counters at high frequency, so writes go to *per-thread shards*: each
+thread owns a plain dict it mutates without taking any lock, and readers
+merge every shard under the registry lock when a snapshot or exposition
+is requested.  Gauges are the exception (``set`` is not additive across
+threads) and live in a single locked map.
+
+Histograms use fixed bucket boundaries declared up front (per family),
+stored as cumulative-style counts at merge time only; the shard keeps a
+plain per-bucket count list plus sum/count so the observe path is two
+index operations.
+
+Cross-process flow: executor worker processes build a *fresh* registry
+(:func:`repro.obs.reset_for_worker`), accumulate deltas locally, and ship
+``registry.dump()`` — a plain JSON-serializable dict — back over the
+existing result queue.  The parent merges with
+``registry.absorb(dump, extra_labels={"worker": wid})`` so per-worker
+attribution survives both ``fork`` and ``spawn`` start methods.
+
+Everything here is observe-only: no metric ever influences detection
+order, planning, or output.  ``REPRO_OBS=off`` swaps the module-level
+singleton for :class:`NullRegistry`, whose methods are empty.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+__all__ = [
+    "DEFAULT_BUCKETS",
+    "MetricsRegistry",
+    "NullRegistry",
+    "render_prometheus",
+]
+
+# Latency-oriented defaults (seconds): spans fsync (~100us) through slow
+# multi-second detection runs.
+DEFAULT_BUCKETS: Tuple[float, ...] = (
+    0.0001,
+    0.00025,
+    0.0005,
+    0.001,
+    0.0025,
+    0.005,
+    0.01,
+    0.025,
+    0.05,
+    0.1,
+    0.25,
+    0.5,
+    1.0,
+    2.5,
+    5.0,
+    10.0,
+)
+
+LabelItems = Tuple[Tuple[str, str], ...]
+
+
+def _label_key(labels: Optional[Mapping[str, object]]) -> LabelItems:
+    if not labels:
+        return ()
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+class _Shard:
+    """One thread's unshared write buffer."""
+
+    __slots__ = ("counters", "histograms")
+
+    def __init__(self) -> None:
+        # (name, label_items) -> float
+        self.counters: Dict[Tuple[str, LabelItems], float] = {}
+        # (name, label_items) -> [bucket_counts..., sum, count]
+        self.histograms: Dict[Tuple[str, LabelItems], List[float]] = {}
+
+
+class MetricsRegistry:
+    """Counters, gauges, and fixed-bucket histograms with label sets."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._local = threading.local()
+        self._shards: List[_Shard] = []
+        # family name -> (kind, help, buckets-or-None)
+        self._families: Dict[str, Tuple[str, str, Optional[Tuple[float, ...]]]] = {}
+        self._gauges: Dict[Tuple[str, LabelItems], float] = {}
+
+    # ------------------------------------------------------------- metadata
+
+    def describe(
+        self,
+        name: str,
+        kind: str,
+        help_text: str = "",
+        buckets: Optional[Sequence[float]] = None,
+    ) -> None:
+        """Register family metadata (idempotent; first description wins)."""
+        with self._lock:
+            if name not in self._families:
+                bucket_tuple = tuple(buckets) if buckets is not None else (
+                    DEFAULT_BUCKETS if kind == "histogram" else None
+                )
+                self._families[name] = (kind, help_text, bucket_tuple)
+
+    def _family(self, name: str, kind: str) -> Tuple[str, str, Optional[Tuple[float, ...]]]:
+        family = self._families.get(name)
+        if family is None:
+            self.describe(name, kind)
+            family = self._families[name]
+        return family
+
+    # ---------------------------------------------------------------- writes
+
+    def _shard(self) -> _Shard:
+        shard = getattr(self._local, "shard", None)
+        if shard is None:
+            shard = _Shard()
+            self._local.shard = shard
+            with self._lock:
+                self._shards.append(shard)
+        return shard
+
+    def counter_inc(
+        self,
+        name: str,
+        labels: Optional[Mapping[str, object]] = None,
+        amount: float = 1.0,
+    ) -> None:
+        if name not in self._families:
+            self._family(name, "counter")
+        key = (name, _label_key(labels))
+        counters = self._shard().counters
+        counters[key] = counters.get(key, 0.0) + amount
+
+    def gauge_set(
+        self, name: str, labels: Optional[Mapping[str, object]] = None, value: float = 0.0
+    ) -> None:
+        if name not in self._families:
+            self._family(name, "gauge")
+        with self._lock:
+            self._gauges[(name, _label_key(labels))] = float(value)
+
+    def gauge_add(
+        self, name: str, labels: Optional[Mapping[str, object]] = None, amount: float = 1.0
+    ) -> None:
+        if name not in self._families:
+            self._family(name, "gauge")
+        key = (name, _label_key(labels))
+        with self._lock:
+            self._gauges[key] = self._gauges.get(key, 0.0) + amount
+
+    def histogram_observe(
+        self, name: str, labels: Optional[Mapping[str, object]] = None, value: float = 0.0
+    ) -> None:
+        kind, _, buckets = self._family(name, "histogram")
+        if kind != "histogram" or buckets is None:
+            return
+        key = (name, _label_key(labels))
+        histograms = self._shard().histograms
+        cells = histograms.get(key)
+        if cells is None:
+            # bucket counts + [sum, count] appended at the end
+            cells = [0.0] * (len(buckets) + 2)
+            histograms[key] = cells
+        for index, bound in enumerate(buckets):
+            if value <= bound:
+                cells[index] += 1.0
+                break
+        cells[-2] += value
+        cells[-1] += 1.0
+
+    # ----------------------------------------------------------------- reads
+
+    def snapshot(self) -> dict:
+        """Merge every shard into one plain dict (also the wire ``dump``).
+
+        Shape::
+
+            {"families": {name: {"kind": ..., "help": ..., "buckets": [...]}},
+             "counters": [[name, [[k, v]...], value], ...],
+             "gauges":   [[name, [[k, v]...], value], ...],
+             "histograms": [[name, [[k, v]...], [bucket_counts..., sum, count]], ...]}
+        """
+        with self._lock:
+            shards = list(self._shards)
+            families = {
+                name: {"kind": kind, "help": help_text, "buckets": list(buckets) if buckets else None}
+                for name, (kind, help_text, buckets) in self._families.items()
+            }
+            gauges = dict(self._gauges)
+        counters: Dict[Tuple[str, LabelItems], float] = {}
+        histograms: Dict[Tuple[str, LabelItems], List[float]] = {}
+        for shard in shards:
+            for key, value in list(shard.counters.items()):
+                counters[key] = counters.get(key, 0.0) + value
+            for key, cells in list(shard.histograms.items()):
+                merged = histograms.get(key)
+                if merged is None:
+                    histograms[key] = list(cells)
+                else:
+                    for index, cell in enumerate(cells):
+                        merged[index] += cell
+        return {
+            "families": families,
+            "counters": [[name, [list(kv) for kv in key], value] for (name, key), value in counters.items()],
+            "gauges": [[name, [list(kv) for kv in key], value] for (name, key), value in gauges.items()],
+            "histograms": [
+                [name, [list(kv) for kv in key], list(cells)]
+                for (name, key), cells in histograms.items()
+            ],
+        }
+
+    dump = snapshot  # the worker->parent wire form is just the snapshot
+
+    def absorb(self, dump: Optional[dict], extra_labels: Optional[Mapping[str, object]] = None) -> None:
+        """Merge a worker's ``dump()`` into this registry.
+
+        ``extra_labels`` (e.g. ``{"worker": 3}``) are appended to every
+        sample's label set so per-worker attribution survives the merge.
+        Gauges are summed (worker gauges are deltas by construction).
+        """
+        if not dump:
+            return
+        extra = _label_key(extra_labels)
+        for name, meta in dump.get("families", {}).items():
+            self.describe(name, meta.get("kind", "counter"), meta.get("help", ""), meta.get("buckets"))
+        shard = self._shard()
+        for name, key_items, value in dump.get("counters", []):
+            key = (name, tuple(sorted(tuple(map(str, kv)) for kv in key_items) + list(extra)))
+            shard.counters[key] = shard.counters.get(key, 0.0) + value
+        for name, key_items, cells in dump.get("histograms", []):
+            key = (name, tuple(sorted(tuple(map(str, kv)) for kv in key_items) + list(extra)))
+            merged = shard.histograms.get(key)
+            if merged is None:
+                shard.histograms[key] = list(cells)
+            else:
+                for index, cell in enumerate(cells):
+                    merged[index] += cell
+        with self._lock:
+            for name, key_items, value in dump.get("gauges", []):
+                key = (name, tuple(sorted(tuple(map(str, kv)) for kv in key_items) + list(extra)))
+                self._gauges[key] = self._gauges.get(key, 0.0) + value
+
+    def value(self, name: str, labels: Optional[Mapping[str, object]] = None) -> float:
+        """Read one counter/gauge value from a fresh snapshot (tests, /health)."""
+        wanted = _label_key(labels)
+        snap = self.snapshot()
+        for metric_name, key_items, value in snap["counters"] + snap["gauges"]:
+            if metric_name == name and tuple(tuple(kv) for kv in key_items) == wanted:
+                return value
+        return 0.0
+
+    def total(self, name: str) -> float:
+        """Sum a counter family across every label set."""
+        snap = self.snapshot()
+        return sum(value for metric_name, _, value in snap["counters"] if metric_name == name)
+
+    def exposition(self) -> str:
+        return render_prometheus(self.snapshot())
+
+    def reset(self) -> None:
+        """Drop all recorded samples (tests; worker bootstrap)."""
+        with self._lock:
+            self._shards = []
+            self._gauges = {}
+        self._local = threading.local()
+
+
+class NullRegistry:
+    """``REPRO_OBS=off``: every write is a no-op, every read is empty."""
+
+    def describe(self, *args, **kwargs) -> None:
+        pass
+
+    def counter_inc(self, *args, **kwargs) -> None:
+        pass
+
+    def gauge_set(self, *args, **kwargs) -> None:
+        pass
+
+    def gauge_add(self, *args, **kwargs) -> None:
+        pass
+
+    def histogram_observe(self, *args, **kwargs) -> None:
+        pass
+
+    def snapshot(self) -> dict:
+        return {"families": {}, "counters": [], "gauges": [], "histograms": []}
+
+    dump = snapshot
+
+    def absorb(self, *args, **kwargs) -> None:
+        pass
+
+    def value(self, *args, **kwargs) -> float:
+        return 0.0
+
+    def total(self, *args, **kwargs) -> float:
+        return 0.0
+
+    def exposition(self) -> str:
+        return "# observability disabled (REPRO_OBS=off)\n"
+
+    def reset(self) -> None:
+        pass
+
+
+# ------------------------------------------------------------------ exposition
+
+
+def _escape_label_value(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _format_labels(items: Iterable[Sequence[str]]) -> str:
+    rendered = ",".join(f'{key}="{_escape_label_value(str(value))}"' for key, value in items)
+    return "{" + rendered + "}" if rendered else ""
+
+
+def _format_value(value: float) -> str:
+    if value == int(value):
+        return str(int(value))
+    return repr(value)
+
+
+def render_prometheus(snapshot: dict) -> str:
+    """Render a :meth:`MetricsRegistry.snapshot` as Prometheus text format."""
+    families = snapshot.get("families", {})
+    by_family: Dict[str, List[str]] = {}
+
+    def add(name: str, line: str) -> None:
+        by_family.setdefault(name, []).append(line)
+
+    for name, key_items, value in sorted(snapshot.get("counters", [])):
+        add(name, f"{name}{_format_labels(key_items)} {_format_value(value)}")
+    for name, key_items, value in sorted(snapshot.get("gauges", [])):
+        add(name, f"{name}{_format_labels(key_items)} {_format_value(value)}")
+    for name, key_items, cells in sorted(snapshot.get("histograms", [])):
+        meta = families.get(name) or {}
+        buckets = meta.get("buckets") or list(DEFAULT_BUCKETS)
+        cumulative = 0.0
+        for index, bound in enumerate(buckets):
+            cumulative += cells[index] if index < len(cells) - 2 else 0.0
+            items = list(key_items) + [["le", repr(float(bound))]]
+            add(name, f"{name}_bucket{_format_labels(items)} {_format_value(cumulative)}")
+        total_count = cells[-1]
+        items = list(key_items) + [["le", "+Inf"]]
+        add(name, f"{name}_bucket{_format_labels(items)} {_format_value(total_count)}")
+        add(name, f"{name}_sum{_format_labels(key_items)} {_format_value(cells[-2])}")
+        add(name, f"{name}_count{_format_labels(key_items)} {_format_value(total_count)}")
+
+    lines: List[str] = []
+    for name in sorted(set(by_family) | set(families)):
+        meta = families.get(name) or {}
+        help_text = meta.get("help") or name.replace("_", " ")
+        kind = meta.get("kind", "untyped")
+        lines.append(f"# HELP {name} {help_text}")
+        lines.append(f"# TYPE {name} {kind}")
+        lines.extend(by_family.get(name, []))
+    return "\n".join(lines) + "\n"

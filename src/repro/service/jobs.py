@@ -30,6 +30,7 @@ import queue
 import threading
 from typing import Iterator, Optional
 
+from repro import obs
 from repro.core.ngd import RuleSet
 from repro.core.violations import ViolationDelta, ViolationSet
 from repro.detect.parallel import WarmExecutorPool
@@ -43,7 +44,7 @@ from repro.service.protocol import (
 )
 from repro.service.registry import GraphRegistry, UpdateOutcome, validate_resource_name
 
-__all__ = ["ContinuousSession", "DetectionJobPool", "SessionManager"]
+__all__ = ["ContinuousSession", "DetectionJobPool", "JobStream", "SessionManager"]
 
 #: Default size of a service's detection job pool (``serve --max-jobs``).
 DEFAULT_MAX_JOBS = 8
@@ -257,6 +258,39 @@ class ContinuousSession:
             return document
 
 
+class JobStream:
+    """An NDJSON record iterator plus the job metadata the handler logs.
+
+    ``job_id`` identifies the pool slot's job thread; ``trace_id`` is the
+    observability trace the detection runs under (None with REPRO_OBS=off).
+    The HTTP handler surfaces both: the trace id as the ``X-Repro-Trace``
+    response header, both in the access-log line.
+    """
+
+    __slots__ = ("_iterator", "job_id", "trace_id")
+
+    def __init__(
+        self,
+        iterator: Iterator[dict],
+        job_id: Optional[str] = None,
+        trace_id: Optional[str] = None,
+    ) -> None:
+        self._iterator = iterator
+        self.job_id = job_id
+        self.trace_id = trace_id
+
+    def __iter__(self) -> "JobStream":
+        return self
+
+    def __next__(self) -> dict:
+        return next(self._iterator)
+
+    def close(self) -> None:
+        close = getattr(self._iterator, "close", None)
+        if close is not None:
+            close()
+
+
 class DetectionJobPool:
     """A bounded pool of detection job threads with admission control.
 
@@ -302,12 +336,15 @@ class DetectionJobPool:
         is long gone by then), matching the handler-thread behaviour.
         """
         if not self._slots.acquire(blocking=False):
+            obs.counter_inc("repro_jobs_refused_total")
             raise PoolSaturatedError(
                 f"detection job pool is saturated ({self.max_jobs} jobs in flight); "
                 "retry after a backoff or raise serve --max-jobs"
             )
         with self._lock:
             self._active += 1
+        obs.counter_inc("repro_jobs_total")
+        obs.gauge_add("repro_jobs_active", None, 1)
         buffer: queue.Queue = queue.Queue(maxsize=self._queue_capacity)
         cancelled = threading.Event()
 
@@ -351,11 +388,11 @@ class DetectionJobPool:
                         continue
                 with self._lock:
                     self._active -= 1
+                obs.gauge_add("repro_jobs_active", None, -1)
                 self._slots.release()
 
-        thread = threading.Thread(
-            target=produce, name=f"repro-job-{next(self._job_ids)}", daemon=True
-        )
+        job_id = f"job-{next(self._job_ids)}"
+        thread = threading.Thread(target=produce, name=f"repro-{job_id}", daemon=True)
         thread.start()
 
         def consume() -> Iterator[dict]:
@@ -368,7 +405,7 @@ class DetectionJobPool:
             finally:
                 cancelled.set()
 
-        return consume()
+        return JobStream(consume(), job_id=job_id)
 
 
 class SessionManager:
@@ -432,6 +469,16 @@ class SessionManager:
             pools = list(self._executor_pools.values())
         for pool in pools:
             pool.maintain()
+
+    def describe_pools(self) -> dict[str, dict]:
+        """Warm/cold hit counters per executor pool, keyed by crew size.
+
+        The ``GET /health`` payload surfaces this so operators can see
+        whether process-backed requests are actually reusing warm crews.
+        """
+        with self._executor_pools_lock:
+            pools = dict(self._executor_pools)
+        return {str(count): pool.stats() for count, pool in sorted(pools.items())}
 
     def shutdown(self) -> None:
         """Stop every warm worker crew owned by this manager."""
@@ -517,16 +564,31 @@ class SessionManager:
             executor_pool=self.executor_pool(request.processors) if processes else None,
         )
 
+        # the trace id is fixed before the job starts so the HTTP handler
+        # can send it as X-Repro-Trace while the stream is still running
+        trace_id = obs.new_id() if obs.enabled() else None
+
         def generate() -> Iterator[dict]:
             try:
-                for violation in detector.stream(graph):
-                    yield violation_record(violation, introduced=True)
+                with obs.span(
+                    "service.detect",
+                    trace_id=trace_id,
+                    graph=graph_name,
+                    graph_version=version,
+                    execution=request.execution,
+                ):
+                    # the detector's root span parents under service.detect
+                    # via the job thread's contextvar, joining this trace
+                    for violation in detector.stream(graph):
+                        yield violation_record(violation, introduced=True)
                 yield summary_record(detector.last_result, graph_name, version)
             finally:
                 if processes:
                     self.maintain_pools()
 
-        return self.job_pool.run_stream(generate())
+        stream = self.job_pool.run_stream(generate())
+        stream.trace_id = trace_id
+        return stream
 
     # ---------------------------------------------------------------- sessions
 

@@ -214,6 +214,9 @@ def summary_record(
         "stop_reason": result.stop_reason,
         "graph": graph_name,
         "graph_version": graph_version,
+        # the run's observability trace (GET /debug/traces); null with
+        # REPRO_OBS=off or when the result predates the traced session API
+        "trace_id": getattr(result, "trace_id", None),
     }
     if isinstance(result, IncrementalDetectionResult):
         record["introduced_count"] = len(result.introduced())

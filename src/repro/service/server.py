@@ -20,6 +20,8 @@ DELETE    /sessions/{id}                    close a session
 GET       /rules                            list rule catalogs
 POST      /rules/{name}                     register a catalog (RuleSet document)
 POST      /admin/checkpoint                 force a durability checkpoint
+GET       /metrics                          Prometheus text exposition
+GET       /debug/traces?limit=N             recent completed spans (JSON)
 ========  ================================  =====================================
 
 Durability: constructing the service with ``data_dir`` makes it crash-safe
@@ -54,10 +56,13 @@ manager support; ``port=0`` binds an ephemeral port, reported via ``url``.
 from __future__ import annotations
 
 import json
+import sys
 import threading
+import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Optional
 
+from repro import obs
 from repro.core.ngd import RuleSet
 from repro.errors import PoolSaturatedError, ReproError, ServiceError
 from repro.graph.graph import Graph
@@ -99,8 +104,15 @@ class _ServiceHandler(BaseHTTPRequestHandler):
         return self.server.service  # type: ignore[attr-defined]
 
     def log_message(self, format: str, *args) -> None:  # noqa: A002 - stdlib signature
+        # BaseHTTPRequestHandler's default per-request noise is replaced by
+        # the service's structured access log (one line per request, written
+        # from _observe); --verbose restores the stdlib lines on top.
         if self.service.verbose:
             super().log_message(format, *args)
+
+    def send_response(self, code: int, message: Optional[str] = None) -> None:
+        self._last_status = code
+        super().send_response(code, message)
 
     def _read_json_body(self) -> object:
         length = int(self.headers.get("Content-Length") or 0)
@@ -155,7 +167,64 @@ class _ServiceHandler(BaseHTTPRequestHandler):
 
     # ------------------------------------------------------------- dispatch
 
+    def _route_label(self) -> str:
+        """Collapse the request path to a bounded metric label.
+
+        Resource names become ``{name}`` placeholders so the
+        ``repro_http_requests_total`` label set stays small no matter how
+        many graphs or sessions a tenant creates.
+        """
+        parts, _ = self._path_parts()
+        if not parts:
+            return "/"
+        head = parts[0]
+        if head in ("health", "metrics", "rules", "graphs", "sessions"):
+            pattern = [head]
+            if len(parts) >= 2:
+                pattern.append("{name}" if head in ("graphs", "sessions", "rules") else parts[1])
+            if len(parts) >= 3:
+                pattern.append(parts[2])
+            return "/" + "/".join(pattern[:3])
+        if head in ("admin", "debug") and len(parts) >= 2:
+            return f"/{head}/{parts[1]}"
+        return "/unknown"
+
+    def _observe(self, handler) -> None:
+        """Time one request, emit HTTP metrics, write the access-log line."""
+        self._last_status = 0
+        self._trace_id: Optional[str] = None
+        self._job_id: Optional[str] = None
+        started = time.monotonic()
+        try:
+            handler()
+        finally:
+            duration = time.monotonic() - started
+            route = self._route_label()
+            if obs.enabled():
+                obs.counter_inc(
+                    "repro_http_requests_total",
+                    {"method": self.command, "route": route, "status": str(self._last_status)},
+                )
+                obs.histogram_observe("repro_http_request_seconds", {"route": route}, duration)
+            self.service.log_access(
+                method=self.command,
+                path=self.path,
+                status=self._last_status,
+                duration=duration,
+                trace_id=self._trace_id,
+                job_id=self._job_id,
+            )
+
     def do_GET(self) -> None:  # noqa: N802 - stdlib naming
+        self._observe(self._handle_get)
+
+    def do_POST(self) -> None:  # noqa: N802 - stdlib naming
+        self._observe(self._handle_post)
+
+    def do_DELETE(self) -> None:  # noqa: N802 - stdlib naming
+        self._observe(self._handle_delete)
+
+    def _handle_get(self) -> None:
         parts, params = self._path_parts()
         try:
             if parts == ["health"]:
@@ -181,6 +250,10 @@ class _ServiceHandler(BaseHTTPRequestHandler):
                 )
             elif parts == ["rules"]:
                 self._send_json({"catalogs": self.service.manager.describe_catalogs()})
+            elif parts == ["metrics"]:
+                self._send_metrics()
+            elif parts == ["debug", "traces"]:
+                self._send_traces(params)
             else:
                 raise ServiceError(f"no resource at {self.path!r}")
         except ReproError as exc:
@@ -188,7 +261,7 @@ class _ServiceHandler(BaseHTTPRequestHandler):
         except Exception as exc:  # noqa: BLE001 - a crashed handler drops the connection
             self._send_json({"error": f"internal error: {exc!r}"}, status=500)
 
-    def do_POST(self) -> None:  # noqa: N802 - stdlib naming
+    def _handle_post(self) -> None:
         parts, _ = self._path_parts()
         try:
             body = self._read_json_body()
@@ -213,7 +286,7 @@ class _ServiceHandler(BaseHTTPRequestHandler):
             # 200 is committed, so replying here is always still possible
             self._send_json({"error": f"internal error: {exc!r}"}, status=500)
 
-    def do_DELETE(self) -> None:  # noqa: N802 - stdlib naming
+    def _handle_delete(self) -> None:
         parts, _ = self._path_parts()
         try:
             if len(parts) == 2 and parts[0] == "sessions":
@@ -291,6 +364,27 @@ class _ServiceHandler(BaseHTTPRequestHandler):
         self.service.manager.register_catalog(name, rules)
         self._send_json({"catalog": name, "rules": len(rules)}, status=201)
 
+    def _send_metrics(self) -> None:
+        """``GET /metrics``: the process-wide registry in Prometheus text form."""
+        body = obs.exposition().encode("utf-8")
+        self.send_response(200)
+        self.send_header("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_traces(self, params: dict[str, str]) -> None:
+        """``GET /debug/traces?limit=N``: recent completed spans, newest last."""
+        raw = params.get("limit", "200")
+        try:
+            limit = int(raw)
+        except ValueError:
+            raise ServiceError(f"'limit' must be an integer, got {raw!r}") from None
+        if limit < 1:
+            raise ServiceError(f"'limit' must be >= 1, got {limit}")
+        spans = obs.traces(limit)
+        self._send_json({"enabled": obs.enabled(), "count": len(spans), "spans": spans})
+
     def _force_checkpoint(self) -> None:
         persistence = self.service.persistence
         if persistence is None:
@@ -302,6 +396,8 @@ class _ServiceHandler(BaseHTTPRequestHandler):
     def _stream_detect(self, name: str, body: object) -> None:
         request = parse_detect_request(body)
         records = self.service.manager.stream_detection(name, request)
+        self._trace_id = getattr(records, "trace_id", None)
+        self._job_id = getattr(records, "job_id", None)
         # pull the first record before committing the 200: a bad catalog
         # name or unknown graph still gets a clean JSON error response
         try:
@@ -319,6 +415,8 @@ class _ServiceHandler(BaseHTTPRequestHandler):
             raise ServiceError(f"detection failed to start: {first.get('error')}")
         self.send_response(200)
         self.send_header("Content-Type", MIME_NDJSON)
+        if self._trace_id is not None:
+            self.send_header("X-Repro-Trace", self._trace_id)
         self.end_headers()
         try:
             if first is not None:
@@ -371,6 +469,7 @@ class DetectionService:
         max_jobs: int = DEFAULT_MAX_JOBS,
         data_dir: Optional[str] = None,
         checkpoint_every: Optional[int] = None,
+        access_log: bool = False,
     ) -> None:
         if registry is not None and retain_versions is not None:
             # a caller-supplied registry carries its own retention window; a
@@ -392,6 +491,11 @@ class DetectionService:
         )
         self.store = store
         self.verbose = verbose
+        #: one structured line per request on stderr (``serve`` turns this
+        #: on unless --quiet); independent of the stdlib lines ``verbose``
+        #: restores
+        self.access_log = access_log
+        self._started_at = time.time()
         self.persistence = None
         if data_dir is not None:
             # recovery runs before the socket binds: by the time any client
@@ -463,14 +567,47 @@ class DetectionService:
 
     # -------------------------------------------------------------- reporting
 
+    def log_access(
+        self,
+        method: str,
+        path: str,
+        status: int,
+        duration: float,
+        trace_id: Optional[str] = None,
+        job_id: Optional[str] = None,
+    ) -> None:
+        """Write one structured access-log line to stderr (if enabled)."""
+        if not self.access_log:
+            return
+        fields = [
+            f"method={method}",
+            f"path={path}",
+            f"status={status}",
+            f"duration_ms={duration * 1000.0:.2f}",
+        ]
+        if trace_id is not None:
+            fields.append(f"trace={trace_id}")
+        if job_id is not None:
+            fields.append(f"job={job_id}")
+        print(" ".join(fields), file=sys.stderr, flush=True)
+
     def health(self) -> dict:
-        """The ``GET /health`` document."""
+        """The ``GET /health`` document.
+
+        Beyond liveness it carries an operational snapshot: process uptime,
+        the job pool's occupancy, per-size warm-executor-pool hit/miss
+        counters, and (with a durability layer) the WAL LSN and the age of
+        the last checkpoint.
+        """
         pool = self.manager.job_pool
         document = {
             "status": "ok",
+            "uptime_seconds": round(time.time() - self._started_at, 3),
+            "observability": obs.enabled(),
             "graphs": len(self.registry),
             "sessions": self.manager.session_count(),
             "jobs": {"active": pool.active_jobs(), "max": pool.max_jobs},
+            "executor_pools": self.manager.describe_pools(),
         }
         if self.persistence is not None:
             document["persistence"] = self.persistence.info()

@@ -38,9 +38,11 @@ is never re-logged.
 from __future__ import annotations
 
 import threading
+import time
 from pathlib import Path
 from typing import TYPE_CHECKING, Optional, Union
 
+from repro import obs
 from repro.core.ngd import RuleSet
 from repro.core.violations import ViolationDelta, ViolationSet
 from repro.errors import ServiceError
@@ -94,6 +96,9 @@ class PersistenceManager:
         self.recovered: dict = {"checkpoint": None, "replayed": 0}
         self.wal: Optional[WriteAheadLog] = None
         self.checkpoints = 0
+        #: wall-clock time of the last completed checkpoint (None: none yet
+        #: this process); ``GET /health`` reports its age
+        self.last_checkpoint_at: Optional[float] = None
 
     # ------------------------------------------------------------------ boot
 
@@ -106,6 +111,7 @@ class PersistenceManager:
         """
         # durable spool directories are useful during replay too (session
         # restores with execution="processes" warm their pools from them)
+        recovery_started = time.monotonic()
         self.manager.spool_cache = self.segments
         manifest = self.data.read_manifest()
         cut_lsn = 0
@@ -134,6 +140,11 @@ class PersistenceManager:
             "graphs": len(self.registry),
             "sessions": self.manager.session_count(),
         }
+        elapsed = time.monotonic() - recovery_started
+        self.recovered["seconds"] = round(elapsed, 6)
+        if obs.enabled():
+            obs.gauge_set("repro_recovery_seconds", None, elapsed)
+            obs.counter_inc("repro_recovery_replayed_total", None, replayed)
         return self.recovered
 
     def close(self) -> None:
@@ -218,7 +229,8 @@ class PersistenceManager:
 
     def checkpoint(self) -> dict:
         """Write a full checkpoint, swing the manifest, truncate the WAL."""
-        with self._checkpoint_lock:
+        with self._checkpoint_lock, obs.span("storage.checkpoint") as ckpt_span:
+            checkpoint_started = time.monotonic()
             with self._wal_lock:
                 cut_lsn = self.wal.last_lsn
             name = self.data.next_checkpoint_name()
@@ -271,6 +283,13 @@ class PersistenceManager:
             self.data.prune_checkpoints(keep=name)
             self._updates_since_checkpoint = 0
             self.checkpoints += 1
+            self.last_checkpoint_at = time.time()
+            if obs.enabled():
+                obs.counter_inc("repro_checkpoints_total")
+                obs.histogram_observe(
+                    "repro_checkpoint_seconds", None, time.monotonic() - checkpoint_started
+                )
+                ckpt_span.set(checkpoint=name, cut_lsn=cut_lsn, graphs=len(graphs))
             return {"checkpoint": name, "cut_lsn": cut_lsn, "graphs": len(graphs)}
 
     # ------------------------------------------------------------- recovery
@@ -406,5 +425,10 @@ class PersistenceManager:
             "checkpoint_every": self.checkpoint_every,
             "checkpoints": self.checkpoints,
             "updates_since_checkpoint": self._updates_since_checkpoint,
+            "last_checkpoint_age_seconds": (
+                round(time.time() - self.last_checkpoint_at, 3)
+                if self.last_checkpoint_at is not None
+                else None
+            ),
             "recovered": self.recovered,
         }

@@ -38,10 +38,12 @@ from __future__ import annotations
 
 import json
 import os
+import time
 import zlib
 from pathlib import Path
 from typing import Iterator, Optional, Union
 
+from repro import obs
 from repro.errors import ReproError
 
 __all__ = ["WalCorruption", "WriteAheadLog"]
@@ -161,8 +163,15 @@ class WriteAheadLog:
             lsn += 1
             chunk += _encode(lsn, payload)
         self._handle.write(chunk)
+        started = time.monotonic()
         self._handle.flush()
         os.fsync(self._handle.fileno())
+        if obs.enabled():
+            obs.histogram_observe(
+                "repro_wal_fsync_seconds", None, time.monotonic() - started
+            )
+            obs.counter_inc("repro_wal_appends_total", None, len(payloads))
+            obs.counter_inc("repro_wal_bytes_total", None, len(chunk))
         self._last_lsn = lsn
         return lsn
 
