@@ -1,0 +1,47 @@
+"""Compiled literal schedules vs the interpreted evaluator (no figure analogue).
+
+One claim of the compiled rule kernels is measured by one driver
+(:func:`repro.experiments.run_compiled_eval`): on a literal-heavy
+workload — five premise literals and an arithmetic conclusion per
+candidate pair — the closure-compiled schedules must beat the
+interpreted AST walk by at least ``REPRO_COMPILED_BOUND`` (default 1.5x)
+wall-clock, while producing a byte-identical violation set and identical
+``MatchStatistics`` in every field (the compiled path is a pure
+evaluation-strategy change; billing parity is part of the contract).
+
+The parity assertions are unconditional; each timing leg takes the best
+of three runs to shed scheduler noise.  ``REPRO_WRITE_BENCH_BASELINE=path``
+persists the report JSON — ``benchmarks/BENCH_compiled.json`` keeps the
+committed baseline read by ``generate_experiments_report.py``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.experiments import run_compiled_eval
+
+
+def _speedup_bound() -> float:
+    return float(os.environ.get("REPRO_COMPILED_BOUND", "1.5"))
+
+
+@pytest.mark.benchmark(group="compiled-eval")
+def test_compiled_eval_speedup(benchmark):
+    report = benchmark.pedantic(run_compiled_eval, rounds=1, iterations=1)
+    print(json.dumps(report, indent=2, sort_keys=True))
+
+    assert report["byte_identical_violations"] is True
+    assert report["identical_statistics"] is True
+    assert report["workload"]["violations"] > 0
+    assert report["workload"]["literal_evaluations"] > 100_000
+
+    speedup = report["speedup_vs_interpreted"]
+    assert speedup >= _speedup_bound(), (
+        f"compiled schedules reached only {speedup:.2f}x over the "
+        f"interpreted evaluator (bound {_speedup_bound()}x)"
+    )
+    print(f"compiled evaluation {speedup:.2f}x over interpreted")

@@ -53,6 +53,13 @@ def main() -> None:
     print(f"runs:       {registry.value('repro_detect_runs_total', {'algorithm': 'Dect'}):.0f}")
     print(f"candidates: {registry.total('repro_detect_candidates_total'):.0f}")
     print(f"violations: {registry.total('repro_detect_violations_total'):.0f}")
+    # literal evaluations are attributed to the closure-compiled evaluator
+    # unless REPRO_COMPILED_EVAL=off / DetectionOptions(compiled=False)
+    # pins the interpreted path (see ARCHITECTURE.md "Compiled evaluation")
+    for mode in ("compiled", "interpreted"):
+        count = registry.value("repro_literal_evals_total", {"mode": mode})
+        if count:
+            print(f"literal evaluations ({mode}): {count:.0f}")
 
     # -- 3. the service surfaces --------------------------------------------
     service = DetectionService(port=0, access_log=True)  # serve without --quiet

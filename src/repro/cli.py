@@ -232,6 +232,13 @@ def _add_detection_arguments(parser: argparse.ArgumentParser) -> None:
         "(default: $REPRO_ADAPTIVE_REPLAN, on)",
     )
     parser.add_argument(
+        "--no-compiled",
+        action="store_true",
+        help="disable closure-compiled literal schedules and run the "
+        "interpreted evaluator (default: $REPRO_COMPILED_EVAL, on); "
+        "violations and statistics are identical either way",
+    )
+    parser.add_argument(
         "--save-history",
         default=None,
         metavar="HISTORY.json",
@@ -453,6 +460,7 @@ def _build_detector(args: argparse.Namespace, engine: str) -> Detector:
         execution=getattr(args, "execution", "simulated"),
         adaptive=False if getattr(args, "no_adaptive", False) else None,
         warm_pool=getattr(args, "warm_pool", False),
+        compiled=False if getattr(args, "no_compiled", False) else None,
     )
     return Detector(
         _load_rules(args),
@@ -512,6 +520,24 @@ def _print_profile(result: Union[DetectionResult, IncrementalDetectionResult]) -
                 ),
                 file=sys.stderr,
             )
+    eval_rows = sorted(
+        (
+            (dict(key).get("mode", "?"), value)
+            for name, key, value in snapshot["counters"]
+            if name == "repro_literal_evals_total" and value
+        ),
+    )
+    if eval_rows:
+        print("literal evaluations by evaluator:", file=sys.stderr)
+        for mode, value in eval_rows:
+            print(f"  mode={mode}: {int(value)}", file=sys.stderr)
+    schedules = sum(
+        value
+        for name, _, value in snapshot["counters"]
+        if name == "repro_compiled_schedules_total"
+    )
+    if schedules:
+        print(f"compiled schedules built: {int(schedules)}", file=sys.stderr)
 
 
 def _cmd_run(args: argparse.Namespace) -> int:

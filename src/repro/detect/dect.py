@@ -37,6 +37,7 @@ from repro.detect.parallel.workunits import WorkUnit, expand_work_unit
 from repro.graph.graph import Graph
 from repro.matching.adaptive import resolve_adaptive
 from repro.matching.candidates import MatchStatistics
+from repro.matching.compiled import resolve_compiled
 from repro.matching.matchn import match_violates_dependency
 from repro.matching.plan import MatchPlan, first_step_candidates, resolve_plans
 
@@ -51,6 +52,7 @@ def iter_dect(
     sink: Optional[ViolationSink] = None,
     plans: Optional[Sequence[MatchPlan]] = None,
     adaptive=None,
+    compiled: Optional[bool] = None,
 ) -> Iterator[Violation]:
     """Run batch detection, yielding each violation as it is confirmed.
 
@@ -64,11 +66,14 @@ def iter_dect(
     the planner is disabled.  ``adaptive`` follows
     :func:`~repro.matching.adaptive.resolve_adaptive` conventions (None =
     environment default, bool = force, sequence = the caller's controllers).
+    ``compiled`` selects closure-compiled literal schedules on plan-driven
+    steps (None = ``REPRO_COMPILED_EVAL`` default).
     """
     rule_set = rules if isinstance(rules, RuleSet) else RuleSet(rules)
     rule_list = list(rule_set)
     plans = resolve_plans(graph, rule_list, plans)
     controllers = resolve_adaptive(plans, adaptive)
+    compiled_flag = resolve_compiled(compiled)
     stats = MatchStatistics()
     started = time.perf_counter()
     violations = ViolationSet()
@@ -92,7 +97,7 @@ def iter_dect(
         try:
             first = order[0]
             candidates, scan_cost = first_step_candidates(
-                graph, rule, plan, order, use_literal_pruning, stats
+                graph, rule, plan, order, use_literal_pruning, stats, compiled=compiled_flag
             )
             cost += scan_cost
             if budget is not None and budget.cost_exhausted(cost):
@@ -125,6 +130,7 @@ def iter_dect(
                     stats=stats,
                     plan=plan,
                     adaptive=controller,
+                    compiled=compiled_flag,
                 )
                 cost += max(outcome.filtering_adjacency, 1) + outcome.verification_adjacency
                 stack.extend(outcome.new_units)

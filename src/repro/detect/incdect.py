@@ -57,6 +57,7 @@ from repro.graph.neighborhood import multi_source_nodes_within_hops, update_neig
 from repro.graph.updates import BatchUpdate, apply_update
 from repro.matching.adaptive import resolve_adaptive
 from repro.matching.candidates import MatchStatistics
+from repro.matching.compiled import resolve_compiled
 from repro.matching.incmatch import find_update_pivots
 from repro.matching.plan import MatchPlan, resolve_plans
 
@@ -74,6 +75,7 @@ def iter_inc_dect(
     sink: Optional[ViolationSink] = None,
     plans: Optional[Sequence[MatchPlan]] = None,
     adaptive=None,
+    compiled: Optional[bool] = None,
 ) -> Iterator[ViolationEvent]:
     """Run incremental detection, yielding each ΔVio event as it is confirmed.
 
@@ -118,6 +120,7 @@ def iter_inc_dect(
     # G and G ⊕ ΔG differ by at most |ΔG|, well within estimate noise)
     plans = resolve_plans(search_after, rule_list, plans)
     controllers = resolve_adaptive(plans, adaptive)
+    compiled_flag = resolve_compiled(compiled)
 
     introduced = ViolationSet()
     removed = ViolationSet()
@@ -154,7 +157,14 @@ def iter_inc_dect(
                 unit = stack.pop()
                 search_graph = search_after if unit.from_insertion else search_before
                 outcome = expand_work_unit(
-                    search_graph, rule, unit, use_literal_pruning, stats, plan=plan, adaptive=controller
+                    search_graph,
+                    rule,
+                    unit,
+                    use_literal_pruning,
+                    stats,
+                    plan=plan,
+                    adaptive=controller,
+                    compiled=compiled_flag,
                 )
                 cost += max(outcome.filtering_adjacency, 1) + outcome.verification_adjacency
                 stack.extend(outcome.new_units)

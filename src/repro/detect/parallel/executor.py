@@ -170,6 +170,12 @@ class ExecutionRuntime:
     #: environment default).  Controllers themselves never cross the process
     #: boundary: every worker builds its own from the shipped plans.
     adaptive: Optional[bool] = None
+    #: Compiled-evaluation switch for the workers (True/False force, None =
+    #: ``REPRO_COMPILED_EVAL`` default).  Compiled schedules are closures and
+    #: never cross the process boundary: fork children inherit the parent's
+    #: memoised schedules, spawn workers recompile lazily from the shipped
+    #: plan documents (``MatchPlan.__getstate__`` drops every memo).
+    compiled: Optional[bool] = None
 
     def graph_for(self, shard_id: int, from_insertion: bool):
         """Return the read-only image a work unit expands against."""
@@ -190,6 +196,7 @@ class ExecutionRuntime:
                 else None
             ),
             "adaptive": self.adaptive,
+            "compiled": self.compiled,
         }
         return document
 
@@ -214,6 +221,7 @@ class ExecutionRuntime:
             shards=ShardedStore.load(payload["shards_manifest"]),
             before_shards=before,
             adaptive=payload.get("adaptive"),
+            compiled=payload.get("compiled"),
         )
 
 
@@ -381,6 +389,7 @@ def _worker_main(worker_id, runtime_or_payload, inbox, results, stop_event) -> N
                 stats=stats,
                 plan=plan,
                 adaptive=controllers[unit.rule_index] if controllers is not None else None,
+                compiled=runtime.compiled,
             )
             attribution.after(rule.name, unit_before, stats)
             stack.extend((shard_id, new_unit) for new_unit in outcome.new_units)

@@ -45,6 +45,7 @@ from repro.detect.parallel.workunits import WorkUnit, expand_work_unit
 from repro.errors import ExecutionError
 from repro.graph.graph import Graph
 from repro.matching.candidates import MatchStatistics
+from repro.matching.compiled import resolve_compiled
 from repro.matching.matchn import match_violates_dependency
 from repro.matching.plan import MatchPlan, first_step_candidates, resolve_plans
 
@@ -65,6 +66,7 @@ def iter_p_dect(
     adaptive=None,
     warm_pool=None,
     runtime_key=None,
+    compiled: Optional[bool] = None,
 ) -> Iterator[Violation]:
     """Run parallel batch detection, yielding violations as units complete.
 
@@ -94,14 +96,15 @@ def iter_p_dect(
         return _iter_p_dect_processes(
             graph, rule_set, rule_list, plans, processors, policy,
             use_literal_pruning, budget, sink, start_method, adaptive,
-            warm_pool, runtime_key,
+            warm_pool, runtime_key, compiled,
         )
     if execution != "simulated":
         raise ExecutionError(
             f"unknown execution mode {execution!r}; expected 'simulated' or 'processes'"
         )
     return _iter_p_dect_simulated(
-        graph, rule_list, plans, processors, policy, use_literal_pruning, budget, sink, adaptive
+        graph, rule_list, plans, processors, policy, use_literal_pruning, budget, sink, adaptive,
+        compiled,
     )
 
 
@@ -115,11 +118,13 @@ def _iter_p_dect_simulated(
     budget: Optional[DetectionBudget],
     sink: Optional[ViolationSink],
     adaptive=None,
+    compiled: Optional[bool] = None,
 ) -> Iterator[Violation]:
     """The original deterministic kernel: one process, simulated clocks."""
     from repro.matching.adaptive import resolve_adaptive
 
     controllers = resolve_adaptive(plans, adaptive)
+    compiled_flag = resolve_compiled(compiled)
     stats = MatchStatistics()
     started = time.perf_counter()
 
@@ -141,7 +146,7 @@ def _iter_p_dect_simulated(
         first = order[0]
         rule_before = attribution.before(stats)
         candidates, _ = first_step_candidates(
-            graph, rule, plan, order, use_literal_pruning, stats
+            graph, rule, plan, order, use_literal_pruning, stats, compiled=compiled_flag
         )
         # the scan of the label index is shared evenly by the processors
         cluster.charge_broadcast(0, len(candidates) / processors, policy.latency)
@@ -224,6 +229,7 @@ def _iter_p_dect_simulated(
             stats=stats,
             plan=plan,
             adaptive=controllers[unit.rule_index] if controllers is not None else None,
+            compiled=compiled_flag,
         )
         attribution.after(rule.name, unit_before, stats)
 
@@ -292,6 +298,7 @@ def _iter_p_dect_processes(
     adaptive=None,
     warm_pool=None,
     runtime_key=None,
+    compiled: Optional[bool] = None,
 ) -> Iterator[Violation]:
     """Real multi-process batch detection over a sharded store.
 
@@ -353,6 +360,7 @@ def _iter_p_dect_processes(
             shards=shards if shards is not None else ShardedStore.single(graph),
             # controllers cannot cross process boundaries: workers build their own
             adaptive=adaptive if isinstance(adaptive, (bool, type(None))) else True,
+            compiled=compiled,
         )
 
     seeds: list[tuple[int, int, WorkUnit]] = []
@@ -381,7 +389,7 @@ def _iter_p_dect_processes(
             first = order[0]
             rule_before = attribution.before(stats)
             candidates, scan_cost = first_step_candidates(
-                graph, rule, plan, order, use_literal_pruning, stats
+                graph, rule, plan, order, use_literal_pruning, stats, compiled=resolve_compiled(compiled)
             )
             base_cost += scan_cost
             for candidate in candidates:

@@ -67,6 +67,7 @@ from repro.graph.graph import Graph
 from repro.graph.neighborhood import multi_source_nodes_within_hops
 from repro.graph.updates import BatchUpdate, apply_update
 from repro.matching.candidates import MatchStatistics
+from repro.matching.compiled import resolve_compiled
 from repro.matching.incmatch import find_update_pivots
 from repro.matching.plan import MatchPlan, resolve_plans
 
@@ -88,6 +89,7 @@ def iter_pinc_dect(
     start_method: Optional[str] = None,
     adaptive=None,
     warm_pool=None,
+    compiled: Optional[bool] = None,
 ) -> Iterator[ViolationEvent]:
     """Run parallel incremental detection, yielding ΔVio events as they complete.
 
@@ -110,6 +112,7 @@ def iter_pinc_dect(
         return _iter_pinc_dect_processes(
             graph, updated, rule_set, rule_list, plans, delta, processors, policy,
             use_literal_pruning, budget, sink, start_method, adaptive, warm_pool,
+            compiled,
         )
     if execution != "simulated":
         raise ExecutionError(
@@ -117,7 +120,7 @@ def iter_pinc_dect(
         )
     return _iter_pinc_dect_simulated(
         graph, updated, rule_set, rule_list, plans, delta, processors, policy,
-        use_literal_pruning, budget, sink, adaptive,
+        use_literal_pruning, budget, sink, adaptive, compiled,
     )
 
 
@@ -134,11 +137,13 @@ def _iter_pinc_dect_simulated(
     budget: Optional[DetectionBudget],
     sink: Optional[ViolationSink],
     adaptive=None,
+    compiled: Optional[bool] = None,
 ) -> Iterator[ViolationEvent]:
     """The original deterministic kernel: one process, simulated clocks."""
     from repro.matching.adaptive import resolve_adaptive
 
     controllers = resolve_adaptive(plans, adaptive)
+    compiled_flag = resolve_compiled(compiled)
     stats = MatchStatistics()
     started = time.perf_counter()
     cluster = ClusterSimulator(processors, policy.latency)
@@ -232,6 +237,7 @@ def _iter_pinc_dect_simulated(
             stats=stats,
             plan=plan,
             adaptive=controllers[unit.rule_index] if controllers is not None else None,
+            compiled=compiled_flag,
         )
         attribution.after(rule.name, unit_before, stats)
 
@@ -306,6 +312,7 @@ def _iter_pinc_dect_processes(
     start_method: Optional[str],
     adaptive=None,
     warm_pool=None,
+    compiled: Optional[bool] = None,
 ) -> Iterator[ViolationEvent]:
     """Real multi-process incremental detection over the replicated N_C(ΔG, Σ).
 
@@ -356,6 +363,7 @@ def _iter_pinc_dect_processes(
             before_shards=ShardedStore.single(before_image),
             # controllers cannot cross process boundaries: workers build their own
             adaptive=adaptive if isinstance(adaptive, (bool, type(None))) else True,
+            compiled=compiled,
         )
 
     seeds: list[tuple[int, int, WorkUnit]] = []

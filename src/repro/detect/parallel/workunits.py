@@ -23,6 +23,7 @@ from repro.core.ngd import NGD
 from repro.core.violations import Violation
 from repro.graph.graph import Graph
 from repro.matching.candidates import MatchStatistics, node_satisfies_unary_premise
+from repro.matching.compiled import resolve_compiled
 from repro.matching.matchn import assignment_for_match, match_violates_dependency
 
 if TYPE_CHECKING:  # pragma: no cover - annotations only
@@ -143,21 +144,27 @@ def expand_work_unit(
     stats: Optional[MatchStatistics] = None,
     plan: Optional["MatchPlan"] = None,
     adaptive: Optional["AdaptiveController"] = None,
+    compiled: Optional[bool] = None,
 ) -> ExpansionOutcome:
     """Expand ``unit`` by matching its next pattern variable.
 
     With a compiled plan, the step executes the plan's candidate strategy
     and literal schedule (:func:`_expand_with_plan`); an optional adaptive
     controller observes the step's candidate count and may re-order the
-    unit's unbound suffix first.  Without a plan, candidates are drawn from
-    the adjacency list of an already-matched neighbour of the next variable
-    (the "anchor"), checked for label and edge consistency against the whole
-    partial solution, and pruned with the premise literals.  Completed
-    matches are checked against X → Y and turned into violations.
+    unit's unbound suffix first.  ``compiled`` selects the closure-compiled
+    literal schedule (:mod:`repro.matching.compiled`) on the plan path;
+    ``None`` defers to ``REPRO_COMPILED_EVAL``.  Without a plan, candidates
+    are drawn from the adjacency list of an already-matched neighbour of the
+    next variable (the "anchor"), checked for label and edge consistency
+    against the whole partial solution, and pruned with the premise
+    literals.  Completed matches are checked against X → Y and turned into
+    violations.
     """
     stats = stats if stats is not None else MatchStatistics()
     if plan is not None and not unit.is_complete():
-        return _expand_with_plan(graph, rule, unit, plan, use_literal_pruning, stats, adaptive)
+        return _expand_with_plan(
+            graph, rule, unit, plan, use_literal_pruning, stats, adaptive, resolve_compiled(compiled)
+        )
     if unit.is_complete():
         # a pivot can already cover every pattern variable (e.g. a two-node pattern);
         # the only remaining work is the dependency check itself
@@ -252,6 +259,7 @@ def _expand_with_plan(
     use_literal_pruning: bool,
     stats: MatchStatistics,
     adaptive: Optional["AdaptiveController"] = None,
+    compiled: bool = False,
 ) -> ExpansionOutcome:
     """One plan-driven expansion step.
 
@@ -265,6 +273,11 @@ def _expand_with_plan(
     When the adaptive controller reports drift it re-orders the unit's
     unbound suffix before the step executes; the children inherit the
     revised order, so one replanning decision steers the whole subtree.
+
+    With ``compiled`` the scheduled literals run as pre-compiled closures
+    over a slot list rebuilt from the unit's bound prefix (assignments are
+    always prefixes of the order), billing the same counters as the
+    interpreted loop below.
     """
     from repro.matching.plan import step_candidates
 
@@ -278,9 +291,21 @@ def _expand_with_plan(
                 from_insertion=unit.from_insertion,
             )
     schedule = plan.schedule_for(unit.order)
-    step = schedule[unit.depth()]
+    depth = unit.depth()
+    step = schedule[depth]
     partial = unit.mapping()
-    candidates, scanned = step_candidates(graph, plan, step, partial, stats, use_literal_pruning)
+    if compiled and rule is plan.rule:
+        cs = plan.compiled_for(unit.order)
+        entry = cs.steps[depth]
+        slots: list = [None] * len(unit.order)
+        node = graph.node
+        for index, (_, bound_node) in enumerate(unit.assignment):
+            slots[index] = node(bound_node).attributes
+    else:
+        cs = None
+        entry = None
+        slots = []
+    candidates, scanned = step_candidates(graph, plan, step, partial, stats, use_literal_pruning, entry)
     if adaptive is not None:
         adaptive.observe(step, len(candidates))
 
@@ -299,21 +324,27 @@ def _expand_with_plan(
             continue
         verification += 1
         partial[step.variable] = candidate
+        if entry is not None:
+            slots[depth] = graph.node(candidate).attributes
         pruned = False
         if use_literal_pruning:
-            for literal_index in step.premise_checks:
-                literal = plan.premise_literal(literal_index)
-                stats.literal_evaluations += 1
-                assignment = assignment_for_match(graph, partial, literal.variables())
-                if not literal.holds_for(assignment):
-                    pruned = True
-                    break
-            if not pruned and step.check_conclusion and len(conclusion_literals) == 1:
-                literal = conclusion_literals[0]
-                stats.literal_evaluations += 1
-                assignment = assignment_for_match(graph, partial, literal.variables())
-                if set(assignment) == set(literal.variables()) and literal.holds_for(assignment):
-                    pruned = True
+            if entry is not None:
+                pruned = entry.pruned(slots, stats)
+            else:
+                for literal_index in step.premise_checks:
+                    literal = plan.premise_literal(literal_index)
+                    stats.literal_evaluations += 1
+                    assignment = assignment_for_match(graph, partial, literal.variables())
+                    if not literal.holds_for(assignment):
+                        pruned = True
+                        break
+                if not pruned and step.check_conclusion and len(conclusion_literals) == 1:
+                    literal = conclusion_literals[0]
+                    stats.literal_evaluations += 1
+                    assignment = assignment_for_match(graph, partial, literal.variables())
+                    # assignment keys ⊆ literal.variables() by construction
+                    if len(assignment) == len(literal.variables()) and literal.holds_for(assignment):
+                        pruned = True
         del partial[step.variable]
         if pruned:
             continue
@@ -321,7 +352,11 @@ def _expand_with_plan(
         extended = unit.extended(step.variable, candidate)
         if extended.is_complete():
             match = extended.mapping()
-            if match_violates_dependency(graph, match, rule.premise, rule.conclusion, stats):
+            if cs is not None:
+                violated = cs.violates(slots, stats)
+            else:
+                violated = match_violates_dependency(graph, match, rule.premise, rule.conclusion, stats)
+            if violated:
                 stats.matches_emitted += 1
                 violations.append(Violation.from_mapping(rule.name, match, rule.pattern.variables))
         else:

@@ -78,6 +78,7 @@ from repro.graph.store import STORE_REGISTRY
 from repro.detect.parallel.executor import EXECUTION_MODES, WarmExecutorPool
 from repro.graph.updates import BatchUpdate, apply_update
 from repro.matching.adaptive import CardinalityHistory, history_from_document, resolve_adaptive
+from repro.matching.compiled import resolve_compiled
 from repro.matching.plan import MatchPlan, compile_plans, load_plans, planner_enabled
 
 __all__ = ["DetectionOptions", "Detector", "ENGINES", "EXECUTION_MODES"]
@@ -163,7 +164,15 @@ class DetectionOptions:
       session's runs in a
       :class:`~repro.detect.parallel.executor.WarmExecutorPool` instead
       of spawning a fresh crew per run.  Close the session (``close()`` or
-      the context-manager form) to stop the workers.
+      the context-manager form) to stop the workers;
+    * ``compiled`` — execute closure-compiled literal schedules
+      (:mod:`repro.matching.compiled`: slot-based assignments, operator
+      dispatch specialised per literal) on plan-driven kernels.  ``None``
+      (the default) defers to the ``REPRO_COMPILED_EVAL`` environment
+      switch, which is on unless set to ``off``/``0``/``false``/``no``;
+      ``False`` pins the interpreted evaluator (byte-identical violations
+      and statistics, just slower).  Only meaningful while the planner is
+      active.
     """
 
     use_literal_pruning: bool = True
@@ -176,6 +185,7 @@ class DetectionOptions:
     start_method: Optional[str] = None
     adaptive: Optional[bool] = None
     warm_pool: bool = False
+    compiled: Optional[bool] = None
 
     def planner_active(self) -> bool:
         """Return whether sessions should compile and execute match plans."""
@@ -309,9 +319,12 @@ class Detector:
             return cached[2]
         with obs.span("detect.compile_plans", store=graph.store_backend) as plan_span:
             plans = compile_plans(
-                graph, self.rules, history=self.history if self.history else None
+                graph,
+                self.rules,
+                history=self.history if self.history else None,
+                compiled=self.options.compiled,
             )
-            plan_span.set(plans=len(plans))
+            plan_span.set(plans=len(plans), compiled=resolve_compiled(self.options.compiled))
         self._plan_cache[key] = (*counts, plans)
         while len(self._plan_cache) > PLAN_CACHE_LIMIT:
             self._plan_cache.pop(next(iter(self._plan_cache)))
@@ -371,6 +384,7 @@ class Detector:
             self.options.use_literal_pruning,
             self.options.planner_active(),
             self.options.adaptive,
+            self.options.compiled,
         )
 
     # ------------------------------------------------------------- resolution
@@ -527,6 +541,19 @@ class Detector:
             processors=result.processors,
         )
         obs.counter_inc("repro_detect_runs_total", {"algorithm": result.algorithm})
+        if result.stats.literal_evaluations:
+            # compiled schedules only execute on plan-driven kernels, so the
+            # mode label reflects what actually ran, not just the knob
+            eval_mode = (
+                "compiled"
+                if self.options.planner_active() and resolve_compiled(self.options.compiled)
+                else "interpreted"
+            )
+            obs.counter_inc(
+                "repro_literal_evals_total",
+                {"mode": eval_mode},
+                result.stats.literal_evaluations,
+            )
         estimate = root.attributes.get("plan_estimate")
         if isinstance(estimate, (int, float)) and estimate > 0:
             ratio = result.cost / estimate
@@ -615,6 +642,7 @@ class Detector:
                 sink=sink,
                 plans=plans,
                 adaptive=adaptive,
+                compiled=self.options.compiled,
             )
         else:
             pool = self.executor_pool() if processes else None
@@ -632,6 +660,7 @@ class Detector:
                 adaptive=adaptive,
                 warm_pool=pool,
                 runtime_key=self._runtime_key(graph, caller_plans) if pool is not None else None,
+                compiled=self.options.compiled,
             )
         if isinstance(adaptive, tuple):
             return self._harvesting(events, adaptive)
@@ -676,6 +705,7 @@ class Detector:
                 sink=sink,
                 plans=plans,
                 adaptive=adaptive,
+                compiled=self.options.compiled,
             )
             if isinstance(adaptive, tuple):
                 return self._harvesting(events, adaptive)
@@ -696,6 +726,7 @@ class Detector:
                 start_method=self.options.start_method,
                 adaptive=adaptive,
                 warm_pool=self.executor_pool() if processes else None,
+                compiled=self.options.compiled,
             )
             if isinstance(adaptive, tuple):
                 return self._harvesting(events, adaptive)
@@ -738,10 +769,22 @@ class Detector:
         else:
             before_plans = after_plans = plans
         before = drain(
-            iter_dect(graph, self.rules, self.options.use_literal_pruning, plans=before_plans)
+            iter_dect(
+                graph,
+                self.rules,
+                self.options.use_literal_pruning,
+                plans=before_plans,
+                compiled=self.options.compiled,
+            )
         )
         after = drain(
-            iter_dect(updated, self.rules, self.options.use_literal_pruning, plans=after_plans)
+            iter_dect(
+                updated,
+                self.rules,
+                self.options.use_literal_pruning,
+                plans=after_plans,
+                compiled=self.options.compiled,
+            )
         )
         violation_delta = ViolationDelta.from_sets(before.violations, after.violations)
         stats = before.stats

@@ -14,6 +14,7 @@ This module also provides :class:`LiteralSet` (a conjunction of literals, the
 from __future__ import annotations
 
 import enum
+import operator
 from collections.abc import Iterable, Iterator
 from dataclasses import dataclass
 from fractions import Fraction
@@ -22,7 +23,7 @@ from typing import Optional
 from repro.errors import EvaluationError, ExpressionError
 from repro.expr.expressions import Assignment, Expression, as_expression
 
-__all__ = ["Comparison", "Literal", "LiteralSet", "LinearConstraint"]
+__all__ = ["Comparison", "COMPARISON_OPS", "Literal", "LiteralSet", "LinearConstraint"]
 
 
 class Comparison(enum.Enum):
@@ -61,17 +62,7 @@ class Comparison(enum.Enum):
 
     def holds(self, left: object, right: object) -> bool:
         """Return the truth of ``left ⊗ right`` under standard semantics."""
-        if self is Comparison.EQ:
-            return left == right
-        if self is Comparison.NE:
-            return left != right
-        if self is Comparison.LT:
-            return left < right
-        if self is Comparison.LE:
-            return left <= right
-        if self is Comparison.GT:
-            return left > right
-        return left >= right
+        return COMPARISON_OPS[self](left, right)
 
     def is_equality_only(self) -> bool:
         """Return True for ``=``; the GFD fragment of NGDs uses only this predicate."""
@@ -97,6 +88,21 @@ class Comparison(enum.Enum):
             return aliases[symbol]
         except KeyError:
             raise ExpressionError(f"unknown comparison predicate {symbol!r}") from None
+
+
+#: The comparison predicates as plain callables (``operator`` module
+#: dispatch).  One table serves :meth:`Comparison.holds`, the LP
+#: normalisation callers, and the compiled evaluator
+#: (:mod:`repro.matching.compiled`), which specialises the looked-up
+#: callable directly into its literal closures.
+COMPARISON_OPS = {
+    Comparison.EQ: operator.eq,
+    Comparison.NE: operator.ne,
+    Comparison.LT: operator.lt,
+    Comparison.LE: operator.le,
+    Comparison.GT: operator.gt,
+    Comparison.GE: operator.ge,
+}
 
 
 @dataclass(frozen=True)
@@ -135,12 +141,24 @@ class Literal:
     # ------------------------------------------------------------- structure
 
     def variables(self) -> frozenset[tuple[str, str]]:
-        """Return all ``(variable, attribute)`` pairs referenced by either side."""
-        return self.left.variables() | self.right.variables()
+        """Return all ``(variable, attribute)`` pairs referenced by either side.
+
+        Memoised: the matchers consult this once per candidate in their
+        innermost loops, and the expression trees are immutable.
+        """
+        cached = self.__dict__.get("_variables")
+        if cached is None:
+            cached = self.left.variables() | self.right.variables()
+            object.__setattr__(self, "_variables", cached)
+        return cached
 
     def pattern_variables(self) -> frozenset[str]:
-        """Return the pattern variables referenced by either side."""
-        return self.left.pattern_variables() | self.right.pattern_variables()
+        """Return the pattern variables referenced by either side (memoised)."""
+        cached = self.__dict__.get("_pattern_variables")
+        if cached is None:
+            cached = self.left.pattern_variables() | self.right.pattern_variables()
+            object.__setattr__(self, "_pattern_variables", cached)
+        return cached
 
     def degree(self) -> int:
         """Return the maximum degree of the two sides."""
@@ -233,6 +251,8 @@ class LiteralSet:
 
     def __init__(self, literals: Iterable[Literal] = ()) -> None:
         self._literals: tuple[Literal, ...] = tuple(literals)
+        self._variables: Optional[frozenset[tuple[str, str]]] = None
+        self._pattern_variables: Optional[frozenset[str]] = None
 
     @classmethod
     def of(cls, *literals: Literal) -> "LiteralSet":
@@ -261,18 +281,22 @@ class LiteralSet:
         return self._literals
 
     def variables(self) -> frozenset[tuple[str, str]]:
-        """Return all ``(variable, attribute)`` pairs referenced by any literal."""
-        result: frozenset[tuple[str, str]] = frozenset()
-        for literal in self._literals:
-            result |= literal.variables()
-        return result
+        """Return all ``(variable, attribute)`` pairs referenced by any literal (memoised)."""
+        if self._variables is None:
+            result: frozenset[tuple[str, str]] = frozenset()
+            for literal in self._literals:
+                result |= literal.variables()
+            self._variables = result
+        return self._variables
 
     def pattern_variables(self) -> frozenset[str]:
-        """Return all pattern variables referenced by any literal."""
-        result: frozenset[str] = frozenset()
-        for literal in self._literals:
-            result |= literal.pattern_variables()
-        return result
+        """Return all pattern variables referenced by any literal (memoised)."""
+        if self._pattern_variables is None:
+            result: frozenset[str] = frozenset()
+            for literal in self._literals:
+                result |= literal.pattern_variables()
+            self._pattern_variables = result
+        return self._pattern_variables
 
     def degree(self) -> int:
         """Return the maximum degree over the literals (0 for an empty set)."""

@@ -817,6 +817,16 @@ class _CsrNeighboursView(AbstractSet):
         position = bisect_left(self._ranks, rank, self._start, self._stop)
         return position < self._stop and self._ranks[position] == rank
 
+    def rank_slice(self) -> tuple[array, int, int, list]:
+        """Expose ``(ranks, start, stop, ids)`` for sorted-rank intersection.
+
+        ``ranks[start:stop]`` is this view's ascending neighbour-rank slice
+        and ``ids[rank]`` resolves a rank back to a node id — what the
+        compiled anchored strategy merges instead of hash-probing
+        (:func:`repro.matching.compiled.csr_sorted_intersection`).
+        """
+        return self._ranks, self._start, self._stop, self._ids
+
     @classmethod
     def _from_iterable(cls, iterable) -> frozenset:
         return frozenset(iterable)

@@ -98,17 +98,17 @@ def node_satisfies_unary_premise(
     node = graph.node(node_id)
     for literal in premise:
         mentioned = literal.pattern_variables()
-        if mentioned != frozenset({variable}):
+        if len(mentioned) != 1 or variable not in mentioned:
             continue
+        pairs = literal.variables()
         assignment = {
-            (variable, attribute): node.attribute(attribute)
-            for _, attribute in literal.variables()
-            if node.has_attribute(attribute)
+            pair: node.attribute(pair[1]) for pair in pairs if node.has_attribute(pair[1])
         }
         if stats is not None:
             stats.literal_evaluations += 1
-        expected = {(variable, attribute) for _, attribute in literal.variables()}
-        if set(assignment) != expected or not literal.holds_for(assignment):
+        # assignment keys ⊆ pairs by construction, so completeness is a
+        # length comparison (pairs is the literal's memoised frozenset)
+        if len(assignment) != len(pairs) or not literal.holds_for(assignment):
             return False
     return True
 

@@ -118,6 +118,7 @@ class IncrementalMatcher:
         stats: Optional[MatchStatistics] = None,
         plan: Optional["MatchPlan"] = None,
         adaptive: Optional["AdaptiveController"] = None,
+        compiled: Optional[bool] = None,
     ) -> None:
         self.rule = rule
         self.graph_before = graph_before
@@ -134,6 +135,7 @@ class IncrementalMatcher:
             stats=self.stats,
             plan=plan,
             adaptive=adaptive,
+            compiled=compiled,
         )
         self._matcher_before = HomomorphismMatcher(
             graph_before,
@@ -144,6 +146,7 @@ class IncrementalMatcher:
             stats=self.stats,
             plan=plan,
             adaptive=adaptive,
+            compiled=compiled,
         )
 
     def introduced_violations(self, pivot: UpdatePivot) -> Iterator[dict[str, Hashable]]:

@@ -95,6 +95,7 @@ class HomomorphismMatcher:
         stats: Optional[MatchStatistics] = None,
         plan: Optional["MatchPlan"] = None,
         adaptive: Optional["AdaptiveController"] = None,
+        compiled: Optional[bool] = None,
     ) -> None:
         self.graph = graph
         self.pattern = pattern
@@ -104,6 +105,18 @@ class HomomorphismMatcher:
         self.stats = stats if stats is not None else MatchStatistics()
         self.plan = plan
         self.adaptive = adaptive if plan is not None else None
+        # compiled evaluation executes the plan's closure-compiled literal
+        # schedule; it requires a plan whose rule carries exactly this
+        # matcher's premise and conclusion (always true for the kernels,
+        # checked here so ad-hoc matcher constructions stay correct)
+        from repro.matching.compiled import resolve_compiled
+
+        self.compiled = (
+            plan is not None
+            and resolve_compiled(compiled)
+            and plan.rule.premise == self.premise
+            and plan.rule.conclusion == self.conclusion
+        )
 
     # --------------------------------------------------------------- matching
 
@@ -125,6 +138,18 @@ class HomomorphismMatcher:
         if self.plan is not None:
             order = self.plan.order_for_seed(tuple(partial.keys()))
             schedule = self.plan.schedule_for(order)
+            if self.compiled:
+                compiled_schedule = self.plan.compiled_for(order)
+                # slot d is position d of the order; the seed variables are
+                # the order's prefix (order_for_seed guarantees it), so the
+                # seed fills the slot prefix directly
+                slots: list = [None] * len(order)
+                for index in range(len(partial)):
+                    slots[index] = self.graph.node(partial[order[index]]).attributes
+                yield from self._expand_compiled(
+                    partial, order, schedule, len(partial), compiled_schedule, slots
+                )
+                return
             yield from self._expand_plan(partial, order, schedule, len(partial))
             return
         order = self.pattern.matching_order(seed=list(partial.keys()))
@@ -133,6 +158,12 @@ class HomomorphismMatcher:
 
     def violations(self, seed: Optional[Mapping[str, Hashable]] = None) -> Iterator[dict[str, Hashable]]:
         """Yield the matches that violate ``premise → conclusion``."""
+        if self.compiled:
+            compiled_schedule = self.plan.compiled_for(self.plan.order)
+            for match in self.matches(seed=seed):
+                if compiled_schedule.violates_mapping(self.graph, match, self.stats):
+                    yield match
+            return
         for match in self.matches(seed=seed):
             if match_violates_dependency(self.graph, match, self.premise, self.conclusion, self.stats):
                 yield match
@@ -203,6 +234,68 @@ class HomomorphismMatcher:
             yield from self._expand_plan(partial, order, schedule, depth + 1)
             del partial[step.variable]
 
+    def _expand_compiled(
+        self,
+        partial: dict[str, Hashable],
+        order: tuple[str, ...],
+        schedule: tuple["PlanStep", ...],
+        depth: int,
+        compiled_schedule,
+        slots: list,
+    ) -> Iterator[dict[str, Hashable]]:
+        """Plan-mode expansion running the closure-compiled literal schedule.
+
+        Mirrors :meth:`_expand_plan` step for step — candidate strategy,
+        adaptive revision, self-loop checks, counter billing — but the
+        scheduled literals run as single closure calls over the slot list
+        instead of assignment-dict rebuilds and AST walks.  An adaptive
+        suffix replan recompiles only the revised order (memoised on the
+        plan); the bound-slot prefix stays valid because slot ``d`` is
+        always position ``d``.
+        """
+        from repro.matching.plan import step_candidates
+
+        if depth >= len(schedule):
+            self.stats.matches_emitted += 1
+            yield dict(partial)
+            return
+        adaptive = self.adaptive
+        if adaptive is not None:
+            revised = adaptive.order_for(order, depth)
+            if revised is not order and revised != order:
+                order = revised
+                schedule = self.plan.schedule_for(order)
+                compiled_schedule = self.plan.compiled_for(order)
+        step = schedule[depth]
+        entry = compiled_schedule.steps[depth]
+        graph = self.graph
+        stats = self.stats
+        candidates, _ = step_candidates(
+            graph, self.plan, step, partial, stats, self.use_literal_pruning, entry
+        )
+        if adaptive is not None:
+            adaptive.observe(step, len(candidates))
+        prune = self.use_literal_pruning
+        for candidate in candidates:
+            stats.expansions += 1
+            consistent = True
+            for label in step.self_loops:
+                stats.edge_checks += 1
+                if not graph.has_edge(candidate, candidate, label):
+                    consistent = False
+                    break
+            if not consistent:
+                continue
+            partial[step.variable] = candidate
+            slots[depth] = graph.node(candidate).attributes
+            if prune and entry.pruned(slots, stats):
+                del partial[step.variable]
+                continue
+            yield from self._expand_compiled(
+                partial, order, schedule, depth + 1, compiled_schedule, slots
+            )
+            del partial[step.variable]
+
     def _pruned_by_schedule(self, step: "PlanStep", partial: Mapping[str, Hashable]) -> bool:
         """Apply the plan's literal schedule after binding ``step.variable``."""
         if not self.use_literal_pruning:
@@ -217,7 +310,9 @@ class HomomorphismMatcher:
             literal = self.conclusion.literals()[0]
             self.stats.literal_evaluations += 1
             assignment = assignment_for_match(self.graph, partial, literal.variables())
-            if set(assignment) == set(literal.variables()) and literal.holds_for(assignment):
+            # assignment keys ⊆ literal.variables() by construction, so the
+            # fully-bound test is a length comparison on the memoised frozenset
+            if len(assignment) == len(literal.variables()) and literal.holds_for(assignment):
                 return True
         return False
 
@@ -333,6 +428,7 @@ class HomomorphismMatcher:
             if variable in mentioned and mentioned <= bound:
                 self.stats.literal_evaluations += 1
                 assignment = assignment_for_match(self.graph, partial, literal.variables())
-                if set(assignment) == set(literal.variables()) and literal.holds_for(assignment):
+                # assignment keys ⊆ literal.variables() by construction
+                if len(assignment) == len(literal.variables()) and literal.holds_for(assignment):
                     return True
         return False

@@ -48,7 +48,15 @@ from repro import obs
 from repro.core.ngd import NGD
 from repro.expr.literals import Literal
 from repro.graph.graph import WILDCARD, Graph
+from repro.graph.store import _CsrNeighboursView
 from repro.matching.candidates import STEP_COUNT_PREFIX, MatchStatistics
+from repro.matching.compiled import (
+    CompiledSchedule,
+    CompiledStep,
+    compiled_enabled,
+    csr_sorted_intersection,
+    resolve_compiled,
+)
 
 __all__ = [
     "PLANNER_ENV",
@@ -309,6 +317,7 @@ class MatchPlan:
         "_premise_literals",
         "_schedules",
         "_seed_orders",
+        "_compiled",
     )
 
     def __init__(
@@ -327,6 +336,7 @@ class MatchPlan:
         self._premise_literals: tuple[Literal, ...] = rule.premise.literals()
         self._schedules: dict[tuple[str, ...], tuple[PlanStep, ...]] = {self.order: steps}
         self._seed_orders: dict[tuple[str, ...], tuple[str, ...]] = {}
+        self._compiled: dict[tuple[str, ...], CompiledSchedule] = {}
 
     @property
     def order(self) -> tuple[str, ...]:
@@ -360,6 +370,33 @@ class MatchPlan:
             cached = _steps_for_order(self.statistics, self.rule, order, self.observed)
             self._schedules[order] = cached
         return cached
+
+    def compiled_for(self, order: tuple[str, ...]) -> CompiledSchedule:
+        """Return the closure-compiled schedule for ``order`` (memoised).
+
+        Compiled schedules are pure functions of ``(rule, order,
+        schedule)``; an adaptive suffix replan therefore recompiles only
+        the revised order it introduces — every other memo entry stays
+        valid, and the bound-prefix slots of in-flight work units stay
+        valid too because slot ``d`` is always position ``d`` of the
+        order.
+        """
+        cached = self._compiled.get(order)
+        if cached is None:
+            cached = CompiledSchedule.build(self, order, self.schedule_for(order))
+            self._compiled[order] = cached
+        return cached
+
+    def __getstate__(self):
+        # the compiled memo holds closures, which do not pickle: spawn
+        # workers rebuild plans from the persisted plan document and
+        # recompile lazily on first use; fork workers inherit this object
+        # (closures included) without pickling
+        return (self.rule, self.statistics, self.steps, self.observed)
+
+    def __setstate__(self, state) -> None:
+        rule, statistics, steps, observed = state
+        MatchPlan.__init__(self, rule, statistics, steps, observed)
 
     def revised_order(
         self,
@@ -630,18 +667,26 @@ def compile_plan(
     return MatchPlan(rule, stats, _steps_for_order(stats, rule, order, observed), observed)
 
 
-def compile_plans(graph: Graph, rules, history=None) -> tuple[MatchPlan, ...]:
+def compile_plans(graph: Graph, rules, history=None, compiled=None) -> tuple[MatchPlan, ...]:
     """Compile every rule of an iterable/RuleSet, sharing one statistics pass.
 
     ``history`` is duck-typed: anything with ``priors_for(rule_name, stats)``
     returning an observed-cardinality mapping (or None) works — the adaptive
     module's :class:`~repro.matching.adaptive.CardinalityHistory` in practice.
+
+    ``compiled`` (None: the ``REPRO_COMPILED_EVAL`` switch) also builds each
+    plan's root :class:`CompiledSchedule` eagerly, so closure compilation is
+    billed here — inside the session's ``detect.compile_plans`` span — rather
+    than inside the first expansion of the search.
     """
     stats = GraphStatistics.from_graph(graph)
     plans = []
     for rule in rules:
         observed = history.priors_for(rule.name, stats) if history is not None else None
         plans.append(compile_plan(graph, rule, statistics=stats, observed=observed))
+    if resolve_compiled(compiled):
+        for plan in plans:
+            plan.compiled_for(plan.order)
     return tuple(plans)
 
 
@@ -717,16 +762,33 @@ def _literal_rules_out(
     literal: Literal,
     stats: MatchStatistics,
 ) -> bool:
-    """Return True when a unary premise literal rules the candidate out."""
+    """Return True when a unary premise literal rules the candidate out.
+
+    ``literal.variables()`` is a memoised frozenset, and the assignment's
+    keys are a subset of it by construction, so completeness is a length
+    comparison — no per-candidate set rebuilds.
+    """
     node = graph.node(node_id)
+    pairs = literal.variables()
     assignment = {
-        (variable, attribute): node.attribute(attribute)
-        for _, attribute in literal.variables()
-        if node.has_attribute(attribute)
+        pair: node.attribute(pair[1]) for pair in pairs if node.has_attribute(pair[1])
     }
     stats.literal_evaluations += 1
-    expected = {(variable, attribute) for _, attribute in literal.variables()}
-    return set(assignment) != expected or not literal.holds_for(assignment)
+    return len(assignment) != len(pairs) or not literal.holds_for(assignment)
+
+
+def _unary_rejects(checks, attrs, stats: MatchStatistics) -> bool:
+    """Run a step's compiled unary checks over one node's attribute mapping.
+
+    Billing mirrors the interpreted ``any(_literal_rules_out(...))`` loop:
+    one ``literal_evaluations`` per check reached, stop at the first
+    rejection.
+    """
+    for check in checks:
+        stats.literal_evaluations += 1
+        if not check(attrs):
+            return True
+    return False
 
 
 def step_candidates(
@@ -736,6 +798,7 @@ def step_candidates(
     partial: Mapping[str, Hashable],
     stats: MatchStatistics,
     use_literal_pruning: bool = True,
+    compiled_step: Optional[CompiledStep] = None,
 ) -> tuple[list[Hashable], int]:
     """Execute one step's candidate strategy.
 
@@ -745,9 +808,21 @@ def step_candidates(
     charges).  Billing: one ``candidates_examined`` per node drawn from the
     scanned index — identically for both strategies — plus one ``edge_checks``
     per adjacency membership probe of the anchored intersection.
+
+    With a ``compiled_step`` the unary premise filter runs the compiled
+    closures over the node's attribute mapping instead of building per-literal
+    assignment dicts, and the anchored strategy intersects ``CsrStore`` rank
+    slices by sorted merge (output already in rank order, so the final sort is
+    skipped).  Verdicts and counter totals are identical on both paths.
     """
     pattern_node = plan.rule.pattern.node(step.variable)
     candidates: list[Hashable] = []
+    presorted = False
+    unary_checks = (
+        compiled_step.unary_checks
+        if compiled_step is not None and use_literal_pruning and compiled_step.unary_checks
+        else None
+    )
 
     if step.strategy == "anchored":
         views = [anchor.view(graph, partial[anchor.variable]) for anchor in step.anchors]
@@ -755,20 +830,57 @@ def step_candidates(
         base = views[base_index]
         others = [view for i, view in enumerate(views) if i != base_index]
         scanned = len(base)
-        for node_id in base:
-            stats.candidates_examined += 1
+        merged = None
+        if (
+            compiled_step is not None
+            and scanned
+            and isinstance(base, _CsrNeighboursView)
+            and all(isinstance(view, _CsrNeighboursView) for view in others)
+        ):
+            merged = csr_sorted_intersection(base, others)
+        if merged is not None:
+            # billing parity with the probe loop below: every base node is
+            # examined once and charged one probe per other view, whether or
+            # not the merge had to look at it
+            presorted = True
+            stats.candidates_examined += scanned
             if others:
-                stats.edge_checks += len(others)
-                if not all(node_id in view for view in others):
+                stats.edge_checks += scanned * len(others)
+            for node_id in merged:
+                node = graph.node(node_id)
+                if not pattern_node.matches_label(node.label):
                     continue
-            if not pattern_node.matches_label(graph.node(node_id).label):
-                continue
-            if use_literal_pruning and any(
-                _literal_rules_out(graph, node_id, step.variable, plan.premise_literal(i), stats)
-                for i in step.unary_premise
-            ):
-                continue
-            candidates.append(node_id)
+                if unary_checks is not None and _unary_rejects(unary_checks, node.attributes, stats):
+                    continue
+                candidates.append(node_id)
+        elif compiled_step is not None:
+            for node_id in base:
+                stats.candidates_examined += 1
+                if others:
+                    stats.edge_checks += len(others)
+                    if not all(node_id in view for view in others):
+                        continue
+                node = graph.node(node_id)
+                if not pattern_node.matches_label(node.label):
+                    continue
+                if unary_checks is not None and _unary_rejects(unary_checks, node.attributes, stats):
+                    continue
+                candidates.append(node_id)
+        else:
+            for node_id in base:
+                stats.candidates_examined += 1
+                if others:
+                    stats.edge_checks += len(others)
+                    if not all(node_id in view for view in others):
+                        continue
+                if not pattern_node.matches_label(graph.node(node_id).label):
+                    continue
+                if use_literal_pruning and any(
+                    _literal_rules_out(graph, node_id, step.variable, plan.premise_literal(i), stats)
+                    for i in step.unary_premise
+                ):
+                    continue
+                candidates.append(node_id)
     else:
         bucket = graph.nodes_with_label(step.label)
         scanned = len(bucket)
@@ -782,14 +894,20 @@ def step_candidates(
                 available = graph.in_edge_labels(node_id)
                 if not all(label in available for label in step.in_labels):
                     continue
-            if use_literal_pruning and any(
+            if compiled_step is not None:
+                if unary_checks is not None and _unary_rejects(
+                    unary_checks, graph.node(node_id).attributes, stats
+                ):
+                    continue
+            elif use_literal_pruning and any(
                 _literal_rules_out(graph, node_id, step.variable, plan.premise_literal(i), stats)
                 for i in step.unary_premise
             ):
                 continue
             candidates.append(node_id)
 
-    candidates.sort(key=graph.node_rank)
+    if not presorted:
+        candidates.sort(key=graph.node_rank)
     if scanned and obs.enabled():
         # plain-dict accumulation: this is the match executor's hottest loop
         # and the registry flush happens once per run (flush_step_counts)
@@ -832,6 +950,7 @@ def first_step_candidates(
     order: tuple[str, ...],
     use_literal_pruning: bool,
     stats: MatchStatistics,
+    compiled: bool = False,
 ) -> tuple[list, float]:
     """Return the seed candidates of a rule plus the scan cost charged for them.
 
@@ -843,8 +962,9 @@ def first_step_candidates(
     from repro.matching.candidates import candidate_nodes
 
     if plan is not None:
+        compiled_step = plan.compiled_for(plan.order).steps[0] if compiled else None
         candidates, scanned = step_candidates(
-            graph, plan, plan.steps[0], {}, stats, use_literal_pruning
+            graph, plan, plan.steps[0], {}, stats, use_literal_pruning, compiled_step
         )
         return candidates, float(scanned)
     first = order[0]
