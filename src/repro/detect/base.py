@@ -51,6 +51,11 @@ class DetectionResult:
     algorithm: str = "Dect"
     stopped_early: bool = False
     stop_reason: Optional[str] = None
+    #: True when part of an ``execution="processes"`` run was completed on
+    #: the parent's serial path after the worker pool collapsed or poison
+    #: units were quarantined.  The violations are still exact — only the
+    #: parallelism degraded.
+    degraded: bool = False
     #: trace id of the observability span tree covering this run (None when
     #: the run was not driven through a Detector session or REPRO_OBS=off)
     trace_id: Optional[str] = None
@@ -74,6 +79,11 @@ class IncrementalDetectionResult:
     neighborhood_size: Optional[int] = None
     stopped_early: bool = False
     stop_reason: Optional[str] = None
+    #: True when part of an ``execution="processes"`` run was completed on
+    #: the parent's serial path after the worker pool collapsed or poison
+    #: units were quarantined.  ΔVio is still exact — only the parallelism
+    #: degraded.
+    degraded: bool = False
     #: trace id of the observability span tree covering this run (None when
     #: the run was not driven through a Detector session or REPRO_OBS=off)
     trace_id: Optional[str] = None

@@ -55,6 +55,7 @@ from __future__ import annotations
 
 import multiprocessing
 import os
+import pickle
 import queue as queue_module
 import shutil
 import threading
@@ -73,21 +74,30 @@ from repro.detect.instrument import RuleAttribution
 from repro.detect.observers import DetectionBudget, ViolationSink, notify_violation
 from repro.detect.parallel.balancing import BalancingPolicy, plan_rebalancing, skewness
 from repro.detect.parallel.workunits import WorkUnit, expand_work_unit
-from repro.errors import ExecutionError
+from repro.errors import ExecutionError, WorkerPoolCollapse
 from repro.graph.sharded import ShardedStore
 from repro.matching.adaptive import resolve_adaptive
 from repro.matching.candidates import MatchStatistics
 from repro.matching.plan import MatchPlan, plans_from_document, plans_to_document
+from repro.testing.faults import resolve_fault_plan
 
 __all__ = [
     "EXECUTION_MODES",
     "START_METHOD_ENV",
+    "WORKER_RESTARTS_ENV",
+    "UNIT_RETRIES_ENV",
+    "HEARTBEAT_PERIOD_ENV",
+    "HEARTBEAT_TIMEOUT_ENV",
+    "SHUTDOWN_GRACE_ENV",
     "DEFAULT_IDLE_TTL_SECONDS",
     "resolve_start_method",
     "ExecutionRuntime",
     "ProcessRunSummary",
     "WarmExecutorPool",
     "iter_process_execution",
+    "drain_units_serially",
+    "fault_tolerance_counters",
+    "note_degraded_run",
 ]
 
 #: The execution regimes the parallel kernels accept.
@@ -112,11 +122,82 @@ RESULT_POLL_SECONDS = 0.25
 
 #: How long the parent waits for workers to acknowledge ``exit`` before
 #: terminating them (generous: a worker finishes at most one expansion).
+#: Override with ``REPRO_SHUTDOWN_GRACE`` (the env name below).
 SHUTDOWN_GRACE_SECONDS = 10.0
+
+#: Environment override for the shutdown grace period (seconds).
+SHUTDOWN_GRACE_ENV = "REPRO_SHUTDOWN_GRACE"
 
 #: A :class:`WarmExecutorPool` crew untouched for this long is torn down by
 #: the next :meth:`~WarmExecutorPool.maintain` call.
 DEFAULT_IDLE_TTL_SECONDS = 300.0
+
+#: How many dead workers one run may respawn before survivors absorb the
+#: load (and, with no survivors left, the run degrades to the serial path).
+WORKER_RESTARTS_ENV = "REPRO_WORKER_RESTARTS"
+DEFAULT_WORKER_RESTARTS = 2
+
+#: How many times one work unit may be re-shipped after worker deaths
+#: before it is quarantined as poison (finished serially in the parent,
+#: where a worker-killing fault cannot follow it).
+UNIT_RETRIES_ENV = "REPRO_UNIT_RETRIES"
+DEFAULT_UNIT_RETRIES = 2
+
+#: Workers send a heartbeat when no other message has gone out for this
+#: long; ``0`` disables heartbeats (used by the overhead benchmark).
+HEARTBEAT_PERIOD_ENV = "REPRO_WORKER_HEARTBEAT_PERIOD"
+DEFAULT_HEARTBEAT_PERIOD_SECONDS = 1.0
+
+#: A live, non-idle worker silent for this long is presumed wedged: the
+#: parent kills it (terminate, then SIGKILL) and recovers its units just
+#: like a death.  Generous by default — recovery is correct either way,
+#: so a false positive only costs duplicated (deduplicated) work.
+HEARTBEAT_TIMEOUT_ENV = "REPRO_WORKER_HEARTBEAT_TIMEOUT"
+DEFAULT_HEARTBEAT_TIMEOUT_SECONDS = 30.0
+
+
+def _env_float(name: str, default: float) -> float:
+    raw = os.environ.get(name)
+    if not raw:
+        return default
+    try:
+        return float(raw)
+    except ValueError:
+        return default
+
+
+def _env_int(name: str, default: int) -> int:
+    raw = os.environ.get(name)
+    if not raw:
+        return default
+    try:
+        return int(raw)
+    except ValueError:
+        return default
+
+
+# Process-wide fault-tolerance tallies surfaced by the service's /health
+# endpoint.  Plain locked integers, deliberately independent of the obs
+# registry: supervision telemetry must survive REPRO_OBS=off.
+_FT_LOCK = threading.Lock()
+_FT_COUNTERS = {"worker_restarts": 0, "units_retried": 0, "degraded_runs": 0}
+
+
+def fault_tolerance_counters() -> dict:
+    """Snapshot of this process's supervision tallies (for ``/health``)."""
+    with _FT_LOCK:
+        return dict(_FT_COUNTERS)
+
+
+def _ft_count(key: str, amount: int = 1) -> None:
+    with _FT_LOCK:
+        _FT_COUNTERS[key] += amount
+
+
+def note_degraded_run() -> None:
+    """Record one run that finished on the serial path after pool trouble."""
+    _ft_count("degraded_runs")
+    obs.counter_inc("repro_degraded_runs_total")
 
 
 def resolve_start_method(start_method: Optional[str] = None) -> str:
@@ -232,24 +313,35 @@ def _worker_controllers(runtime: Optional[ExecutionRuntime]):
     return resolve_adaptive(runtime.plans, runtime.adaptive)
 
 
-def _worker_main(worker_id, runtime_or_payload, inbox, results, stop_event) -> None:
-    """Entry point of one worker process.
+def _worker_main(worker_id, epoch, runtime_or_payload, inbox, results, stop_event) -> None:
+    """Entry point of one worker process (one *incarnation* of a slot).
 
-    Message protocol (parent → worker): ``("units", [(shard_id, unit),
-    ...])``, ``("shed", count)``, ``("runtime", payload)``, ``("sync",)``,
-    ``("exit",)``.  Worker → parent:
-    ``("found", wid, [(violation, from_insertion), ...], cost, queue_len,
-    obs)``, ``("status", wid, queue_len, cost, obs)``, ``("idle", wid,
-    cost, batches_seen, obs)``, ``("shed_units", wid, [(shard_id, unit),
-    ...])``, ``("synced", wid, stats, cost, units_processed, obs)``,
-    ``("exited", wid, stats, cost, units_processed, obs)``, ``("error",
-    wid, traceback_text)``.  The trailing ``obs`` field piggybacks this
-    worker's observability delta (:func:`repro.obs.drain_for_shipping`:
-    metric deltas + completed spans, or None when disabled/empty) on the
-    messages the worker was sending anyway — no extra queue traffic, and
-    both ``fork`` and ``spawn`` ship the same plain-dict payloads.
-    Per-producer queue ordering guarantees the parent has seen every
-    violation a worker found before it sees that worker go idle.
+    Message protocol (parent → worker): ``("units", epoch, [(shard_id,
+    unit), ...])``, ``("shed", epoch, count)``, ``("runtime", payload)``,
+    ``("sync",)``, ``("exit",)``.  Worker → parent — every message starts
+    ``(kind, wid, epoch, ...)``:
+    ``("found", wid, epoch, [(violation, from_insertion), ...], cost,
+    queue_len, obs)``, ``("status", wid, epoch, queue_len, cost, obs)``,
+    ``("idle", wid, epoch, cost, batches_seen, obs)``, ``("heartbeat",
+    wid, epoch, queue_len)``, ``("shed_units", wid, epoch, [(shard_id,
+    unit), ...])``, ``("synced", wid, epoch, stats, cost,
+    units_processed, obs)``, ``("exited", wid, epoch, stats, cost,
+    units_processed, obs)``, ``("error", wid, epoch, traceback_text)``.
+    The trailing ``obs`` field piggybacks this worker's observability
+    delta (:func:`repro.obs.drain_for_shipping`: metric deltas +
+    completed spans, or None when disabled/empty) on the messages the
+    worker was sending anyway — no extra queue traffic, and both ``fork``
+    and ``spawn`` ship the same plain-dict payloads.  Per-producer queue
+    ordering guarantees the parent has seen every violation a worker
+    found before it sees that worker go idle.
+
+    ``epoch`` is this slot's incarnation number: 0 originally, +1 per
+    supervised respawn.  Both sides stamp it on run messages and discard
+    mismatches, so a replacement can never consume a dead predecessor's
+    in-flight units batch (and then confuse the parent's batch counters),
+    and the parent can never credit a predecessor's stale idle report to
+    the replacement.  ``runtime``/``sync``/``exit`` are crew-scoped, not
+    run-scoped, and stay epoch-free.
 
     ``runtime_or_payload`` may be None: a :class:`WarmExecutorPool` worker
     bootstraps empty and receives its runtime as a ``("runtime", payload)``
@@ -264,6 +356,10 @@ def _worker_main(worker_id, runtime_or_payload, inbox, results, stop_event) -> N
         obs.reset_for_worker()
         obs_on = obs.enabled()
         attribution = RuleAttribution("executor")
+        fault_plan = resolve_fault_plan()
+        faults = fault_plan.for_worker(worker_id, epoch) if fault_plan is not None else None
+        heartbeat_period = _env_float(HEARTBEAT_PERIOD_ENV, DEFAULT_HEARTBEAT_PERIOD_SECONDS)
+        last_heartbeat = time.monotonic()
         if runtime_or_payload is None:
             runtime = None
         elif isinstance(runtime_or_payload, ExecutionRuntime):
@@ -313,10 +409,15 @@ def _worker_main(worker_id, runtime_or_payload, inbox, results, stop_event) -> N
                                 ):
                                     pass
                             results.put(
-                                ("exited", worker_id, stats, total_cost, units_processed, _ship())
+                                ("exited", worker_id, epoch,
+                                 stats, total_cost, units_processed, _ship())
                             )
                             return
                         if kind == "units":
+                            if message[1] != epoch:
+                                # a batch addressed to a dead predecessor of
+                                # this slot: its units were already recovered
+                                continue
                             if wait_start is not None:
                                 obs.histogram_observe(
                                     "repro_executor_queue_wait_seconds",
@@ -324,19 +425,21 @@ def _worker_main(worker_id, runtime_or_payload, inbox, results, stop_event) -> N
                                     time.monotonic() - wait_start,
                                 )
                                 wait_start = None
-                            stack.extend(message[1])
+                            stack.extend(message[2])
                             batches_seen += 1
                             idle_announced = False
                         elif kind == "shed":
+                            if message[1] != epoch:
+                                continue
                             # shed the oldest (shallowest) units: the largest
                             # remaining subtrees, the best payload for a steal
-                            count = min(message[1], max(len(stack) - 1, 0))
+                            count = min(message[2], max(len(stack) - 1, 0))
                             if count > 0:
                                 shed, stack = stack[:count], stack[count:]
                                 obs.counter_inc("repro_executor_shed_units_total", None, len(shed))
-                                results.put(("shed_units", worker_id, shed))
+                                results.put(("shed_units", worker_id, epoch, shed))
                             else:
-                                results.put(("shed_units", worker_id, []))
+                                results.put(("shed_units", worker_id, epoch, []))
                         elif kind == "runtime":
                             runtime = ExecutionRuntime.from_payload(message[1])
                             controllers = _worker_controllers(runtime)
@@ -349,7 +452,8 @@ def _worker_main(worker_id, runtime_or_payload, inbox, results, stop_event) -> N
                                 ):
                                     pass
                             results.put(
-                                ("synced", worker_id, stats, total_cost, units_processed, _ship())
+                                ("synced", worker_id, epoch,
+                                 stats, total_cost, units_processed, _ship())
                             )
                             stack.clear()
                             stats = MatchStatistics()
@@ -368,14 +472,21 @@ def _worker_main(worker_id, runtime_or_payload, inbox, results, stop_event) -> N
                     pass
                 if stop_event.is_set():
                     stack.clear()
+                if heartbeat_period > 0.0:
+                    now = time.monotonic()
+                    if now - last_heartbeat >= heartbeat_period:
+                        results.put(("heartbeat", worker_id, epoch, len(stack)))
+                        last_heartbeat = now
             if not stack:
                 if not idle_announced:
                     # batches_seen lets the parent discard an idle report
                     # that raced with a units batch still in this inbox
-                    results.put(("idle", worker_id, cost_since, batches_seen, _ship()))
+                    results.put(("idle", worker_id, epoch, cost_since, batches_seen, _ship()))
                     cost_since = 0.0
                     idle_announced = True
                 continue
+            if faults is not None:
+                faults.on_unit()
             shard_id, unit = stack.pop()
             rule = runtime.rules[unit.rule_index]
             plan = runtime.plans[unit.rule_index] if runtime.plans is not None else None
@@ -401,17 +512,23 @@ def _worker_main(worker_id, runtime_or_payload, inbox, results, stop_event) -> N
             expansions_since += 1
             since_poll += 1
             if outcome.violations:
+                if faults is not None:
+                    faults.on_put()
                 found = [(violation, unit.from_insertion) for violation in outcome.violations]
-                results.put(("found", worker_id, found, cost_since, len(stack), _ship()))
+                results.put(("found", worker_id, epoch, found, cost_since, len(stack), _ship()))
+                last_heartbeat = time.monotonic()
                 cost_since = 0.0
                 expansions_since = 0
             elif expansions_since >= STATUS_EVERY_EXPANSIONS:
-                results.put(("status", worker_id, len(stack), cost_since, _ship()))
+                if faults is not None:
+                    faults.on_put()
+                results.put(("status", worker_id, epoch, len(stack), cost_since, _ship()))
+                last_heartbeat = time.monotonic()
                 cost_since = 0.0
                 expansions_since = 0
     except Exception:  # noqa: BLE001 - ship the traceback to the parent
         try:
-            results.put(("error", worker_id, traceback.format_exc()))
+            results.put(("error", worker_id, epoch, traceback.format_exc()))
         except Exception:  # pragma: no cover - results queue itself broken
             pass
 
@@ -427,11 +544,27 @@ class ProcessRunSummary:
     stats: MatchStatistics = field(default_factory=MatchStatistics)
     stop_reason: Optional[str] = None
     worker_traces: list[WorkerTrace] = field(default_factory=list)
+    #: Supervised worker respawns performed during this run.
+    restarts: int = 0
+    #: Work units re-shipped (or quarantined) after a worker death.
+    units_retried: int = 0
+    #: ``(shard_id, unit)`` pairs that exceeded the per-unit retry cap —
+    #: poison units the kernel must finish on the serial path.
+    quarantined: list = field(default_factory=list)
+    #: Set by the kernel when part of the run was drained serially.
+    degraded: bool = False
 
 
 @dataclass
 class _WorkerCrew:
-    """One set of live worker processes plus their shared channels."""
+    """One set of live worker processes plus their shared channels.
+
+    ``epochs[i]`` is slot *i*'s incarnation number; :meth:`respawn` bumps
+    it and starts a replacement process on the same channels.  The spawn
+    argument (and, for warm crews, the last runtime payload shipped by
+    message) is retained so replacements bootstrap identically to the
+    worker they replace.
+    """
 
     method: str
     processors: int
@@ -439,9 +572,41 @@ class _WorkerCrew:
     inboxes: list
     results: Any
     stop_event: Any
+    worker_argument: Any = None
+    epochs: list = field(default_factory=list)
+    runtime_payload: Optional[dict] = None
 
     def alive(self) -> bool:
         return all(worker.is_alive() for worker in self.workers)
+
+    def respawn(self, index: int):
+        """Start a fresh incarnation of slot ``index`` on its channels.
+
+        The replacement discards any stale epoch-tagged messages left in
+        the inbox by its predecessor; a warm crew's replacement is
+        re-primed with the crew's current runtime payload first (ordering
+        holds: the runtime message is enqueued before any new units).
+        """
+        context = multiprocessing.get_context(self.method)
+        self.epochs[index] += 1
+        worker = context.Process(
+            target=_worker_main,
+            args=(
+                index,
+                self.epochs[index],
+                self.worker_argument,
+                self.inboxes[index],
+                self.results,
+                self.stop_event,
+            ),
+            name=f"repro-exec-{index}",
+            daemon=True,
+        )
+        worker.start()
+        self.workers[index] = worker
+        if self.worker_argument is None and self.runtime_payload is not None:
+            self.inboxes[index].put(("runtime", self.runtime_payload))
+        return worker
 
 
 def _spawn_crew(processors: int, worker_argument, method: str) -> _WorkerCrew:
@@ -459,7 +624,7 @@ def _spawn_crew(processors: int, worker_argument, method: str) -> _WorkerCrew:
         for index in range(processors):
             worker = context.Process(
                 target=_worker_main,
-                args=(index, worker_argument, inboxes[index], results, stop_event),
+                args=(index, 0, worker_argument, inboxes[index], results, stop_event),
                 name=f"repro-exec-{index}",
                 daemon=True,
             )
@@ -476,6 +641,8 @@ def _spawn_crew(processors: int, worker_argument, method: str) -> _WorkerCrew:
         inboxes=inboxes,
         results=results,
         stop_event=stop_event,
+        worker_argument=worker_argument,
+        epochs=[0] * processors,
     )
 
 
@@ -494,9 +661,27 @@ def _drive_run(
     The shared drive loop of one run — identical for a one-shot crew
     (:func:`iter_process_execution`) and a warm one
     (:class:`WarmExecutorPool`): initial placement, the found/status/idle
-    message loop, skewness-based rebalancing, and budget enforcement.
-    Per-run bookkeeping (queue lengths, batch counters) is local; the
-    caller owns crew lifecycle and end-of-run reconciliation.
+    message loop, skewness-based rebalancing, budget enforcement, and
+    worker supervision.  Per-run bookkeeping (queue lengths, batch
+    counters, outstanding units) is local; the caller owns crew lifecycle
+    and end-of-run reconciliation.
+
+    Supervision and exactly-once recovery: the parent remembers every
+    unit it shipped to a worker (``outstanding``) and only clears the set
+    on a *confirmed* idle report — per-producer queue ordering guarantees
+    all of that worker's violations arrived first.  When a worker dies
+    (``is_alive`` false) or goes silent past the heartbeat timeout (then
+    it is killed), its outstanding units are re-executed: on a respawned
+    replacement while the ``REPRO_WORKER_RESTARTS`` budget lasts, on
+    survivors after.  Units are deterministic and the parent dedups every
+    violation against ``introduced``/``removed`` before yielding, so this
+    at-least-once re-execution still yields each violation exactly once —
+    byte-identical output to an undisturbed run.  A unit that out-lives
+    ``REPRO_UNIT_RETRIES`` worker deaths is poison: it is quarantined on
+    ``summary.quarantined`` for the kernel's serial path instead of being
+    re-shipped forever.  With no restart budget left *and* no survivor to
+    absorb the load, :class:`~repro.errors.WorkerPoolCollapse` carries
+    every unconfirmed unit to the kernel for serial completion.
     """
     from repro.core.violations import ViolationSet
 
@@ -509,8 +694,20 @@ def _drive_run(
     idle = [False] * processors
     batches_sent = [0] * processors
     pending_shed = 0
+    pending_shed_by = [0] * processors
     emitted = len(introduced) + len(removed)
-    last_balance = time.monotonic()
+    now = time.monotonic()
+    last_balance = now
+    last_liveness = now
+    last_seen = [now] * processors
+    outstanding: list[set] = [set() for _ in range(processors)]
+    retries: dict = {}
+    dead_for_good: set[int] = set()
+    restart_budget = max(0, _env_int(WORKER_RESTARTS_ENV, DEFAULT_WORKER_RESTARTS))
+    unit_retry_cap = max(0, _env_int(UNIT_RETRIES_ENV, DEFAULT_UNIT_RETRIES))
+    heartbeat_timeout = _env_float(
+        HEARTBEAT_TIMEOUT_ENV, DEFAULT_HEARTBEAT_TIMEOUT_SECONDS
+    )
 
     # initial distribution: one batch message per worker keeps startup cheap
     batches: list[list[tuple[int, WorkUnit]]] = [[] for _ in range(processors)]
@@ -518,9 +715,10 @@ def _drive_run(
         batches[worker_index].append((shard_id, unit))
     for worker_index, batch in enumerate(batches):
         if batch:
-            inboxes[worker_index].put(("units", batch))
+            inboxes[worker_index].put(("units", crew.epochs[worker_index], batch))
             batches_sent[worker_index] += 1
             queue_lens[worker_index] = len(batch)
+            outstanding[worker_index].update(batch)
 
     def _maybe_rebalance() -> int:
         nonlocal last_balance
@@ -538,7 +736,10 @@ def _drive_run(
         for origin, _, count in plan_rebalancing(lengths, policy.eta, policy.eta_prime):
             shed_totals[origin] = shed_totals.get(origin, 0) + count
         for origin, count in shed_totals.items():
-            inboxes[origin].put(("shed", count))
+            if origin in dead_for_good:
+                continue
+            inboxes[origin].put(("shed", crew.epochs[origin], count))
+            pending_shed_by[origin] += 1
             requested += 1
         return requested
 
@@ -546,9 +747,27 @@ def _drive_run(
         if not units:
             return
         receivers = sorted(
-            (i for i in range(processors) if i != origin or processors == 1),
+            (
+                i
+                for i in range(processors)
+                if (i != origin or processors == 1) and i not in dead_for_good
+            ),
             key=lambda i: (queue_lens[i], i),
         )
+        if not receivers and origin not in dead_for_good:
+            receivers = [origin]
+        if not receivers:
+            # nobody left to hand these to: surrender every unconfirmed
+            # unit to the kernel's serial path
+            leftovers = list(units)
+            for pending in outstanding:
+                leftovers.extend(pending)
+                pending.clear()
+            raise WorkerPoolCollapse(
+                f"worker pool collapsed with {len(leftovers)} unit(s) outstanding "
+                f"(restart budget {restart_budget} spent)",
+                outstanding=list(dict.fromkeys(leftovers)),
+            )
         receivers = receivers[: max(1, min(len(receivers), len(units)))]
         share = len(units) // len(receivers)
         remainder = len(units) - share * len(receivers)
@@ -559,10 +778,90 @@ def _drive_run(
                 continue
             batch = units[position : position + count]
             position += count
-            inboxes[receiver].put(("units", batch))
+            inboxes[receiver].put(("units", crew.epochs[receiver], batch))
             batches_sent[receiver] += 1
             queue_lens[receiver] += len(batch)
             idle[receiver] = False
+            outstanding[receiver].update(batch)
+
+    def _reap(proc) -> None:
+        """Make sure a failed worker is really gone, then reap it."""
+        if proc.is_alive():
+            proc.terminate()
+            proc.join(timeout=0.5)
+        if proc.is_alive():
+            proc.kill()
+        proc.join(timeout=1.0)
+
+    def _recover_workers(failed: Sequence[int]) -> None:
+        """Reclaim failed workers' units; respawn or redistribute."""
+        nonlocal pending_shed
+        for w in failed:
+            _reap(workers[w])
+            lost = list(outstanding[w])
+            outstanding[w].clear()
+            queue_lens[w] = 0
+            pending_shed -= pending_shed_by[w]
+            pending_shed_by[w] = 0
+            batches_sent[w] = 0
+            idle[w] = True
+            reship: list[tuple[int, WorkUnit]] = []
+            for item in lost:
+                count = retries.get(item, 0) + 1
+                retries[item] = count
+                if count > unit_retry_cap:
+                    # poison: this unit has now out-lived several workers;
+                    # the kernel finishes it serially in the parent
+                    summary.quarantined.append(item)
+                else:
+                    reship.append(item)
+            if lost:
+                summary.units_retried += len(lost)
+                _ft_count("units_retried", len(lost))
+                obs.counter_inc("repro_units_retried_total", None, len(lost))
+            if summary.restarts < restart_budget:
+                summary.restarts += 1
+                _ft_count("worker_restarts")
+                obs.counter_inc("repro_worker_restarts_total")
+                crew.respawn(w)
+                last_seen[w] = time.monotonic()
+                if reship:
+                    inboxes[w].put(("units", crew.epochs[w], reship))
+                    batches_sent[w] += 1
+                    queue_lens[w] = len(reship)
+                    outstanding[w].update(reship)
+                    idle[w] = False
+            else:
+                dead_for_good.add(w)
+                _redistribute(reship, origin=w)
+
+    def _check_liveness() -> None:
+        nonlocal last_liveness
+        last_liveness = time.monotonic()
+        if stop_event.is_set():
+            return
+        dead_now = [
+            i
+            for i in range(processors)
+            if i not in dead_for_good and not workers[i].is_alive()
+        ]
+        if dead_now:
+            _recover_workers(dead_now)
+        if heartbeat_timeout > 0.0:
+            now = time.monotonic()
+            stalled = [
+                i
+                for i in range(processors)
+                if i not in dead_for_good
+                and not idle[i]
+                and now - last_seen[i] > heartbeat_timeout
+            ]
+            if stalled:
+                # silent past the deadline: presumed wedged.  Recovery
+                # kills it first (terminate, then SIGKILL) — if it was
+                # merely slow, re-execution is deduplicated, so
+                # correctness is unaffected either way.
+                _recover_workers(stalled)
 
     while summary.stop_reason is None:
         if all(idle) and pending_shed == 0:
@@ -570,15 +869,25 @@ def _drive_run(
         try:
             message = results.get(timeout=RESULT_POLL_SECONDS)
         except queue_module.Empty:
-            dead = [w.name for w in workers if not w.is_alive()]
-            if dead and not stop_event.is_set():
-                raise ExecutionError(
-                    f"worker process(es) died without reporting: {', '.join(dead)}"
-                )
+            _check_liveness()
+            continue
+        except (EOFError, OSError, pickle.UnpicklingError):
+            # a worker killed mid-put can tear a frame in the shared
+            # result pipe; drop the fragment — the sender's death is
+            # picked up by the next liveness check and its units are
+            # re-executed, so nothing is lost
+            _check_liveness()
             continue
         kind = message[0]
+        worker_id = message[1]
+        last_seen[worker_id] = time.monotonic()
+        if message[2] != crew.epochs[worker_id]:
+            # a dead incarnation's leftovers: its units were re-shipped
+            # wholesale, so stale reports (even a final idle) must not
+            # touch the replacement's bookkeeping
+            continue
         if kind == "found":
-            _, worker_id, found, cost_delta, queue_len, obs_delta = message
+            found, cost_delta, queue_len, obs_delta = message[3:]
             obs.absorb_shipped(obs_delta, {"worker": worker_id})
             summary.cost += cost_delta
             queue_lens[worker_id] = queue_len
@@ -597,7 +906,7 @@ def _drive_run(
             if summary.stop_reason is None and budget is not None and budget.cost_exhausted(summary.cost):
                 summary.stop_reason = "max_cost"
         elif kind == "status":
-            _, worker_id, queue_len, cost_delta, obs_delta = message
+            queue_len, cost_delta, obs_delta = message[3:]
             obs.absorb_shipped(obs_delta, {"worker": worker_id})
             summary.cost += cost_delta
             queue_lens[worker_id] = queue_len
@@ -605,28 +914,42 @@ def _drive_run(
             if budget is not None and budget.cost_exhausted(summary.cost):
                 summary.stop_reason = "max_cost"
         elif kind == "idle":
-            _, worker_id, cost_delta, batches_seen, obs_delta = message
+            cost_delta, batches_seen, obs_delta = message[3:]
             obs.absorb_shipped(obs_delta, {"worker": worker_id})
             summary.cost += cost_delta
             if batches_seen == batches_sent[worker_id]:
                 queue_lens[worker_id] = 0
                 idle[worker_id] = True
+                # ordering guarantee: every violation this worker found
+                # arrived before this report, so its assignment is done
+                outstanding[worker_id].clear()
             # else: stale — a units batch was still in flight toward
             # the worker when it reported; it will report idle again
             if budget is not None and budget.cost_exhausted(summary.cost):
                 summary.stop_reason = "max_cost"
+        elif kind == "heartbeat":
+            pass  # liveness only; last_seen is already refreshed above
         elif kind == "shed_units":
-            _, worker_id, units = message
+            units = message[3]
             pending_shed -= 1
+            pending_shed_by[worker_id] -= 1
             queue_lens[worker_id] = max(queue_lens[worker_id] - len(units), 0)
+            for item in units:
+                outstanding[worker_id].discard(item)
             if units:
                 obs.counter_inc("repro_executor_steals_total", {"mode": "processes"}, len(units))
             _redistribute(units, origin=worker_id)
         elif kind == "error":
-            _, worker_id, text = message
-            raise ExecutionError(f"worker {worker_id} failed:\n{text}")
+            # the worker reported a failure and exited; treat it exactly
+            # like a death so one bad expansion cannot abort the run —
+            # a deterministic fault ends up quarantined and re-raised by
+            # the kernel's serial drain instead
+            obs.counter_inc("repro_worker_errors_total")
+            _recover_workers([worker_id])
         if summary.stop_reason is None:
             pending_shed += _maybe_rebalance()
+            if time.monotonic() - last_liveness > RESULT_POLL_SECONDS:
+                _check_liveness()
 
 
 def _shutdown_crew(crew: _WorkerCrew, summary: Optional[ProcessRunSummary]) -> None:
@@ -643,7 +966,8 @@ def _shutdown_crew(crew: _WorkerCrew, summary: Optional[ProcessRunSummary]) -> N
         except Exception:  # pragma: no cover - queue already torn down
             pass
     exited = [False] * crew.processors
-    deadline = time.monotonic() + SHUTDOWN_GRACE_SECONDS
+    grace = max(0.0, _env_float(SHUTDOWN_GRACE_ENV, SHUTDOWN_GRACE_SECONDS))
+    deadline = time.monotonic() + grace
     while not all(exited) and time.monotonic() < deadline:
         try:
             message = crew.results.get(timeout=0.1)
@@ -651,8 +975,11 @@ def _shutdown_crew(crew: _WorkerCrew, summary: Optional[ProcessRunSummary]) -> N
             if all(not w.is_alive() for w in crew.workers):
                 break
             continue
+        except (EOFError, OSError, pickle.UnpicklingError):
+            continue  # torn frame from a killed worker; keep draining
         if message[0] == "exited":
-            _, worker_id, stats, cost, units_processed, obs_delta = message
+            worker_id = message[1]
+            _, _, _, stats, cost, units_processed, obs_delta = message
             obs.absorb_shipped(obs_delta, {"worker": worker_id})
             exited[worker_id] = True
             if summary is not None:
@@ -664,10 +991,18 @@ def _shutdown_crew(crew: _WorkerCrew, summary: Optional[ProcessRunSummary]) -> N
                         work_units_processed=units_processed,
                     )
                 )
+    # teardown must terminate no matter what state a worker is in: give
+    # each the remaining grace to exit, then escalate join -> terminate
+    # (SIGTERM) -> kill (SIGKILL, cannot be ignored).  Total wait is
+    # bounded by the grace period plus ~1.5s per straggler, so a wedged
+    # worker can never hang the service's request thread.
     for worker in crew.workers:
-        worker.join(timeout=0.5)
-        if worker.is_alive():  # pragma: no cover - stuck worker
+        worker.join(timeout=max(0.0, min(0.5, deadline - time.monotonic())))
+        if worker.is_alive():
             worker.terminate()
+            worker.join(timeout=0.5)
+        if worker.is_alive():
+            worker.kill()
             worker.join(timeout=0.5)
     crew.results.cancel_join_thread()
     for inbox in crew.inboxes:
@@ -726,6 +1061,77 @@ def iter_process_execution(
     return summary
 
 
+def drain_units_serially(
+    units: Sequence[tuple[int, WorkUnit]],
+    *,
+    rules: Sequence[NGD],
+    plans: Optional[Sequence[MatchPlan]],
+    use_literal_pruning: bool,
+    graph_for: Callable[[int, bool], Any],
+    budget: Optional[DetectionBudget] = None,
+    sink: Optional[ViolationSink] = None,
+    dedupe: Optional[tuple] = None,
+    summary: Optional[ProcessRunSummary] = None,
+    compiled: Optional[bool] = None,
+) -> Iterator[tuple[Violation, bool]]:
+    """Finish ``units`` (and their subtrees) in the parent, depth-first.
+
+    The graceful-degradation tail of a process run: the kernels hand the
+    unconfirmed units here after a :class:`~repro.errors.WorkerPoolCollapse`
+    (restart budget spent, no survivors) and for every quarantined poison
+    unit.  The parent owns the *full* graph(s) — ``graph_for(shard_id,
+    from_insertion)`` returns them — which is always a superset of any
+    worker's shard image, so expansion yields the exact same matches; the
+    shared ``dedupe`` sets absorb whatever the workers already reported.
+    Fault injection hooks live only in worker processes, so a unit that
+    reliably killed workers completes here.
+
+    Charges accrue to ``summary.cost`` and stats to ``summary.stats``
+    under the same accounting as the worker loop; ``budget`` is enforced
+    between expansions exactly like the parent's message loop.
+    """
+    from repro.core.violations import ViolationSet
+
+    summary = summary if summary is not None else ProcessRunSummary()
+    introduced, removed = dedupe if dedupe is not None else (ViolationSet(), ViolationSet())
+    emitted = len(introduced) + len(removed)
+    stack = list(dict.fromkeys(units))  # drop duplicates, keep order
+    while stack and summary.stop_reason is None:
+        shard_id, unit = stack.pop()
+        rule = rules[unit.rule_index]
+        plan = plans[unit.rule_index] if plans is not None else None
+        graph = graph_for(shard_id, unit.from_insertion)
+        outcome = expand_work_unit(
+            graph,
+            rule,
+            unit,
+            use_literal_pruning=use_literal_pruning,
+            stats=summary.stats,
+            plan=plan,
+            adaptive=None,
+            compiled=compiled,
+        )
+        stack.extend((shard_id, new_unit) for new_unit in outcome.new_units)
+        summary.cost += float(
+            max(outcome.filtering_adjacency, 1) + outcome.verification_adjacency
+        )
+        for violation in outcome.violations:
+            target = introduced if unit.from_insertion else removed
+            if violation in target:
+                continue
+            target.add(violation)
+            emitted += 1
+            notify_violation(sink, violation, introduced=unit.from_insertion)
+            yield violation, unit.from_insertion
+            if budget is not None and budget.violations_exhausted(emitted):
+                summary.stop_reason = "max_violations"
+                break
+        if summary.stop_reason is None and budget is not None and budget.cost_exhausted(
+            summary.cost
+        ):
+            summary.stop_reason = "max_cost"
+
+
 # ---------------------------------------------------------------- warm pool
 
 
@@ -780,6 +1186,7 @@ class WarmExecutorPool:
         self.hits = 0
         self.misses = 0
         self.fallbacks = 0
+        self.evictions = 0
 
     # ------------------------------------------------------------- execution
 
@@ -827,6 +1234,9 @@ class WarmExecutorPool:
                 self._stale = False
             crew = self._crew
             if crew is not None and not crew.alive():
+                # never hand out a crew with dead members: a run would
+                # start by re-discovering the death and paying recovery
+                self.evictions += 1
                 self._teardown_locked()
                 crew = None
             if crew is None:
@@ -875,20 +1285,28 @@ class WarmExecutorPool:
             self._stale = True
 
     def maintain(self, now: Optional[float] = None) -> bool:
-        """Tear the crew down if it has idled past ``idle_ttl``.
+        """Tear the crew down if it idled past ``idle_ttl`` or lost workers.
 
         Returns True when an eviction happened.  Callers sprinkle this
-        after request handling; it never blocks on a busy pool.
+        after request handling; it never blocks on a busy pool.  A crew
+        with dead members goes regardless of TTL — keeping it warm would
+        only defer the eviction to the next checkout.
         """
         if self._crew is None:
             return False
         now = time.monotonic() if now is None else now
-        if now - self._last_used < self.idle_ttl:
+        if now - self._last_used < self.idle_ttl and self._crew.alive():
             return False
         if not self._lock.acquire(blocking=False):
             return False
         try:
-            if self._crew is not None and now - self._last_used >= self.idle_ttl:
+            if self._crew is None:
+                return False
+            if not self._crew.alive():
+                self.evictions += 1
+                self._teardown_locked()
+                return True
+            if now - self._last_used >= self.idle_ttl:
                 self._teardown_locked()
                 return True
             return False
@@ -901,11 +1319,12 @@ class WarmExecutorPool:
             self._teardown_locked()
 
     def stats(self) -> dict:
-        """Return hit/miss/fallback counters and whether a crew is warm."""
+        """Return hit/miss/fallback/eviction counters and warm status."""
         return {
             "hits": self.hits,
             "misses": self.misses,
             "fallbacks": self.fallbacks,
+            "evictions": self.evictions,
             "warm": self._crew is not None,
         }
 
@@ -933,6 +1352,9 @@ class WarmExecutorPool:
             raise
         for inbox in crew.inboxes:
             inbox.put(("runtime", payload))
+        # retained so a supervised respawn mid-run can re-prime the
+        # replacement with the runtime its predecessor had loaded
+        crew.runtime_payload = payload
         # the previous runtime can never be addressed again (units always
         # follow their runtime message), so its spool goes now
         self._drop_spool()
@@ -959,7 +1381,7 @@ class WarmExecutorPool:
         except Exception:  # pragma: no cover - control queue torn down
             return False
         synced = [False] * crew.processors
-        deadline = time.monotonic() + SHUTDOWN_GRACE_SECONDS
+        deadline = time.monotonic() + _env_float(SHUTDOWN_GRACE_ENV, SHUTDOWN_GRACE_SECONDS)
         while not all(synced):
             if time.monotonic() > deadline:
                 return False
@@ -969,8 +1391,10 @@ class WarmExecutorPool:
                 if not crew.alive():
                     return False
                 continue
+            except (EOFError, OSError, pickle.UnpicklingError):
+                return False  # torn result pipe: the crew is not reusable
             if message[0] == "synced":
-                _, worker_id, stats, cost, units_processed, obs_delta = message
+                _, worker_id, _, stats, cost, units_processed, obs_delta = message
                 obs.absorb_shipped(obs_delta, {"worker": worker_id})
                 synced[worker_id] = True
                 summary.stats.merge(stats)

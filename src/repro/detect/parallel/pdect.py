@@ -317,9 +317,12 @@ def _iter_p_dect_processes(
     from repro.detect.parallel.executor import (
         ExecutionRuntime,
         ProcessRunSummary,
+        drain_units_serially,
         iter_process_execution,
+        note_degraded_run,
         resolve_start_method,
     )
+    from repro.errors import WorkerPoolCollapse
     from repro.graph.sharded import ShardedStore, supports_localized_matching
 
     stats = MatchStatistics()
@@ -423,6 +426,7 @@ def _iter_p_dect_processes(
                 break
 
     summary = ProcessRunSummary()
+    leftovers: list[tuple[int, WorkUnit]] = []
     if stop_reason is None and seeds:
         if warm_pool is not None:
             events = warm_pool.execute(
@@ -454,11 +458,40 @@ def _iter_p_dect_processes(
             for violation, _ in events:
                 attribution.violation(violation.rule)
                 yield violation
+        except WorkerPoolCollapse as collapse:
+            leftovers = list(collapse.outstanding)
         finally:
             events.close()
         stop_reason = summary.stop_reason
     else:
         summary.cost = base_cost
+    leftovers.extend(summary.quarantined)
+    if leftovers and stop_reason is None:
+        # graceful degradation: the pool is gone (or quarantined poison
+        # units remain) — finish every unconfirmed unit serially against
+        # the parent's full image.  The shared dedupe set absorbs
+        # whatever the workers already reported, so the violations stay
+        # byte-identical to an undisturbed run.
+        summary.degraded = True
+        note_degraded_run()
+        drained = drain_units_serially(
+            leftovers,
+            rules=rule_list,
+            plans=plans,
+            use_literal_pruning=use_literal_pruning,
+            graph_for=lambda shard_id, from_insertion: graph,
+            budget=budget,
+            sink=sink,
+            dedupe=(violations, ViolationSet()),
+            summary=summary,
+            compiled=compiled,
+        )
+        for violation, _ in drained:
+            attribution.violation(violation.rule)
+            yield violation
+        stop_reason = summary.stop_reason
+        if stop_reason is None and summary.quarantined:
+            stop_reason = "units_quarantined"
     stats.merge(summary.stats)
 
     attribution.emit(trace_parent)
@@ -471,8 +504,9 @@ def _iter_p_dect_processes(
         processors=processors,
         worker_traces=summary.worker_traces,
         algorithm="PDect",
-        stopped_early=stop_reason is not None,
+        stopped_early=stop_reason in ("max_violations", "max_cost"),
         stop_reason=stop_reason,
+        degraded=summary.degraded,
     )
 
 

@@ -328,8 +328,11 @@ def _iter_pinc_dect_processes(
     from repro.detect.parallel.executor import (
         ExecutionRuntime,
         ProcessRunSummary,
+        drain_units_serially,
         iter_process_execution,
+        note_degraded_run,
     )
+    from repro.errors import WorkerPoolCollapse
     from repro.graph.sharded import ShardedStore, supports_localized_matching
 
     stats = MatchStatistics()
@@ -417,12 +420,43 @@ def _iter_pinc_dect_processes(
                 start_method=start_method,
                 summary=summary,
             )
+        leftovers: list[tuple[int, WorkUnit]] = []
         try:
             for violation, from_insertion in events:
                 attribution.violation(violation.rule)
                 yield ViolationEvent(violation, introduced=from_insertion)
+        except WorkerPoolCollapse as collapse:
+            leftovers = list(collapse.outstanding)
         finally:
             events.close()
+        leftovers.extend(summary.quarantined)
+        if leftovers and summary.stop_reason is None:
+            # graceful degradation: finish every unconfirmed unit serially
+            # against the parent's full graphs.  The full graphs are
+            # supersets of the shipped N_C images and matching is
+            # neighbourhood-local, so expansion yields the same matches;
+            # the shared dedupe sets keep ΔVio byte-identical.
+            summary.degraded = True
+            note_degraded_run()
+            drained = drain_units_serially(
+                leftovers,
+                rules=rule_list,
+                plans=plans,
+                use_literal_pruning=use_literal_pruning,
+                graph_for=lambda shard_id, from_insertion: (
+                    updated if from_insertion else graph
+                ),
+                budget=budget,
+                sink=sink,
+                dedupe=(introduced, removed),
+                summary=summary,
+                compiled=compiled,
+            )
+            for violation, from_insertion in drained:
+                attribution.violation(violation.rule)
+                yield ViolationEvent(violation, introduced=from_insertion)
+            if summary.stop_reason is None and summary.quarantined:
+                summary.stop_reason = "units_quarantined"
     else:
         summary.cost = base_cost
     stats.merge(summary.stats)
@@ -438,8 +472,9 @@ def _iter_pinc_dect_processes(
         worker_traces=summary.worker_traces,
         algorithm=f"PIncDect{policy.variant_suffix()}",
         neighborhood_size=neighborhood_size,
-        stopped_early=summary.stop_reason is not None,
+        stopped_early=summary.stop_reason in ("max_violations", "max_cost"),
         stop_reason=summary.stop_reason,
+        degraded=summary.degraded,
     )
 
 

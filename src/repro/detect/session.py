@@ -540,6 +540,10 @@ class Detector:
             violations=changes,
             processors=result.processors,
         )
+        if getattr(result, "degraded", False):
+            # the worker pool degraded to the serial path mid-run; the
+            # violations are still exact but the trace should say so
+            root.set(degraded=True)
         obs.counter_inc("repro_detect_runs_total", {"algorithm": result.algorithm})
         if result.stats.literal_evaluations:
             # compiled schedules only execute on plan-driven kernels, so the

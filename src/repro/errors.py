@@ -29,10 +29,12 @@ __all__ = [
     "ExperimentError",
     "ClusterError",
     "ExecutionError",
+    "WorkerPoolCollapse",
     "SessionError",
     "SerializationError",
     "ServiceError",
     "PoolSaturatedError",
+    "DeadlineExceededError",
 ]
 
 
@@ -156,6 +158,22 @@ class ExecutionError(ReproError):
     """
 
 
+class WorkerPoolCollapse(ExecutionError):
+    """Every worker of a process pool is gone and the restart budget is spent.
+
+    Carries the work units whose completion was never confirmed
+    (``outstanding``: ``(shard_id, WorkUnit)`` pairs), so the kernel that
+    drove the run can finish them on the serial path — graceful
+    degradation instead of a failed run.  Only callers driving
+    :func:`~repro.detect.parallel.executor.iter_process_execution`
+    directly ever see this escape.
+    """
+
+    def __init__(self, message: str, outstanding=()) -> None:
+        super().__init__(message)
+        self.outstanding = list(outstanding)
+
+
 class SessionError(ReproError):
     """A :class:`~repro.detect.session.Detector` session was misconfigured or misused.
 
@@ -188,4 +206,14 @@ class PoolSaturatedError(ServiceError):
     Admission control, not failure: the HTTP layer maps it to ``429 Too
     Many Requests`` with a JSON error record, and the client should retry
     after a backoff.  See :class:`repro.service.jobs.DetectionJobPool`.
+    """
+
+
+class DeadlineExceededError(ServiceError):
+    """A detection request's ``timeout_seconds`` deadline elapsed.
+
+    Raised while consuming a job stream: before the first record the HTTP
+    layer maps it to ``503 Service Unavailable`` with a ``Retry-After``
+    header; after streaming has begun it becomes a terminal in-band error
+    record (the status line is already committed).
     """

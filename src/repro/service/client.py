@@ -17,11 +17,30 @@ The streaming call is a generator::
 :meth:`ServiceClient.detect` is the buffered convenience on top: it drains
 the stream into ``(violations, summary)`` with the violations already
 rebuilt as :class:`~repro.core.violations.Violation` objects.
+
+Timeouts and retries
+--------------------
+
+``connect_timeout`` bounds TCP connection establishment; ``read_timeout``
+bounds each socket read after the connection is up (a streaming detect can
+legitimately idle between records while the kernel searches, so it defaults
+much higher).  Both default to the legacy single ``timeout``.
+
+``retries=N`` opts into automatic retry with exponential backoff + jitter —
+**for idempotent GET requests only** (``health``, ``metrics``,
+``list_rules``, ``list_graphs``, ``list_sessions``, and the other read-only
+lookups).  POST requests are *never* retried by the client: a detect stream
+re-run repeats real matching work, an update POST re-applied is a double
+mutation.  Transient conditions on those paths are surfaced instead — a
+429/503 raises :class:`~repro.errors.ServiceError` with the status in the
+message, and the caller decides whether re-issuing is safe.
 """
 
 from __future__ import annotations
 
 import json
+import random
+import time
 from typing import Iterator, Optional
 from urllib.parse import urlsplit
 
@@ -62,41 +81,90 @@ class DetectReply:
 
 
 class ServiceClient:
-    """Talks the service wire protocol; raises :class:`ServiceError` on 4xx/5xx."""
+    """Talks the service wire protocol; raises :class:`ServiceError` on 4xx/5xx.
 
-    def __init__(self, base_url: str, timeout: float = 60.0) -> None:
+    ``connect_timeout`` / ``read_timeout`` split the legacy ``timeout`` into
+    its two phases (both default to ``timeout``); ``retries`` opts into
+    backoff-retry on transient failures **for idempotent GETs only** — see
+    the module docstring for the idempotency rule.
+    """
+
+    #: statuses worth retrying on an idempotent request (the server uses
+    #: 429 for pool saturation and 503 + Retry-After for transient faults)
+    RETRYABLE_STATUSES = (429, 502, 503, 504)
+
+    def __init__(
+        self,
+        base_url: str,
+        timeout: float = 60.0,
+        connect_timeout: Optional[float] = None,
+        read_timeout: Optional[float] = None,
+        retries: int = 0,
+        retry_backoff: float = 0.1,
+    ) -> None:
         parsed = urlsplit(base_url)
         if parsed.scheme != "http" or not parsed.hostname:
             raise ServiceError(f"service URL must be http://host:port, got {base_url!r}")
+        if retries < 0:
+            raise ServiceError(f"retries must be >= 0, got {retries}")
         self.host = parsed.hostname
         self.port = parsed.port or 80
         self.timeout = timeout
+        self.connect_timeout = connect_timeout if connect_timeout is not None else timeout
+        self.read_timeout = read_timeout if read_timeout is not None else timeout
+        self.retries = retries
+        self.retry_backoff = retry_backoff
 
     # -------------------------------------------------------------- plumbing
 
     def _request(self, method: str, path: str, body: Optional[object] = None) -> HTTPResponse:
-        connection = HTTPConnection(self.host, self.port, timeout=self.timeout)
+        # the HTTPConnection timeout governs connect(); once the socket is
+        # up, the (usually longer) read_timeout takes over so a slow search
+        # streaming records is not killed by an aggressive connect bound
+        connection = HTTPConnection(self.host, self.port, timeout=self.connect_timeout)
         payload = None
         headers = {}
         if body is not None:
             payload = json.dumps(body, default=str).encode("utf-8")
             headers["Content-Type"] = "application/json"
+        connection.connect()
+        if connection.sock is not None:
+            connection.sock.settimeout(self.read_timeout)
         connection.request(method, path, body=payload, headers=headers)
         return connection.getresponse()
 
     def _json(self, method: str, path: str, body: Optional[object] = None) -> dict:
-        response = self._request(method, path, body)
-        try:
-            raw = response.read()
-        finally:
-            response.close()
-        document = json.loads(raw.decode("utf-8")) if raw else {}
-        if response.status >= 400:
-            raise ServiceError(
-                f"{method} {path} failed with {response.status}: "
-                f"{document.get('error', raw.decode('utf-8', 'replace'))}"
-            )
-        return document
+        # only idempotent GETs are ever retried — re-sending a POST would
+        # repeat a mutation or re-run real detection work (module docstring)
+        attempts = 1 + (self.retries if method == "GET" else 0)
+        failure: Optional[Exception] = None
+        for attempt in range(attempts):
+            if attempt:
+                # exponential backoff with full jitter: 0..backoff*2^(n-1)
+                time.sleep(random.uniform(0, self.retry_backoff * (2 ** (attempt - 1))))
+            try:
+                response = self._request(method, path, body)
+            except OSError as exc:
+                # connection failures keep their OSError type (callers
+                # distinguish "server gone" from a protocol-level error)
+                failure = exc
+                continue
+            try:
+                raw = response.read()
+            finally:
+                response.close()
+            document = json.loads(raw.decode("utf-8")) if raw else {}
+            if response.status >= 400:
+                failure = ServiceError(
+                    f"{method} {path} failed with {response.status}: "
+                    f"{document.get('error', raw.decode('utf-8', 'replace'))}"
+                )
+                if method == "GET" and response.status in self.RETRYABLE_STATUSES:
+                    continue
+                raise failure
+            return document
+        assert failure is not None
+        raise failure
 
     @staticmethod
     def _detect_body(
@@ -108,12 +176,15 @@ class ServiceClient:
         max_cost: Optional[float],
         use_literal_pruning: bool,
         execution: str = "simulated",
+        timeout_seconds: Optional[float] = None,
     ) -> dict:
         body: dict = {
             "engine": engine,
             "use_literal_pruning": use_literal_pruning,
             "execution": execution,
         }
+        if timeout_seconds is not None:
+            body["timeout_seconds"] = timeout_seconds
         if rules is not None:
             body["rules"] = rules.to_dict()
         if catalog is not None:
@@ -130,6 +201,31 @@ class ServiceClient:
 
     def health(self) -> dict:
         return self._json("GET", "/health")
+
+    def metrics(self) -> str:
+        """Return the raw Prometheus text exposition of ``GET /metrics``."""
+        attempts = 1 + self.retries
+        failure: Optional[Exception] = None
+        for attempt in range(attempts):
+            if attempt:
+                time.sleep(random.uniform(0, self.retry_backoff * (2 ** (attempt - 1))))
+            try:
+                response = self._request("GET", "/metrics")
+            except OSError as exc:
+                failure = exc
+                continue
+            try:
+                raw = response.read()
+            finally:
+                response.close()
+            if response.status >= 400:
+                failure = ServiceError(f"GET /metrics failed with {response.status}")
+                if response.status in self.RETRYABLE_STATUSES:
+                    continue
+                raise failure
+            return raw.decode("utf-8")
+        assert failure is not None
+        raise failure
 
     def list_graphs(self) -> list[dict]:
         return self._json("GET", "/graphs")["graphs"]
@@ -170,14 +266,21 @@ class ServiceClient:
         max_cost: Optional[float] = None,
         use_literal_pruning: bool = True,
         execution: str = "simulated",
+        timeout_seconds: Optional[float] = None,
     ) -> Iterator[dict]:
         """Yield the NDJSON records of one detection request as they arrive.
 
         Raises :class:`ServiceError` if the request is rejected up front
-        (4xx before the stream starts — including 429 when the server's
-        detection job pool is saturated, which callers should treat as
-        retry-after-backoff) or if the stream terminates with an ``error``
-        record instead of a summary.
+        (4xx/5xx before the stream starts — including 429 when the server's
+        detection job pool is saturated and 503 + Retry-After for transient
+        faults, which callers should treat as retry-after-backoff) or if
+        the stream terminates with an ``error`` record instead of a
+        summary.  Detect streams are never retried automatically — see the
+        module docstring.
+
+        ``timeout_seconds`` is the *server-side* per-request deadline; the
+        server aborts the job when it elapses (503 before any record, an
+        in-band error record after).
         """
         body = self._detect_body(
             rules,
@@ -188,6 +291,7 @@ class ServiceClient:
             max_cost,
             use_literal_pruning,
             execution,
+            timeout_seconds,
         )
         response = self._request("POST", f"/graphs/{graph}/detect", body)
         try:

@@ -28,6 +28,7 @@ from __future__ import annotations
 import itertools
 import queue
 import threading
+import time
 from typing import Iterator, Optional
 
 from repro import obs
@@ -35,7 +36,12 @@ from repro.core.ngd import RuleSet
 from repro.core.violations import ViolationDelta, ViolationSet
 from repro.detect.parallel import WarmExecutorPool
 from repro.detect.session import DetectionOptions, Detector
-from repro.errors import PoolSaturatedError, ServiceError
+from repro.errors import (
+    DeadlineExceededError,
+    PoolSaturatedError,
+    ServiceError,
+    WorkerPoolCollapse,
+)
 from repro.service.protocol import (
     DetectRequest,
     error_record,
@@ -327,13 +333,23 @@ class DetectionJobPool:
         with self._lock:
             return self._active
 
-    def run_stream(self, records: Iterator[dict]) -> Iterator[dict]:
+    def run_stream(
+        self, records: Iterator[dict], timeout_seconds: Optional[float] = None
+    ) -> Iterator[dict]:
         """Run ``records`` on a job thread; return the consuming iterator.
 
         Raises :class:`PoolSaturatedError` without starting anything when
         every slot is busy.  A mid-stream exception inside the producer is
         converted to the protocol's ``error`` record (the HTTP status line
-        is long gone by then), matching the handler-thread behaviour.
+        is long gone by then), matching the handler-thread behaviour; a
+        :class:`~repro.errors.WorkerPoolCollapse` escaping the kernel marks
+        its error record ``retryable`` (transient — a retry gets a fresh
+        crew).
+
+        ``timeout_seconds`` arms a per-request deadline measured from
+        admission: when it elapses the consumer raises
+        :class:`~repro.errors.DeadlineExceededError` and cancels the job
+        (the producer observes the flag between records and winds down).
         """
         if not self._slots.acquire(blocking=False):
             obs.counter_inc("repro_jobs_refused_total")
@@ -366,7 +382,9 @@ class DetectionJobPool:
                 # same backpressure loop as ordinary records: a full buffer
                 # must delay the error record, not drop it — the client is
                 # owed a terminal record (summary or error) on every stream
-                _put_until_cancelled(error_record(f"{exc!r}"))
+                _put_until_cancelled(
+                    error_record(f"{exc!r}", retryable=isinstance(exc, WorkerPoolCollapse))
+                )
             finally:
                 # nothing below may be skipped: the sentinel unblocks the
                 # consumer and the release frees the slot, so a close() that
@@ -394,11 +412,29 @@ class DetectionJobPool:
         job_id = f"job-{next(self._job_ids)}"
         thread = threading.Thread(target=produce, name=f"repro-{job_id}", daemon=True)
         thread.start()
+        deadline = (
+            time.monotonic() + timeout_seconds if timeout_seconds is not None else None
+        )
 
         def consume() -> Iterator[dict]:
             try:
                 while True:
-                    record = buffer.get()
+                    if deadline is None:
+                        record = buffer.get()
+                    else:
+                        remaining = deadline - time.monotonic()
+                        if remaining <= 0:
+                            raise DeadlineExceededError(
+                                f"detection request exceeded its timeout_seconds="
+                                f"{timeout_seconds} deadline"
+                            )
+                        try:
+                            record = buffer.get(timeout=remaining)
+                        except queue.Empty:
+                            raise DeadlineExceededError(
+                                f"detection request exceeded its timeout_seconds="
+                                f"{timeout_seconds} deadline"
+                            ) from None
                     if record is self._SENTINEL:
                         break
                     yield record
@@ -586,7 +622,9 @@ class SessionManager:
                 if processes:
                     self.maintain_pools()
 
-        stream = self.job_pool.run_stream(generate())
+        stream = self.job_pool.run_stream(
+            generate(), timeout_seconds=request.timeout_seconds
+        )
         stream.trace_id = trace_id
         return stream
 

@@ -97,6 +97,11 @@ class DetectRequest:
     max_cost: Optional[float] = None
     use_literal_pruning: bool = True
     execution: str = "simulated"
+    #: per-request deadline in seconds; ``None`` means no deadline.  When it
+    #: elapses before the first record the request fails with 503 +
+    #: ``Retry-After``; once streaming has begun it becomes a terminal
+    #: in-band ``error`` record.
+    timeout_seconds: Optional[float] = None
 
     def to_document(self) -> dict:
         """Return the JSON request document this request parsed from.
@@ -121,6 +126,8 @@ class DetectRequest:
             document["max_violations"] = self.max_violations
         if self.max_cost is not None:
             document["max_cost"] = self.max_cost
+        if self.timeout_seconds is not None:
+            document["timeout_seconds"] = self.timeout_seconds
         return document
 
 
@@ -183,6 +190,7 @@ def parse_detect_request(document: object) -> DetectRequest:
         max_cost=_optional_positive_number(document, "max_cost"),
         use_literal_pruning=bool(document.get("use_literal_pruning", True)),
         execution=execution,
+        timeout_seconds=_optional_positive_number(document, "timeout_seconds"),
     )
 
 
@@ -214,6 +222,11 @@ def summary_record(
         "stop_reason": result.stop_reason,
         "graph": graph_name,
         "graph_version": graph_version,
+        # True when the worker pool collapsed or poison units were
+        # quarantined and the run was completed on the parent's serial
+        # path — the violations are still exact (see docs/ARCHITECTURE.md,
+        # "Fault tolerance")
+        "degraded": getattr(result, "degraded", False),
         # the run's observability trace (GET /debug/traces); null with
         # REPRO_OBS=off or when the result predates the traced session API
         "trace_id": getattr(result, "trace_id", None),
@@ -227,9 +240,18 @@ def summary_record(
     return record
 
 
-def error_record(message: str) -> dict:
-    """Return the terminal record of a stream that failed mid-flight."""
-    return {"type": "error", "error": message}
+def error_record(message: str, retryable: bool = False) -> dict:
+    """Return the terminal record of a stream that failed mid-flight.
+
+    ``retryable=True`` marks transient conditions (worker pool collapse,
+    per-request deadline) where an identical retry may succeed; if the
+    failure surfaces before the first record was written the HTTP layer
+    turns it into ``503`` + ``Retry-After`` instead of a ``400``.
+    """
+    record = {"type": "error", "error": message}
+    if retryable:
+        record["retryable"] = True
+    return record
 
 
 def encode_record(record: Mapping) -> bytes:

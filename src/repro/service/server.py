@@ -64,7 +64,13 @@ from typing import Optional
 
 from repro import obs
 from repro.core.ngd import RuleSet
-from repro.errors import PoolSaturatedError, ReproError, ServiceError
+from repro.detect.parallel.executor import fault_tolerance_counters
+from repro.errors import (
+    DeadlineExceededError,
+    PoolSaturatedError,
+    ReproError,
+    ServiceError,
+)
 from repro.graph.graph import Graph
 from repro.graph.io import graph_from_dict, update_from_list
 from repro.service.jobs import DEFAULT_MAX_JOBS, DetectionJobPool, SessionManager
@@ -135,25 +141,38 @@ class _ServiceHandler(BaseHTTPRequestHandler):
         except (UnicodeDecodeError, json.JSONDecodeError) as exc:
             raise ServiceError(f"request body is not valid JSON: {exc}") from exc
 
-    def _send_json(self, document: object, status: int = 200) -> None:
+    def _send_json(
+        self,
+        document: object,
+        status: int = 200,
+        headers: Optional[dict[str, str]] = None,
+    ) -> None:
         body = (json.dumps(document, sort_keys=True, default=str) + "\n").encode("utf-8")
         self.send_response(status)
         self.send_header("Content-Type", MIME_JSON)
         self.send_header("Content-Length", str(len(body)))
+        for name, value in (headers or {}).items():
+            self.send_header(name, value)
         self.end_headers()
         self.wfile.write(body)
 
     def _send_error_json(self, exc: Exception) -> None:
         message = str(exc)
         status = 400
+        headers: Optional[dict[str, str]] = None
         if isinstance(exc, PoolSaturatedError):
             status = 429
+        elif isinstance(exc, DeadlineExceededError):
+            # transient: the deadline elapsed before anything streamed, a
+            # retry (ideally with a larger timeout_seconds) may succeed
+            status = 503
+            headers = {"Retry-After": "1"}
         elif isinstance(exc, ServiceError):
             if message.startswith("no "):
                 status = 404
             elif "already registered" in message:
                 status = 409
-        self._send_json({"error": message}, status=status)
+        self._send_json({"error": message}, status=status, headers=headers)
 
     def _path_parts(self) -> tuple[list[str], dict[str, str]]:
         path, _, query = self.path.partition("?")
@@ -412,6 +431,15 @@ class _ServiceHandler(BaseHTTPRequestHandler):
             close = getattr(records, "close", None)
             if close is not None:
                 close()
+            if first.get("retryable"):
+                # transient (worker pool collapse): 503 + Retry-After so
+                # well-behaved clients back off and retry on a fresh crew
+                self._send_json(
+                    {"error": f"detection failed to start: {first.get('error')}"},
+                    status=503,
+                    headers={"Retry-After": "1"},
+                )
+                return
             raise ServiceError(f"detection failed to start: {first.get('error')}")
         self.send_response(200)
         self.send_header("Content-Type", MIME_NDJSON)
@@ -429,7 +457,13 @@ class _ServiceHandler(BaseHTTPRequestHandler):
             pass  # the client hung up mid-stream; nothing left to tell it
         except Exception as exc:  # noqa: BLE001 - headers are sent: report in-band
             try:
-                self.wfile.write(encode_record(error_record(f"{exc!r}")))
+                self.wfile.write(
+                    encode_record(
+                        error_record(
+                            f"{exc!r}", retryable=isinstance(exc, DeadlineExceededError)
+                        )
+                    )
+                )
                 self.wfile.flush()
             except OSError:
                 pass
@@ -608,6 +642,10 @@ class DetectionService:
             "sessions": self.manager.session_count(),
             "jobs": {"active": pool.active_jobs(), "max": pool.max_jobs},
             "executor_pools": self.manager.describe_pools(),
+            # process-wide supervision counters (worker_restarts,
+            # units_retried, degraded_runs) — kept outside the obs registry
+            # so they are visible even with REPRO_OBS=off
+            "fault_tolerance": fault_tolerance_counters(),
         }
         if self.persistence is not None:
             document["persistence"] = self.persistence.info()

@@ -45,6 +45,7 @@ from typing import Iterator, Optional, Union
 
 from repro import obs
 from repro.errors import ReproError
+from repro.testing.faults import wal_fault_injector
 
 __all__ = ["WalCorruption", "WriteAheadLog"]
 
@@ -129,6 +130,9 @@ class WriteAheadLog:
                     os.fsync(handle.fileno())
         self._last_lsn = last_lsn
         self._handle = open(self.path, "ab")
+        # deterministic fault injection (REPRO_FAULTS=wal_fsync:...); None in
+        # production, so the append hot path pays a single identity check
+        self._faults = wal_fault_injector()
 
     # ------------------------------------------------------------------ state
 
@@ -162,10 +166,28 @@ class WriteAheadLog:
         for payload in payloads:
             lsn += 1
             chunk += _encode(lsn, payload)
-        self._handle.write(chunk)
+        offset = self._handle.tell()
         started = time.monotonic()
-        self._handle.flush()
-        os.fsync(self._handle.fileno())
+        try:
+            self._handle.write(chunk)
+            self._handle.flush()
+            if self._faults is not None:
+                self._faults.on_fsync()
+            os.fsync(self._handle.fileno())
+        except OSError as exc:
+            # The records never became durable: roll the file back to the
+            # pre-append offset so the on-disk log holds exactly the
+            # acknowledged prefix, keep _last_lsn where it was, and surface
+            # a clean error.  The log object stays usable — a later append
+            # may succeed (transient ENOSPC/EIO) and recovery sees no gap.
+            self._rollback_append(offset)
+            if obs.enabled():
+                obs.counter_inc("repro_wal_fsync_failures_total")
+            raise ReproError(
+                f"WAL append could not be made durable ({exc}); the log was "
+                f"rolled back to its last acknowledged record (lsn "
+                f"{self._last_lsn}) and no state was lost"
+            ) from exc
         if obs.enabled():
             obs.histogram_observe(
                 "repro_wal_fsync_seconds", None, time.monotonic() - started
@@ -174,6 +196,18 @@ class WriteAheadLog:
             obs.counter_inc("repro_wal_bytes_total", None, len(chunk))
         self._last_lsn = lsn
         return lsn
+
+    def _rollback_append(self, offset: int) -> None:
+        """Truncate the file back to ``offset`` after a failed flush/fsync."""
+        try:
+            self._handle.close()
+        except OSError:  # pragma: no cover - close after a failed fsync
+            pass
+        with open(self.path, "r+b") as handle:
+            handle.truncate(offset)
+            handle.flush()
+            os.fsync(handle.fileno())
+        self._handle = open(self.path, "ab")
 
     # ----------------------------------------------------------------- replay
 

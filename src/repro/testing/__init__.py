@@ -1,0 +1,29 @@
+"""Test-support utilities shipped with the library.
+
+Only deterministic fault injection lives here today (:mod:`repro.testing.faults`);
+it ships in the package proper — not under ``tests/`` — because benchmarks,
+the CI chaos job, and operators reproducing an incident all need it without
+a test checkout.
+"""
+
+from repro.testing.faults import (
+    FAULT_KINDS,
+    FAULTS_ENV,
+    FaultPlan,
+    FaultSpec,
+    WalFaultInjector,
+    WorkerFaultInjector,
+    resolve_fault_plan,
+    wal_fault_injector,
+)
+
+__all__ = [
+    "FAULT_KINDS",
+    "FAULTS_ENV",
+    "FaultPlan",
+    "FaultSpec",
+    "WalFaultInjector",
+    "WorkerFaultInjector",
+    "resolve_fault_plan",
+    "wal_fault_injector",
+]
